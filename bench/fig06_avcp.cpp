@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 6: Asymmetric VC Partitioning (AVCP) [33] on a shared physical
+ * network with the same aggregate bandwidth as the baseline. Paper:
+ * AVCP is ineffective (<3% best case, HM flat) and *hurts* write-heavy
+ * BP because it steals (virtual) request-network capacity.
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "workloads/workload_table.hpp"
+
+using namespace dr;
+
+int
+main()
+{
+    const std::vector<std::string> benchSet = {"2DCON", "HS", "MM", "NN",
+                                               "BP"};
+    struct Split
+    {
+        int req;
+        int reply;
+    };
+    const std::vector<Split> splits = {{2, 2}, {1, 3}, {3, 1}};
+
+    std::printf("=== Figure 6: asymmetric VC partitioning (shared "
+                "network) ===\n");
+    std::printf("%-8s", "bench");
+    for (const auto &s : splits)
+        std::printf("   req%d:rep%d", s.req, s.reply);
+    std::printf("   (normalized to the 2:2 split)\n");
+
+    std::vector<std::vector<double>> perSplit(splits.size());
+    for (const auto &gpu : benchSet) {
+        std::vector<double> ipcs;
+        for (const auto &s : splits) {
+            SystemConfig cfg = benchConfig(Mechanism::Baseline);
+            cfg.noc.sharedPhysical = true;
+            cfg.noc.sharedReqVcs = s.req;
+            cfg.noc.sharedReplyVcs = s.reply;
+            const RunResults r =
+                runWorkload(cfg, gpu, cpuCoRunnersFor(gpu)[0]);
+            ipcs.push_back(r.gpuIpc);
+        }
+        std::printf("%-8s", gpu.c_str());
+        for (std::size_t i = 0; i < splits.size(); ++i) {
+            std::printf("   %9.3f", ipcs[i] / ipcs[0]);
+            perSplit[i].push_back(ipcs[i] / ipcs[0]);
+        }
+        std::printf("\n");
+    }
+    std::printf("%-8s", "HM");
+    for (auto &column : perSplit)
+        std::printf("   %9.3f", harmonicMean(column));
+    std::printf("\n\npaper: best case +3%%, harmonic mean flat, BP hurt "
+                "by fewer request VCs\n");
+    return 0;
+}

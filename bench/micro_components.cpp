@@ -1,0 +1,145 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot components:
+ * cache lookups, MSHR operations, DRAM scheduling, router switch
+ * allocation, network ticks, and full-system cycles. These guard the
+ * simulator's own performance (it runs on one host core).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/config.hpp"
+#include "core/hetero_system.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/mshr.hpp"
+#include "noc/network.hpp"
+#include "workloads/gpu_benchmarks.hpp"
+
+namespace
+{
+
+using namespace dr;
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    struct NoMeta
+    {};
+    SetAssocCache<NoMeta> cache({48 * 1024, 4, 128});
+    for (Addr a = 0; a < 48 * 1024; a += 128)
+        cache.insert(a, {});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr));
+        addr = (addr + 128) % (48 * 1024);
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_CacheInsertEvict(benchmark::State &state)
+{
+    struct NoMeta
+    {};
+    SetAssocCache<NoMeta> cache({48 * 1024, 4, 128});
+    Addr addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.insert(addr, {}));
+        addr += 128;
+    }
+}
+BENCHMARK(BM_CacheInsertEvict);
+
+void
+BM_MshrAllocateRelease(benchmark::State &state)
+{
+    MshrFile mshrs(64, 8);
+    Addr addr = 0;
+    for (auto _ : state) {
+        mshrs.allocate(addr, {1, 0, TrafficClass::Gpu, false, false});
+        benchmark::DoNotOptimize(mshrs.release(addr));
+        addr += 128;
+    }
+}
+BENCHMARK(BM_MshrAllocateRelease);
+
+void
+BM_DramStreamTick(benchmark::State &state)
+{
+    const MemConfig cfg = SystemConfig::makePaper().mem;
+    DramChannel dram(cfg);
+    Cycle now = 0;
+    Addr addr = 0;
+    for (auto _ : state) {
+        if (!dram.queueFull()) {
+            dram.enqueue({addr, false, 1, now}, now);
+            addr += 128;
+        }
+        dram.tick(now);
+        while (dram.hasCompletion(now))
+            dram.popCompletion();
+        ++now;
+    }
+}
+BENCHMARK(BM_DramStreamTick);
+
+void
+BM_NetworkTickLoaded(benchmark::State &state)
+{
+    const Topology topo = Topology::makeMesh(8, 8);
+    NetworkParams params;
+    params.injBufferFlits.assign(64, 36);
+    Network net(params, topo);
+    Cycle now = 0;
+    std::uint64_t id = 1;
+    for (auto _ : state) {
+        for (NodeId src = 0; src < 64; src += 7) {
+            if (net.canInject(src, 9)) {
+                Message m;
+                m.type = MsgType::ReadReply;
+                m.src = src;
+                m.dst = static_cast<NodeId>((src + 31) % 64);
+                m.id = id++;
+                net.inject(m, 9, now);
+            }
+        }
+        net.tick(now);
+        for (NodeId n = 0; n < 64; ++n) {
+            while (net.hasMessage(n, NetKind::Reply))
+                net.popMessage(n, NetKind::Reply);
+        }
+        ++now;
+    }
+}
+BENCHMARK(BM_NetworkTickLoaded);
+
+void
+BM_KernelAccessGen(benchmark::State &state)
+{
+    const auto kernel = makeGpuBenchmark("2DCON");
+    int idx = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            kernel->access(idx % kernel->ctaCount(), idx % 8,
+                           idx % kernel->accessesPerWarp()));
+        ++idx;
+    }
+}
+BENCHMARK(BM_KernelAccessGen);
+
+void
+BM_FullSystemCycle(benchmark::State &state)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    HeteroSystem sys(cfg, "HS", "blackscholes");
+    sys.advance(2000);  // reach a loaded steady-ish state
+    for (auto _ : state)
+        sys.advance(1);
+}
+BENCHMARK(BM_FullSystemCycle);
+
+} // namespace
+
+BENCHMARK_MAIN();

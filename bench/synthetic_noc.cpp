@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Standalone NoC characterization (BookSim/Garnet-standalone style):
+ * latency-throughput curves for each topology under the classic
+ * synthetic patterns. The hotspot pattern is the abstract form of the
+ * paper's clogging problem: all nodes target a few receivers, and the
+ * receivers' ejection links saturate long before the bisection does —
+ * which is why no topology change fixes clogging (Figure 5).
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "noc/synthetic_traffic.hpp"
+
+using namespace dr;
+
+int
+main()
+{
+    const Cycle cycles = benchCycles(8000);
+    const double rates[] = {0.01, 0.03, 0.06, 0.10};
+
+    for (const TopologyKind topo :
+         {TopologyKind::Mesh, TopologyKind::FlattenedButterfly,
+          TopologyKind::Dragonfly, TopologyKind::Crossbar}) {
+        std::printf("=== %s ===\n", topologyName(topo));
+        std::printf("%-14s", "pattern");
+        for (const double r : rates)
+            std::printf("   @%.2f lat/thru", r);
+        std::printf("\n");
+        for (const TrafficPattern pattern :
+             {TrafficPattern::UniformRandom, TrafficPattern::Transpose,
+              TrafficPattern::BitComplement, TrafficPattern::Hotspot}) {
+            std::printf("%-14s", trafficPatternName(pattern));
+            for (const double rate : rates) {
+                const SyntheticResult res = runSyntheticLoad(
+                    topo, 64, 8, 8, pattern, rate, 5, cycles);
+                std::printf("   %6.0f/%5.2f", res.avgLatency,
+                            res.acceptedFlitsPerNode);
+            }
+            std::printf("\n");
+        }
+        std::printf("\n");
+    }
+    std::printf("note: hotspot accepted throughput is pinned by the two "
+                "receivers' ejection links on every topology — the "
+                "topology-independence of endpoint clogging\n");
+    return 0;
+}

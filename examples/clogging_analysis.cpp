@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Network-clogging anatomy (Section II of the paper): sweep the GPU
+ * core count and watch the memory nodes' reply links saturate, the
+ * injection buffers block, and CPU latency explode — then show how
+ * Delegated Replies drains the buffers.
+ */
+
+#include <cstdio>
+
+#include "core/hetero_system.hpp"
+
+using namespace dr;
+
+namespace
+{
+
+RunResults
+runMix(int gpuCores, Mechanism mech)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    // Keep 8 memory nodes; trade CPU tiles for GPU tiles.
+    cfg.gpu.numCores = gpuCores;
+    cfg.cpu.numCores = 64 - 8 - gpuCores;
+    cfg.mechanism = mech;
+    cfg.warmupCycles = 10000;
+    cfg.simCycles = 20000;
+    HeteroSystem system(cfg, "2DCON", "vips");
+    return system.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("How clogging builds up: more bandwidth-hungry GPU "
+                "cores\nagainst the same 8 memory nodes (baseline "
+                "mechanism).\n\n");
+    std::printf("%8s %12s %12s %12s %12s\n", "GPUs", "blocking%",
+                "dataRate", "cpuLatency", "gpuIPC");
+    for (const int gpus : {24, 32, 40, 48}) {
+        const RunResults r = runMix(gpus, Mechanism::Baseline);
+        std::printf("%8d %12.1f %12.3f %12.1f %12.2f\n", gpus,
+                    100.0 * r.memBlockingRate, r.gpuDataRate,
+                    r.cpuLatency, r.gpuIpc);
+    }
+
+    std::printf("\nSame sweep with Delegated Replies: the delegations "
+                "drain the\nmemory-node injection buffers.\n\n");
+    std::printf("%8s %12s %12s %12s %12s %12s\n", "GPUs", "blocking%",
+                "dataRate", "cpuLatency", "gpuIPC", "delegations");
+    for (const int gpus : {24, 32, 40, 48}) {
+        const RunResults r = runMix(gpus, Mechanism::DelegatedReplies);
+        std::printf("%8d %12.1f %12.3f %12.1f %12.2f %12llu\n", gpus,
+                    100.0 * r.memBlockingRate, r.gpuDataRate,
+                    r.cpuLatency, r.gpuIpc,
+                    static_cast<unsigned long long>(r.delegations));
+    }
+    std::printf("\nExpected: blocking and CPU latency grow with the GPU "
+                "count under the\nbaseline; Delegated Replies keeps the "
+                "data rate higher at every point.\n");
+    return 0;
+}

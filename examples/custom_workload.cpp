@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Bring your own kernel: implement KernelAccessPattern (here via the
+ * parameterized stencil front-end and via a from-scratch pointer-chase
+ * kernel) and run it through the full system. This is the extension
+ * point for studying new GPU workloads under Delegated Replies.
+ */
+
+#include <cstdio>
+
+#include <memory>
+
+#include "core/hetero_system.hpp"
+#include "workloads/gpu_benchmarks.hpp"
+
+using namespace dr;
+
+namespace
+{
+
+/**
+ * A graph-walk kernel written directly against the KernelAccessPattern
+ * interface: each warp chases hashed pointers through a node table that
+ * all CTAs share — plenty of inter-core locality in the hot upper
+ * community structure, misses everywhere else.
+ */
+class PointerChaseKernel : public KernelAccessPattern
+{
+  public:
+    std::string name() const override { return "graph-walk"; }
+    int ctaCount() const override { return 512; }
+    int warpsPerCta() const override { return 8; }
+    int accessesPerWarp() const override { return 256; }
+    int computePerMem() const override { return 2; }
+
+    MemAccess
+    access(int cta, int warp, int idx) const override
+    {
+        // A warp walks from a hashed start; every 4th hop touches the
+        // hot community table shared by all CTAs.
+        std::uint64_t x = static_cast<std::uint64_t>(cta) * 2654435761u +
+                          warp * 40503u + idx / 4;
+        x ^= x >> 15;
+        x *= 0x2545f4914f6cdd1dull;
+        x ^= x >> 32;
+        constexpr Addr base = 0x200000000ull;
+        if (idx % 4 == 3) {
+            // Hot community structure: 512 lines, chip-wide sharing.
+            return {base + (x % 512) * 128, false};
+        }
+        // Cold graph nodes: 64K lines.
+        return {base + 0x1000000ull + (x % 65536) * 128, false};
+    }
+};
+
+double
+runWith(Mechanism mech)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = mech;
+    cfg.warmupCycles = 8000;
+    cfg.simCycles = 16000;
+    HeteroSystem system(cfg, std::make_unique<PointerChaseKernel>(),
+                        "ferret");
+    return system.run().gpuIpc;
+}
+
+} // namespace
+
+int
+main()
+{
+    // Variant 1: a custom stencil through the parameterized front-end.
+    StencilSpec spec;
+    spec.name = "my-7point-stencil";
+    spec.ctas = 512;
+    spec.warpsPerCta = 8;
+    spec.rowsPerCta = 1;
+    spec.halo = 3;  // 7-point stencil: deep halos, heavy sharing
+    spec.rowLines = 32;
+    spec.colsPerWarp = 4;
+    spec.writeEvery = 8;
+    spec.warpsPerGroup = 4;
+    const auto stencil = makeStencil(spec);
+    std::printf("custom stencil '%s': %d CTAs x %d warps x %d accesses\n",
+                stencil->name().c_str(), stencil->ctaCount(),
+                stencil->warpsPerCta(), stencil->accessesPerWarp());
+    std::printf("  first reads of CTA 10/warp 0: ");
+    for (int i = 0; i < 4; ++i)
+        std::printf("0x%llx ",
+                    static_cast<unsigned long long>(
+                        stencil->access(10, 0, i).addr));
+    std::printf("\n\n");
+
+    // Variant 2: a from-scratch kernel class.
+    PointerChaseKernel chase;
+    std::printf("custom kernel '%s' defined against the public "
+                "interface;\nsample accesses: 0x%llx -> 0x%llx -> "
+                "0x%llx\n\n",
+                chase.name().c_str(),
+                static_cast<unsigned long long>(chase.access(0, 0, 0).addr),
+                static_cast<unsigned long long>(chase.access(0, 0, 1).addr),
+                static_cast<unsigned long long>(chase.access(0, 0, 3).addr));
+
+    // And run the custom kernel through the full system under both
+    // mechanisms.
+    const double base = runWith(Mechanism::Baseline);
+    const double dr = runWith(Mechanism::DelegatedReplies);
+    std::printf("graph-walk full-system run: baseline %.2f IPC, DR %.2f "
+                "IPC (%.2fx)\n",
+                base, dr, dr / base);
+    return 0;
+}

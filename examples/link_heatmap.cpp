@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Visualize clogging: run a workload and print an ASCII heatmap of the
+ * reply-network link utilizations on the mesh — the picture behind
+ * Figure 3 of the paper. Under the baseline, the horizontal links
+ * leaving the memory column toward the GPU half glow; under Delegated
+ * Replies the load spreads across the inter-GPU links.
+ */
+
+#include <cstdio>
+
+#include "core/hetero_system.hpp"
+#include "noc/topology.hpp"
+
+using namespace dr;
+
+namespace
+{
+
+char
+shade(double utilization)
+{
+    if (utilization < 0.05)
+        return '.';
+    if (utilization < 0.15)
+        return '-';
+    if (utilization < 0.30)
+        return '=';
+    if (utilization < 0.50)
+        return '*';
+    if (utilization < 0.70)
+        return '#';
+    return '@';
+}
+
+void
+heatmap(HeteroSystem &sys, Cycle cycles)
+{
+    const Network &net = sys.interconnect().net(NetKind::Reply);
+    const Topology &topo = net.topology();
+    const int w = sys.config().noc.meshWidth;
+    const int h = sys.config().noc.meshHeight;
+
+    auto util = [&](int router, int port) {
+        const RouterStats &s = net.routerStats(router);
+        if (s.portFlitsSent.empty())
+            return 0.0;
+        return static_cast<double>(s.portFlitsSent[port]) /
+               static_cast<double>(cycles);
+    };
+
+    std::printf("  east-bound links (router -> right neighbour):\n");
+    for (int y = 0; y < h; ++y) {
+        std::printf("    ");
+        for (int x = 0; x + 1 < w; ++x)
+            std::printf("%c ", shade(util(y * w + x, meshEast)));
+        std::printf("\n");
+    }
+    std::printf("  south-bound links (router -> lower neighbour):\n");
+    for (int y = 0; y + 1 < h; ++y) {
+        std::printf("    ");
+        for (int x = 0; x < w; ++x)
+            std::printf("%c ", shade(util(y * w + x, meshSouth)));
+        std::printf("\n");
+    }
+    (void)topo;
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const Mechanism mech :
+         {Mechanism::Baseline, Mechanism::DelegatedReplies}) {
+        SystemConfig cfg = SystemConfig::makePaper();
+        cfg.mechanism = mech;
+        cfg.warmupCycles = 8000;
+        cfg.simCycles = 16000;
+        HeteroSystem sys(cfg, "2DCON", "canneal");
+        const RunResults r = sys.run();
+        std::printf("=== %s (2DCON + canneal) ===\n",
+                    mechanismName(mech));
+        std::printf("  legend: . <5%%  - <15%%  = <30%%  * <50%%  # <70%%  "
+                    "@ >=70%%   (memory column is x=2)\n");
+        heatmap(sys, cfg.simCycles);
+        std::printf("  blocking %.1f%%, GPU IPC %.2f, delegations %llu\n\n",
+                    100.0 * r.memBlockingRate, r.gpuIpc,
+                    static_cast<unsigned long long>(r.delegations));
+    }
+    std::printf("Expected: the baseline concentrates load on the "
+                "east-bound links at the\nmemory column (x=2); Delegated "
+                "Replies spreads it over the GPU half.\n");
+    return 0;
+}

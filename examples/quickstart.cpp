@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Quickstart: build the paper's 64-node CPU-GPU chip (Table I), run the
+ * HS workload under the baseline and under Delegated Replies, and print
+ * the headline metrics. Start here to see the library's public API.
+ */
+
+#include <cstdio>
+
+#include "core/hetero_system.hpp"
+#include "core/layout.hpp"
+
+using namespace dr;
+
+int
+main()
+{
+    // 1. Configure the system. Defaults reproduce Table I of the paper:
+    //    40 GPU cores, 16 CPU cores, 8 memory nodes on an 8x8 mesh with
+    //    separate 128-bit request/reply networks.
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.warmupCycles = 15000;
+    cfg.simCycles = 30000;
+
+    // 2. Show the chip floorplan (Figure 1a).
+    std::printf("Chip layout (C = CPU, M = memory node, G = GPU):\n%s\n",
+                renderLayout(cfg, buildLayout(cfg)).c_str());
+
+    // 3. Run the same workload under both mechanisms.
+    for (const Mechanism mech :
+         {Mechanism::Baseline, Mechanism::DelegatedReplies}) {
+        cfg.mechanism = mech;
+        HeteroSystem system(cfg, /*gpuBenchmark=*/"HS",
+                            /*cpuBenchmark=*/"bodytrack");
+        const RunResults r = system.run();
+        std::printf("--- %s ---\n", mechanismName(mech));
+        std::printf("GPU IPC (chip):            %8.2f\n", r.gpuIpc);
+        std::printf("CPU IPC (per core):        %8.3f\n", r.cpuIpc);
+        std::printf("CPU request latency:       %8.1f cycles\n",
+                    r.cpuLatency);
+        std::printf("GPU received data rate:    %8.3f flits/cycle/core\n",
+                    r.gpuDataRate);
+        std::printf("memory-node blocking rate: %8.1f %%\n",
+                    100.0 * r.memBlockingRate);
+        std::printf("L1 misses forwarded:       %8.1f %%\n",
+                    100.0 * r.forwardedFraction());
+        if (mech == Mechanism::DelegatedReplies) {
+            std::printf("remote hit rate:           %8.1f %%\n",
+                        100.0 * r.remoteHitRate());
+        }
+        std::printf("\n");
+    }
+    std::printf("Delegated Replies should show a higher GPU IPC and data "
+                "rate and a\nlower blocking rate than the baseline "
+                "(paper: +25.8%% GPU on average).\n");
+    return 0;
+}

@@ -1,0 +1,22 @@
+#include "coherence/gpu_coherence.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+GpuCoherence::GpuCoherence(int numGpuCores)
+    : epochs_(static_cast<std::size_t>(numGpuCores), 0)
+{
+    if (numGpuCores < 1)
+        fatal("GPU coherence needs at least one core");
+}
+
+void
+GpuCoherence::flush(int gpuCoreIdx)
+{
+    ++epochs_[gpuCoreIdx];
+    ++flushes_;
+}
+
+} // namespace dr

@@ -1,0 +1,125 @@
+#include "coherence/mesi.hpp"
+
+#include <bit>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+MesiDirectory::MesiDirectory(int numCores, Cycle invalidationPenalty)
+    : numCores_(numCores), invalidationPenalty_(invalidationPenalty)
+{
+    if (numCores < 1 || numCores > 64)
+        fatal("MESI directory supports 1..64 cores");
+}
+
+Cycle
+MesiDirectory::access(int core, Addr lineAddr, bool write)
+{
+    if (core < 0 || core >= numCores_)
+        panic("MESI access from out-of-range core ", core);
+    Entry &e = dir_[lineAddr];
+    const std::uint64_t bit = 1ull << core;
+    Cycle penalty = 0;
+
+    if (write) {
+        ++stats_.writes;
+        switch (e.state) {
+          case MesiState::Invalid:
+            break;
+          case MesiState::Shared:
+          case MesiState::Exclusive: {
+            // Invalidate all other sharers.
+            const std::uint64_t others = e.sharers & ~bit;
+            const int count = std::popcount(others);
+            stats_.invalidations += static_cast<std::uint64_t>(count);
+            if (count > 0)
+                penalty += invalidationPenalty_;
+            break;
+          }
+          case MesiState::Modified:
+            if (!(e.sharers & bit)) {
+                // Pull dirty data from the current owner.
+                ++stats_.writebacks;
+                ++stats_.invalidations;
+                penalty += invalidationPenalty_;
+            }
+            break;
+        }
+        e.state = MesiState::Modified;
+        e.sharers = bit;
+        return penalty;
+    }
+
+    ++stats_.reads;
+    switch (e.state) {
+      case MesiState::Invalid:
+        e.state = MesiState::Exclusive;
+        e.sharers = bit;
+        break;
+      case MesiState::Exclusive:
+      case MesiState::Shared:
+        e.state = (e.sharers | bit) == bit ? e.state : MesiState::Shared;
+        if (e.state == MesiState::Exclusive && !(e.sharers & bit))
+            e.state = MesiState::Shared;
+        e.sharers |= bit;
+        break;
+      case MesiState::Modified:
+        if (!(e.sharers & bit)) {
+            // Downgrade the owner; dirty data written back.
+            ++stats_.downgrades;
+            ++stats_.writebacks;
+            penalty += invalidationPenalty_;
+            e.state = MesiState::Shared;
+            e.sharers |= bit;
+        }
+        break;
+    }
+    return penalty;
+}
+
+void
+MesiDirectory::evict(int core, Addr lineAddr)
+{
+    auto it = dir_.find(lineAddr);
+    if (it == dir_.end())
+        return;
+    Entry &e = it->second;
+    const std::uint64_t bit = 1ull << core;
+    if (!(e.sharers & bit))
+        return;
+    if (e.state == MesiState::Modified)
+        ++stats_.writebacks;
+    e.sharers &= ~bit;
+    if (e.sharers == 0) {
+        dir_.erase(it);
+    } else if (e.state == MesiState::Modified ||
+               e.state == MesiState::Exclusive) {
+        // Remaining copies are clean and shared.
+        e.state = MesiState::Shared;
+    }
+}
+
+MesiState
+MesiDirectory::stateOf(Addr lineAddr) const
+{
+    const auto it = dir_.find(lineAddr);
+    return it == dir_.end() ? MesiState::Invalid : it->second.state;
+}
+
+int
+MesiDirectory::sharerCount(Addr lineAddr) const
+{
+    const auto it = dir_.find(lineAddr);
+    return it == dir_.end() ? 0 : std::popcount(it->second.sharers);
+}
+
+bool
+MesiDirectory::isSharer(int core, Addr lineAddr) const
+{
+    const auto it = dir_.find(lineAddr);
+    return it != dir_.end() && (it->second.sharers & (1ull << core));
+}
+
+} // namespace dr

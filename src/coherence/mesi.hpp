@@ -1,0 +1,97 @@
+#ifndef DR_COHERENCE_MESI_HPP
+#define DR_COHERENCE_MESI_HPP
+
+/**
+ * @file
+ * MESI directory for the CPU coherence domain (Table I: the CPU cores
+ * use a MESI protocol; Delegated Replies never crosses the CPU-GPU
+ * coherence boundary). The directory lives alongside the LLC slices and
+ * tracks, per CPU line, the stable state and sharer set. Invalidation
+ * and downgrade round-trips are charged as a latency penalty at the
+ * memory node rather than as explicit NoC messages — CPU coherence
+ * traffic is not the phenomenon under study, but its latency effect on
+ * CPU requests is modelled.
+ */
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** Stable MESI states as seen by the directory. */
+enum class MesiState : std::uint8_t
+{
+    Invalid,
+    Shared,     //!< one or more sharers, clean
+    Exclusive,  //!< single owner, clean
+    Modified,   //!< single owner, dirty
+};
+
+/** Directory statistics. */
+struct MesiStats
+{
+    Counter reads;
+    Counter writes;
+    Counter invalidations;   //!< sharer copies invalidated
+    Counter downgrades;      //!< M/E owner downgraded to S
+    Counter writebacks;      //!< dirty data pulled from an owner
+};
+
+/**
+ * Directory-side MESI protocol for up to 64 CPU cores.
+ */
+class MesiDirectory
+{
+  public:
+    /**
+     * @param numCores CPU core count (sharer bitmask width)
+     * @param invalidationPenalty cycles per invalidation round trip
+     */
+    MesiDirectory(int numCores, Cycle invalidationPenalty);
+
+    /**
+     * Process a CPU access and transition the directory.
+     * @param core requesting CPU core index
+     * @param lineAddr CPU-line-aligned address
+     * @param write true for stores
+     * @return extra latency cycles due to invalidations/downgrades
+     */
+    Cycle access(int core, Addr lineAddr, bool write);
+
+    /** Evict a line from a core's cache (silent for S, writeback for M). */
+    void evict(int core, Addr lineAddr);
+
+    /** Directory state of a line (Invalid if untracked). */
+    MesiState stateOf(Addr lineAddr) const;
+
+    /** Number of sharers of a line. */
+    int sharerCount(Addr lineAddr) const;
+
+    /** Whether a given core holds the line. */
+    bool isSharer(int core, Addr lineAddr) const;
+
+    const MesiStats &stats() const { return stats_; }
+
+    /** Tracked (non-invalid) lines. */
+    std::size_t trackedLines() const { return dir_.size(); }
+
+  private:
+    struct Entry
+    {
+        MesiState state = MesiState::Invalid;
+        std::uint64_t sharers = 0;
+    };
+
+    int numCores_;
+    Cycle invalidationPenalty_;
+    std::unordered_map<Addr, Entry> dir_;
+    MesiStats stats_;
+};
+
+} // namespace dr
+
+#endif // DR_COHERENCE_MESI_HPP

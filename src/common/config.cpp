@@ -1,0 +1,112 @@
+#include "common/config.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+int
+NocConfig::effectiveChannelBytes() const
+{
+    int base = sharedPhysical ? 2 * channelBytes : channelBytes;
+    auto scaled = static_cast<int>(std::lround(base * bandwidthScale));
+    if (scaled <= 0)
+        fatal("channel width scaled to zero bytes");
+    return scaled;
+}
+
+void
+SystemConfig::validate() const
+{
+    const int tiles = nodeCount();
+    const int used = gpu.numCores + cpu.numCores + mem.numNodes;
+    if (used != tiles) {
+        fatal("node mix (", gpu.numCores, " GPU + ", cpu.numCores,
+              " CPU + ", mem.numNodes, " MEM = ", used,
+              ") does not fill the ", noc.meshWidth, "x", noc.meshHeight,
+              " chip (", tiles, " tiles)");
+    }
+    if (mem.lineBytes != gpu.l1LineBytes)
+        fatal("LLC and GPU L1 line sizes must match");
+    if (noc.vcsPerNet < 1 || noc.vcDepthFlits < 1)
+        fatal("need at least one VC with at least one flit of buffering");
+    if (noc.memInjBufferFlits < flitsFor(MsgType::ReadReply,
+                                         TrafficClass::Gpu)) {
+        fatal("memory-node injection buffer smaller than one reply; "
+              "replies could never inject");
+    }
+    if (noc.sharedPhysical && (noc.sharedReqVcs < 1 || noc.sharedReplyVcs < 1))
+        fatal("shared network needs at least one VC per traffic type");
+    if (gpu.frqEntries < 1)
+        fatal("FRQ needs at least one entry");
+    if (rp.probeCount < 1)
+        fatal("RP must probe at least one remote cache");
+    if (noc.topology == TopologyKind::Mesh &&
+        noc.meshWidth * noc.meshHeight != tiles) {
+        fatal("mesh dimensions inconsistent");
+    }
+}
+
+namespace
+{
+
+int
+ceilDiv(int a, int b)
+{
+    return (a + b - 1) / b;
+}
+
+} // namespace
+
+int
+SystemConfig::flitsFor(MsgType type, TrafficClass cls) const
+{
+    const int channel = noc.effectiveChannelBytes();
+    const int line =
+        cls == TrafficClass::Cpu ? cpu.lineBytes : mem.lineBytes;
+    // Write-through stores carry a coalesced 32 B payload; loads and
+    // control messages are metadata-only (8 B <= one flit).
+    constexpr int writePayloadBytes = 32;
+    switch (type) {
+      case MsgType::ReadReq:
+      case MsgType::DelegatedReq:
+      case MsgType::ProbeReq:
+      case MsgType::ProbeNack:
+      case MsgType::WriteAck:
+        return 1;
+      case MsgType::WriteReq:
+        return 1 + ceilDiv(writePayloadBytes, channel);
+      case MsgType::ReadReply:
+        return 1 + ceilDiv(line, channel);
+    }
+    panic("unreachable message type");
+}
+
+SystemConfig
+SystemConfig::makeSmall()
+{
+    SystemConfig cfg;
+    cfg.noc.meshWidth = 4;
+    cfg.noc.meshHeight = 4;
+    cfg.gpu.numCores = 10;
+    cfg.cpu.numCores = 4;
+    cfg.mem.numNodes = 2;
+    cfg.gpu.l1SizeKB = 4;
+    cfg.gpu.warpsPerCore = 8;
+    cfg.gpu.l1Mshrs = 8;
+    cfg.mem.llcSliceKB = 32;
+    cfg.mem.banksPerMc = 4;
+    cfg.warmupCycles = 500;
+    cfg.simCycles = 5000;
+    return cfg;
+}
+
+SystemConfig
+SystemConfig::makePaper()
+{
+    return SystemConfig{};  // defaults are Table I
+}
+
+} // namespace dr

@@ -1,0 +1,176 @@
+#ifndef DR_COMMON_CONFIG_HPP
+#define DR_COMMON_CONFIG_HPP
+
+/**
+ * @file
+ * Simulated-system configuration. Defaults reproduce Table I of the paper:
+ * a 64-node chip with 40 GPU cores, 16 CPU cores and 8 memory nodes on an
+ * 8x8 mesh with separate 128-bit request/reply networks.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** Network-on-chip parameters. */
+struct NocConfig
+{
+    TopologyKind topology = TopologyKind::Mesh;
+    int meshWidth = 8;   //!< columns
+    int meshHeight = 8;  //!< rows
+
+    int channelBytes = 16;  //!< 128-bit channels
+    int vcsPerNet = 2;      //!< VCs per physical network
+    int vcDepthFlits = 4;   //!< buffer depth per VC
+    int routerStages = 4;   //!< router pipeline depth (cycles)
+
+    /**
+     * AVCP mode: a single physical network whose aggregate bandwidth
+     * matches the two baseline networks; request and reply traffic are
+     * segregated onto disjoint VC sets.
+     */
+    bool sharedPhysical = false;
+    int sharedReqVcs = 2;    //!< VCs dedicated to requests when shared
+    int sharedReplyVcs = 2;  //!< VCs dedicated to replies when shared
+
+    RoutingKind requestRouting = RoutingKind::DimOrderYX;  //!< CDR: YX req
+    RoutingKind replyRouting = RoutingKind::DimOrderXY;    //!< CDR: XY rep
+
+    /**
+     * Memory-node reply injection buffer in flits. The paper's clogging
+     * mechanism hinges on this buffer filling (Figure 3); ~4 complete
+     * GPU replies with the default channel width.
+     */
+    int memInjBufferFlits = 36;
+    int coreInjBufferFlits = 36;  //!< per-core injection buffer
+    int ejBufferFlits = 18;       //!< finite ejection buffer (back-pressure)
+
+    /** Channel width multiplier; 2.0 models the double-bandwidth NoC. */
+    double bandwidthScale = 1.0;
+
+    /** Effective channel width in bytes after scaling. */
+    int effectiveChannelBytes() const;
+};
+
+/** GPU core (SM) parameters. */
+struct GpuConfig
+{
+    int numCores = 40;
+    int warpsPerCore = 48;
+    int threadsPerWarp = 32;
+    int issueWidth = 2;         //!< 2 GTO schedulers per core
+    int computePerMem = 4;      //!< compute instructions per memory access
+
+    int l1SizeKB = 48;
+    int l1Assoc = 4;
+    int l1LineBytes = 128;
+    int l1HitLatency = 2;
+    int l1Mshrs = 32;
+    int mshrTargets = 8;        //!< merged requests per MSHR entry
+
+    int frqEntries = 8;         //!< Forwarded Request Queue (Section IV)
+
+    L1Organization l1Org = L1Organization::Private;
+    int dcl1CoresPerCluster = 8;  //!< DC-L1: 8 cores share one L1
+    int dcl1Slices = 4;           //!< ... with 4 address-interleaved slices
+    CtaSchedule ctaSchedule = CtaSchedule::RoundRobin;
+};
+
+/** CPU core parameters. */
+struct CpuConfig
+{
+    int numCores = 16;
+    int l1SizeKB = 32;
+    int l1Assoc = 4;
+    int lineBytes = 64;
+    int maxOutstanding = 8;  //!< upper bound on per-core MLP
+};
+
+/** Memory-node (LLC slice + memory controller) parameters. */
+struct MemConfig
+{
+    int numNodes = 8;
+
+    int llcSliceKB = 1024;  //!< 1 MB per memory controller, 8 MB total
+    int llcAssoc = 16;
+    int lineBytes = 128;
+    int llcLatency = 20;    //!< tag+data access latency (cycles)
+    int llcMshrs = 64;
+
+    int banksPerMc = 16;
+    // GDDR5 timing parameters (in memory cycles ~ core cycles)
+    int tCL = 12;
+    int tRP = 12;
+    int tRC = 40;
+    int tRAS = 28;
+    int tRCD = 12;
+    int tRRD = 6;
+    int tCCD = 2;
+    int tWR = 12;
+    /** Core cycles the shared per-MC data bus is busy per line burst. */
+    int burstCycles = 6;
+
+    /** Randomized (PAE-like [43]) address-to-MC mapping seed. */
+    std::uint64_t mapSeed = 0x5eedu;
+};
+
+/** Delegated Replies policy knobs. */
+struct DrConfig
+{
+    /** Delegate even when the reply network could accept (ablation). */
+    bool delegateAlways = false;
+    /** FRQ remote requests beat local accesses (deadlock avoidance). */
+    bool frqRemotePriority = true;
+};
+
+/** Realistic Probing configuration (best-performing per the authors). */
+struct RpConfig
+{
+    int probeCount = 2;        //!< remote L1s probed per predicted miss
+    int predictorEntries = 512;//!< per-core sharing predictor table
+};
+
+/** Complete system configuration. */
+struct SystemConfig
+{
+    NocConfig noc;
+    GpuConfig gpu;
+    CpuConfig cpu;
+    MemConfig mem;
+    DrConfig dr;
+    RpConfig rp;
+
+    Mechanism mechanism = Mechanism::Baseline;
+    ChipLayout layout = ChipLayout::Baseline;
+
+    std::uint64_t seed = 42;
+
+    Cycle warmupCycles = 5000;
+    Cycle simCycles = 50000;  //!< measured cycles after warmup
+
+    /** Total tile count. */
+    int nodeCount() const { return noc.meshWidth * noc.meshHeight; }
+
+    /** Abort with fatal() if the configuration is inconsistent. */
+    void validate() const;
+
+    /** Flits occupied by a message of the given type/class. */
+    int flitsFor(MsgType type, TrafficClass cls) const;
+
+    /**
+     * A reduced configuration for unit tests: 4x4 mesh, 2 memory nodes,
+     * 10 GPU cores, 4 CPU cores, small caches.
+     */
+    static SystemConfig makeSmall();
+
+    /** The full Table I configuration. */
+    static SystemConfig makePaper();
+};
+
+} // namespace dr
+
+#endif // DR_COMMON_CONFIG_HPP

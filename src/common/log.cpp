@@ -1,0 +1,24 @@
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace detail
+{
+
+bool &
+quiet()
+{
+    static bool value = false;
+    return value;
+}
+
+} // namespace detail
+
+void
+setQuiet(bool quiet)
+{
+    detail::quiet() = quiet;
+}
+
+} // namespace dr

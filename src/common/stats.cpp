@@ -1,0 +1,103 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+Histogram::Histogram(std::uint64_t max, std::size_t bins)
+    : limit_(max), binWidth_(static_cast<double>(max) / bins), bins_(bins, 0)
+{
+    if (max == 0 || bins == 0)
+        panic("Histogram requires max > 0 and bins > 0");
+}
+
+void
+Histogram::sample(std::uint64_t v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += static_cast<double>(v);
+    if (v >= limit_) {
+        ++overflow_;
+    } else {
+        auto bin = static_cast<std::size_t>(v / binWidth_);
+        bin = std::min(bin, bins_.size() - 1);
+        ++bins_[bin];
+    }
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    const double target = p / 100.0 * static_cast<double>(count_);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+        cumulative += static_cast<double>(bins_[i]);
+        if (cumulative >= target)
+            return (static_cast<double>(i) + 0.5) * binWidth_;
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(bins_.begin(), bins_.end(), 0);
+    overflow_ = 0;
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+void
+StatGroup::add(const std::string &name, const Counter &c)
+{
+    entries_.push_back({name, Kind::CounterStat, &c});
+}
+
+void
+StatGroup::add(const std::string &name, const Average &a)
+{
+    entries_.push_back({name, Kind::AverageStat, &a});
+}
+
+void
+StatGroup::addScalar(const std::string &name, const double *v)
+{
+    entries_.push_back({name, Kind::ScalarStat, v});
+}
+
+void
+StatGroup::dump(std::ostream &os) const
+{
+    for (const auto &e : entries_) {
+        os << name_ << "." << e.name << " ";
+        switch (e.kind) {
+          case Kind::CounterStat:
+            os << static_cast<const Counter *>(e.ptr)->value();
+            break;
+          case Kind::AverageStat:
+            os << static_cast<const Average *>(e.ptr)->mean();
+            break;
+          case Kind::ScalarStat:
+            os << *static_cast<const double *>(e.ptr);
+            break;
+        }
+        os << "\n";
+    }
+}
+
+} // namespace dr

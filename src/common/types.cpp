@@ -1,0 +1,104 @@
+#include "common/types.hpp"
+
+#include <sstream>
+
+namespace dr
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::ReadReq: return "ReadReq";
+      case MsgType::WriteReq: return "WriteReq";
+      case MsgType::ReadReply: return "ReadReply";
+      case MsgType::WriteAck: return "WriteAck";
+      case MsgType::DelegatedReq: return "DelegatedReq";
+      case MsgType::ProbeReq: return "ProbeReq";
+      case MsgType::ProbeNack: return "ProbeNack";
+    }
+    return "Unknown";
+}
+
+const char *
+topologyName(TopologyKind t)
+{
+    switch (t) {
+      case TopologyKind::Mesh: return "mesh";
+      case TopologyKind::Crossbar: return "crossbar";
+      case TopologyKind::FlattenedButterfly: return "flattened-butterfly";
+      case TopologyKind::Dragonfly: return "dragonfly";
+    }
+    return "unknown";
+}
+
+const char *
+routingName(RoutingKind r)
+{
+    switch (r) {
+      case RoutingKind::DimOrderXY: return "XY";
+      case RoutingKind::DimOrderYX: return "YX";
+      case RoutingKind::DyXY: return "DyXY";
+      case RoutingKind::Footprint: return "Footprint";
+      case RoutingKind::Hare: return "HARE";
+      case RoutingKind::TableMinimal: return "table-minimal";
+    }
+    return "unknown";
+}
+
+const char *
+layoutName(ChipLayout l)
+{
+    switch (l) {
+      case ChipLayout::Baseline: return "Baseline";
+      case ChipLayout::LayoutB: return "B";
+      case ChipLayout::LayoutC: return "C";
+      case ChipLayout::LayoutD: return "D";
+    }
+    return "unknown";
+}
+
+const char *
+mechanismName(Mechanism m)
+{
+    switch (m) {
+      case Mechanism::Baseline: return "Baseline";
+      case Mechanism::RealisticProbing: return "RP";
+      case Mechanism::DelegatedReplies: return "DelegatedReplies";
+    }
+    return "unknown";
+}
+
+const char *
+l1OrganizationName(L1Organization o)
+{
+    switch (o) {
+      case L1Organization::Private: return "private";
+      case L1Organization::DcL1: return "DC-L1";
+      case L1Organization::DynEB: return "DynEB";
+    }
+    return "unknown";
+}
+
+const char *
+ctaScheduleName(CtaSchedule c)
+{
+    switch (c) {
+      case CtaSchedule::RoundRobin: return "round-robin";
+      case CtaSchedule::Distributed: return "distributed";
+    }
+    return "unknown";
+}
+
+std::string
+Message::toString() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " id=" << id << " addr=0x" << std::hex << addr
+       << std::dec << " " << src << "->" << dst << " req=" << requester
+       << (cls == TrafficClass::Cpu ? " CPU" : " GPU")
+       << (dnf ? " DNF" : "");
+    return os.str();
+}
+
+} // namespace dr

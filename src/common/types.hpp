@@ -1,0 +1,179 @@
+#ifndef DR_COMMON_TYPES_HPP
+#define DR_COMMON_TYPES_HPP
+
+/**
+ * @file
+ * Fundamental types shared by every module of the Delegated Replies
+ * simulator: cycle/address integers, node identifiers, traffic classes,
+ * and the memory-system message vocabulary.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace dr
+{
+
+/** Simulation time in core/NoC clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address (48-bit address space per the paper). */
+using Addr = std::uint64_t;
+
+/** Flat node identifier within the chip (0 .. nodeCount-1). */
+using NodeId = std::int16_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId invalidNode = -1;
+
+/** What a chip tile contains. */
+enum class NodeType : std::uint8_t
+{
+    GpuCore,
+    CpuCore,
+    MemNode,
+};
+
+/** Traffic class: CPU traffic is prioritized end-to-end over GPU traffic. */
+enum class TrafficClass : std::uint8_t
+{
+    Cpu,
+    Gpu,
+};
+
+/** The two logical networks (physically separate in the baseline). */
+enum class NetKind : std::uint8_t
+{
+    Request,
+    Reply,
+};
+
+/**
+ * Memory-system message vocabulary.
+ *
+ * DelegatedReq is a delegated reply: encoded as a normal request whose
+ * sender ID is the *original requester* (Section IV of the paper), sent by
+ * a memory node to the likely-sharer GPU core over the request network.
+ * ProbeReq/ProbeNack implement Realistic Probing (RP).
+ */
+enum class MsgType : std::uint8_t
+{
+    ReadReq,       //!< 1-flit read request (core -> memory node)
+    WriteReq,      //!< write-through request (carries data)
+    ReadReply,     //!< data reply (memory node or remote L1 -> core)
+    WriteAck,      //!< 1-flit write acknowledgement
+    DelegatedReq,  //!< delegated reply (memory node -> likely sharer)
+    ProbeReq,      //!< RP: probe a remote L1 for a line
+    ProbeNack,     //!< RP: probed L1 does not hold the line
+};
+
+/** True for message types that travel on the request network. */
+constexpr bool
+onRequestNetwork(MsgType t)
+{
+    return t == MsgType::ReadReq || t == MsgType::WriteReq ||
+           t == MsgType::DelegatedReq || t == MsgType::ProbeReq;
+}
+
+/** Printable name of a message type. */
+const char *msgTypeName(MsgType t);
+
+/** Supported NoC topologies (Section VII). */
+enum class TopologyKind : std::uint8_t
+{
+    Mesh,
+    Crossbar,
+    FlattenedButterfly,
+    Dragonfly,
+};
+
+const char *topologyName(TopologyKind t);
+
+/** Dimension order used by CDR routing within one network. */
+enum class DimOrder : std::uint8_t
+{
+    XY,
+    YX,
+};
+
+/** Routing algorithm selector for one network. */
+enum class RoutingKind : std::uint8_t
+{
+    DimOrderXY,     //!< deterministic X-then-Y
+    DimOrderYX,     //!< deterministic Y-then-X
+    DyXY,           //!< congestion-aware adaptive [45]
+    Footprint,      //!< adaptiveness-regulated [22]
+    Hare,           //!< history-aware adaptive [37]
+    TableMinimal,   //!< precomputed minimal paths (non-mesh topologies)
+};
+
+const char *routingName(RoutingKind r);
+
+/** Chip layouts from Figure 1 of the paper. */
+enum class ChipLayout : std::uint8_t
+{
+    Baseline,  //!< memory column between CPU and GPU cores (Fig. 1a)
+    LayoutB,   //!< memory nodes at die edge (top row, Fig. 1b)
+    LayoutC,   //!< clustered CPU cores (Fig. 1c)
+    LayoutD,   //!< distributed core types (Fig. 1d)
+};
+
+const char *layoutName(ChipLayout l);
+
+/** The mechanism under evaluation. */
+enum class Mechanism : std::uint8_t
+{
+    Baseline,          //!< carefully tuned baseline (Section V)
+    RealisticProbing,  //!< state-of-the-art RP [31]
+    DelegatedReplies,  //!< this paper's contribution
+};
+
+const char *mechanismName(Mechanism m);
+
+/** L1 organisation among GPU cores (Figure 15). */
+enum class L1Organization : std::uint8_t
+{
+    Private,  //!< baseline private L1 per SM
+    DcL1,     //!< DC-L1: 8 cores statically share a 4-slice L1 [30]
+    DynEB,    //!< dynamic shared/private selection [29]
+};
+
+const char *l1OrganizationName(L1Organization o);
+
+/** CTA (thread block) scheduling policy (Figure 15). */
+enum class CtaSchedule : std::uint8_t
+{
+    RoundRobin,
+    Distributed,
+};
+
+const char *ctaScheduleName(CtaSchedule c);
+
+/**
+ * A memory-system message as carried end-to-end by the interconnect.
+ *
+ * @note `src`/`dst` are the *network* endpoints of the current transfer;
+ *       `requester` is the core that originated the transaction and is
+ *       preserved across delegation (it is the sender ID delegated
+ *       replies carry, Section IV).
+ */
+struct Message
+{
+    MsgType type = MsgType::ReadReq;
+    TrafficClass cls = TrafficClass::Gpu;
+    Addr addr = 0;                 //!< line-aligned address
+    NodeId src = invalidNode;      //!< injecting endpoint
+    NodeId dst = invalidNode;      //!< receiving endpoint
+    NodeId requester = invalidNode;//!< original requesting core
+    std::uint64_t id = 0;          //!< unique transaction id
+    bool dnf = false;              //!< Do-Not-Forward bit (Section IV)
+    Cycle created = 0;             //!< cycle the transaction was created
+    Cycle injected = 0;            //!< cycle the message entered the NoC
+
+    /** One-line description for debugging. */
+    std::string toString() const;
+};
+
+} // namespace dr
+
+#endif // DR_COMMON_TYPES_HPP

@@ -1,0 +1,352 @@
+#include "core/config_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+int
+parseInt(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const int parsed = std::stoi(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception &) {
+        fatal("config: '", key, "' expects an integer, got '", value, "'");
+    }
+}
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used != value.size())
+            throw std::invalid_argument(value);
+        return parsed;
+    } catch (const std::exception &) {
+        fatal("config: '", key, "' expects a number, got '", value, "'");
+    }
+}
+
+bool
+parseBool(const std::string &key, const std::string &value)
+{
+    if (value == "true" || value == "1")
+        return true;
+    if (value == "false" || value == "0")
+        return false;
+    fatal("config: '", key, "' expects true/false, got '", value, "'");
+}
+
+Mechanism
+parseMechanism(const std::string &value)
+{
+    if (value == "baseline")
+        return Mechanism::Baseline;
+    if (value == "rp" || value == "realistic-probing")
+        return Mechanism::RealisticProbing;
+    if (value == "dr" || value == "delegated-replies")
+        return Mechanism::DelegatedReplies;
+    fatal("config: unknown mechanism '", value, "'");
+}
+
+ChipLayout
+parseLayout(const std::string &value)
+{
+    if (value == "baseline" || value == "A")
+        return ChipLayout::Baseline;
+    if (value == "B")
+        return ChipLayout::LayoutB;
+    if (value == "C")
+        return ChipLayout::LayoutC;
+    if (value == "D")
+        return ChipLayout::LayoutD;
+    fatal("config: unknown layout '", value, "'");
+}
+
+TopologyKind
+parseTopology(const std::string &value)
+{
+    if (value == "mesh")
+        return TopologyKind::Mesh;
+    if (value == "crossbar")
+        return TopologyKind::Crossbar;
+    if (value == "flattened-butterfly" || value == "flatfly")
+        return TopologyKind::FlattenedButterfly;
+    if (value == "dragonfly")
+        return TopologyKind::Dragonfly;
+    fatal("config: unknown topology '", value, "'");
+}
+
+RoutingKind
+parseRouting(const std::string &value)
+{
+    if (value == "XY" || value == "xy")
+        return RoutingKind::DimOrderXY;
+    if (value == "YX" || value == "yx")
+        return RoutingKind::DimOrderYX;
+    if (value == "DyXY" || value == "dyxy")
+        return RoutingKind::DyXY;
+    if (value == "footprint" || value == "Footprint")
+        return RoutingKind::Footprint;
+    if (value == "HARE" || value == "hare")
+        return RoutingKind::Hare;
+    if (value == "table" || value == "table-minimal")
+        return RoutingKind::TableMinimal;
+    fatal("config: unknown routing '", value, "'");
+}
+
+L1Organization
+parseL1Org(const std::string &value)
+{
+    if (value == "private")
+        return L1Organization::Private;
+    if (value == "dc-l1" || value == "DC-L1")
+        return L1Organization::DcL1;
+    if (value == "dyneb" || value == "DynEB")
+        return L1Organization::DynEB;
+    fatal("config: unknown L1 organization '", value, "'");
+}
+
+CtaSchedule
+parseCta(const std::string &value)
+{
+    if (value == "round-robin" || value == "rr")
+        return CtaSchedule::RoundRobin;
+    if (value == "distributed")
+        return CtaSchedule::Distributed;
+    fatal("config: unknown CTA schedule '", value, "'");
+}
+
+} // namespace
+
+void
+applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
+                  const std::string &rawValue)
+{
+    const std::string key = trim(rawKey);
+    const std::string value = trim(rawValue);
+    using Handler = std::function<void()>;
+    const std::map<std::string, Handler> handlers = {
+        {"mechanism", [&] { cfg.mechanism = parseMechanism(value); }},
+        {"layout", [&] { cfg.layout = parseLayout(value); }},
+        {"seed", [&] { cfg.seed = parseInt(key, value); }},
+        {"sim.cycles", [&] { cfg.simCycles = parseInt(key, value); }},
+        {"sim.warmup", [&] { cfg.warmupCycles = parseInt(key, value); }},
+
+        {"noc.topology", [&] { cfg.noc.topology = parseTopology(value); }},
+        {"noc.meshWidth", [&] { cfg.noc.meshWidth = parseInt(key, value); }},
+        {"noc.meshHeight",
+         [&] { cfg.noc.meshHeight = parseInt(key, value); }},
+        {"noc.channelBytes",
+         [&] { cfg.noc.channelBytes = parseInt(key, value); }},
+        {"noc.vcsPerNet", [&] { cfg.noc.vcsPerNet = parseInt(key, value); }},
+        {"noc.vcDepthFlits",
+         [&] { cfg.noc.vcDepthFlits = parseInt(key, value); }},
+        {"noc.routerStages",
+         [&] { cfg.noc.routerStages = parseInt(key, value); }},
+        {"noc.sharedPhysical",
+         [&] { cfg.noc.sharedPhysical = parseBool(key, value); }},
+        {"noc.sharedReqVcs",
+         [&] { cfg.noc.sharedReqVcs = parseInt(key, value); }},
+        {"noc.sharedReplyVcs",
+         [&] { cfg.noc.sharedReplyVcs = parseInt(key, value); }},
+        {"noc.requestRouting",
+         [&] { cfg.noc.requestRouting = parseRouting(value); }},
+        {"noc.replyRouting",
+         [&] { cfg.noc.replyRouting = parseRouting(value); }},
+        {"noc.memInjBufferFlits",
+         [&] { cfg.noc.memInjBufferFlits = parseInt(key, value); }},
+        {"noc.coreInjBufferFlits",
+         [&] { cfg.noc.coreInjBufferFlits = parseInt(key, value); }},
+        {"noc.ejBufferFlits",
+         [&] { cfg.noc.ejBufferFlits = parseInt(key, value); }},
+        {"noc.bandwidthScale",
+         [&] { cfg.noc.bandwidthScale = parseDouble(key, value); }},
+
+        {"gpu.numCores", [&] { cfg.gpu.numCores = parseInt(key, value); }},
+        {"gpu.warpsPerCore",
+         [&] { cfg.gpu.warpsPerCore = parseInt(key, value); }},
+        {"gpu.issueWidth",
+         [&] { cfg.gpu.issueWidth = parseInt(key, value); }},
+        {"gpu.l1SizeKB", [&] { cfg.gpu.l1SizeKB = parseInt(key, value); }},
+        {"gpu.l1Assoc", [&] { cfg.gpu.l1Assoc = parseInt(key, value); }},
+        {"gpu.l1Mshrs", [&] { cfg.gpu.l1Mshrs = parseInt(key, value); }},
+        {"gpu.frqEntries",
+         [&] { cfg.gpu.frqEntries = parseInt(key, value); }},
+        {"gpu.l1Org", [&] { cfg.gpu.l1Org = parseL1Org(value); }},
+        {"gpu.ctaSchedule", [&] { cfg.gpu.ctaSchedule = parseCta(value); }},
+
+        {"cpu.numCores", [&] { cfg.cpu.numCores = parseInt(key, value); }},
+        {"cpu.l1SizeKB", [&] { cfg.cpu.l1SizeKB = parseInt(key, value); }},
+
+        {"mem.numNodes", [&] { cfg.mem.numNodes = parseInt(key, value); }},
+        {"mem.llcSliceKB",
+         [&] { cfg.mem.llcSliceKB = parseInt(key, value); }},
+        {"mem.llcAssoc", [&] { cfg.mem.llcAssoc = parseInt(key, value); }},
+        {"mem.llcLatency",
+         [&] { cfg.mem.llcLatency = parseInt(key, value); }},
+        {"mem.llcMshrs", [&] { cfg.mem.llcMshrs = parseInt(key, value); }},
+        {"mem.banksPerMc",
+         [&] { cfg.mem.banksPerMc = parseInt(key, value); }},
+        {"mem.burstCycles",
+         [&] { cfg.mem.burstCycles = parseInt(key, value); }},
+
+        {"dr.delegateAlways",
+         [&] { cfg.dr.delegateAlways = parseBool(key, value); }},
+        {"dr.frqRemotePriority",
+         [&] { cfg.dr.frqRemotePriority = parseBool(key, value); }},
+
+        {"rp.probeCount", [&] { cfg.rp.probeCount = parseInt(key, value); }},
+        {"rp.predictorEntries",
+         [&] { cfg.rp.predictorEntries = parseInt(key, value); }},
+    };
+    const auto it = handlers.find(key);
+    if (it == handlers.end())
+        fatal("config: unknown option '", key, "'");
+    it->second();
+}
+
+void
+parseConfig(SystemConfig &cfg, std::istream &in)
+{
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        line = trim(line);
+        if (line.empty())
+            continue;
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            fatal("config: line ", lineNo, " has no '=': '", line, "'");
+        applyConfigOption(cfg, line.substr(0, eq), line.substr(eq + 1));
+    }
+}
+
+void
+parseConfigFile(SystemConfig &cfg, const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("config: cannot open '", path, "'");
+    parseConfig(cfg, in);
+}
+
+void
+writeConfig(const SystemConfig &cfg, std::ostream &out)
+{
+    const char *mech =
+        cfg.mechanism == Mechanism::Baseline
+            ? "baseline"
+            : cfg.mechanism == Mechanism::RealisticProbing
+                  ? "realistic-probing"
+                  : "delegated-replies";
+    const char *layout = cfg.layout == ChipLayout::Baseline ? "baseline"
+                         : cfg.layout == ChipLayout::LayoutB ? "B"
+                         : cfg.layout == ChipLayout::LayoutC ? "C"
+                                                             : "D";
+    auto routingStr = [](RoutingKind k) {
+        switch (k) {
+          case RoutingKind::DimOrderXY: return "XY";
+          case RoutingKind::DimOrderYX: return "YX";
+          case RoutingKind::DyXY: return "DyXY";
+          case RoutingKind::Footprint: return "footprint";
+          case RoutingKind::Hare: return "HARE";
+          case RoutingKind::TableMinimal: return "table";
+        }
+        return "XY";
+    };
+    const char *topo =
+        cfg.noc.topology == TopologyKind::Mesh ? "mesh"
+        : cfg.noc.topology == TopologyKind::Crossbar ? "crossbar"
+        : cfg.noc.topology == TopologyKind::FlattenedButterfly
+              ? "flattened-butterfly"
+              : "dragonfly";
+    const char *l1org =
+        cfg.gpu.l1Org == L1Organization::Private ? "private"
+        : cfg.gpu.l1Org == L1Organization::DcL1 ? "dc-l1"
+                                                : "dyneb";
+
+    out << "mechanism = " << mech << "\n";
+    out << "layout = " << layout << "\n";
+    out << "seed = " << cfg.seed << "\n";
+    out << "sim.cycles = " << cfg.simCycles << "\n";
+    out << "sim.warmup = " << cfg.warmupCycles << "\n";
+    out << "noc.topology = " << topo << "\n";
+    out << "noc.meshWidth = " << cfg.noc.meshWidth << "\n";
+    out << "noc.meshHeight = " << cfg.noc.meshHeight << "\n";
+    out << "noc.channelBytes = " << cfg.noc.channelBytes << "\n";
+    out << "noc.vcsPerNet = " << cfg.noc.vcsPerNet << "\n";
+    out << "noc.vcDepthFlits = " << cfg.noc.vcDepthFlits << "\n";
+    out << "noc.routerStages = " << cfg.noc.routerStages << "\n";
+    out << "noc.sharedPhysical = "
+        << (cfg.noc.sharedPhysical ? "true" : "false") << "\n";
+    out << "noc.sharedReqVcs = " << cfg.noc.sharedReqVcs << "\n";
+    out << "noc.sharedReplyVcs = " << cfg.noc.sharedReplyVcs << "\n";
+    out << "noc.requestRouting = " << routingStr(cfg.noc.requestRouting)
+        << "\n";
+    out << "noc.replyRouting = " << routingStr(cfg.noc.replyRouting)
+        << "\n";
+    out << "noc.memInjBufferFlits = " << cfg.noc.memInjBufferFlits << "\n";
+    out << "noc.coreInjBufferFlits = " << cfg.noc.coreInjBufferFlits
+        << "\n";
+    out << "noc.ejBufferFlits = " << cfg.noc.ejBufferFlits << "\n";
+    out << "noc.bandwidthScale = " << cfg.noc.bandwidthScale << "\n";
+    out << "gpu.numCores = " << cfg.gpu.numCores << "\n";
+    out << "gpu.warpsPerCore = " << cfg.gpu.warpsPerCore << "\n";
+    out << "gpu.issueWidth = " << cfg.gpu.issueWidth << "\n";
+    out << "gpu.l1SizeKB = " << cfg.gpu.l1SizeKB << "\n";
+    out << "gpu.l1Assoc = " << cfg.gpu.l1Assoc << "\n";
+    out << "gpu.l1Mshrs = " << cfg.gpu.l1Mshrs << "\n";
+    out << "gpu.frqEntries = " << cfg.gpu.frqEntries << "\n";
+    out << "gpu.l1Org = " << l1org << "\n";
+    out << "gpu.ctaSchedule = "
+        << (cfg.gpu.ctaSchedule == CtaSchedule::RoundRobin ? "round-robin"
+                                                           : "distributed")
+        << "\n";
+    out << "cpu.numCores = " << cfg.cpu.numCores << "\n";
+    out << "cpu.l1SizeKB = " << cfg.cpu.l1SizeKB << "\n";
+    out << "mem.numNodes = " << cfg.mem.numNodes << "\n";
+    out << "mem.llcSliceKB = " << cfg.mem.llcSliceKB << "\n";
+    out << "mem.llcAssoc = " << cfg.mem.llcAssoc << "\n";
+    out << "mem.llcLatency = " << cfg.mem.llcLatency << "\n";
+    out << "mem.llcMshrs = " << cfg.mem.llcMshrs << "\n";
+    out << "mem.banksPerMc = " << cfg.mem.banksPerMc << "\n";
+    out << "mem.burstCycles = " << cfg.mem.burstCycles << "\n";
+    out << "dr.delegateAlways = "
+        << (cfg.dr.delegateAlways ? "true" : "false") << "\n";
+    out << "dr.frqRemotePriority = "
+        << (cfg.dr.frqRemotePriority ? "true" : "false") << "\n";
+    out << "rp.probeCount = " << cfg.rp.probeCount << "\n";
+    out << "rp.predictorEntries = " << cfg.rp.predictorEntries << "\n";
+}
+
+} // namespace dr

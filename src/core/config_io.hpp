@@ -1,0 +1,49 @@
+#ifndef DR_CORE_CONFIG_IO_HPP
+#define DR_CORE_CONFIG_IO_HPP
+
+/**
+ * @file
+ * Textual configuration I/O for SystemConfig: a flat `section.key =
+ * value` format (gem5-style) so experiments are reproducible from a
+ * file instead of code. Every knob of every subsystem is addressable;
+ * unknown keys are fatal (catching typos), and serialization
+ * round-trips exactly.
+ *
+ * Example:
+ * ```
+ * mechanism = delegated-replies
+ * layout = B
+ * noc.topology = dragonfly
+ * noc.bandwidthScale = 2.0
+ * gpu.l1SizeKB = 64
+ * sim.cycles = 50000
+ * ```
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "common/config.hpp"
+
+namespace dr
+{
+
+/** Apply one `key = value` assignment. fatal() on unknown keys/values. */
+void applyConfigOption(SystemConfig &cfg, const std::string &key,
+                       const std::string &value);
+
+/**
+ * Parse a configuration stream (one `key = value` per line; `#` starts
+ * a comment; blank lines ignored) onto an existing config.
+ */
+void parseConfig(SystemConfig &cfg, std::istream &in);
+
+/** Parse a configuration file. fatal() if unreadable. */
+void parseConfigFile(SystemConfig &cfg, const std::string &path);
+
+/** Serialize every knob (inverse of parseConfig). */
+void writeConfig(const SystemConfig &cfg, std::ostream &out);
+
+} // namespace dr
+
+#endif // DR_CORE_CONFIG_IO_HPP

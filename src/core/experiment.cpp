@@ -1,0 +1,91 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+RunResults
+runWorkload(const SystemConfig &cfg, const std::string &gpu,
+            const std::string &cpu)
+{
+    HeteroSystem system(cfg, gpu, cpu);
+    return system.run();
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    double logSum = 0.0;
+    int count = 0;
+    for (const double v : values) {
+        if (v > 0.0) {
+            logSum += std::log(v);
+            ++count;
+        }
+    }
+    return count ? std::exp(logSum / count) : 0.0;
+}
+
+double
+harmonicMean(const std::vector<double> &values)
+{
+    double invSum = 0.0;
+    int count = 0;
+    for (const double v : values) {
+        if (v > 0.0) {
+            invSum += 1.0 / v;
+            ++count;
+        }
+    }
+    return count && invSum > 0.0 ? count / invSum : 0.0;
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+Cycle
+benchCycles(Cycle fallback)
+{
+    if (const char *env = std::getenv("DR_BENCH_CYCLES")) {
+        const long long parsed = std::atoll(env);
+        if (parsed > 0)
+            return static_cast<Cycle>(parsed);
+    }
+    return fallback;
+}
+
+SystemConfig
+benchConfig(Mechanism mechanism)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = mechanism;
+    cfg.simCycles = benchCycles(30000);
+    // The LLC needs to warm before the clogging regime is reached.
+    cfg.warmupCycles = cfg.simCycles / 2;
+    return cfg;
+}
+
+void
+printRow(const std::string &label, const std::vector<double> &values,
+         int width)
+{
+    std::printf("%-14s", label.c_str());
+    for (const double v : values)
+        std::printf(" %*.3f", width, v);
+    std::printf("\n");
+}
+
+} // namespace dr

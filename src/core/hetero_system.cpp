@@ -1,0 +1,219 @@
+#include "core/hetero_system.hpp"
+
+#include "common/log.hpp"
+#include "cpu/cpu_profile.hpp"
+#include "workloads/gpu_benchmarks.hpp"
+
+namespace dr
+{
+
+double
+RunResults::remoteCopyFraction() const
+{
+    return l1Misses ? static_cast<double>(missesWithRemoteCopy) /
+                          static_cast<double>(l1Misses)
+                    : 0.0;
+}
+
+double
+RunResults::forwardedFraction() const
+{
+    return l1Misses ? static_cast<double>(delegations) /
+                          static_cast<double>(l1Misses)
+                    : 0.0;
+}
+
+double
+RunResults::remoteHitRate() const
+{
+    const std::uint64_t resolved =
+        frqRemoteHits + frqDelayedHits + frqRemoteMisses;
+    return resolved ? static_cast<double>(frqRemoteHits + frqDelayedHits) /
+                          static_cast<double>(resolved)
+                    : 0.0;
+}
+
+HeteroSystem::HeteroSystem(const SystemConfig &cfg,
+                           const std::string &gpuBenchmark,
+                           const std::string &cpuBenchmark)
+    : HeteroSystem(cfg, makeGpuBenchmark(gpuBenchmark), cpuBenchmark)
+{
+}
+
+HeteroSystem::HeteroSystem(const SystemConfig &cfg,
+                           std::unique_ptr<KernelAccessPattern> kernel,
+                           const std::string &cpuBenchmark)
+    : cfg_(cfg), layout_(buildLayout(cfg_))
+{
+    cfg_.validate();
+    ic_ = std::make_unique<Interconnect>(cfg_, layout_.types);
+    coherence_ = std::make_unique<GpuCoherence>(cfg_.gpu.numCores);
+    // 20-cycle invalidation round trips in the CPU coherence domain.
+    mesi_ = std::make_unique<MesiDirectory>(cfg_.cpu.numCores, 20);
+    map_ = std::make_unique<AddressMap>(cfg_.mem.numNodes,
+                                        cfg_.mem.lineBytes,
+                                        layout_.memNodes, cfg_.mem.mapSeed);
+    kernel_ = std::move(kernel);
+    ctaSched_ = std::make_unique<CtaScheduler>(cfg_.gpu.ctaSchedule,
+                                               kernel_->ctaCount(),
+                                               cfg_.gpu.numCores);
+    l1Org_ = makeL1Organizer(cfg_.gpu);
+
+    const CpuProfile &profile = cpuProfileFor(cpuBenchmark);
+
+    gpuCores_.reserve(layout_.gpuCores.size());
+    for (std::size_t i = 0; i < layout_.gpuCores.size(); ++i) {
+        gpuCores_.push_back(std::make_unique<SmCore>(
+            layout_.gpuCores[i], static_cast<int>(i), cfg_, *ic_, *map_,
+            *coherence_, *ctaSched_, *kernel_, *l1Org_,
+            layout_.gpuCores));
+        gpuCores_.back()->setLocalityOracle(
+            [this](int coreIdx, Addr line) {
+                return anyRemoteL1Has(coreIdx, line);
+            });
+    }
+    cpuNodes_.reserve(layout_.cpuCores.size());
+    for (std::size_t i = 0; i < layout_.cpuCores.size(); ++i) {
+        cpuNodes_.push_back(std::make_unique<CpuNode>(
+            layout_.cpuCores[i], static_cast<int>(i), cfg_, profile, *ic_,
+            *map_));
+    }
+    memNodes_.reserve(layout_.memNodes.size());
+    for (const NodeId node : layout_.memNodes) {
+        memNodes_.push_back(std::make_unique<MemNode>(
+            node, cfg_, *ic_, *coherence_, *mesi_, layout_.gpuCores,
+            layout_.cpuCores));
+    }
+}
+
+HeteroSystem::~HeteroSystem() = default;
+
+bool
+HeteroSystem::anyRemoteL1Has(int coreIdx, Addr line) const
+{
+    for (int c = 0; c < static_cast<int>(gpuCores_.size()); ++c) {
+        if (c != coreIdx && l1Org_->contains(c, line))
+            return true;
+    }
+    return false;
+}
+
+void
+HeteroSystem::advance(Cycle cycles)
+{
+    const Cycle end = now_ + cycles;
+    for (; now_ < end; ++now_) {
+        ic_->tick(now_);
+        l1Org_->tick(now_);
+        for (auto &mem : memNodes_)
+            mem->tick(now_);
+        for (auto &gpu : gpuCores_)
+            gpu->tick(now_);
+        for (auto &cpu : cpuNodes_)
+            cpu->tick(now_);
+    }
+}
+
+void
+HeteroSystem::resetAllStats()
+{
+    ic_->resetStats();
+    for (auto &gpu : gpuCores_)
+        gpu->resetStats();
+    for (auto &cpu : cpuNodes_)
+        cpu->resetStats();
+    for (auto &mem : memNodes_)
+        mem->resetStats();
+}
+
+RunResults
+HeteroSystem::collect(Cycle measuredCycles) const
+{
+    RunResults r;
+    r.cycles = measuredCycles;
+
+    std::uint64_t gpuInstr = 0;
+    std::uint64_t dataFlits = 0;
+    for (const auto &gpu : gpuCores_) {
+        const SmCoreStats &s = gpu->stats();
+        gpuInstr += s.instructions.value();
+        r.l1Misses += s.l1Misses.value();
+        r.missesWithRemoteCopy += s.missesWithRemoteCopy.value();
+        r.frqRemoteHits += s.frqRemoteHits.value();
+        r.frqDelayedHits += s.frqDelayedHits.value();
+        r.frqRemoteMisses += s.frqRemoteMisses.value();
+        r.probesSent += s.probesSent.value();
+        r.probeHits += s.probeHitsServed.value();
+        dataFlits +=
+            ic_->net(NetKind::Reply).flitsEjectedAt(gpu->nodeId());
+    }
+    r.gpuIpc = measuredCycles
+                   ? static_cast<double>(gpuInstr) /
+                         static_cast<double>(measuredCycles)
+                   : 0.0;
+    r.gpuDataRate =
+        measuredCycles && !gpuCores_.empty()
+            ? static_cast<double>(dataFlits) /
+                  static_cast<double>(measuredCycles) /
+                  static_cast<double>(gpuCores_.size())
+            : 0.0;
+
+    std::uint64_t gpuLoads = 0;
+    for (const auto &gpu : gpuCores_)
+        gpuLoads += gpu->stats().loads.value();
+    r.gpuL1MissRate =
+        gpuLoads ? static_cast<double>(r.l1Misses) /
+                       static_cast<double>(gpuLoads)
+                 : 0.0;
+
+    double cpuIpcSum = 0.0;
+    double cpuLatSum = 0.0;
+    int cpuLatCount = 0;
+    for (const auto &cpu : cpuNodes_) {
+        cpuIpcSum += cpu->ipc(measuredCycles);
+        if (cpu->stats().requestLatency.count() > 0) {
+            cpuLatSum += cpu->stats().requestLatency.mean();
+            ++cpuLatCount;
+        }
+    }
+    r.cpuIpc = cpuNodes_.empty()
+                   ? 0.0
+                   : cpuIpcSum / static_cast<double>(cpuNodes_.size());
+    r.cpuLatency =
+        cpuLatCount ? cpuLatSum / static_cast<double>(cpuLatCount) : 0.0;
+
+    double blockSum = 0.0;
+    std::uint64_t llcHits = 0, llcReads = 0;
+    for (const auto &mem : memNodes_) {
+        blockSum += mem->blockingRate();
+        r.delegations += mem->stats().delegations.value();
+        llcHits += mem->llcStats().hits.value();
+        llcReads += mem->llcStats().reads.value() +
+                    mem->llcStats().writes.value();
+    }
+    r.memBlockingRate =
+        memNodes_.empty()
+            ? 0.0
+            : blockSum / static_cast<double>(memNodes_.size());
+    r.llcHitRate = llcReads ? static_cast<double>(llcHits) /
+                                  static_cast<double>(llcReads)
+                            : 0.0;
+
+    r.requestsInjected =
+        ic_->net(NetKind::Request).stats().packetsInjected.value();
+    r.switchTraversals = ic_->totalSwitchTraversals();
+    r.bufferWrites = ic_->totalBufferWrites();
+    r.linkTraversals = ic_->totalLinkTraversals();
+    return r;
+}
+
+RunResults
+HeteroSystem::run()
+{
+    advance(cfg_.warmupCycles);
+    resetAllStats();
+    advance(cfg_.simCycles);
+    return collect(cfg_.simCycles);
+}
+
+} // namespace dr

@@ -1,0 +1,228 @@
+#include "core/layout.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+LayoutMap
+finalize(std::vector<NodeType> types)
+{
+    LayoutMap map;
+    map.types = std::move(types);
+    for (NodeId n = 0; n < static_cast<NodeId>(map.types.size()); ++n) {
+        switch (map.types[n]) {
+          case NodeType::GpuCore:
+            map.gpuCores.push_back(n);
+            break;
+          case NodeType::CpuCore:
+            map.cpuCores.push_back(n);
+            break;
+          case NodeType::MemNode:
+            map.memNodes.push_back(n);
+            break;
+        }
+    }
+    return map;
+}
+
+/** Column-major tile order: (0,0), (0,1)... down column 0, then col 1. */
+int
+columnMajor(int idx, int width, int height)
+{
+    const int col = idx / height;
+    const int row = idx % height;
+    return row * width + col;
+}
+
+LayoutMap
+baselineLayout(const SystemConfig &cfg)
+{
+    // CPUs fill the left columns, the memory column comes next, GPUs
+    // fill the right — CPU and GPU traffic only mix at memory-node
+    // routers (Figure 1a).
+    const int w = cfg.noc.meshWidth;
+    const int h = cfg.noc.meshHeight;
+    std::vector<NodeType> types(static_cast<std::size_t>(w) * h,
+                                NodeType::GpuCore);
+    int idx = 0;
+    for (int i = 0; i < cfg.cpu.numCores; ++i)
+        types[columnMajor(idx++, w, h)] = NodeType::CpuCore;
+    for (int i = 0; i < cfg.mem.numNodes; ++i)
+        types[columnMajor(idx++, w, h)] = NodeType::MemNode;
+    return finalize(std::move(types));
+}
+
+LayoutMap
+layoutB(const SystemConfig &cfg)
+{
+    // Memory nodes at the die edge (the top row), CPU columns on the
+    // left below them, GPUs elsewhere (Figure 1b).
+    const int w = cfg.noc.meshWidth;
+    const int h = cfg.noc.meshHeight;
+    std::vector<NodeType> types(static_cast<std::size_t>(w) * h,
+                                NodeType::GpuCore);
+    if (cfg.mem.numNodes > w * h)
+        fatal("layout B: more memory nodes than tiles");
+    for (int i = 0; i < cfg.mem.numNodes; ++i)
+        types[i] = NodeType::MemNode;  // top row(s), row-major
+    int placed = 0;
+    for (int col = 0; col < w && placed < cfg.cpu.numCores; ++col) {
+        for (int row = 1; row < h && placed < cfg.cpu.numCores; ++row) {
+            if (types[row * w + col] != NodeType::GpuCore)
+                continue;  // memory nodes may spill into row 1
+            types[row * w + col] = NodeType::CpuCore;
+            ++placed;
+        }
+    }
+    return finalize(std::move(types));
+}
+
+LayoutMap
+layoutC(const SystemConfig &cfg)
+{
+    // CPUs clustered in the top-left block (minimal CPU-to-CPU hops),
+    // memory nodes in the rows right below the cluster (Figure 1c).
+    const int w = cfg.noc.meshWidth;
+    const int h = cfg.noc.meshHeight;
+    std::vector<NodeType> types(static_cast<std::size_t>(w) * h,
+                                NodeType::GpuCore);
+    const int blockW = std::max(1, w / 2);
+    int placed = 0;
+    int row = 0;
+    for (; row < h && placed < cfg.cpu.numCores; ++row) {
+        for (int col = 0; col < blockW && placed < cfg.cpu.numCores;
+             ++col) {
+            types[row * w + col] = NodeType::CpuCore;
+            ++placed;
+        }
+    }
+    placed = 0;
+    for (; row < h && placed < cfg.mem.numNodes; ++row) {
+        for (int col = 0; col < blockW && placed < cfg.mem.numNodes;
+             ++col) {
+            types[row * w + col] = NodeType::MemNode;
+            ++placed;
+        }
+    }
+    if (placed < cfg.mem.numNodes)
+        fatal("layout C cannot place all memory nodes");
+    return finalize(std::move(types));
+}
+
+LayoutMap
+layoutD(const SystemConfig &cfg)
+{
+    // Distribute every node type across the chip (Figure 1d): memory
+    // nodes and CPUs at evenly spaced tile strides, GPUs in the rest.
+    const int w = cfg.noc.meshWidth;
+    const int h = cfg.noc.meshHeight;
+    const int tiles = cfg.nodeCount();
+    std::vector<NodeType> types(static_cast<std::size_t>(tiles),
+                                NodeType::GpuCore);
+    // Memory nodes: distinct rows, columns striding across the die.
+    for (int i = 0; i < cfg.mem.numNodes; ++i) {
+        const int row = (i * h) / cfg.mem.numNodes;
+        const int col = (3 * i + 1) % w;
+        types[row * w + col] = NodeType::MemNode;
+    }
+    // CPUs: Bresenham walk over the remaining tiles so they interleave
+    // evenly with the GPU cores.
+    int placed = 0;
+    int acc = 0;
+    for (int pos = 0; pos < tiles && placed < cfg.cpu.numCores; ++pos) {
+        acc += cfg.cpu.numCores;
+        if (acc >= tiles && types[pos] == NodeType::GpuCore) {
+            acc -= tiles;
+            types[pos] = NodeType::CpuCore;
+            ++placed;
+        }
+    }
+    for (int pos = 0; pos < tiles && placed < cfg.cpu.numCores; ++pos) {
+        if (types[pos] == NodeType::GpuCore) {
+            types[pos] = NodeType::CpuCore;
+            ++placed;
+        }
+    }
+    return finalize(std::move(types));
+}
+
+} // namespace
+
+LayoutMap
+buildLayout(const SystemConfig &cfg)
+{
+    cfg.validate();
+    LayoutMap map;
+    switch (cfg.layout) {
+      case ChipLayout::Baseline:
+        map = baselineLayout(cfg);
+        break;
+      case ChipLayout::LayoutB:
+        map = layoutB(cfg);
+        break;
+      case ChipLayout::LayoutC:
+        map = layoutC(cfg);
+        break;
+      case ChipLayout::LayoutD:
+        map = layoutD(cfg);
+        break;
+    }
+    if (static_cast<int>(map.gpuCores.size()) != cfg.gpu.numCores ||
+        static_cast<int>(map.cpuCores.size()) != cfg.cpu.numCores ||
+        static_cast<int>(map.memNodes.size()) != cfg.mem.numNodes) {
+        panic("layout ", layoutName(cfg.layout),
+              " produced a wrong node mix");
+    }
+    return map;
+}
+
+void
+applyDefaultRouting(SystemConfig &cfg)
+{
+    switch (cfg.layout) {
+      case ChipLayout::Baseline:
+        cfg.noc.requestRouting = RoutingKind::DimOrderYX;
+        cfg.noc.replyRouting = RoutingKind::DimOrderXY;
+        break;
+      case ChipLayout::LayoutB:
+      case ChipLayout::LayoutC:
+        cfg.noc.requestRouting = RoutingKind::DimOrderXY;
+        cfg.noc.replyRouting = RoutingKind::DimOrderYX;
+        break;
+      case ChipLayout::LayoutD:
+        cfg.noc.requestRouting = RoutingKind::DimOrderXY;
+        cfg.noc.replyRouting = RoutingKind::DimOrderXY;
+        break;
+    }
+}
+
+std::string
+renderLayout(const SystemConfig &cfg, const LayoutMap &map)
+{
+    std::ostringstream os;
+    for (int y = 0; y < cfg.noc.meshHeight; ++y) {
+        for (int x = 0; x < cfg.noc.meshWidth; ++x) {
+            switch (map.types[y * cfg.noc.meshWidth + x]) {
+              case NodeType::GpuCore:
+                os << "G ";
+                break;
+              case NodeType::CpuCore:
+                os << "C ";
+                break;
+              case NodeType::MemNode:
+                os << "M ";
+                break;
+            }
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dr

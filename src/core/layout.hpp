@@ -1,0 +1,47 @@
+#ifndef DR_CORE_LAYOUT_HPP
+#define DR_CORE_LAYOUT_HPP
+
+/**
+ * @file
+ * Chip layouts (Figure 1 of the paper) generalized to arbitrary mesh
+ * sizes and node mixes:
+ *
+ *  - Baseline: CPU columns, then a memory column between CPUs and GPUs
+ *    (traffic isolation; CDR YX-XY).
+ *  - Layout B: memory nodes along the die edge (top row; CDR XY-YX).
+ *  - Layout C: CPU cores clustered in the top-left block (CDR XY-YX).
+ *  - Layout D: all node types distributed over the chip (XY-XY).
+ */
+
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** Node placement plus derived index lists. */
+struct LayoutMap
+{
+    std::vector<NodeType> types;    //!< per NoC node
+    std::vector<NodeId> gpuCores;   //!< GPU core index -> node id
+    std::vector<NodeId> cpuCores;   //!< CPU core index -> node id
+    std::vector<NodeId> memNodes;   //!< MC index -> node id
+};
+
+/** Build the node placement for cfg.layout. */
+LayoutMap buildLayout(const SystemConfig &cfg);
+
+/**
+ * The per-layout CDR routing orders the paper identifies as best
+ * (Figure 9): request-network order and reply-network order.
+ */
+void applyDefaultRouting(SystemConfig &cfg);
+
+/** ASCII rendering of a layout (examples and debugging). */
+std::string renderLayout(const SystemConfig &cfg, const LayoutMap &map);
+
+} // namespace dr
+
+#endif // DR_CORE_LAYOUT_HPP

@@ -1,0 +1,193 @@
+#include "core/stats_report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+void
+StatsReport::add(std::string path, double value)
+{
+    entries_.push_back({std::move(path), value});
+}
+
+StatsReport
+StatsReport::capture(const HeteroSystem &system, Cycle measuredCycles)
+{
+    StatsReport report;
+    const RunResults r = system.collect(measuredCycles);
+
+    report.add("sim.cycles", static_cast<double>(measuredCycles));
+    report.add("sim.gpuIpc", r.gpuIpc);
+    report.add("sim.cpuIpc", r.cpuIpc);
+    report.add("sim.cpuLatency", r.cpuLatency);
+    report.add("sim.gpuDataRate", r.gpuDataRate);
+    report.add("sim.memBlockingRate", r.memBlockingRate);
+    report.add("sim.gpuL1MissRate", r.gpuL1MissRate);
+    report.add("sim.llcHitRate", r.llcHitRate);
+    report.add("sim.remoteCopyFraction", r.remoteCopyFraction());
+    report.add("sim.forwardedFraction", r.forwardedFraction());
+    report.add("sim.remoteHitRate", r.remoteHitRate());
+
+    for (int i = 0; i < system.gpuCoreCount(); ++i) {
+        const SmCoreStats &s = system.gpuCore(i).stats();
+        std::ostringstream prefix;
+        prefix << "gpu" << i << ".";
+        const std::string p = prefix.str();
+        report.add(p + "instructions",
+                   static_cast<double>(s.instructions.value()));
+        report.add(p + "loads", static_cast<double>(s.loads.value()));
+        report.add(p + "stores", static_cast<double>(s.stores.value()));
+        report.add(p + "l1Hits", static_cast<double>(s.l1Hits.value()));
+        report.add(p + "l1Misses",
+                   static_cast<double>(s.l1Misses.value()));
+        report.add(p + "mshrMerges",
+                   static_cast<double>(s.mshrMerges.value()));
+        report.add(p + "llcRequests",
+                   static_cast<double>(s.llcRequests.value()));
+        report.add(p + "frqReceived",
+                   static_cast<double>(s.frqReceived.value()));
+        report.add(p + "frqRemoteHits",
+                   static_cast<double>(s.frqRemoteHits.value()));
+        report.add(p + "frqDelayedHits",
+                   static_cast<double>(s.frqDelayedHits.value()));
+        report.add(p + "frqRemoteMisses",
+                   static_cast<double>(s.frqRemoteMisses.value()));
+        report.add(p + "probesSent",
+                   static_cast<double>(s.probesSent.value()));
+        report.add(p + "stallNoMshr",
+                   static_cast<double>(s.stallNoMshr.value()));
+        report.add(p + "stallInject",
+                   static_cast<double>(s.stallInject.value()));
+        report.add(p + "loadLatency", s.loadLatency.mean());
+    }
+
+    for (int i = 0; i < system.cpuCoreCount(); ++i) {
+        const CpuNodeStats &s = system.cpuCore(i).stats();
+        std::ostringstream prefix;
+        prefix << "cpu" << i << ".";
+        const std::string p = prefix.str();
+        report.add(p + "retired", static_cast<double>(s.retired.value()));
+        report.add(p + "accesses",
+                   static_cast<double>(s.accesses.value()));
+        report.add(p + "l1Hits", static_cast<double>(s.l1Hits.value()));
+        report.add(p + "requestsSent",
+                   static_cast<double>(s.requestsSent.value()));
+        report.add(p + "blockedCycles",
+                   static_cast<double>(s.blockedCycles.value()));
+        report.add(p + "requestLatency", s.requestLatency.mean());
+    }
+
+    for (int i = 0; i < system.memNodeCount(); ++i) {
+        const MemNode &node = system.memNode(i);
+        std::ostringstream prefix;
+        prefix << "mem" << i << ".";
+        const std::string p = prefix.str();
+        report.add(p + "requestsAccepted",
+                   static_cast<double>(
+                       node.stats().requestsAccepted.value()));
+        report.add(p + "repliesSent",
+                   static_cast<double>(node.stats().repliesSent.value()));
+        report.add(p + "delegations",
+                   static_cast<double>(node.stats().delegations.value()));
+        report.add(p + "blockedCycles",
+                   static_cast<double>(
+                       node.stats().blockedCycles.value()));
+        report.add(p + "blockingRate", node.blockingRate());
+        report.add(p + "llcHits",
+                   static_cast<double>(node.llcStats().hits.value()));
+        report.add(p + "llcMisses",
+                   static_cast<double>(node.llcStats().misses.value()));
+        report.add(p + "llcStallCycles",
+                   static_cast<double>(
+                       node.llcStats().stallCycles.value()));
+        report.add(p + "dramReads",
+                   static_cast<double>(node.dramStats().reads.value()));
+        report.add(p + "dramWrites",
+                   static_cast<double>(node.dramStats().writes.value()));
+        report.add(p + "dramRowHits",
+                   static_cast<double>(node.dramStats().rowHits.value()));
+    }
+
+    for (const NetKind kind : {NetKind::Request, NetKind::Reply}) {
+        const Network &net = system.interconnect().net(kind);
+        const std::string p =
+            kind == NetKind::Request ? "net.request." : "net.reply.";
+        report.add(p + "packetsInjected",
+                   static_cast<double>(
+                       net.stats().packetsInjected.value()));
+        report.add(p + "packetsDelivered",
+                   static_cast<double>(
+                       net.stats().packetsDelivered.value()));
+        report.add(p + "flitsDelivered",
+                   static_cast<double>(net.stats().flitsDelivered.value()));
+        report.add(p + "packetLatency", net.stats().packetLatency.mean());
+        report.add(p + "cpuPacketLatency",
+                   net.stats().cpuPacketLatency.mean());
+        report.add(p + "gpuPacketLatency",
+                   net.stats().gpuPacketLatency.mean());
+        if (system.interconnect().shared())
+            break;  // one physical network
+    }
+    return report;
+}
+
+double
+StatsReport::value(const std::string &path) const
+{
+    for (const auto &e : entries_) {
+        if (e.path == path)
+            return e.value;
+    }
+    fatal("stats: unknown path '", path, "'");
+}
+
+bool
+StatsReport::has(const std::string &path) const
+{
+    return std::any_of(entries_.begin(), entries_.end(),
+                       [&](const StatEntry &e) { return e.path == path; });
+}
+
+double
+StatsReport::sum(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (const auto &e : entries_) {
+        if (e.path.rfind(prefix, 0) == 0)
+            total += e.value;
+    }
+    return total;
+}
+
+void
+StatsReport::writeText(std::ostream &out) const
+{
+    for (const auto &e : entries_)
+        out << e.path << " " << e.value << "\n";
+}
+
+void
+StatsReport::writeCsv(std::ostream &out) const
+{
+    out << "stat,value\n";
+    for (const auto &e : entries_)
+        out << e.path << "," << e.value << "\n";
+}
+
+void
+StatsReport::writeJson(std::ostream &out) const
+{
+    out << "{\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        out << "  \"" << entries_[i].path << "\": " << entries_[i].value;
+        out << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    out << "}\n";
+}
+
+} // namespace dr

@@ -1,0 +1,131 @@
+#include "cpu/cpu_node.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+/** Private CPU address-space bases keep cores from falsely sharing. */
+constexpr Addr cpuPrivateBase = 0x40000000ull;   // 1 GB
+constexpr Addr cpuPrivateStride = 0x4000000ull;  // 64 MB per core
+constexpr Addr cpuSharedBase = 0x80000000ull;    // 2 GB
+
+} // namespace
+
+CpuNode::CpuNode(NodeId nodeId, int coreIdx, const SystemConfig &cfg,
+                 const CpuProfile &profile, Interconnect &ic,
+                 const AddressMap &map)
+    : nodeId_(nodeId), coreIdx_(coreIdx), cfg_(cfg), profile_(profile),
+      ic_(ic), map_(map),
+      rng_(cfg.seed * 131 + static_cast<std::uint64_t>(nodeId)),
+      l1_({cfg.cpu.l1SizeKB * 1024, cfg.cpu.l1Assoc, cfg.cpu.lineBytes}),
+      nextReqId_((static_cast<std::uint64_t>(nodeId) << 48) | 1u)
+{
+}
+
+Addr
+CpuNode::genAddress()
+{
+    const Addr wsBytes =
+        static_cast<Addr>(profile_.workingSetKB) * 1024;
+    if (rng_.chance(profile_.sharedFraction)) {
+        // CPU-shared region (read-mostly metadata, queues, ...).
+        const Addr sharedBytes = wsBytes / 4 + cfg_.cpu.lineBytes;
+        return cpuSharedBase + rng_.below(sharedBytes);
+    }
+    const Addr base = cpuPrivateBase + cpuPrivateStride * coreIdx_;
+    // Mix of sequential streaming and random pointer chasing.
+    if (rng_.chance(0.5)) {
+        seqCursor_ = (seqCursor_ + cfg_.cpu.lineBytes) % wsBytes;
+        return base + seqCursor_;
+    }
+    return base + rng_.below(wsBytes);
+}
+
+void
+CpuNode::receive(Cycle now)
+{
+    while (ic_.hasMessage(nodeId_, NetKind::Reply)) {
+        const Message msg = ic_.popMessage(nodeId_, NetKind::Reply);
+        if (msg.type != MsgType::ReadReply && msg.type != MsgType::WriteAck)
+            panic("CPU node received unexpected message type ",
+                  msgTypeName(msg.type));
+        auto it = inFlight_.find(msg.id);
+        if (it == inFlight_.end())
+            continue;
+        stats_.requestLatency.sample(
+            static_cast<double>(now - it->second.issued));
+        if (blocked_ && msg.id == blockingReq_)
+            blocked_ = false;
+        inFlight_.erase(it);
+    }
+}
+
+void
+CpuNode::maybeAccess(Cycle now)
+{
+    if (!rng_.chance(profile_.accessRate))
+        return;
+    ++stats_.accesses;
+    const Addr addr = genAddress();
+    const Addr line = addr & ~static_cast<Addr>(cfg_.cpu.lineBytes - 1);
+    const bool write = rng_.chance(profile_.writeFraction);
+
+    if (l1_.access(line)) {
+        ++stats_.l1Hits;
+        return;  // hits cost nothing extra in the interval model
+    }
+    if (static_cast<int>(inFlight_.size()) >= profile_.maxOutstanding)
+        return;  // MLP limit: the access re-issues later, modelled as lost
+
+    Message req;
+    req.type = write ? MsgType::WriteReq : MsgType::ReadReq;
+    req.cls = TrafficClass::Cpu;
+    req.addr = line;
+    req.src = nodeId_;
+    req.dst = map_.nodeOf(line);
+    req.requester = nodeId_;
+    req.id = nextReqId_++;
+    req.created = now;
+    if (!ic_.canSend(req))
+        return;  // injection buffer full; access lost this cycle
+    ic_.send(req, now);
+    ++stats_.requestsSent;
+    if (write)
+        ++stats_.writesSent;
+
+    const bool blocking = !write && rng_.chance(profile_.depFraction);
+    inFlight_[req.id] = {now, blocking};
+    if (blocking) {
+        blocked_ = true;
+        blockingReq_ = req.id;
+    }
+    if (!write)
+        l1_.insert(line, {});  // allocate on (read) miss
+}
+
+void
+CpuNode::tick(Cycle now)
+{
+    receive(now);
+    if (blocked_) {
+        ++stats_.blockedCycles;
+        return;
+    }
+    ++stats_.retired;
+    maybeAccess(now);
+}
+
+double
+CpuNode::ipc(Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(stats_.retired.value()) /
+           static_cast<double>(cycles);
+}
+
+} // namespace dr

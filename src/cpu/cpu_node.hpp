@@ -1,0 +1,93 @@
+#ifndef DR_CPU_CPU_NODE_HPP
+#define DR_CPU_CPU_NODE_HPP
+
+/**
+ * @file
+ * A latency-sensitive CPU core endpoint. An interval model retires one
+ * instruction per unblocked cycle; L1 misses become NoC requests, and a
+ * profile-dependent fraction of misses are *dependent* loads that stall
+ * retirement until the reply returns — which is how memory-node
+ * blocking (clogging) translates into CPU slowdown.
+ */
+
+#include <deque>
+#include <unordered_map>
+
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "cpu/cpu_profile.hpp"
+#include "mem/address_map.hpp"
+#include "mem/cache.hpp"
+#include "noc/interconnect.hpp"
+
+namespace dr
+{
+
+/** CPU core statistics. */
+struct CpuNodeStats
+{
+    Counter retired;          //!< instructions retired
+    Counter accesses;
+    Counter l1Hits;
+    Counter requestsSent;
+    Counter writesSent;
+    Counter blockedCycles;    //!< retirement stalled on a dependent load
+    Average requestLatency;   //!< inject to reply (network + memory)
+};
+
+/** One CPU core endpoint. */
+class CpuNode
+{
+  public:
+    CpuNode(NodeId nodeId, int coreIdx, const SystemConfig &cfg,
+            const CpuProfile &profile, Interconnect &ic,
+            const AddressMap &map);
+
+    void tick(Cycle now);
+
+    NodeId nodeId() const { return nodeId_; }
+    const CpuNodeStats &stats() const { return stats_; }
+    void resetStats() { stats_ = CpuNodeStats{}; }
+
+    /** Retired instructions per cycle over the measured window. */
+    double ipc(Cycle cycles) const;
+
+    int outstanding() const { return static_cast<int>(inFlight_.size()); }
+
+  private:
+    struct InFlightReq
+    {
+        Cycle issued = 0;
+        bool blocking = false;
+    };
+
+    Addr genAddress();
+    void receive(Cycle now);
+    void maybeAccess(Cycle now);
+
+    NodeId nodeId_;
+    int coreIdx_;
+    const SystemConfig &cfg_;
+    CpuProfile profile_;
+    Interconnect &ic_;
+    const AddressMap &map_;
+    Rng rng_;
+
+    struct NoMeta
+    {};
+    SetAssocCache<NoMeta> l1_;
+
+    std::unordered_map<std::uint64_t, InFlightReq> inFlight_;
+    std::uint64_t nextReqId_;
+    bool blocked_ = false;
+    std::uint64_t blockingReq_ = 0;
+    Addr seqCursor_ = 0;
+
+    CpuNodeStats stats_;
+};
+
+} // namespace dr
+
+#endif // DR_CPU_CPU_NODE_HPP

@@ -1,0 +1,51 @@
+#include "cpu/cpu_profile.hpp"
+
+#include <array>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+// Rates/dependence chosen so the resulting NoC injection falls in the
+// paper's CPU range and the latency-sensitivity ordering matches its
+// discussion (vips most sensitive, dedup least).
+const std::array<CpuProfile, 9> profiles = {{
+    //  name          rate   dep   write  wsKB  shared  mlp
+    {"blackscholes", 0.06, 0.30, 0.10, 512, 0.05, 4},
+    {"bodytrack",    0.10, 0.50, 0.20, 768, 0.15, 4},
+    {"canneal",      0.16, 0.45, 0.15, 4096, 0.10, 6},
+    {"dedup",        0.18, 0.15, 0.30, 2048, 0.20, 8},
+    {"ferret",       0.12, 0.55, 0.15, 1024, 0.15, 4},
+    {"fluidanimate", 0.10, 0.40, 0.25, 1024, 0.10, 4},
+    {"swaptions",    0.05, 0.25, 0.10, 256, 0.05, 4},
+    {"vips",         0.14, 0.80, 0.20, 1536, 0.10, 2},
+    {"x264",         0.12, 0.60, 0.25, 1024, 0.20, 3},
+}};
+
+} // namespace
+
+const CpuProfile &
+cpuProfileFor(const std::string &name)
+{
+    for (const auto &p : profiles) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown CPU benchmark '", name, "'");
+}
+
+std::vector<std::string>
+cpuBenchmarkNames()
+{
+    std::vector<std::string> names;
+    names.reserve(profiles.size());
+    for (const auto &p : profiles)
+        names.push_back(p.name);
+    return names;
+}
+
+} // namespace dr

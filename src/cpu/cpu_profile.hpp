@@ -1,0 +1,41 @@
+#ifndef DR_CPU_CPU_PROFILE_HPP
+#define DR_CPU_CPU_PROFILE_HPP
+
+/**
+ * @file
+ * PARSEC-like CPU workload profiles. The paper injects CPU traffic from
+ * Netrace traces (Table II); offline we substitute per-benchmark
+ * profiles that drive a dependency-aware injection model with the same
+ * observable characteristics: low injection rates (0.013–0.084
+ * flits/cycle vs 0.324–0.704 for the GPU benchmarks) and
+ * benchmark-specific latency sensitivity (vips is latency-sensitive,
+ * dedup is not — Figure 13's discussion).
+ */
+
+#include <string>
+#include <vector>
+
+namespace dr
+{
+
+/** Parameters of one CPU benchmark. */
+struct CpuProfile
+{
+    std::string name;
+    double accessRate = 0.1;    //!< L1 accesses per unblocked cycle
+    double depFraction = 0.5;   //!< misses that stall the core (MLP⁻¹)
+    double writeFraction = 0.2; //!< store ratio
+    int workingSetKB = 256;     //!< per-core footprint
+    double sharedFraction = 0.1;//!< accesses to the CPU-shared region
+    int maxOutstanding = 8;     //!< MLP upper bound
+};
+
+/** Profile for a PARSEC benchmark name; fatal() on unknown names. */
+const CpuProfile &cpuProfileFor(const std::string &name);
+
+/** All known CPU benchmark names. */
+std::vector<std::string> cpuBenchmarkNames();
+
+} // namespace dr
+
+#endif // DR_CPU_CPU_PROFILE_HPP

@@ -1,0 +1,56 @@
+#include "gpu/cta_scheduler.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+CtaScheduler::CtaScheduler(CtaSchedule policy, int ctaCount, int numCores)
+    : policy_(policy), ctaCount_(ctaCount), numCores_(numCores),
+      cursor_(static_cast<std::size_t>(numCores), 0),
+      instance_(static_cast<std::size_t>(numCores), 0)
+{
+    if (ctaCount < 1 || numCores < 1)
+        fatal("CTA scheduler needs a non-empty grid and at least one core");
+}
+
+CtaAssignment
+CtaScheduler::next(int core)
+{
+    if (policy_ == CtaSchedule::RoundRobin) {
+        // True round-robin launch order: CTA i runs on core (i mod N),
+        // so consecutive (halo-sharing) CTAs land on different cores —
+        // the source of inter-core locality (Figure 2).
+        const int perCore = (ctaCount_ + numCores_ - 1) / numCores_;
+        int cta = core + cursor_[core] * numCores_;
+        if (cta >= ctaCount_)
+            cta = cta % ctaCount_;
+        const CtaAssignment a{cta, instance_[core]};
+        if (++cursor_[core] >= perCore) {
+            cursor_[core] = 0;
+            ++instance_[core];
+        }
+        return a;
+    }
+
+    // Distributed: core c owns the contiguous chunk
+    // [c * chunk, min((c+1) * chunk, ctaCount)).
+    const int chunk = (ctaCount_ + numCores_ - 1) / numCores_;
+    const int begin = core * chunk;
+    const int end = std::min(begin + chunk, ctaCount_);
+    if (begin >= end) {
+        // More cores than CTAs: wrap onto the grid round-robin so no
+        // core idles forever.
+        const CtaAssignment a{core % ctaCount_, instance_[core]};
+        ++instance_[core];
+        return a;
+    }
+    const CtaAssignment a{begin + cursor_[core], instance_[core]};
+    if (++cursor_[core] >= end - begin) {
+        cursor_[core] = 0;
+        ++instance_[core];
+    }
+    return a;
+}
+
+} // namespace dr

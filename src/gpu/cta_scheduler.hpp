@@ -1,0 +1,58 @@
+#ifndef DR_GPU_CTA_SCHEDULER_HPP
+#define DR_GPU_CTA_SCHEDULER_HPP
+
+/**
+ * @file
+ * CTA (thread-block) scheduling. Round-robin hands out CTAs in launch
+ * order to whichever core asks next — adjacent CTAs land on different
+ * cores, which is what creates *inter-core* locality for halo-sharing
+ * kernels. Distributed scheduling gives each core a contiguous chunk of
+ * the grid, trading inter-core locality for intra-core locality
+ * (Figure 15). When the grid is exhausted the kernel relaunches
+ * (iterative kernels), which is a software-coherence flush boundary.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** A CTA handed to a core, tagged with the kernel launch it belongs to. */
+struct CtaAssignment
+{
+    int cta = -1;
+    std::uint32_t kernelInstance = 0;
+};
+
+/** Grid-wide CTA scheduler shared by all SM cores. */
+class CtaScheduler
+{
+  public:
+    CtaScheduler(CtaSchedule policy, int ctaCount, int numCores);
+
+    /** Next CTA for `core`; kernels relaunch indefinitely. */
+    CtaAssignment next(int core);
+
+    CtaSchedule policy() const { return policy_; }
+    std::uint32_t launches() const { return globalInstance_; }
+
+  private:
+    CtaSchedule policy_;
+    int ctaCount_;
+    int numCores_;
+
+    // Round-robin state.
+    int rrNext_ = 0;
+    std::uint32_t globalInstance_ = 0;
+
+    // Distributed state: per-core cursor and instance.
+    std::vector<int> cursor_;
+    std::vector<std::uint32_t> instance_;
+};
+
+} // namespace dr
+
+#endif // DR_GPU_CTA_SCHEDULER_HPP

@@ -1,0 +1,59 @@
+#ifndef DR_GPU_KERNEL_HPP
+#define DR_GPU_KERNEL_HPP
+
+/**
+ * @file
+ * Kernel access-pattern interface. A kernel is described by its grid
+ * (CTA count), the warps per CTA, and a *pure function* from
+ * (cta, warp, access index) to a memory access — deterministic by
+ * construction, so simulations are exactly reproducible. The workload
+ * library implements the 11 GPU benchmarks of Table II against this
+ * interface (stencil halos, tiled GEMM, tree traversals, ...), which is
+ * what produces inter-core locality organically.
+ */
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** One memory instruction issued by a warp (coalesced to a line). */
+struct MemAccess
+{
+    Addr addr = 0;
+    bool write = false;
+};
+
+/** A GPU kernel's structure and access pattern. */
+class KernelAccessPattern
+{
+  public:
+    virtual ~KernelAccessPattern() = default;
+
+    virtual std::string name() const = 0;
+
+    /** Number of CTAs in the grid. */
+    virtual int ctaCount() const = 0;
+
+    /** Warps per CTA. */
+    virtual int warpsPerCta() const = 0;
+
+    /** Memory accesses a warp performs over its lifetime. */
+    virtual int accessesPerWarp() const = 0;
+
+    /** Compute instructions between consecutive memory accesses. */
+    virtual int computePerMem() const = 0;
+
+    /**
+     * The idx-th access of warp `warp` in CTA `cta`.
+     * @pre 0 <= idx < accessesPerWarp()
+     */
+    virtual MemAccess access(int cta, int warp, int idx) const = 0;
+};
+
+} // namespace dr
+
+#endif // DR_GPU_KERNEL_HPP

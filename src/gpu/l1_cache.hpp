@@ -1,0 +1,106 @@
+#ifndef DR_GPU_L1_CACHE_HPP
+#define DR_GPU_L1_CACHE_HPP
+
+/**
+ * @file
+ * GPU L1 data-cache organizations behind one interface. The baseline is
+ * a private write-through, allocate-on-read-miss L1 per SM; DC-L1 [30]
+ * shares a sliced L1 across a cluster of SMs (higher effective capacity,
+ * serialized slice ports); DynEB [29] switches between the two per
+ * kernel based on achieved throughput. Tag state only — no data.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+
+namespace dr
+{
+
+/** Outcome of an L1 load lookup. */
+enum class L1Result : std::uint8_t
+{
+    Hit,
+    Miss,
+    PortBusy,  //!< shared-slice port already used this cycle
+};
+
+/** L1 statistics per organization instance. */
+struct L1OrgStats
+{
+    Counter loads;
+    Counter loadHits;
+    Counter writes;
+    Counter writeHits;
+    Counter portConflicts;
+    Counter flushes;
+};
+
+/**
+ * L1 organization interface. `core` is the *GPU core index* (not NoC
+ * node id). Lookups are per-cycle operations: shared organizations may
+ * return PortBusy, and the caller retries next cycle.
+ */
+class L1Organizer
+{
+  public:
+    virtual ~L1Organizer() = default;
+
+    /** Load lookup (updates LRU on hit). */
+    virtual L1Result load(int core, Addr lineAddr, Cycle now) = 0;
+
+    /** Probe without side effects (used for FRQ remote lookups). */
+    virtual bool contains(int core, Addr lineAddr) const = 0;
+
+    /** Write-through store: updates the line if present. */
+    virtual void write(int core, Addr lineAddr, Cycle now) = 0;
+
+    /** Install a line on fill; true if a valid line was evicted. */
+    virtual bool fill(int core, Addr lineAddr) = 0;
+
+    /** Kernel-boundary invalidation of a core's L1 (or its cluster). */
+    virtual void flush(int core) = 0;
+
+    /** Extra hit latency of this organization (cluster interconnect). */
+    virtual int hitLatency() const = 0;
+
+    virtual const L1OrgStats &stats() const = 0;
+
+    /** Advance per-cycle port bookkeeping. */
+    virtual void tick(Cycle now) = 0;
+};
+
+/** The baseline private L1 per SM. */
+class PrivateL1 : public L1Organizer
+{
+  public:
+    PrivateL1(const GpuConfig &cfg);
+
+    L1Result load(int core, Addr lineAddr, Cycle now) override;
+    bool contains(int core, Addr lineAddr) const override;
+    void write(int core, Addr lineAddr, Cycle now) override;
+    bool fill(int core, Addr lineAddr) override;
+    void flush(int core) override;
+    int hitLatency() const override;
+    const L1OrgStats &stats() const override { return stats_; }
+    void tick(Cycle now) override;
+
+  private:
+    struct NoMeta
+    {};
+
+    GpuConfig cfg_;
+    std::vector<SetAssocCache<NoMeta>> tags_;
+    L1OrgStats stats_;
+};
+
+/** Factory for the configured organization. */
+std::unique_ptr<L1Organizer> makeL1Organizer(const GpuConfig &cfg);
+
+} // namespace dr
+
+#endif // DR_GPU_L1_CACHE_HPP

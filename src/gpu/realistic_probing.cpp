@@ -1,0 +1,73 @@
+#include "gpu/realistic_probing.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+SharingPredictor::SharingPredictor(int entries)
+    : table_(static_cast<std::size_t>(entries), 2)
+{
+    if (entries < 1)
+        fatal("sharing predictor needs at least one entry");
+}
+
+std::size_t
+SharingPredictor::indexOf(Addr lineAddr) const
+{
+    std::uint64_t x = lineAddr >> 7;
+    x ^= x >> 17;
+    x *= 0xed5ad4bbu;
+    x ^= x >> 11;
+    return static_cast<std::size_t>(x % table_.size());
+}
+
+bool
+SharingPredictor::shouldProbe(Addr lineAddr) const
+{
+    return table_[indexOf(lineAddr)] >= 2;
+}
+
+void
+SharingPredictor::train(Addr lineAddr, bool remoteHit)
+{
+    std::uint8_t &ctr = table_[indexOf(lineAddr)];
+    if (remoteHit) {
+        if (ctr < 3)
+            ++ctr;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+}
+
+std::vector<NodeId>
+probeCandidates(int coreIdx, Addr lineAddr, int probeCount,
+                const std::vector<NodeId> &gpuCoreIds)
+{
+    // RP has no sharer directory — it must *search*. Candidates are a
+    // per-line pseudo-random subset of the other cores (deterministic
+    // per line so retries are consistent), reflecting that RP cannot
+    // know where a copy lives without probing (Section III.A).
+    const int n = static_cast<int>(gpuCoreIds.size());
+    std::vector<NodeId> out;
+    out.reserve(probeCount);
+    std::uint64_t h = (lineAddr >> 7) * 0x9e3779b97f4a7c15ull + 0x1234;
+    int guard = 0;
+    while (static_cast<int>(out.size()) < probeCount && guard++ < 8 * n) {
+        h ^= h >> 27;
+        h *= 0x94d049bb133111ebull;
+        h ^= h >> 31;
+        const int candidate = static_cast<int>(h % n);
+        if (candidate == coreIdx)
+            continue;
+        const NodeId node = gpuCoreIds[candidate];
+        bool duplicate = false;
+        for (const NodeId existing : out)
+            duplicate |= existing == node;
+        if (!duplicate)
+            out.push_back(node);
+    }
+    return out;
+}
+
+} // namespace dr

@@ -1,0 +1,56 @@
+#ifndef DR_GPU_REALISTIC_PROBING_HPP
+#define DR_GPU_REALISTIC_PROBING_HPP
+
+/**
+ * @file
+ * Realistic Probing (RP) [31], the state-of-the-art comparison point.
+ * On an L1 miss the core first predicts whether the line is likely held
+ * by a remote L1 and, if so, probes a fixed set of candidate cores
+ * before (on failure) falling back to the LLC. RP's fundamental
+ * weakness — it must search — is what Delegated Replies removes.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/**
+ * Per-core sharing predictor: a table of 2-bit saturating counters
+ * indexed by a hash of the line address. Counters start at the probing
+ * threshold (RP probes aggressively — the paper reports RP multiplies
+ * NoC requests by 5.9x).
+ */
+class SharingPredictor
+{
+  public:
+    explicit SharingPredictor(int entries);
+
+    /** Whether a miss to this line should probe remote L1s. */
+    bool shouldProbe(Addr lineAddr) const;
+
+    /** Train with the probe outcome for a line. */
+    void train(Addr lineAddr, bool remoteHit);
+
+    int entries() const { return static_cast<int>(table_.size()); }
+
+  private:
+    std::size_t indexOf(Addr lineAddr) const;
+
+    std::vector<std::uint8_t> table_;
+};
+
+/**
+ * Candidate selection: `probeCount` distinct cores chosen by a per-line
+ * hash (RP has no sharer directory, so it cannot aim its probes).
+ */
+std::vector<NodeId> probeCandidates(int coreIdx, Addr lineAddr,
+                                    int probeCount,
+                                    const std::vector<NodeId> &gpuCoreIds);
+
+} // namespace dr
+
+#endif // DR_GPU_REALISTIC_PROBING_HPP

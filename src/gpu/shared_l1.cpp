@@ -1,0 +1,232 @@
+#include "gpu/shared_l1.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+SharedL1::SharedL1(const GpuConfig &cfg)
+    : cfg_(cfg), coresPerCluster_(cfg.dcl1CoresPerCluster),
+      slices_(cfg.dcl1Slices)
+{
+    const int clusters =
+        (cfg.numCores + coresPerCluster_ - 1) / coresPerCluster_;
+    // Cluster capacity = sum of the private L1s it replaces, divided
+    // over address-interleaved slices.
+    const int sliceBytes =
+        cfg.l1SizeKB * 1024 * coresPerCluster_ / slices_;
+    const CacheParams params{sliceBytes, cfg.l1Assoc, cfg.l1LineBytes};
+    tags_.resize(clusters);
+    portUsed_.resize(clusters);
+    for (int c = 0; c < clusters; ++c) {
+        for (int s = 0; s < slices_; ++s)
+            tags_[c].emplace_back(params);
+        portUsed_[c].assign(slices_, 0);
+    }
+}
+
+int
+SharedL1::sliceOf(Addr lineAddr) const
+{
+    return static_cast<int>((lineAddr / cfg_.l1LineBytes) % slices_);
+}
+
+Addr
+SharedL1::sliceLocal(Addr lineAddr) const
+{
+    // Drop the slice-select bits so each slice indexes its sets with
+    // the full remaining address (as a physically sliced cache does).
+    return (lineAddr / cfg_.l1LineBytes / slices_) * cfg_.l1LineBytes;
+}
+
+L1Result
+SharedL1::load(int core, Addr lineAddr, Cycle now)
+{
+    (void)now;
+    const int cluster = clusterOf(core);
+    const int slice = sliceOf(lineAddr);
+    if (portUsed_[cluster][slice]) {
+        // One access per slice per cycle: concurrent SMs serialize —
+        // the shared-L1 bandwidth loss the paper describes.
+        ++stats_.portConflicts;
+        return L1Result::PortBusy;
+    }
+    portUsed_[cluster][slice] = 1;
+    ++stats_.loads;
+    if (tags_[cluster][slice].access(sliceLocal(lineAddr))) {
+        ++stats_.loadHits;
+        return L1Result::Hit;
+    }
+    return L1Result::Miss;
+}
+
+bool
+SharedL1::contains(int core, Addr lineAddr) const
+{
+    const int cluster = clusterOf(core);
+    return tags_[cluster][sliceOf(lineAddr)].probe(
+               sliceLocal(lineAddr)) != nullptr;
+}
+
+void
+SharedL1::write(int core, Addr lineAddr, Cycle now)
+{
+    (void)now;
+    const int cluster = clusterOf(core);
+    ++stats_.writes;
+    if (tags_[cluster][sliceOf(lineAddr)].access(sliceLocal(lineAddr)))
+        ++stats_.writeHits;
+}
+
+bool
+SharedL1::fill(int core, Addr lineAddr)
+{
+    const int cluster = clusterOf(core);
+    return tags_[cluster][sliceOf(lineAddr)]
+        .insert(sliceLocal(lineAddr), {})
+        .has_value();
+}
+
+void
+SharedL1::flush(int core)
+{
+    // Flushing any member of the cluster invalidates the cluster cache;
+    // kernel boundaries are cluster-wide events.
+    const int cluster = clusterOf(core);
+    ++stats_.flushes;
+    for (auto &slice : tags_[cluster])
+        slice.flushAll();
+}
+
+int
+SharedL1::hitLatency() const
+{
+    // Private hit latency plus the intra-cluster interconnect.
+    return cfg_.l1HitLatency + 2;
+}
+
+void
+SharedL1::tick(Cycle now)
+{
+    (void)now;
+    for (auto &cluster : portUsed_)
+        std::fill(cluster.begin(), cluster.end(), 0);
+}
+
+DynEbL1::DynEbL1(const GpuConfig &cfg)
+    : cfg_(cfg), shared_(cfg), private_(cfg)
+{
+}
+
+L1Organizer &
+DynEbL1::active()
+{
+    return phase_ == Phase::ProbePrivate || phase_ == Phase::CommitPrivate
+               ? static_cast<L1Organizer &>(private_)
+               : static_cast<L1Organizer &>(shared_);
+}
+
+const L1Organizer &
+DynEbL1::active() const
+{
+    return phase_ == Phase::ProbePrivate || phase_ == Phase::CommitPrivate
+               ? static_cast<const L1Organizer &>(private_)
+               : static_cast<const L1Organizer &>(shared_);
+}
+
+L1Result
+DynEbL1::load(int core, Addr lineAddr, Cycle now)
+{
+    const L1Result result = active().load(core, lineAddr, now);
+    ++phaseLoads_;
+    if (result == L1Result::Hit)
+        ++phaseHits_;
+    else if (result == L1Result::PortBusy)
+        ++phaseConflicts_;
+    return result;
+}
+
+bool
+DynEbL1::contains(int core, Addr lineAddr) const
+{
+    return active().contains(core, lineAddr);
+}
+
+void
+DynEbL1::write(int core, Addr lineAddr, Cycle now)
+{
+    active().write(core, lineAddr, now);
+}
+
+bool
+DynEbL1::fill(int core, Addr lineAddr)
+{
+    return active().fill(core, lineAddr);
+}
+
+void
+DynEbL1::flush(int core)
+{
+    // A kernel boundary: invalidate and restart the probing cycle —
+    // DynEB decides per kernel.
+    shared_.flush(core);
+    private_.flush(core);
+    phase_ = Phase::ProbeShared;
+    phaseFresh_ = true;
+}
+
+int
+DynEbL1::hitLatency() const
+{
+    return active().hitLatency();
+}
+
+const L1OrgStats &
+DynEbL1::stats() const
+{
+    return active().stats();
+}
+
+void
+DynEbL1::maybeAdvancePhase(Cycle now)
+{
+    if (phaseFresh_) {
+        phaseFresh_ = false;
+        phaseStart_ = now;
+        phaseHits_ = 0;
+        phaseConflicts_ = 0;
+        phaseLoads_ = 0;
+        return;
+    }
+    if (phase_ == Phase::CommitShared || phase_ == Phase::CommitPrivate)
+        return;
+    if (now - phaseStart_ < probeLen_)
+        return;
+    // Effective bandwidth proxy: completed hits minus serialization.
+    const std::uint64_t score =
+        phaseHits_ > phaseConflicts_ ? phaseHits_ - phaseConflicts_ : 0;
+    if (phase_ == Phase::ProbeShared) {
+        sharedScore_ = score;
+        phase_ = Phase::ProbePrivate;
+    } else {
+        privateScore_ = score;
+        phase_ = privateScore_ > sharedScore_ ? Phase::CommitPrivate
+                                              : Phase::CommitShared;
+    }
+    phaseStart_ = now;
+    phaseHits_ = 0;
+    phaseConflicts_ = 0;
+    phaseLoads_ = 0;
+}
+
+void
+DynEbL1::tick(Cycle now)
+{
+    // Phase transitions happen at cycle boundaries so that contains()
+    // and load() agree within a cycle.
+    maybeAdvancePhase(now);
+    shared_.tick(now);
+    private_.tick(now);
+}
+
+} // namespace dr

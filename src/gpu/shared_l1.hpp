@@ -1,0 +1,111 @@
+#ifndef DR_GPU_SHARED_L1_HPP
+#define DR_GPU_SHARED_L1_HPP
+
+/**
+ * @file
+ * Shared GPU L1 organizations (Figure 15).
+ *
+ * SharedL1 models DC-L1 [30]: clusters of `dcl1CoresPerCluster` SMs
+ * share one L1 whose capacity equals the sum of the private L1s, split
+ * into `dcl1Slices` address-interleaved slices. Sharing removes
+ * replication (capacity benefit) but each slice serves one access per
+ * cycle, so bursts to shared data serialize (bandwidth cost) — the
+ * effect that slows NN and 2DCON in the paper.
+ *
+ * DynEbL1 models DynEB [29]: it starts each kernel instance with short
+ * probing epochs in shared and private mode, measures achieved load
+ * throughput, and commits to the better organization until the next
+ * kernel launch.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "gpu/l1_cache.hpp"
+
+namespace dr
+{
+
+/** DC-L1 style statically shared, sliced cluster L1. */
+class SharedL1 : public L1Organizer
+{
+  public:
+    explicit SharedL1(const GpuConfig &cfg);
+
+    L1Result load(int core, Addr lineAddr, Cycle now) override;
+    bool contains(int core, Addr lineAddr) const override;
+    void write(int core, Addr lineAddr, Cycle now) override;
+    bool fill(int core, Addr lineAddr) override;
+    void flush(int core) override;
+    int hitLatency() const override;
+    const L1OrgStats &stats() const override { return stats_; }
+    void tick(Cycle now) override;
+
+    int clusters() const { return static_cast<int>(tags_.size()); }
+    int clusterOf(int core) const { return core / coresPerCluster_; }
+    int sliceOf(Addr lineAddr) const;
+    /** Address with the slice-select bits removed (set indexing). */
+    Addr sliceLocal(Addr lineAddr) const;
+
+  private:
+    struct NoMeta
+    {};
+
+    GpuConfig cfg_;
+    int coresPerCluster_;
+    int slices_;
+    /** One tag store per (cluster, slice). */
+    std::vector<std::vector<SetAssocCache<NoMeta>>> tags_;
+    /** Per (cluster, slice): whether the single port was used this cycle. */
+    std::vector<std::vector<std::uint8_t>> portUsed_;
+    L1OrgStats stats_;
+};
+
+/** DynEB: per-kernel dynamic selection between shared and private. */
+class DynEbL1 : public L1Organizer
+{
+  public:
+    explicit DynEbL1(const GpuConfig &cfg);
+
+    L1Result load(int core, Addr lineAddr, Cycle now) override;
+    bool contains(int core, Addr lineAddr) const override;
+    void write(int core, Addr lineAddr, Cycle now) override;
+    bool fill(int core, Addr lineAddr) override;
+    void flush(int core) override;
+    int hitLatency() const override;
+    const L1OrgStats &stats() const override;
+    void tick(Cycle now) override;
+
+    /** Whether the shared organization is currently active. */
+    bool sharedActive() const { return phase_ != Phase::CommitPrivate; }
+
+  private:
+    enum class Phase : std::uint8_t
+    {
+        ProbeShared,
+        ProbePrivate,
+        CommitShared,
+        CommitPrivate,
+    };
+
+    L1Organizer &active();
+    const L1Organizer &active() const;
+    void maybeAdvancePhase(Cycle now);
+
+    GpuConfig cfg_;
+    SharedL1 shared_;
+    PrivateL1 private_;
+    Phase phase_ = Phase::ProbeShared;
+    bool phaseFresh_ = false;
+    Cycle phaseStart_ = 0;
+    Cycle probeLen_ = 2000;
+    std::uint64_t sharedScore_ = 0;   //!< hits minus port conflicts
+    std::uint64_t privateScore_ = 0;
+    std::uint64_t phaseHits_ = 0;
+    std::uint64_t phaseConflicts_ = 0;
+    std::uint64_t phaseLoads_ = 0;
+};
+
+} // namespace dr
+
+#endif // DR_GPU_SHARED_L1_HPP

@@ -1,0 +1,200 @@
+#ifndef DR_GPU_SM_CORE_HPP
+#define DR_GPU_SM_CORE_HPP
+
+/**
+ * @file
+ * A GPU streaming multiprocessor modelled at warp granularity: 48 warps
+ * per core issue compute instructions and periodically memory accesses
+ * drawn from the kernel's access pattern; warps block on outstanding
+ * loads (MSHR-tracked), which yields the latency-tolerant,
+ * bandwidth-hungry, bursty injection behaviour that clogs the memory
+ * nodes. The core also implements the receiver side of Delegated
+ * Replies (the Forwarded Request Queue of Figure 8, with remote-over-
+ * local priority to avoid deadlock) and the probe protocol of RP [31].
+ */
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coherence/gpu_coherence.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "gpu/cta_scheduler.hpp"
+#include "gpu/kernel.hpp"
+#include "gpu/l1_cache.hpp"
+#include "gpu/realistic_probing.hpp"
+#include "mem/address_map.hpp"
+#include "mem/mshr.hpp"
+#include "noc/interconnect.hpp"
+
+namespace dr
+{
+
+/** Per-SM statistics. */
+struct SmCoreStats
+{
+    Counter instructions;   //!< issued instructions (compute + memory)
+    Counter memAccesses;
+    Counter loads;
+    Counter stores;
+    Counter l1Hits;
+    Counter l1Misses;
+    Counter mshrMerges;
+    Counter llcRequests;    //!< ReadReqs sent to memory nodes (non-DNF)
+    Counter dnfRequests;    //!< remote-miss re-sends with DNF set
+    Counter repliesReceived;
+
+    // FRQ / Delegated Replies receiver side (Figure 14 numerator).
+    Counter frqReceived;
+    Counter frqSameBlock;  //!< FRQ arrivals matching a queued entry
+                           //!< (paper Section IV: only 4.8%, so no
+                           //!< merging hardware is provided)
+    Counter frqRemoteHits;
+    Counter frqDelayedHits;
+    Counter frqRemoteMisses;
+
+    // RP protocol.
+    Counter probesSent;
+    Counter probeHitsServed;   //!< this core answered a probe with data
+    Counter probeNacksServed;
+    Counter probeFallbacks;    //!< all probes nacked -> LLC request
+
+    Counter missesWithRemoteCopy;  //!< Fig. 2: miss found in a remote L1
+
+    Counter stallNoMshr;
+    Counter stallInject;
+    Counter stallPort;
+    Counter ctasCompleted;
+
+    Average loadLatency;  //!< issue to wake (cycles)
+};
+
+/**
+ * One SM core endpoint. Ticked once per cycle by the HeteroSystem.
+ */
+class SmCore
+{
+  public:
+    SmCore(NodeId nodeId, int coreIdx, const SystemConfig &cfg,
+           Interconnect &ic, const AddressMap &map,
+           GpuCoherence &coherence, CtaScheduler &ctaSched,
+           const KernelAccessPattern &kernel, L1Organizer &l1,
+           const std::vector<NodeId> &gpuCoreIds);
+
+    void tick(Cycle now);
+
+    /**
+     * Optional oracle for the Figure 2 characterization: called on each
+     * L1 miss with (coreIdx, line); returns whether any *remote* L1
+     * currently holds the line.
+     */
+    void
+    setLocalityOracle(std::function<bool(int, Addr)> oracle)
+    {
+        localityOracle_ = std::move(oracle);
+    }
+
+    NodeId nodeId() const { return nodeId_; }
+    int coreIdx() const { return coreIdx_; }
+    const SmCoreStats &stats() const { return stats_; }
+    void resetStats() { stats_ = SmCoreStats{}; }
+
+    /** Instantaneous occupancy diagnostics. */
+    int frqOccupancy() const { return static_cast<int>(frq_.size()); }
+    int outstandingMisses() const { return mshrs_.used(); }
+
+  private:
+    struct Warp
+    {
+        enum class State : std::uint8_t
+        {
+            NeedWork,  //!< waiting for a CTA
+            Ready,     //!< can issue this cycle
+            WaitMem,   //!< blocked on an outstanding load
+            Stalled,   //!< structural stall, retry the memory access
+        };
+
+        State state = State::NeedWork;
+        int slot = 0;
+        int cta = -1;
+        int warpInCta = 0;
+        std::uint32_t instance = 0;
+        int accessIdx = 0;
+        int computeLeft = 0;
+        Cycle readyAt = 0;
+        MemAccess pending{};  //!< the access being (re)tried
+        bool hasPending = false;
+        Cycle issueCycle = 0; //!< when the pending load was first issued
+    };
+
+    struct CtaSlot
+    {
+        int cta = -1;
+        std::uint32_t instance = 0;
+        int warpsLeft = 0;
+        std::vector<int> warpIds;
+    };
+
+    struct ProbeState
+    {
+        int nacksLeft = 0;
+        bool resolved = false;
+        Cycle issued = 0;
+    };
+
+    void receiveReplies(Cycle now);
+    void receiveRequests(Cycle now);
+    void processFrq(Cycle now);
+    void drainOutbound(Cycle now);
+    void issueWarps(Cycle now);
+    bool executeMemAccess(Warp &warp, int warpId, Cycle now);
+    bool startMiss(Warp &warp, int warpId, Addr line, Cycle now);
+    void wakeTargets(Addr line, Cycle now);
+    void assignCta(CtaSlot &slot, Cycle now);
+    void finishWarp(Warp &warp, Cycle now);
+    void advanceWarp(Warp &warp, Cycle now, Cycle extraLatency);
+    Message makeRequest(MsgType type, Addr line, Cycle now) const;
+    bool sendOrQueueReply(const Message &msg, Cycle now);
+    bool isMemNode(NodeId node) const;
+
+    NodeId nodeId_;
+    int coreIdx_;
+    const SystemConfig &cfg_;
+    Interconnect &ic_;
+    const AddressMap &map_;
+    GpuCoherence &coherence_;
+    CtaScheduler &ctaSched_;
+    const KernelAccessPattern &kernel_;
+    L1Organizer &l1_;
+    const std::vector<NodeId> &gpuCoreIds_;
+
+    std::vector<Warp> warps_;
+    std::vector<CtaSlot> ctaSlots_;
+    std::uint32_t coreInstance_ = 0;
+    int greedyWarp_ = 0;
+
+    MshrFile mshrs_;
+    std::deque<Message> frq_;              //!< Forwarded Request Queue
+    std::deque<Message> probeQueue_;       //!< incoming RP probes
+    std::deque<Message> outboundReplies_;  //!< core-to-core data replies
+    std::unordered_map<Addr, ProbeState> probes_;
+    std::deque<Addr> probeFallbacks_;      //!< lines awaiting LLC re-send
+    SharingPredictor predictor_;
+
+    int outstandingWrites_ = 0;
+    std::uint64_t nextReqId_;
+    std::function<bool(int, Addr)> localityOracle_;
+
+    SmCoreStats stats_;
+
+    static constexpr int maxOutboundReplies_ = 8;
+    static constexpr int maxOutstandingWrites_ = 16;
+};
+
+} // namespace dr
+
+#endif // DR_GPU_SM_CORE_HPP

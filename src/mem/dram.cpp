@@ -1,0 +1,181 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+/** Row-buffer size in line-sized columns. */
+constexpr int columnsPerRow = 16;  // 2 KB rows with 128 B lines
+
+} // namespace
+
+DramChannel::DramChannel(const MemConfig &cfg)
+    : cfg_(cfg), maxQueue_(64), banks_(cfg.banksPerMc)
+{
+    if (cfg.banksPerMc < 1)
+        fatal("DRAM channel needs at least one bank");
+}
+
+int
+DramChannel::bankOf(Addr lineAddr) const
+{
+    // Consecutive lines interleave across banks for parallelism.
+    return static_cast<int>((lineAddr / cfg_.lineBytes) %
+                            banks_.size());
+}
+
+Addr
+DramChannel::rowOf(Addr lineAddr) const
+{
+    return lineAddr / cfg_.lineBytes / banks_.size() / columnsPerRow;
+}
+
+void
+DramChannel::enqueue(const DramRequest &req, Cycle now)
+{
+    if (queueFull())
+        panic("DRAM enqueue on full queue");
+    DramRequest queued = req;
+    queued.arrived = now;
+    queue_.push_back(queued);
+}
+
+void
+DramChannel::tick(Cycle now)
+{
+    // One command per cycle. The shared data bus only serializes the
+    // bursts themselves; banks pipeline their accesses behind it, so we
+    // allow a small burst backlog instead of gating command issue on
+    // bus availability.
+    if (queue_.empty() ||
+        busFreeAt_ > now + static_cast<Cycle>(2 * cfg_.burstCycles)) {
+        return;
+    }
+
+    // FR-FCFS: oldest row hit to a ready bank first, else oldest request
+    // to a ready bank.
+    auto ready = [&](const DramRequest &req) {
+        const Bank &bank = banks_[bankOf(req.lineAddr)];
+        return bank.readyAt <= now;
+    };
+    auto isRowHit = [&](const DramRequest &req) {
+        const Bank &bank = banks_[bankOf(req.lineAddr)];
+        return bank.rowOpen && bank.openRow == rowOf(req.lineAddr);
+    };
+
+    auto pick = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (ready(*it) && isRowHit(*it)) {
+            pick = it;
+            break;
+        }
+    }
+    if (pick == queue_.end()) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+            const Bank &bank = banks_[bankOf(it->lineAddr)];
+            // Activating a closed/other row additionally respects tRRD
+            // (activate-to-activate across banks) and tRC (same bank).
+            if (!ready(*it))
+                continue;
+            if (!isRowHit(*it)) {
+                if (lastActivateAny_ >= 0 &&
+                    lastActivateAny_ + cfg_.tRRD >
+                        static_cast<std::int64_t>(now)) {
+                    continue;
+                }
+                if (bank.lastActivate >= 0 &&
+                    bank.lastActivate + cfg_.tRC >
+                        static_cast<std::int64_t>(now)) {
+                    continue;
+                }
+            }
+            pick = it;
+            break;
+        }
+    }
+    if (pick == queue_.end())
+        return;
+
+    Bank &bank = banks_[bankOf(pick->lineAddr)];
+    const Addr row = rowOf(pick->lineAddr);
+    Cycle accessDone = now;
+    if (bank.rowOpen && bank.openRow == row) {
+        ++stats_.rowHits;
+        accessDone += cfg_.tCL;
+    } else if (!bank.rowOpen) {
+        ++stats_.rowMisses;
+        accessDone += cfg_.tRCD + cfg_.tCL;
+        bank.lastActivate = static_cast<std::int64_t>(now);
+        lastActivateAny_ = static_cast<std::int64_t>(now);
+    } else {
+        ++stats_.rowConflicts;
+        accessDone += cfg_.tRP + cfg_.tRCD + cfg_.tCL;
+        bank.lastActivate = static_cast<std::int64_t>(now);
+        lastActivateAny_ = static_cast<std::int64_t>(now);
+    }
+    bank.rowOpen = true;
+    bank.openRow = row;
+    // Writes occupy the bank tWR longer before precharge is possible.
+    bank.readyAt = accessDone + (pick->write ? cfg_.tWR : cfg_.tCCD);
+
+    // The shared data bus enforces the channel's aggregate bandwidth
+    // (one line burst per burstCycles) but does not serialize bank
+    // accesses: bank latencies overlap behind reserved bus slots.
+    const Cycle burstStart = std::max(busFreeAt_, now);
+    busFreeAt_ = burstStart + cfg_.burstCycles;
+    const Cycle finished =
+        std::max(accessDone, burstStart) + cfg_.burstCycles;
+
+    if (pick->write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+    stats_.queueLatency.sample(static_cast<double>(now - pick->arrived));
+    stats_.serviceLatency.sample(
+        static_cast<double>(finished - pick->arrived));
+
+    // Keep completions sorted: row hits can finish before an earlier
+    // row conflict.
+    DramCompletion done{pick->lineAddr, pick->write, pick->token,
+                        finished};
+    auto pos = completions_.end();
+    while (pos != completions_.begin() &&
+           std::prev(pos)->finished > finished) {
+        --pos;
+    }
+    completions_.insert(pos, done);
+    queue_.erase(pick);
+}
+
+bool
+DramChannel::hasCompletion(Cycle now) const
+{
+    return !completions_.empty() && completions_.front().finished <= now;
+}
+
+DramCompletion
+DramChannel::popCompletion()
+{
+    if (completions_.empty())
+        panic("DRAM popCompletion on empty queue");
+    DramCompletion done = completions_.front();
+    completions_.pop_front();
+    return done;
+}
+
+int
+DramChannel::openRows() const
+{
+    int count = 0;
+    for (const auto &bank : banks_)
+        count += bank.rowOpen;
+    return count;
+}
+
+} // namespace dr

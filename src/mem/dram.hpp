@@ -1,0 +1,106 @@
+#ifndef DR_MEM_DRAM_HPP
+#define DR_MEM_DRAM_HPP
+
+/**
+ * @file
+ * One GDDR5 memory channel behind a memory controller: banked row
+ * buffers with tRCD/tCL/tRP/tRC timing, an FR-FCFS scheduler (row hits
+ * first, then oldest), and a shared data bus occupied for `burstCycles`
+ * per line transfer. Timing parameters follow Table I of the paper.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** A request queued at the memory controller. */
+struct DramRequest
+{
+    Addr lineAddr = 0;
+    bool write = false;
+    std::uint64_t token = 0;  //!< caller's tag, returned on completion
+    Cycle arrived = 0;
+};
+
+/** A finished access ready for pickup. */
+struct DramCompletion
+{
+    Addr lineAddr = 0;
+    bool write = false;
+    std::uint64_t token = 0;
+    Cycle finished = 0;
+};
+
+/** DRAM channel statistics. */
+struct DramStats
+{
+    Counter reads;
+    Counter writes;
+    Counter rowHits;
+    Counter rowMisses;
+    Counter rowConflicts;
+    Average queueLatency;    //!< arrival to issue
+    Average serviceLatency;  //!< arrival to completion
+};
+
+/**
+ * One memory channel (one per memory node). Cycle-driven: the owner
+ * calls tick() every core cycle and drains completions.
+ */
+class DramChannel
+{
+  public:
+    explicit DramChannel(const MemConfig &cfg);
+
+    bool queueFull() const
+    {
+        return static_cast<int>(queue_.size()) >= maxQueue_;
+    }
+    int queued() const { return static_cast<int>(queue_.size()); }
+
+    /** Enqueue a line access. @pre !queueFull() */
+    void enqueue(const DramRequest &req, Cycle now);
+
+    /** Advance one cycle; issues at most one command per cycle. */
+    void tick(Cycle now);
+
+    bool hasCompletion(Cycle now) const;
+    DramCompletion popCompletion();
+
+    const DramStats &stats() const { return stats_; }
+
+    /** Rows currently open (diagnostics). */
+    int openRows() const;
+
+  private:
+    struct Bank
+    {
+        bool rowOpen = false;
+        Addr openRow = 0;
+        Cycle readyAt = 0;            //!< bank free for a new command
+        std::int64_t lastActivate = -1;  //!< enforce tRC between activates
+    };
+
+    int bankOf(Addr lineAddr) const;
+    Addr rowOf(Addr lineAddr) const;
+
+    MemConfig cfg_;
+    int maxQueue_;
+    std::vector<Bank> banks_;
+    std::deque<DramRequest> queue_;
+    std::deque<DramCompletion> completions_;
+    Cycle busFreeAt_ = 0;
+    std::int64_t lastActivateAny_ = -1;  //!< enforce tRRD across banks
+    DramStats stats_;
+};
+
+} // namespace dr
+
+#endif // DR_MEM_DRAM_HPP

@@ -1,0 +1,257 @@
+#include "mem/llc.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+LlcSlice::LlcSlice(NodeId nodeId, const SystemConfig &cfg,
+                   const GpuCoherence &coherence, DramChannel &dram,
+                   const std::vector<NodeId> &gpuCoreIds)
+    : nodeId_(nodeId), cfg_(cfg), coherence_(coherence), dram_(dram),
+      gpuIndexOfNode_(static_cast<std::size_t>(cfg.nodeCount()), -1),
+      cache_({cfg.mem.llcSliceKB * 1024, cfg.mem.llcAssoc,
+              cfg.mem.lineBytes}),
+      mshrs_(cfg.mem.llcMshrs, 16)
+{
+    for (std::size_t i = 0; i < gpuCoreIds.size(); ++i)
+        gpuIndexOfNode_[gpuCoreIds[i]] = static_cast<int>(i);
+}
+
+bool
+LlcSlice::canAccept() const
+{
+    return static_cast<int>(pipe_.size()) < maxPipe_;
+}
+
+void
+LlcSlice::accept(const Message &req, Cycle now)
+{
+    if (!canAccept())
+        panic("LLC accept() without canAccept()");
+    pipe_.push_back({req, now + static_cast<Cycle>(cfg_.mem.llcLatency)});
+}
+
+int
+LlcSlice::gpuIndexOf(NodeId core) const
+{
+    return core == invalidNode ? -1 : gpuIndexOfNode_[core];
+}
+
+bool
+LlcSlice::pointerValid(const LineMeta &meta) const
+{
+    const int idx = gpuIndexOf(meta.lastCore);
+    return idx >= 0 && coherence_.pointerValid(idx, meta.epoch);
+}
+
+Message
+LlcSlice::makeReply(const Message &req) const
+{
+    Message reply;
+    reply.type = req.type == MsgType::WriteReq ? MsgType::WriteAck
+                                               : MsgType::ReadReply;
+    reply.cls = req.cls;
+    reply.addr = req.addr;
+    reply.src = nodeId_;
+    reply.dst = req.requester;
+    reply.requester = req.requester;
+    reply.id = req.id;
+    reply.created = req.created;
+    return reply;
+}
+
+void
+LlcSlice::tick(Cycle now)
+{
+    // Retry dirty-eviction writebacks that found DRAM full earlier.
+    while (!pendingWritebacks_.empty() && !dram_.queueFull()) {
+        dram_.enqueue({pendingWritebacks_.front(), true, 0, now}, now);
+        pendingWritebacks_.pop_front();
+    }
+
+    // Drain DRAM completions into fills and replies.
+    while (dram_.hasCompletion(now))
+        handleFill(dram_.popCompletion(), now);
+
+    // Process ready pipeline entries; a request that cannot proceed
+    // stalls the (in-order) pipeline. The tag pipeline retires one
+    // access per cycle.
+    int processed = 0;
+    while (!pipe_.empty() && pipe_.front().readyAt <= now &&
+           processed < 1) {
+        ++processed;
+        // Gate on reply-queue space: when the memory node cannot drain
+        // replies (clogged reply network), the pipeline stalls and the
+        // node stops accepting requests — the paper's blocking effect.
+        if (static_cast<int>(replies_.size()) >= maxReplies_) {
+            ++stats_.stallCycles;
+            break;
+        }
+        const Message req = pipe_.front().msg;
+        const Addr line = cache_.lineAddr(req.addr);
+        // Probe first and only commit (LRU update, statistics, queue
+        // entries) once the access is guaranteed to complete; a stalled
+        // head must have no side effects.
+        const bool present = cache_.probe(line) != nullptr;
+
+        if (req.type == MsgType::WriteReq) {
+            ++stats_.writes;
+            if (present) {
+                auto *hit = cache_.access(line);
+                ++stats_.hits;
+                hit->meta.dirty = true;
+                if (hit->meta.lastCore != invalidNode) {
+                    hit->meta.lastCore = invalidNode;
+                    ++stats_.pointerInvalidates;
+                }
+                replies_.push_back({makeReply(req), false, invalidNode});
+                pipe_.pop_front();
+                continue;
+            }
+            // Write-allocate: fetch the line, dirty it on fill, and ack
+            // the writer then (GPU L2 behaviour; dirty lines write back
+            // on eviction).
+            ++stats_.misses;
+            MshrTarget target{req.id, req.requester, req.cls, false,
+                              true};
+            if (mshrs_.outstanding(line)) {
+                if (!mshrs_.addTarget(line, target)) {
+                    ++stats_.stallCycles;
+                    break;
+                }
+                ++stats_.mshrMerges;
+                pipe_.pop_front();
+                continue;
+            }
+            if (mshrs_.full() || dram_.queueFull()) {
+                ++stats_.stallCycles;
+                break;
+            }
+            mshrs_.allocate(line, target);
+            dram_.enqueue({line, false, req.id, now}, now);
+            pipe_.pop_front();
+            continue;
+        }
+
+        // Read path.
+        if (present) {
+            ++stats_.reads;
+            if (req.dnf)
+                ++stats_.dnfRequests;
+            auto *hit = cache_.access(line);
+            ++stats_.hits;
+            LlcReply reply{makeReply(req), false, invalidNode};
+            const int requesterIdx = gpuIndexOf(req.requester);
+            if (requesterIdx >= 0 && !req.dnf && pointerValid(hit->meta) &&
+                hit->meta.lastCore != req.requester) {
+                reply.delegatable = true;
+                reply.delegateTo = hit->meta.lastCore;
+                ++stats_.delegatableHits;
+            }
+            if (requesterIdx >= 0) {
+                // Track the most recent GPU reader (6-bit pointer).
+                hit->meta.lastCore = req.requester;
+                hit->meta.epoch = coherence_.epochOf(requesterIdx);
+            }
+            replies_.push_back(reply);
+            pipe_.pop_front();
+            continue;
+        }
+
+        MshrTarget target{req.id, req.requester, req.cls, false, false};
+        if (mshrs_.outstanding(line)) {
+            if (!mshrs_.addTarget(line, target)) {
+                ++stats_.stallCycles;
+                break;  // entry full; retry next cycle
+            }
+            ++stats_.reads;
+            if (req.dnf)
+                ++stats_.dnfRequests;
+            ++stats_.misses;
+            ++stats_.mshrMerges;
+            pipe_.pop_front();
+            continue;
+        }
+        if (mshrs_.full() || dram_.queueFull()) {
+            ++stats_.stallCycles;
+            break;
+        }
+        ++stats_.reads;
+        if (req.dnf)
+            ++stats_.dnfRequests;
+        ++stats_.misses;
+        mshrs_.allocate(line, target);
+        dram_.enqueue({line, false, req.id, now}, now);
+        pipe_.pop_front();
+    }
+}
+
+void
+LlcSlice::handleFill(const DramCompletion &fill, Cycle now)
+{
+    (void)now;
+    if (fill.write)
+        return;  // stores and writebacks complete silently
+    if (!mshrs_.outstanding(fill.lineAddr))
+        return;  // stale fill after a flush; drop
+
+    auto targets = mshrs_.release(fill.lineAddr);
+
+    LineMeta meta;
+    for (const auto &t : targets) {
+        if (t.write) {
+            // A write to the freshly filled line: dirty it and clear
+            // the pointer (other cores must re-fetch the latest copy).
+            meta.dirty = true;
+            meta.lastCore = invalidNode;
+            continue;
+        }
+        const int idx = gpuIndexOf(t.replyTo);
+        if (idx >= 0) {
+            meta.lastCore = t.replyTo;
+            meta.epoch = coherence_.epochOf(idx);
+        }
+    }
+    const auto evicted = cache_.insert(fill.lineAddr, meta);
+    if (evicted && evicted->meta.dirty) {
+        ++stats_.writebacks;
+        if (!dram_.queueFull())
+            dram_.enqueue({evicted->addr, true, 0, now}, now);
+        else
+            pendingWritebacks_.push_back(evicted->addr);
+    }
+
+    for (const auto &t : targets) {
+        Message reply;
+        reply.type = t.write ? MsgType::WriteAck : MsgType::ReadReply;
+        reply.cls = t.cls;
+        reply.addr = fill.lineAddr;
+        reply.src = nodeId_;
+        reply.dst = t.replyTo;
+        reply.requester = t.replyTo;
+        reply.id = t.reqId;
+        replies_.push_back({reply, false, invalidNode});
+    }
+}
+
+LlcReply
+LlcSlice::popReply()
+{
+    if (replies_.empty())
+        panic("LLC popReply on empty queue");
+    LlcReply reply = replies_.front();
+    replies_.pop_front();
+    return reply;
+}
+
+NodeId
+LlcSlice::pointerOf(Addr addr) const
+{
+    const auto *line = cache_.probe(cache_.lineAddr(addr));
+    if (!line || !pointerValid(line->meta))
+        return invalidNode;
+    return line->meta.lastCore;
+}
+
+} // namespace dr

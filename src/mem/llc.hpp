@@ -1,0 +1,126 @@
+#ifndef DR_MEM_LLC_HPP
+#define DR_MEM_LLC_HPP
+
+/**
+ * @file
+ * One shared-LLC slice (1 MB per memory controller, Table I). Besides a
+ * conventional non-inclusive cache with MSHRs in front of DRAM, the
+ * slice stores the Delegated Replies *core pointer*: the GPU core that
+ * most recently read each line (6 bits for 40 cores). Pointer validity
+ * is epoch-checked against the GPU software-coherence state so that L1
+ * flushes bulk-invalidate stale pointers, and writes clear the pointer
+ * so readers always get the most recent copy (Section IV).
+ */
+
+#include <deque>
+
+#include "coherence/gpu_coherence.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "mem/mshr.hpp"
+
+namespace dr
+{
+
+/** A reply the slice wants to send, plus its delegation eligibility. */
+struct LlcReply
+{
+    Message msg;
+    bool delegatable = false;
+    NodeId delegateTo = invalidNode;  //!< GPU core named by the pointer
+};
+
+/** LLC slice statistics. */
+struct LlcStats
+{
+    Counter reads;
+    Counter writes;
+    Counter hits;
+    Counter misses;
+    Counter mshrMerges;
+    Counter stallCycles;        //!< head-of-pipe could not proceed
+    Counter delegatableHits;    //!< GPU read hits with a valid pointer
+    Counter dnfRequests;        //!< remote misses returned with DNF set
+    Counter pointerInvalidates; //!< pointers cleared by writes
+    Counter writebacks;         //!< dirty evictions sent to DRAM
+};
+
+/**
+ * The LLC slice pipeline. The owner (MemNode) pushes ejected requests
+ * in via accept(), ticks the slice, and drains replies from the output
+ * queue; a full output queue stalls the pipeline, which is how reply-
+ * network clogging back-pressures into the request network.
+ */
+class LlcSlice
+{
+  public:
+    LlcSlice(NodeId nodeId, const SystemConfig &cfg,
+             const GpuCoherence &coherence, DramChannel &dram,
+             const std::vector<NodeId> &gpuCoreIds);
+
+    /** Whether the input pipeline can take one more request. */
+    bool canAccept() const;
+
+    /** Push an ejected request into the pipeline. @pre canAccept() */
+    void accept(const Message &req, Cycle now);
+
+    /** Advance one cycle: drain DRAM fills, process ready requests. */
+    void tick(Cycle now);
+
+    bool hasReply() const { return !replies_.empty(); }
+    const LlcReply &peekReply() const { return replies_.front(); }
+    LlcReply popReply();
+
+    const LlcStats &stats() const { return stats_; }
+
+    /** Core-pointer of a line (invalidNode when absent/stale). */
+    NodeId pointerOf(Addr addr) const;
+
+    /** Valid lines in the tag store (diagnostics). */
+    int validLines() const { return cache_.validLines(); }
+
+  private:
+    struct LineMeta
+    {
+        NodeId lastCore = invalidNode;  //!< GPU core of the last read
+        std::uint32_t epoch = 0;        //!< flush epoch at pointer write
+        bool dirty = false;
+    };
+
+    struct PipeEntry
+    {
+        Message msg;
+        Cycle readyAt;
+    };
+
+    void processRequest(const Message &req, Cycle now);
+    void handleFill(const DramCompletion &fill, Cycle now);
+    bool pointerValid(const LineMeta &meta) const;
+    int gpuIndexOf(NodeId core) const;
+    Message makeReply(const Message &req) const;
+
+    NodeId nodeId_;
+    const SystemConfig &cfg_;
+    const GpuCoherence &coherence_;
+    DramChannel &dram_;
+    /** Maps NoC node id -> GPU core index (or -1). */
+    std::vector<int> gpuIndexOfNode_;
+
+    SetAssocCache<LineMeta> cache_;
+    MshrFile mshrs_;
+    std::deque<PipeEntry> pipe_;
+    std::deque<LlcReply> replies_;
+    std::deque<Addr> pendingWritebacks_;
+
+    static constexpr int maxPipe_ = 8;
+    static constexpr int maxReplies_ = 4;
+
+    LlcStats stats_;
+};
+
+} // namespace dr
+
+#endif // DR_MEM_LLC_HPP

@@ -1,0 +1,111 @@
+#include "mem/mem_node.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+MemNode::MemNode(NodeId nodeId, const SystemConfig &cfg, Interconnect &ic,
+                 const GpuCoherence &coherence, MesiDirectory &mesi,
+                 const std::vector<NodeId> &gpuCoreIds,
+                 const std::vector<NodeId> &cpuCoreIds)
+    : nodeId_(nodeId), cfg_(cfg), ic_(ic), mesi_(mesi), dram_(cfg.mem),
+      llc_(nodeId, cfg, coherence, dram_, gpuCoreIds),
+      cpuIndexOfNode_(static_cast<std::size_t>(cfg.nodeCount()), -1)
+{
+    for (std::size_t i = 0; i < cpuCoreIds.size(); ++i)
+        cpuIndexOfNode_[cpuCoreIds[i]] = static_cast<int>(i);
+}
+
+void
+MemNode::tick(Cycle now)
+{
+    ++stats_.activeCycles;
+    dram_.tick(now);
+    llc_.tick(now);
+    drainReplies(now);
+    acceptRequests(now);
+}
+
+void
+MemNode::drainReplies(Cycle now)
+{
+    while (llc_.hasReply()) {
+        const LlcReply &reply = llc_.peekReply();
+
+        // Delegated Replies: only when the reply network cannot take
+        // the reply (the paper never delegates gratuitously — delegation
+        // costs latency); delegateAlways is an ablation knob.
+        const bool wantDelegate =
+            cfg_.mechanism == Mechanism::DelegatedReplies &&
+            reply.delegatable &&
+            (cfg_.dr.delegateAlways || !ic_.canSend(reply.msg));
+        if (wantDelegate) {
+            Message delegated;
+            delegated.type = MsgType::DelegatedReq;
+            delegated.cls = TrafficClass::Gpu;
+            delegated.addr = reply.msg.addr;
+            delegated.src = nodeId_;
+            delegated.dst = reply.delegateTo;
+            // Encoded as a normal request carrying the *requesting*
+            // core's identifier so the recipient knows where to send
+            // the data (Section IV, "NoC modifications").
+            delegated.requester = reply.msg.requester;
+            delegated.id = reply.msg.id;
+            delegated.created = reply.msg.created;
+            if (ic_.canSend(delegated)) {
+                ic_.send(delegated, now);
+                ++stats_.delegations;
+                llc_.popReply();
+                continue;
+            }
+        }
+
+        if (ic_.canSend(reply.msg)) {
+            ic_.send(reply.msg, now);
+            ++stats_.repliesSent;
+            llc_.popReply();
+            continue;
+        }
+        ++stats_.blockedCycles;
+        break;
+    }
+}
+
+void
+MemNode::acceptRequests(Cycle now)
+{
+    while (llc_.canAccept() && ic_.hasMessage(nodeId_, NetKind::Request)) {
+        Message req = ic_.popMessage(nodeId_, NetKind::Request);
+        ++stats_.requestsAccepted;
+        Cycle penalty = 0;
+        if (req.cls == TrafficClass::Cpu) {
+            const int cpuIdx = cpuIndexOfNode_[req.requester];
+            if (cpuIdx >= 0) {
+                const Addr cpuLine =
+                    req.addr & ~static_cast<Addr>(cfg_.cpu.lineBytes - 1);
+                penalty = mesi_.access(cpuIdx, cpuLine,
+                                       req.type == MsgType::WriteReq);
+                stats_.cpuPenaltyCycles += penalty;
+            }
+        }
+        llc_.accept(req, now + penalty);
+    }
+}
+
+double
+MemNode::blockingRate() const
+{
+    if (stats_.activeCycles.value() == 0)
+        return 0.0;
+    return static_cast<double>(stats_.blockedCycles.value()) /
+           static_cast<double>(stats_.activeCycles.value());
+}
+
+void
+MemNode::resetStats()
+{
+    stats_ = MemNodeStats{};
+}
+
+} // namespace dr

@@ -1,0 +1,77 @@
+#ifndef DR_MEM_MEM_NODE_HPP
+#define DR_MEM_MEM_NODE_HPP
+
+/**
+ * @file
+ * A memory node: LLC slice + memory controller + network endpoint. This
+ * is where Delegated Replies acts: when a delegatable GPU reply cannot
+ * enter the clogged reply-network injection buffer, the node instead
+ * sends a one-flit delegated reply over the under-utilized request
+ * network to the core named by the LLC core pointer (Section II).
+ */
+
+#include "coherence/mesi.hpp"
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "mem/dram.hpp"
+#include "mem/llc.hpp"
+#include "noc/interconnect.hpp"
+
+namespace dr
+{
+
+/** Memory-node statistics. */
+struct MemNodeStats
+{
+    Counter requestsAccepted;
+    Counter repliesSent;
+    Counter delegations;       //!< replies converted to delegated replies
+    Counter blockedCycles;     //!< cycles the head reply could not inject
+    Counter cpuPenaltyCycles;  //!< MESI invalidation/downgrade latency
+    Counter activeCycles;      //!< tick() calls (blocking-rate denominator)
+};
+
+/**
+ * One memory node endpoint. The HeteroSystem ticks every memory node
+ * each cycle after the interconnect.
+ */
+class MemNode
+{
+  public:
+    MemNode(NodeId nodeId, const SystemConfig &cfg, Interconnect &ic,
+            const GpuCoherence &coherence, MesiDirectory &mesi,
+            const std::vector<NodeId> &gpuCoreIds,
+            const std::vector<NodeId> &cpuCoreIds);
+
+    void tick(Cycle now);
+
+    NodeId nodeId() const { return nodeId_; }
+    const MemNodeStats &stats() const { return stats_; }
+    const LlcStats &llcStats() const { return llc_.stats(); }
+    const DramStats &dramStats() const { return dram_.stats(); }
+    LlcSlice &llc() { return llc_; }
+    DramChannel &dram() { return dram_; }
+
+    /** Fraction of cycles the node could not inject its head reply. */
+    double blockingRate() const;
+
+    void resetStats();
+
+  private:
+    void drainReplies(Cycle now);
+    void acceptRequests(Cycle now);
+
+    NodeId nodeId_;
+    const SystemConfig &cfg_;
+    Interconnect &ic_;
+    MesiDirectory &mesi_;
+    DramChannel dram_;
+    LlcSlice llc_;
+    std::vector<int> cpuIndexOfNode_;
+    MemNodeStats stats_;
+};
+
+} // namespace dr
+
+#endif // DR_MEM_MEM_NODE_HPP

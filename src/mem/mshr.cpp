@@ -1,0 +1,63 @@
+#include "mem/mshr.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+MshrFile::MshrFile(int entries, int targetsPerEntry)
+    : entries_(entries), targetsPerEntry_(targetsPerEntry)
+{
+    if (entries < 1 || targetsPerEntry < 1)
+        fatal("MSHR file needs at least one entry and one target");
+}
+
+bool
+MshrFile::outstanding(Addr lineAddr) const
+{
+    return map_.contains(lineAddr);
+}
+
+void
+MshrFile::allocate(Addr lineAddr, const MshrTarget &first)
+{
+    if (full())
+        panic("MSHR allocate on full file");
+    if (outstanding(lineAddr))
+        panic("MSHR allocate on already-outstanding line");
+    map_[lineAddr] = {first};
+}
+
+bool
+MshrFile::addTarget(Addr lineAddr, const MshrTarget &target)
+{
+    auto it = map_.find(lineAddr);
+    if (it == map_.end())
+        panic("MSHR addTarget on non-outstanding line");
+    if (static_cast<int>(it->second.size()) >= targetsPerEntry_)
+        return false;
+    it->second.push_back(target);
+    return true;
+}
+
+const std::vector<MshrTarget> &
+MshrFile::targets(Addr lineAddr) const
+{
+    const auto it = map_.find(lineAddr);
+    if (it == map_.end())
+        panic("MSHR targets on non-outstanding line");
+    return it->second;
+}
+
+std::vector<MshrTarget>
+MshrFile::release(Addr lineAddr)
+{
+    auto it = map_.find(lineAddr);
+    if (it == map_.end())
+        panic("MSHR release on non-outstanding line");
+    std::vector<MshrTarget> targets = std::move(it->second);
+    map_.erase(it);
+    return targets;
+}
+
+} // namespace dr

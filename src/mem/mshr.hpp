@@ -1,0 +1,70 @@
+#ifndef DR_MEM_MSHR_HPP
+#define DR_MEM_MSHR_HPP
+
+/**
+ * @file
+ * Miss Status Holding Registers. An entry tracks one outstanding line
+ * fill and merges up to `targetsPerEntry` requesters. Delegated Replies
+ * additionally records, per target, whether the reply must be forwarded
+ * to a remote core (a delayed hit serviced on fill, Section IV).
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** One merged requester waiting on an outstanding fill. */
+struct MshrTarget
+{
+    std::uint64_t reqId = 0;
+    NodeId replyTo = invalidNode;  //!< core the data must be sent to
+    TrafficClass cls = TrafficClass::Gpu;
+    bool remote = false;           //!< target came in via the FRQ
+    bool write = false;
+};
+
+/** MSHR file keyed by line address. */
+class MshrFile
+{
+  public:
+    MshrFile(int entries, int targetsPerEntry);
+
+    bool full() const { return static_cast<int>(map_.size()) >= entries_; }
+    int used() const { return static_cast<int>(map_.size()); }
+    int entries() const { return entries_; }
+
+    /** Whether a miss to this line is already outstanding. */
+    bool outstanding(Addr lineAddr) const;
+
+    /**
+     * Allocate an entry for a new outstanding miss.
+     * @pre !full() && !outstanding(lineAddr)
+     */
+    void allocate(Addr lineAddr, const MshrTarget &first);
+
+    /**
+     * Merge a target into an outstanding entry.
+     * @return false if the entry already has the maximum target count.
+     */
+    bool addTarget(Addr lineAddr, const MshrTarget &target);
+
+    /** Targets waiting on a line (valid only while outstanding). */
+    const std::vector<MshrTarget> &targets(Addr lineAddr) const;
+
+    /** Release an entry on fill, returning its targets. */
+    std::vector<MshrTarget> release(Addr lineAddr);
+
+  private:
+    int entries_;
+    int targetsPerEntry_;
+    std::unordered_map<Addr, std::vector<MshrTarget>> map_;
+};
+
+} // namespace dr
+
+#endif // DR_MEM_MSHR_HPP

@@ -1,0 +1,210 @@
+#include "noc/interconnect.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+/** Per-node injection buffer sizes: memory nodes get the (contended)
+ *  memory injection buffer, cores the core buffer. */
+std::vector<int>
+injBuffers(const SystemConfig &cfg, const std::vector<NodeType> &types)
+{
+    std::vector<int> caps(types.size());
+    for (std::size_t n = 0; n < types.size(); ++n) {
+        caps[n] = types[n] == NodeType::MemNode
+                      ? cfg.noc.memInjBufferFlits
+                      : cfg.noc.coreInjBufferFlits;
+    }
+    return caps;
+}
+
+RoutingKind
+effectiveRouting(const SystemConfig &cfg, RoutingKind wanted)
+{
+    // Non-mesh topologies route over deterministic minimal tables.
+    if (cfg.noc.topology != TopologyKind::Mesh)
+        return RoutingKind::TableMinimal;
+    return wanted;
+}
+
+} // namespace
+
+Interconnect::Interconnect(const SystemConfig &cfg,
+                           const std::vector<NodeType> &nodeTypes)
+    : cfg_(cfg),
+      topo_(Topology::make(cfg.noc.topology, cfg.nodeCount(),
+                           cfg.noc.meshWidth, cfg.noc.meshHeight)),
+      shared_(cfg.noc.sharedPhysical)
+{
+    if (static_cast<int>(nodeTypes.size()) != cfg.nodeCount())
+        fatal("interconnect: node type map size mismatch");
+
+    NetworkParams params;
+    params.vcDepthFlits = cfg.noc.vcDepthFlits;
+    params.routerStages = cfg.noc.routerStages;
+    // The ejection buffer must be able to complete one maximum-size
+    // packet per VC: wormhole reassembly holds partial packets in the
+    // buffer, and two interleaved replies that together exceed the
+    // capacity would deadlock (neither tail can ever arrive). Size it
+    // to whichever is larger: the configured value or VCs x reply size.
+    const int maxReplyFlits =
+        cfg.flitsFor(MsgType::ReadReply, TrafficClass::Gpu);
+    const int vcs = cfg.noc.sharedPhysical
+                        ? cfg.noc.sharedReqVcs + cfg.noc.sharedReplyVcs
+                        : cfg.noc.vcsPerNet;
+    params.ejBufferFlits =
+        std::max(cfg.noc.ejBufferFlits, vcs * maxReplyFlits);
+    params.injBufferFlits = injBuffers(cfg, nodeTypes);
+
+    if (shared_) {
+        params.name = "shared";
+        params.numVcs = cfg.noc.sharedReqVcs + cfg.noc.sharedReplyVcs;
+        params.routing = effectiveRouting(cfg, cfg.noc.requestRouting);
+        if (cfg.noc.requestRouting != cfg.noc.replyRouting &&
+            cfg.noc.topology == TopologyKind::Mesh) {
+            // CDR on a shared network would need per-class orders; the
+            // AVCP experiments use a single order, as in the paper.
+            params.routing = RoutingKind::DimOrderXY;
+        }
+        params.seed = cfg.seed * 7919 + 1;
+        request_ = std::make_unique<Network>(params, topo_);
+    } else {
+        params.name = "request";
+        params.numVcs = cfg.noc.vcsPerNet;
+        params.routing = effectiveRouting(cfg, cfg.noc.requestRouting);
+        params.seed = cfg.seed * 7919 + 1;
+        request_ = std::make_unique<Network>(params, topo_);
+
+        params.name = "reply";
+        params.routing = effectiveRouting(cfg, cfg.noc.replyRouting);
+        params.seed = cfg.seed * 7919 + 2;
+        reply_ = std::make_unique<Network>(params, topo_);
+    }
+}
+
+int
+Interconnect::flitsFor(const Message &msg) const
+{
+    return cfg_.flitsFor(msg.type, msg.cls);
+}
+
+std::uint8_t
+Interconnect::classMask(NetKind kind) const
+{
+    if (!shared_)
+        return 0;  // any VC
+    const std::uint8_t reqMask =
+        static_cast<std::uint8_t>((1u << cfg_.noc.sharedReqVcs) - 1u);
+    if (kind == NetKind::Request)
+        return reqMask;
+    const std::uint8_t all = static_cast<std::uint8_t>(
+        (1u << (cfg_.noc.sharedReqVcs + cfg_.noc.sharedReplyVcs)) - 1u);
+    return static_cast<std::uint8_t>(all & ~reqMask);
+}
+
+Network &
+Interconnect::net(NetKind kind)
+{
+    if (shared_ || kind == NetKind::Request)
+        return *request_;
+    return *reply_;
+}
+
+const Network &
+Interconnect::net(NetKind kind) const
+{
+    if (shared_ || kind == NetKind::Request)
+        return *request_;
+    return *reply_;
+}
+
+bool
+Interconnect::canSend(const Message &msg) const
+{
+    const NetKind kind = onRequestNetwork(msg.type) ? NetKind::Request
+                                                    : NetKind::Reply;
+    return net(kind).canInject(msg.src, flitsFor(msg));
+}
+
+void
+Interconnect::send(const Message &msg, Cycle now)
+{
+    const NetKind kind = onRequestNetwork(msg.type) ? NetKind::Request
+                                                    : NetKind::Reply;
+    net(kind).inject(msg, flitsFor(msg), now, classMask(kind));
+}
+
+int
+Interconnect::injectFree(NodeId node, NetKind kind) const
+{
+    return net(kind).injectFree(node);
+}
+
+bool
+Interconnect::hasMessage(NodeId node, NetKind kind) const
+{
+    return net(kind).hasMessage(node, kind);
+}
+
+const Message &
+Interconnect::peekMessage(NodeId node, NetKind kind) const
+{
+    return net(kind).peekMessage(node, kind);
+}
+
+Message
+Interconnect::popMessage(NodeId node, NetKind kind)
+{
+    return net(kind).popMessage(node, kind);
+}
+
+void
+Interconnect::tick(Cycle now)
+{
+    request_->tick(now);
+    if (reply_)
+        reply_->tick(now);
+}
+
+void
+Interconnect::resetStats()
+{
+    request_->resetStats();
+    if (reply_)
+        reply_->resetStats();
+}
+
+std::uint64_t
+Interconnect::totalSwitchTraversals() const
+{
+    std::uint64_t total = request_->totalSwitchTraversals();
+    if (reply_)
+        total += reply_->totalSwitchTraversals();
+    return total;
+}
+
+std::uint64_t
+Interconnect::totalBufferWrites() const
+{
+    std::uint64_t total = request_->totalBufferWrites();
+    if (reply_)
+        total += reply_->totalBufferWrites();
+    return total;
+}
+
+std::uint64_t
+Interconnect::totalLinkTraversals() const
+{
+    std::uint64_t total = request_->totalLinkTraversals();
+    if (reply_)
+        total += reply_->totalLinkTraversals();
+    return total;
+}
+
+} // namespace dr

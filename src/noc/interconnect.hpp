@@ -1,0 +1,79 @@
+#ifndef DR_NOC_INTERCONNECT_HPP
+#define DR_NOC_INTERCONNECT_HPP
+
+/**
+ * @file
+ * Message-level interface over the physical network(s). The baseline has
+ * physically separate request and reply networks; the AVCP configuration
+ * (Figure 6) shares one double-width physical network and segregates
+ * request and reply traffic onto disjoint VC sets.
+ */
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "noc/network.hpp"
+#include "noc/topology.hpp"
+
+namespace dr
+{
+
+/**
+ * The chip interconnect. Endpoints send/receive Messages; the
+ * interconnect maps them onto networks, VCs and flits.
+ */
+class Interconnect
+{
+  public:
+    Interconnect(const SystemConfig &cfg,
+                 const std::vector<NodeType> &nodeTypes);
+
+    Interconnect(const Interconnect &) = delete;
+    Interconnect &operator=(const Interconnect &) = delete;
+
+    /** Flits a message occupies given the configured channel width. */
+    int flitsFor(const Message &msg) const;
+
+    /** Whether msg.src can accept the message into its injection buffer. */
+    bool canSend(const Message &msg) const;
+
+    /** Queue a message for injection. @pre canSend(msg) */
+    void send(const Message &msg, Cycle now);
+
+    /** Free injection space (flits) on the network a message would use. */
+    int injectFree(NodeId node, NetKind kind) const;
+
+    bool hasMessage(NodeId node, NetKind kind) const;
+    const Message &peekMessage(NodeId node, NetKind kind) const;
+    Message popMessage(NodeId node, NetKind kind);
+
+    void tick(Cycle now);
+
+    const Topology &topology() const { return topo_; }
+
+    /** The physical network carrying the given traffic kind. */
+    Network &net(NetKind kind);
+    const Network &net(NetKind kind) const;
+    bool shared() const { return shared_; }
+
+    /** Reset statistics on all physical networks. */
+    void resetStats();
+
+    /** Sum of energy-model event counts over all physical networks. */
+    std::uint64_t totalSwitchTraversals() const;
+    std::uint64_t totalBufferWrites() const;
+    std::uint64_t totalLinkTraversals() const;
+
+  private:
+    std::uint8_t classMask(NetKind kind) const;
+
+    SystemConfig cfg_;
+    Topology topo_;
+    bool shared_;
+    std::unique_ptr<Network> request_;
+    std::unique_ptr<Network> reply_;  //!< null in shared mode
+};
+
+} // namespace dr
+
+#endif // DR_NOC_INTERCONNECT_HPP

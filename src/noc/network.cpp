@@ -1,0 +1,432 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+Network::Network(const NetworkParams &params, const Topology &topo)
+    : topo_(topo), params_(params),
+      routing_(params.routing, topo, params.numVcs, params.seed)
+{
+    if (static_cast<int>(params_.injBufferFlits.size()) != topo_.nodes())
+        fatal("network ", params_.name, ": injBufferFlits must have one "
+              "entry per node");
+
+    routers_.reserve(topo_.routers());
+    for (int r = 0; r < topo_.routers(); ++r) {
+        const int radix = topo_.radix(r);
+        std::vector<std::uint8_t> isLink(radix, 0);
+        std::vector<NodeId> node(radix, invalidNode);
+        for (int p = 0; p < radix; ++p) {
+            const auto &conn = topo_.port(r, p);
+            isLink[p] = conn.kind == PortConn::Kind::Link;
+            node[p] = conn.node;
+        }
+        routers_.push_back(std::make_unique<Router>(
+            r, radix, params_.numVcs, params_.vcDepthFlits,
+            params_.routerStages, *this, isLink, node));
+    }
+
+    nis_.resize(topo_.nodes());
+    for (NodeId n = 0; n < topo_.nodes(); ++n) {
+        Ni &ni = nis_[n];
+        ni.capacity = params_.injBufferFlits[n];
+        ni.vcSend.resize(params_.numVcs);
+        ni.credits.assign(params_.numVcs, params_.vcDepthFlits);
+        ni.ejFree = params_.ejBufferFlits;
+        ni.assembling.assign(params_.numVcs, 0);
+        ni.assembledFlits.assign(params_.numVcs, 0);
+    }
+}
+
+Network::~Network() = default;
+
+int
+Network::injectFree(NodeId node) const
+{
+    const Ni &ni = nis_[node];
+    return ni.capacity - ni.queuedFlits;
+}
+
+bool
+Network::canInject(NodeId node, int flits) const
+{
+    return injectFree(node) >= flits;
+}
+
+void
+Network::inject(const Message &msg, int flits, Cycle now,
+                std::uint8_t vcMask)
+{
+    const int clsIdx = msg.cls == TrafficClass::Cpu ? 0 : 1;
+    ++stats_.packetsInjected;
+
+    // Local delivery needs no network resources.
+    if (msg.src == msg.dst) {
+        const int kindIdx = onRequestNetwork(msg.type) ? 0 : 1;
+        nis_[msg.dst].ready[kindIdx].push_back({msg, 0});
+        ++stats_.packetsDelivered;
+        return;
+    }
+
+    Packet pkt;
+    pkt.msg = msg;
+    pkt.id = nextPktId_++;
+    pkt.flits = flits;
+    pkt.srcRouter = static_cast<std::int16_t>(topo_.attachRouter(msg.src));
+    pkt.destRouter = static_cast<std::int16_t>(topo_.attachRouter(msg.dst));
+    pkt.destPort = static_cast<std::int16_t>(topo_.attachPort(msg.dst));
+    pkt.cls = msg.cls;
+    pkt.order = routing_.chooseOrder(pkt.srcRouter, pkt.destRouter, *this);
+    const std::uint8_t all =
+        static_cast<std::uint8_t>((1u << params_.numVcs) - 1u);
+    pkt.vcMask = routing_.packetMask(pkt.order) & all;
+    if (vcMask)
+        pkt.vcMask &= vcMask;
+    if (!pkt.vcMask)
+        panic("network ", params_.name, ": empty VC mask at injection");
+    pkt.queuedAt = now;
+
+    Ni &ni = nis_[msg.src];
+    if (ni.capacity - ni.queuedFlits < flits)
+        panic("network ", params_.name, ": inject() without canInject()");
+    ni.queuedFlits += flits;
+    ni.queue[clsIdx].push_back(pkt.id);
+    inFlight_.emplace(pkt.id, pkt);
+}
+
+bool
+Network::hasMessage(NodeId node, NetKind kind) const
+{
+    return !nis_[node].ready[static_cast<int>(kind)].empty();
+}
+
+const Message &
+Network::peekMessage(NodeId node, NetKind kind) const
+{
+    return nis_[node].ready[static_cast<int>(kind)].front().first;
+}
+
+Message
+Network::popMessage(NodeId node, NetKind kind)
+{
+    Ni &ni = nis_[node];
+    auto &queue = ni.ready[static_cast<int>(kind)];
+    if (queue.empty())
+        panic("popMessage on empty queue");
+    Message msg = queue.front().first;
+    ni.ejFree += queue.front().second;
+    queue.pop_front();
+    return msg;
+}
+
+void
+Network::niInject(Ni &ni, NodeId node, Cycle now)
+{
+    while (!ni.creditArrivals.empty() &&
+           ni.creditArrivals.front().first <= now) {
+        ++ni.credits[ni.creditArrivals.front().second];
+        ni.creditArrivals.pop_front();
+    }
+
+    const int attachRouter = topo_.attachRouter(node);
+    const int attachPort = topo_.attachPort(node);
+
+    // Pick a VC with an in-flight packet, a pending flit, and a credit;
+    // CPU-class packets win (Figure 4: the scheduler prioritizes CPU
+    // replies inside the injection buffer).
+    int sendVc = -1;
+    bool sendCpu = false;
+    for (int v = 0; v < params_.numVcs; ++v) {
+        const auto &ss = ni.vcSend[v];
+        if (!ss.busy || ni.credits[v] <= 0)
+            continue;
+        const bool isCpu =
+            inFlight_.at(ss.pkt).cls == TrafficClass::Cpu;
+        if (sendVc < 0 || (isCpu && !sendCpu)) {
+            sendVc = v;
+            sendCpu = isCpu;
+        }
+    }
+
+    // Try to start a new packet on a free VC. CPU packets may start (and
+    // thus preempt the link) even while a GPU packet is mid-flight on
+    // another VC; GPU packets only start when nothing else can send.
+    if (sendVc < 0 || !sendCpu) {
+        const bool gpuMayStart = sendVc < 0;
+        for (int clsIdx = 0; clsIdx < 2; ++clsIdx) {
+            if (clsIdx == 1 && !gpuMayStart)
+                break;
+            if (ni.queue[clsIdx].empty())
+                continue;
+            const Packet &pkt = inFlight_.at(ni.queue[clsIdx].front());
+            Flit probe;  // only routing fields matter for the mask hook
+            probe.destRouter = pkt.destRouter;
+            probe.order = pkt.order;
+            const std::uint8_t mask =
+                pkt.vcMask & routing_.vcMaskForLink(attachRouter, probe);
+            bool assigned = false;
+            for (int v = 0; v < params_.numVcs; ++v) {
+                if (!(mask & (1u << v)) || ni.vcSend[v].busy ||
+                    ni.credits[v] <= 0) {
+                    continue;
+                }
+                ni.vcSend[v].busy = true;
+                ni.vcSend[v].pkt = ni.queue[clsIdx].front();
+                ni.vcSend[v].sent = 0;
+                ni.queue[clsIdx].pop_front();
+                sendVc = v;
+                assigned = true;
+                break;
+            }
+            if (assigned)
+                break;
+        }
+    }
+
+    if (sendVc < 0)
+        return;
+
+    auto &ss = ni.vcSend[sendVc];
+    Packet &pkt = inFlight_.at(ss.pkt);
+    Flit flit;
+    flit.pkt = pkt.id;
+    flit.seq = static_cast<std::uint16_t>(ss.sent);
+    flit.head = ss.sent == 0;
+    flit.tail = ss.sent == pkt.flits - 1;
+    flit.vc = static_cast<std::uint8_t>(sendVc);
+    flit.destRouter = pkt.destRouter;
+    flit.destPort = pkt.destPort;
+    flit.cls = pkt.cls;
+    flit.order = pkt.order;
+    flit.vcMask = pkt.vcMask;
+
+    if (flit.head)
+        pkt.injectedAt = now;
+    routers_[attachRouter]->acceptFlit(attachPort, flit, now + 1);
+    --ni.credits[sendVc];
+    --ni.queuedFlits;
+    ++ni.flitsInjected;
+    ++ss.sent;
+    if (flit.tail)
+        ss.busy = false;
+}
+
+void
+Network::niEject(Ni &ni, NodeId node, Cycle now)
+{
+    (void)node;
+    while (!ni.ejArrivals.empty() && ni.ejArrivals.front().first <= now) {
+        const Flit flit = ni.ejArrivals.front().second;
+        ni.ejArrivals.pop_front();
+        ++ni.flitsEjected;
+        ++stats_.flitsDelivered;
+
+        const int v = flit.vc;
+        if (flit.head) {
+            ni.assembling[v] = flit.pkt;
+            ni.assembledFlits[v] = 0;
+        }
+        if (ni.assembling[v] != flit.pkt)
+            panic("network ", params_.name, ": interleaved packets on one "
+                  "ejection VC");
+        ++ni.assembledFlits[v];
+        if (!flit.tail)
+            continue;
+
+        auto it = inFlight_.find(flit.pkt);
+        if (it == inFlight_.end())
+            panic("network ", params_.name, ": unknown packet ejected");
+        const Packet &pkt = it->second;
+        if (ni.assembledFlits[v] != pkt.flits)
+            panic("network ", params_.name, ": flit count mismatch at "
+                  "reassembly");
+
+        const Cycle latency = now - pkt.queuedAt;
+        stats_.packetLatency.sample(static_cast<double>(latency));
+        if (pkt.cls == TrafficClass::Cpu)
+            stats_.cpuPacketLatency.sample(static_cast<double>(latency));
+        else
+            stats_.gpuPacketLatency.sample(static_cast<double>(latency));
+        routing_.onDelivered(pkt.srcRouter, pkt.destRouter, pkt.order,
+                             latency);
+        ++stats_.packetsDelivered;
+
+        const int kindIdx = onRequestNetwork(pkt.msg.type) ? 0 : 1;
+        ni.ready[kindIdx].push_back({pkt.msg, pkt.flits});
+        inFlight_.erase(it);
+    }
+}
+
+void
+Network::tick(Cycle now)
+{
+    now_ = now;
+    for (NodeId n = 0; n < static_cast<NodeId>(nis_.size()); ++n) {
+        niEject(nis_[n], n, now);
+        niInject(nis_[n], n, now);
+    }
+    for (auto &router : routers_)
+        router->tick(now);
+}
+
+int
+Network::routeOutput(int router, const Flit &flit) const
+{
+    return routing_.outputPort(router, flit);
+}
+
+std::uint8_t
+Network::vcMaskForOutput(int router, int port, const Flit &flit) const
+{
+    const auto &conn = topo_.port(router, port);
+    if (conn.kind == PortConn::Kind::Link)
+        return routing_.vcMaskForLink(conn.peerRouter, flit);
+    return 0xff;
+}
+
+void
+Network::deliverToRouter(int router, int port, const Flit &flit, Cycle when)
+{
+    const auto &conn = topo_.port(router, port);
+    routers_[conn.peerRouter]->acceptFlit(conn.peerPort, flit, when);
+    ++linkTraversals_;
+}
+
+void
+Network::deliverToNode(NodeId node, const Flit &flit, Cycle when)
+{
+    nis_[node].ejArrivals.push_back({when, flit});
+    ++linkTraversals_;
+}
+
+int
+Network::nodeEjectFree(NodeId node) const
+{
+    return nis_[node].ejFree;
+}
+
+void
+Network::nodeEjectReserve(NodeId node)
+{
+    Ni &ni = nis_[node];
+    if (ni.ejFree <= 0)
+        panic("ejection reservation without space");
+    --ni.ejFree;
+}
+
+void
+Network::creditToFeeder(int router, int inputPort, int vc, Cycle when)
+{
+    const auto &conn = topo_.port(router, inputPort);
+    if (conn.kind == PortConn::Kind::Link) {
+        routers_[conn.peerRouter]->acceptCredit(conn.peerPort, vc, when);
+    } else if (conn.kind == PortConn::Kind::Node) {
+        nis_[conn.node].creditArrivals.push_back(
+            {when, static_cast<std::uint8_t>(vc)});
+    } else {
+        panic("credit to unconnected port");
+    }
+}
+
+int
+Network::freeCredits(int router, int port) const
+{
+    return routers_[router]->freeCredits(port);
+}
+
+double
+Network::injectionLinkUtilization(NodeId node, Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(nis_[node].flitsInjected) /
+           static_cast<double>(cycles);
+}
+
+double
+Network::ejectionLinkUtilization(NodeId node, Cycle cycles) const
+{
+    if (cycles == 0)
+        return 0.0;
+    return static_cast<double>(nis_[node].flitsEjected) /
+           static_cast<double>(cycles);
+}
+
+std::uint64_t
+Network::flitsEjectedAt(NodeId node) const
+{
+    return nis_[node].flitsEjected;
+}
+
+void
+Network::resetStats()
+{
+    stats_ = NetworkStats{};
+    linkTraversals_ = 0;
+    for (auto &router : routers_)
+        router->resetStats();
+    for (auto &ni : nis_) {
+        ni.flitsInjected = 0;
+        ni.flitsEjected = 0;
+    }
+}
+
+void
+Network::debugDump(std::ostream &os) const
+{
+    for (const auto &router : routers_) {
+        if (router->bufferedFlits() > 0)
+            router->debugDump(os);
+    }
+    for (NodeId n = 0; n < static_cast<NodeId>(nis_.size()); ++n) {
+        const Ni &ni = nis_[n];
+        if (ni.queuedFlits == 0 && ni.ejFree == params_.ejBufferFlits)
+            continue;
+        os << "NI" << n << " queuedFlits=" << ni.queuedFlits
+           << " ejFree=" << ni.ejFree << " credits:";
+        for (int v = 0; v < params_.numVcs; ++v)
+            os << " " << ni.credits[v] << (ni.vcSend[v].busy ? "B" : "-");
+        os << " readyReq=" << ni.ready[0].size() << " readyRep="
+           << ni.ready[1].size() << "\n";
+    }
+}
+
+int
+Network::routerOccupancy() const
+{
+    int total = 0;
+    for (const auto &router : routers_)
+        total += router->bufferedFlits();
+    return total;
+}
+
+std::uint64_t
+Network::totalSwitchTraversals() const
+{
+    std::uint64_t total = 0;
+    for (const auto &router : routers_)
+        total += router->stats().switchTraversals;
+    return total;
+}
+
+std::uint64_t
+Network::totalBufferWrites() const
+{
+    std::uint64_t total = 0;
+    for (const auto &router : routers_)
+        total += router->stats().bufferWrites;
+    return total;
+}
+
+std::uint64_t
+Network::totalLinkTraversals() const
+{
+    return linkTraversals_;
+}
+
+} // namespace dr

@@ -1,0 +1,186 @@
+#ifndef DR_NOC_NETWORK_HPP
+#define DR_NOC_NETWORK_HPP
+
+/**
+ * @file
+ * One physical network: routers, channels, and per-node network
+ * interfaces (NIs). NIs have finite injection buffers — the structure
+ * whose saturation at the memory nodes constitutes network clogging —
+ * and finite ejection buffers, so endpoints that stop consuming exert
+ * back-pressure into the network (Figure 3 of the paper).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+
+namespace dr
+{
+
+/** Construction parameters for one physical network. */
+struct NetworkParams
+{
+    std::string name = "net";
+    int numVcs = 2;
+    int vcDepthFlits = 4;
+    int routerStages = 4;
+    int ejBufferFlits = 18;
+    /** Injection buffer capacity per node (flits). */
+    std::vector<int> injBufferFlits;
+    RoutingKind routing = RoutingKind::DimOrderXY;
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate network statistics. */
+struct NetworkStats
+{
+    Counter packetsInjected;
+    Counter packetsDelivered;
+    Counter flitsDelivered;
+    Average packetLatency;      //!< NI entry to tail ejection
+    Average cpuPacketLatency;
+    Average gpuPacketLatency;
+};
+
+/**
+ * A physical network instance. The enclosing Interconnect decides which
+ * messages travel on which network and with which VC mask.
+ */
+class Network : public RouterEnv, public CongestionProbe
+{
+  public:
+    Network(const NetworkParams &params, const Topology &topo);
+    ~Network() override;
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /** Free injection-buffer flits at a node. */
+    int injectFree(NodeId node) const;
+
+    /** Whether a packet of `flits` flits can enter the injection buffer. */
+    bool canInject(NodeId node, int flits) const;
+
+    /**
+     * Queue a message for injection. `vcMask` restricts the packet to a
+     * VC subset (used by the shared-network AVCP mode); 0 means "any".
+     * @pre canInject(msg.src, flits)
+     */
+    void inject(const Message &msg, int flits, Cycle now,
+                std::uint8_t vcMask = 0);
+
+    /** Messages fully reassembled at a node, per logical network. */
+    bool hasMessage(NodeId node, NetKind kind) const;
+    const Message &peekMessage(NodeId node, NetKind kind) const;
+    Message popMessage(NodeId node, NetKind kind);
+
+    /** Advance one cycle. */
+    void tick(Cycle now);
+
+    // RouterEnv interface
+    int routeOutput(int router, const Flit &flit) const override;
+    std::uint8_t vcMaskForOutput(int router, int port,
+                                 const Flit &flit) const override;
+    void deliverToRouter(int router, int port, const Flit &flit,
+                         Cycle when) override;
+    void deliverToNode(NodeId node, const Flit &flit, Cycle when) override;
+    int nodeEjectFree(NodeId node) const override;
+    void nodeEjectReserve(NodeId node) override;
+    void creditToFeeder(int router, int inputPort, int vc,
+                        Cycle when) override;
+
+    // CongestionProbe interface
+    int freeCredits(int router, int port) const override;
+
+    const NetworkStats &stats() const { return stats_; }
+    const Topology &topology() const { return topo_; }
+    RoutingPolicy &routing() { return routing_; }
+
+    /** Utilization of the node->router injection link over `cycles`. */
+    double injectionLinkUtilization(NodeId node, Cycle cycles) const;
+    /** Utilization of the router->node ejection link over `cycles`. */
+    double ejectionLinkUtilization(NodeId node, Cycle cycles) const;
+    /** Reply/data flits ejected at a node (received data rate). */
+    std::uint64_t flitsEjectedAt(NodeId node) const;
+
+    /** Total buffered flits in all routers (debug/diagnostics). */
+    int routerOccupancy() const;
+
+    /** Per-router statistics (switch/port counters). */
+    const RouterStats &routerStats(int router) const
+    {
+        return routers_[router]->stats();
+    }
+
+    /** Dump router and NI state for stall debugging. */
+    void debugDump(std::ostream &os) const;
+
+    /**
+     * Reset all statistics (packet/flit counters, latencies, per-router
+     * and per-NI event counts) without touching simulation state. Used
+     * at the warmup/measurement boundary.
+     */
+    void resetStats();
+
+    /** Energy-model inputs. */
+    std::uint64_t totalSwitchTraversals() const;
+    std::uint64_t totalBufferWrites() const;
+    std::uint64_t totalLinkTraversals() const;
+
+  private:
+    struct Ni
+    {
+        // --- injection side ---
+        std::deque<PacketId> queue[2];  //!< per traffic class (Cpu, Gpu)
+        int queuedFlits = 0;
+        int capacity = 0;
+
+        struct SendState
+        {
+            bool busy = false;
+            PacketId pkt = 0;
+            int sent = 0;
+        };
+        std::vector<SendState> vcSend;  //!< per VC of the attach link
+        std::vector<int> credits;       //!< per VC downstream credits
+        std::deque<std::pair<Cycle, std::uint8_t>> creditArrivals;
+        std::uint64_t flitsInjected = 0;
+
+        // --- ejection side ---
+        int ejFree = 0;
+        std::deque<std::pair<Cycle, Flit>> ejArrivals;
+        std::vector<PacketId> assembling;     //!< per VC
+        std::vector<int> assembledFlits;      //!< per VC
+        std::deque<std::pair<Message, int>> ready[2];  //!< per NetKind
+        std::uint64_t flitsEjected = 0;
+    };
+
+    void niInject(Ni &ni, NodeId node, Cycle now);
+    void niEject(Ni &ni, NodeId node, Cycle now);
+
+    const Topology &topo_;
+    NetworkParams params_;
+    RoutingPolicy routing_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<Ni> nis_;
+    std::unordered_map<PacketId, Packet> inFlight_;
+    PacketId nextPktId_ = 1;
+    NetworkStats stats_;
+    std::uint64_t linkTraversals_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace dr
+
+#endif // DR_NOC_NETWORK_HPP

@@ -1,0 +1,269 @@
+#include "noc/router.hpp"
+
+#include <ostream>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+Router::Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
+               RouterEnv &env,
+               const std::vector<std::uint8_t> &portIsLink,
+               const std::vector<NodeId> &portNode)
+    : id_(id), numPorts_(numPorts), numVcs_(numVcs), stages_(stages),
+      env_(env), portIsLink_(portIsLink), portNode_(portNode),
+      in_(numPorts, std::vector<InVc>(numVcs)),
+      arrivals_(numPorts),
+      out_(numPorts, std::vector<OutVc>(numVcs)),
+      creditArrivals_(numPorts),
+      rrPtr_(numPorts, 0)
+{
+    if (numVcs_ > 8)
+        fatal("at most 8 VCs supported (VC masks are 8 bits)");
+    for (int p = 0; p < numPorts_; ++p) {
+        for (int v = 0; v < numVcs_; ++v)
+            out_[p][v].credits = vcDepth;
+    }
+}
+
+void
+Router::acceptFlit(int port, const Flit &flit, Cycle when)
+{
+    arrivals_[port].push_back({when, flit});
+    ++pendingArrivals_;
+}
+
+void
+Router::acceptCredit(int port, int vc, Cycle when)
+{
+    creditArrivals_[port].push_back({when, static_cast<std::uint8_t>(vc)});
+    ++pendingCredits_;
+}
+
+void
+Router::applyArrivals(Cycle now)
+{
+    for (int p = 0; p < numPorts_; ++p) {
+        auto &credits = creditArrivals_[p];
+        while (!credits.empty() && credits.front().when <= now) {
+            ++out_[p][credits.front().vc].credits;
+            credits.pop_front();
+            --pendingCredits_;
+        }
+        auto &queue = arrivals_[p];
+        while (!queue.empty() && queue.front().when <= now) {
+            const Flit &flit = queue.front().flit;
+            in_[p][flit.vc].buf.push_back(flit);
+            ++stats_.bufferWrites;
+            queue.pop_front();
+            --pendingArrivals_;
+            ++bufferedCount_;
+        }
+    }
+}
+
+void
+Router::routeCompute()
+{
+    for (int p = 0; p < numPorts_; ++p) {
+        for (int v = 0; v < numVcs_; ++v) {
+            InVc &ivc = in_[p][v];
+            if (ivc.routed || ivc.buf.empty())
+                continue;
+            const Flit &head = ivc.buf.front();
+            if (!head.head)
+                panic("router ", id_, ": body flit at idle VC head");
+            ivc.outPort = env_.routeOutput(id_, head);
+            ivc.routed = true;
+        }
+    }
+}
+
+void
+Router::vcAllocate()
+{
+    // Two passes give CPU-class packets strict priority.
+    for (const TrafficClass cls : {TrafficClass::Cpu, TrafficClass::Gpu}) {
+        for (int p = 0; p < numPorts_; ++p) {
+            for (int v = 0; v < numVcs_; ++v) {
+                InVc &ivc = in_[p][v];
+                if (!ivc.routed || ivc.active || ivc.buf.empty())
+                    continue;
+                const Flit &head = ivc.buf.front();
+                if (head.cls != cls)
+                    continue;
+                const std::uint8_t mask =
+                    head.vcMask &
+                    env_.vcMaskForOutput(id_, ivc.outPort, head);
+                for (int ov = 0; ov < numVcs_; ++ov) {
+                    if (!(mask & (1u << ov)))
+                        continue;
+                    OutVc &ovc = out_[ivc.outPort][ov];
+                    if (ovc.ownerIn >= 0)
+                        continue;
+                    ovc.ownerIn = p * numVcs_ + v;
+                    ivc.outVc = ov;
+                    ivc.active = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+bool
+Router::outVcHasSpace(int port, int vc, NodeId node) const
+{
+    if (portIsLink_[port])
+        return out_[port][vc].credits > 0;
+    return env_.nodeEjectFree(node) > 0;
+}
+
+void
+Router::switchAllocate(Cycle now)
+{
+    // Collect candidates per output port, then grant one crossbar
+    // traversal per output and per input (separable allocation).
+    std::vector<std::uint8_t> inUsed(numPorts_, 0);
+
+    for (int i = 0; i < numPorts_; ++i) {
+        const int outPort = (i + saOffset_) % numPorts_;
+        int best = -1;
+        bool bestCpu = false;
+        int bestDist = 0;
+        for (int p = 0; p < numPorts_; ++p) {
+            if (inUsed[p])
+                continue;
+            for (int v = 0; v < numVcs_; ++v) {
+                const InVc &ivc = in_[p][v];
+                if (!ivc.active || ivc.outPort != outPort ||
+                    ivc.buf.empty()) {
+                    continue;
+                }
+                const Flit &flit = ivc.buf.front();
+                if (!outVcHasSpace(outPort, ivc.outVc, portNode_[outPort]))
+                    continue;
+                const bool isCpu = flit.cls == TrafficClass::Cpu;
+                const int key = p * numVcs_ + v;
+                const int dist =
+                    (key - rrPtr_[outPort] + numPorts_ * numVcs_) %
+                    (numPorts_ * numVcs_);
+                if (best < 0 || (isCpu && !bestCpu) ||
+                    (isCpu == bestCpu && dist < bestDist)) {
+                    best = key;
+                    bestCpu = isCpu;
+                    bestDist = dist;
+                }
+            }
+        }
+        if (best < 0)
+            continue;
+
+        const int p = best / numVcs_;
+        const int v = best % numVcs_;
+        InVc &ivc = in_[p][v];
+        Flit flit = ivc.buf.front();
+        ivc.buf.pop_front();
+        --bufferedCount_;
+        inUsed[p] = 1;
+        rrPtr_[outPort] = (best + 1) % (numPorts_ * numVcs_);
+
+        // The flit leaves on the allocated output VC after traversing
+        // the remaining pipeline stages plus one cycle of link latency.
+        const int outVc = ivc.outVc;
+        flit.vc = static_cast<std::uint8_t>(outVc);
+        const Cycle arrive = now + static_cast<Cycle>(stages_ - 1) + 1;
+        ++stats_.switchTraversals;
+        if (stats_.portFlitsSent.empty())
+            stats_.portFlitsSent.assign(numPorts_, 0);
+        ++stats_.portFlitsSent[outPort];
+
+        if (portIsLink_[outPort]) {
+            --out_[outPort][outVc].credits;
+            env_.deliverToRouter(id_, outPort, flit, arrive);
+        } else {
+            env_.nodeEjectReserve(portNode_[outPort]);
+            env_.deliverToNode(portNode_[outPort], flit, arrive);
+        }
+
+        // Return buffer credit to whoever feeds this input port.
+        env_.creditToFeeder(id_, p, v, now + 1);
+
+        if (flit.tail) {
+            out_[outPort][outVc].ownerIn = -1;
+            ivc.routed = false;
+            ivc.active = false;
+            ivc.outPort = -1;
+            ivc.outVc = -1;
+        }
+    }
+    saOffset_ = (saOffset_ + 1) % numPorts_;
+}
+
+void
+Router::tick(Cycle now)
+{
+    // Idle fast path: nothing buffered and nothing arriving.
+    if (pendingArrivals_ == 0 && pendingCredits_ == 0 &&
+        bufferedCount_ == 0) {
+        return;
+    }
+    applyArrivals(now);
+    if (bufferedCount_ == 0)
+        return;
+    routeCompute();
+    vcAllocate();
+    switchAllocate(now);
+}
+
+int
+Router::freeCredits(int port) const
+{
+    int total = 0;
+    for (int v = 0; v < numVcs_; ++v)
+        total += out_[port][v].credits;
+    return total;
+}
+
+void
+Router::debugDump(std::ostream &os) const
+{
+    for (int p = 0; p < numPorts_; ++p) {
+        for (int v = 0; v < numVcs_; ++v) {
+            const InVc &ivc = in_[p][v];
+            if (ivc.buf.empty() && !ivc.routed)
+                continue;
+            os << "R" << id_ << " in[" << p << "][" << v << "] buf="
+               << ivc.buf.size() << " routed=" << ivc.routed << " active="
+               << ivc.active << " outPort=" << ivc.outPort << " outVc="
+               << ivc.outVc;
+            if (!ivc.buf.empty()) {
+                os << " frontPkt=" << ivc.buf.front().pkt
+                   << (ivc.buf.front().head ? "H" : "")
+                   << (ivc.buf.front().tail ? "T" : "");
+            }
+            os << "\n";
+        }
+    }
+    for (int p = 0; p < numPorts_; ++p) {
+        os << "R" << id_ << " out[" << p << "] credits:";
+        for (int v = 0; v < numVcs_; ++v)
+            os << " " << out_[p][v].credits << "(o" << out_[p][v].ownerIn
+               << ")";
+        os << "\n";
+    }
+}
+
+int
+Router::bufferedFlits() const
+{
+    int total = 0;
+    for (const auto &port : in_) {
+        for (const auto &vc : port)
+            total += static_cast<int>(vc.buf.size());
+    }
+    return total;
+}
+
+} // namespace dr

@@ -1,0 +1,160 @@
+#ifndef DR_NOC_ROUTER_HPP
+#define DR_NOC_ROUTER_HPP
+
+/**
+ * @file
+ * Wormhole virtual-channel router with credit-based flow control and a
+ * configurable pipeline depth. The micro-architecture follows the paper's
+ * baseline (Section VI): per-input VC buffers, route computation at the
+ * head flit, VC allocation, and iSLIP-style separable switch allocation
+ * in which CPU-class flits always beat GPU-class flits — the end-to-end
+ * CPU priority of the baseline design.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+#include "noc/flit.hpp"
+
+namespace dr
+{
+
+/**
+ * Services a router needs from its enclosing network: topology-aware
+ * routing, flit/credit delivery, and ejection-buffer accounting.
+ */
+class RouterEnv
+{
+  public:
+    virtual ~RouterEnv() = default;
+
+    /** Output port for the flit's next hop at this router. */
+    virtual int routeOutput(int router, const Flit &flit) const = 0;
+    /** VC mask allowed on the channel leaving `router` via `port`. */
+    virtual std::uint8_t vcMaskForOutput(int router, int port,
+                                         const Flit &flit) const = 0;
+    /** Deliver a flit into a peer router's input port at `when`. */
+    virtual void deliverToRouter(int router, int port, const Flit &flit,
+                                 Cycle when) = 0;
+    /** Deliver a flit into a node's ejection buffer at `when`. */
+    virtual void deliverToNode(NodeId node, const Flit &flit,
+                               Cycle when) = 0;
+    /** Free flit slots in a node's ejection buffer. */
+    virtual int nodeEjectFree(NodeId node) const = 0;
+    /** Reserve one ejection slot (called at switch traversal). */
+    virtual void nodeEjectReserve(NodeId node) = 0;
+    /** Return one credit to the feeder of (router, inputPort, vc). */
+    virtual void creditToFeeder(int router, int inputPort, int vc,
+                                Cycle when) = 0;
+};
+
+/** Per-router statistics (drive link-utilization and energy figures). */
+struct RouterStats
+{
+    std::uint64_t bufferWrites = 0;   //!< flits written into input VCs
+    std::uint64_t switchTraversals = 0;
+    std::vector<std::uint64_t> portFlitsSent;  //!< per output port
+};
+
+/**
+ * A single router. The enclosing Network calls tick() once per cycle
+ * after scheduling all arrivals for that cycle.
+ */
+class Router
+{
+  public:
+    Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
+           RouterEnv &env,
+           const std::vector<std::uint8_t> &portIsLink,
+           const std::vector<NodeId> &portNode);
+
+    /** Queue a flit arriving at an input port (takes effect at `when`). */
+    void acceptFlit(int port, const Flit &flit, Cycle when);
+
+    /** Queue a credit for an output VC (takes effect at `when`). */
+    void acceptCredit(int port, int vc, Cycle when);
+
+    /** One simulation cycle: route computation, VC and switch alloc. */
+    void tick(Cycle now);
+
+    /** Free downstream credits summed over an output port's VCs. */
+    int freeCredits(int port) const;
+
+    /** Flits buffered across all input VCs (occupancy diagnostics). */
+    int bufferedFlits() const;
+
+    const RouterStats &stats() const { return stats_; }
+    int id() const { return id_; }
+    int numPorts() const { return numPorts_; }
+
+    /** Human-readable state dump for debugging stalls. */
+    void debugDump(std::ostream &os) const;
+
+    /** Clear statistics without touching router state. */
+    void resetStats() { stats_ = RouterStats{}; }
+
+  private:
+    struct InVc
+    {
+        std::deque<Flit> buf;
+        bool routed = false;   //!< head has an output port
+        bool active = false;   //!< head has an output VC
+        int outPort = -1;
+        int outVc = -1;
+    };
+
+    struct TimedFlit
+    {
+        Cycle when;
+        Flit flit;
+    };
+
+    struct TimedCredit
+    {
+        Cycle when;
+        std::uint8_t vc;
+    };
+
+    struct OutVc
+    {
+        int credits = 0;
+        int ownerIn = -1;  //!< encoded input (port * numVcs + vc) or -1
+    };
+
+    void applyArrivals(Cycle now);
+    void routeCompute();
+    void vcAllocate();
+    void switchAllocate(Cycle now);
+    bool outVcHasSpace(int port, int vc, NodeId node) const;
+
+    int id_;
+    int numPorts_;
+    int numVcs_;
+    int stages_;
+    RouterEnv &env_;
+
+    std::vector<std::uint8_t> portIsLink_;  //!< per port: link vs node/none
+    std::vector<NodeId> portNode_;          //!< per port: attached node
+
+    std::vector<std::vector<InVc>> in_;      //!< [port][vc]
+    std::vector<std::deque<TimedFlit>> arrivals_;    //!< per input port
+    std::vector<std::vector<OutVc>> out_;    //!< [port][vc]
+    std::vector<std::deque<TimedCredit>> creditArrivals_;  //!< per out port
+
+    int saOffset_ = 0;                 //!< rotating output iteration start
+    std::vector<int> rrPtr_;           //!< per output, input rotation
+
+    // Activity tracking so idle routers can skip their tick entirely.
+    int bufferedCount_ = 0;
+    int pendingArrivals_ = 0;
+    int pendingCredits_ = 0;
+
+    RouterStats stats_;
+};
+
+} // namespace dr
+
+#endif // DR_NOC_ROUTER_HPP

@@ -1,0 +1,171 @@
+#include "noc/routing.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+RoutingPolicy::RoutingPolicy(RoutingKind kind, const Topology &topo,
+                             int numVcs, std::uint64_t seed)
+    : kind_(kind), topo_(topo), numVcs_(numVcs), rng_(seed)
+{
+    if (topo_.kind() != TopologyKind::Mesh &&
+        kind_ != RoutingKind::TableMinimal) {
+        fatal("only table routing is supported on non-mesh topologies");
+    }
+    if (adaptive() && numVcs_ < 2)
+        fatal("adaptive routing needs at least 2 VCs (one per order)");
+}
+
+bool
+RoutingPolicy::adaptive() const
+{
+    return kind_ == RoutingKind::DyXY || kind_ == RoutingKind::Footprint ||
+           kind_ == RoutingKind::Hare;
+}
+
+int
+RoutingPolicy::firstHopPort(int router, int destRouter, DimOrder order) const
+{
+    if (router == destRouter)
+        return -1;
+    return meshPortToward(router, destRouter, order);
+}
+
+DimOrder
+RoutingPolicy::chooseOrder(int srcRouter, int destRouter,
+                           const CongestionProbe &net)
+{
+    switch (kind_) {
+      case RoutingKind::DimOrderXY:
+      case RoutingKind::TableMinimal:
+        return DimOrder::XY;
+      case RoutingKind::DimOrderYX:
+        return DimOrder::YX;
+      case RoutingKind::DyXY: {
+        // Proximity congestion awareness: start in the dimension whose
+        // first hop has more free buffering.
+        const int px = firstHopPort(srcRouter, destRouter, DimOrder::XY);
+        const int py = firstHopPort(srcRouter, destRouter, DimOrder::YX);
+        if (px < 0 || py < 0 || px == py)
+            return DimOrder::XY;
+        const int cx = net.freeCredits(srcRouter, px);
+        const int cy = net.freeCredits(srcRouter, py);
+        if (cx == cy)
+            return rng_.chance(0.5) ? DimOrder::XY : DimOrder::YX;
+        return cx > cy ? DimOrder::XY : DimOrder::YX;
+      }
+      case RoutingKind::Footprint: {
+        // Regulated adaptivity: keep the deterministic footprint (XY)
+        // unless its first hop is fully congested.
+        const int px = firstHopPort(srcRouter, destRouter, DimOrder::XY);
+        if (px < 0)
+            return DimOrder::XY;
+        return net.freeCredits(srcRouter, px) > 0 ? DimOrder::XY
+                                                  : DimOrder::YX;
+      }
+      case RoutingKind::Hare: {
+        // History-aware: EWMA of delivered latencies per order, with a
+        // small exploration probability.
+        const std::uint32_t key =
+            static_cast<std::uint32_t>(srcRouter) << 16 |
+            static_cast<std::uint32_t>(destRouter);
+        const auto it = history_.find(key);
+        if (it == history_.end() || rng_.chance(1.0 / 16.0))
+            return rng_.chance(0.5) ? DimOrder::XY : DimOrder::YX;
+        const History &h = it->second;
+        if (!h.seen[0])
+            return DimOrder::XY;
+        if (!h.seen[1])
+            return DimOrder::YX;
+        return h.lat[0] <= h.lat[1] ? DimOrder::XY : DimOrder::YX;
+      }
+    }
+    panic("unreachable routing kind");
+}
+
+std::uint8_t
+RoutingPolicy::packetMask(DimOrder order) const
+{
+    const std::uint8_t all =
+        static_cast<std::uint8_t>((1u << numVcs_) - 1u);
+    if (!adaptive())
+        return all;
+    // Each order owns half the VCs; disjoint classes keep the union of
+    // XY- and YX-routed wormhole traffic deadlock-free (O1TURN).
+    const int half = numVcs_ / 2;
+    const std::uint8_t lower = static_cast<std::uint8_t>((1u << half) - 1u);
+    return order == DimOrder::XY
+               ? lower
+               : static_cast<std::uint8_t>(all & ~lower);
+}
+
+int
+RoutingPolicy::meshPortToward(int router, int destRouter,
+                              DimOrder order) const
+{
+    const int x = topo_.xOf(router);
+    const int y = topo_.yOf(router);
+    const int dx = topo_.xOf(destRouter);
+    const int dy = topo_.yOf(destRouter);
+    const bool moveXFirst = order == DimOrder::XY;
+    if (moveXFirst) {
+        if (x != dx)
+            return dx > x ? meshEast : meshWest;
+        return dy > y ? meshSouth : meshNorth;
+    }
+    if (y != dy)
+        return dy > y ? meshSouth : meshNorth;
+    return dx > x ? meshEast : meshWest;
+}
+
+int
+RoutingPolicy::outputPort(int router, const Flit &flit) const
+{
+    if (router == flit.destRouter)
+        return flit.destPort;
+    if (topo_.kind() == TopologyKind::Mesh &&
+        kind_ != RoutingKind::TableMinimal) {
+        return meshPortToward(router, flit.destRouter, flit.order);
+    }
+    return topo_.nextPortTable(router, flit.destRouter);
+}
+
+std::uint8_t
+RoutingPolicy::vcMaskForLink(int downstreamRouter, const Flit &flit) const
+{
+    if (topo_.kind() != TopologyKind::Dragonfly)
+        return 0xff;
+    // VC phase escalation: traffic that has reached the destination
+    // group moves to the upper VC half, breaking the local->global->local
+    // channel dependence cycle.
+    const int half = numVcs_ / 2;
+    const std::uint8_t all =
+        static_cast<std::uint8_t>((1u << numVcs_) - 1u);
+    const std::uint8_t lower = static_cast<std::uint8_t>((1u << half) - 1u);
+    const bool inDestGroup =
+        topo_.groupOf(downstreamRouter) == topo_.groupOf(flit.destRouter);
+    return inDestGroup ? static_cast<std::uint8_t>(all & ~lower) : lower;
+}
+
+void
+RoutingPolicy::onDelivered(int srcRouter, int destRouter, DimOrder order,
+                           Cycle latency)
+{
+    if (kind_ != RoutingKind::Hare)
+        return;
+    const std::uint32_t key = static_cast<std::uint32_t>(srcRouter) << 16 |
+                              static_cast<std::uint32_t>(destRouter);
+    History &h = history_[key];
+    const int idx = order == DimOrder::XY ? 0 : 1;
+    constexpr double alpha = 0.125;
+    if (!h.seen[idx]) {
+        h.lat[idx] = static_cast<double>(latency);
+        h.seen[idx] = true;
+    } else {
+        h.lat[idx] =
+            (1.0 - alpha) * h.lat[idx] + alpha * static_cast<double>(latency);
+    }
+}
+
+} // namespace dr

@@ -1,0 +1,318 @@
+#include "noc/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+void
+Topology::link(int ra, int pa, int rb, int pb)
+{
+    if (ports_[ra][pa].kind != PortConn::Kind::None ||
+        ports_[rb][pb].kind != PortConn::Kind::None) {
+        panic("topology: double-connected port");
+    }
+    ports_[ra][pa] = {PortConn::Kind::Link, static_cast<std::int16_t>(rb),
+                      static_cast<std::int16_t>(pb), invalidNode};
+    ports_[rb][pb] = {PortConn::Kind::Link, static_cast<std::int16_t>(ra),
+                      static_cast<std::int16_t>(pa), invalidNode};
+}
+
+void
+Topology::attach(NodeId n, int router, int port)
+{
+    if (ports_[router][port].kind != PortConn::Kind::None)
+        panic("topology: node port already connected");
+    ports_[router][port] = {PortConn::Kind::Node, -1, -1, n};
+    attachRouter_[n] = router;
+    attachPort_[n] = port;
+}
+
+Topology
+Topology::makeMesh(int width, int height)
+{
+    Topology t;
+    t.kind_ = TopologyKind::Mesh;
+    t.meshWidth_ = width;
+    t.meshHeight_ = height;
+    const int n = width * height;
+    t.ports_.assign(n, std::vector<PortConn>(meshPorts));
+    t.attachRouter_.assign(n, 0);
+    t.attachPort_.assign(n, 0);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const int r = y * width + x;
+            t.attach(static_cast<NodeId>(r), r, meshLocal);
+            if (x + 1 < width)
+                t.link(r, meshEast, r + 1, meshWest);
+            if (y + 1 < height)
+                t.link(r, meshSouth, r + width, meshNorth);
+        }
+    }
+    t.buildGridTable();
+    return t;
+}
+
+Topology
+Topology::makeCrossbar(int nodes)
+{
+    Topology t;
+    t.kind_ = TopologyKind::Crossbar;
+    t.ports_.assign(1, std::vector<PortConn>(nodes));
+    t.attachRouter_.assign(nodes, 0);
+    t.attachPort_.assign(nodes, 0);
+    for (NodeId n = 0; n < nodes; ++n)
+        t.attach(n, 0, n);
+    t.buildTable();
+    return t;
+}
+
+Topology
+Topology::makeFlattenedButterfly(int nodes, int concentration)
+{
+    if (nodes % concentration != 0)
+        fatal("flattened butterfly: nodes not divisible by concentration");
+    const int routers = nodes / concentration;
+    int gw = 1;
+    while (gw * gw < routers)
+        ++gw;
+    if (gw * gw != routers)
+        fatal("flattened butterfly: router count must be a square");
+
+    Topology t;
+    t.kind_ = TopologyKind::FlattenedButterfly;
+    t.meshWidth_ = gw;
+    t.meshHeight_ = gw;
+    const int radix = concentration + 2 * (gw - 1);
+    t.ports_.assign(routers, std::vector<PortConn>(radix));
+    t.attachRouter_.assign(nodes, 0);
+    t.attachPort_.assign(nodes, 0);
+
+    for (NodeId n = 0; n < nodes; ++n)
+        t.attach(n, n / concentration, n % concentration);
+
+    // Row links: ports [c, c+gw-2]; column links: ports [c+gw-1, ...].
+    // Port index within each range addresses peers in ascending order,
+    // skipping self.
+    auto rowPort = [&](int r, int peerX) {
+        const int x = t.xOf(r);
+        return concentration + (peerX < x ? peerX : peerX - 1);
+    };
+    auto colPort = [&](int r, int peerY) {
+        const int y = t.yOf(r);
+        return concentration + (gw - 1) + (peerY < y ? peerY : peerY - 1);
+    };
+    for (int y = 0; y < gw; ++y) {
+        for (int x = 0; x < gw; ++x) {
+            const int r = y * gw + x;
+            for (int x2 = x + 1; x2 < gw; ++x2)
+                t.link(r, rowPort(r, x2), y * gw + x2, rowPort(y * gw + x2, x));
+            for (int y2 = y + 1; y2 < gw; ++y2)
+                t.link(r, colPort(r, y2), y2 * gw + x, colPort(y2 * gw + x, y));
+        }
+    }
+    t.buildGridTable();
+    return t;
+}
+
+Topology
+Topology::makeDragonfly(int nodes, int groups, int routersPerGroup)
+{
+    const int routers = groups * routersPerGroup;
+    if (nodes % routers != 0)
+        fatal("dragonfly: nodes not divisible by router count");
+    const int concentration = nodes / routers;
+    // Global link pairs each group must terminate (two parallel links
+    // per group pair).
+    const int pairsPerGroup = 2 * (groups - 1);
+    const int globalsPerRouter =
+        (pairsPerGroup + routersPerGroup - 1) / routersPerGroup;
+    const int radix =
+        concentration + (routersPerGroup - 1) + globalsPerRouter;
+
+    Topology t;
+    t.kind_ = TopologyKind::Dragonfly;
+    t.ports_.assign(routers, std::vector<PortConn>(radix));
+    t.attachRouter_.assign(nodes, 0);
+    t.attachPort_.assign(nodes, 0);
+    t.groups_.assign(routers, 0);
+    for (int r = 0; r < routers; ++r)
+        t.groups_[r] = r / routersPerGroup;
+
+    for (NodeId n = 0; n < nodes; ++n)
+        t.attach(n, n / concentration, n % concentration);
+
+    // Intra-group full connectivity.
+    auto localPort = [&](int r, int peerLocal) {
+        const int self = r % routersPerGroup;
+        return concentration + (peerLocal < self ? peerLocal : peerLocal - 1);
+    };
+    for (int g = 0; g < groups; ++g) {
+        const int base = g * routersPerGroup;
+        for (int a = 0; a < routersPerGroup; ++a) {
+            for (int b = a + 1; b < routersPerGroup; ++b) {
+                t.link(base + a, localPort(base + a, b), base + b,
+                       localPort(base + b, a));
+            }
+        }
+    }
+
+    // Global links: two parallel links per group pair (so the global
+    // channels are not the bisection bottleneck; the paper keeps
+    // per-memory-node links the limiting resource), spread round-robin
+    // over the group's routers.
+    std::vector<int> nextGlobalPort(routers, concentration +
+                                    routersPerGroup - 1);
+    std::vector<int> nextRouterInGroup(groups, 0);
+    for (int rep = 0; rep < 2; ++rep) {
+        for (int g1 = 0; g1 < groups; ++g1) {
+            for (int g2 = g1 + 1; g2 < groups; ++g2) {
+                const int r1 =
+                    g1 * routersPerGroup + nextRouterInGroup[g1]++ %
+                    routersPerGroup;
+                const int r2 =
+                    g2 * routersPerGroup + nextRouterInGroup[g2]++ %
+                    routersPerGroup;
+                t.link(r1, nextGlobalPort[r1]++, r2,
+                       nextGlobalPort[r2]++);
+            }
+        }
+    }
+    t.buildTable();
+    return t;
+}
+
+Topology
+Topology::make(TopologyKind kind, int nodes, int meshWidth, int meshHeight)
+{
+    switch (kind) {
+      case TopologyKind::Mesh:
+        return makeMesh(meshWidth, meshHeight);
+      case TopologyKind::Crossbar:
+        return makeCrossbar(nodes);
+      case TopologyKind::FlattenedButterfly:
+        return makeFlattenedButterfly(nodes, 4);
+      case TopologyKind::Dragonfly:
+        return makeDragonfly(nodes, 4, 4);
+    }
+    panic("unknown topology kind");
+}
+
+void
+Topology::buildTable()
+{
+    const int n = routers();
+    table_.assign(n, std::vector<std::int16_t>(n, -1));
+    // BFS from each destination over reversed channels (channels are
+    // symmetric here, so the graph is its own reverse).
+    for (int dest = 0; dest < n; ++dest) {
+        std::vector<int> dist(n, -1);
+        std::deque<int> queue{dest};
+        dist[dest] = 0;
+        while (!queue.empty()) {
+            const int r = queue.front();
+            queue.pop_front();
+            for (int p = 0; p < radix(r); ++p) {
+                const auto &conn = ports_[r][p];
+                if (conn.kind != PortConn::Kind::Link)
+                    continue;
+                const int peer = conn.peerRouter;
+                if (dist[peer] < 0) {
+                    dist[peer] = dist[r] + 1;
+                    queue.push_back(peer);
+                }
+            }
+        }
+        for (int r = 0; r < n; ++r) {
+            if (r == dest)
+                continue;
+            for (int p = 0; p < radix(r); ++p) {
+                const auto &conn = ports_[r][p];
+                if (conn.kind == PortConn::Kind::Link &&
+                    dist[conn.peerRouter] == dist[r] - 1) {
+                    table_[r][dest] = static_cast<std::int16_t>(p);
+                    break;
+                }
+            }
+            if (table_[r][dest] < 0)
+                panic("topology: disconnected router graph");
+        }
+    }
+}
+
+void
+Topology::buildGridTable()
+{
+    // Dimension-ordered (X then Y) minimal table. Acyclic turns make
+    // table-routed wormhole traffic deadlock-free on grid topologies.
+    const int n = routers();
+    table_.assign(n, std::vector<std::int16_t>(n, -1));
+    auto portToward = [&](int r, int target) {
+        for (int p = 0; p < radix(r); ++p) {
+            const auto &conn = ports_[r][p];
+            if (conn.kind == PortConn::Kind::Link &&
+                conn.peerRouter == target) {
+                return p;
+            }
+        }
+        return -1;
+    };
+    for (int r = 0; r < n; ++r) {
+        for (int dest = 0; dest < n; ++dest) {
+            if (r == dest)
+                continue;
+            int next = -1;
+            if (xOf(r) != xOf(dest)) {
+                // Move along the row. The mesh steps one hop; the
+                // flattened butterfly has a direct row link.
+                const int targetX =
+                    kind_ == TopologyKind::Mesh
+                        ? xOf(r) + (xOf(dest) > xOf(r) ? 1 : -1)
+                        : xOf(dest);
+                next = portToward(r, yOf(r) * meshWidth_ + targetX);
+            } else {
+                const int targetY =
+                    kind_ == TopologyKind::Mesh
+                        ? yOf(r) + (yOf(dest) > yOf(r) ? 1 : -1)
+                        : yOf(dest);
+                next = portToward(r, targetY * meshWidth_ + xOf(r));
+            }
+            if (next < 0)
+                panic("topology: grid table construction failed");
+            table_[r][dest] = static_cast<std::int16_t>(next);
+        }
+    }
+}
+
+int
+Topology::hopCount(int srcRouter, int destRouter) const
+{
+    int hops = 0;
+    int r = srcRouter;
+    while (r != destRouter) {
+        const int p = table_[r][destRouter];
+        r = ports_[r][p].peerRouter;
+        ++hops;
+        if (hops > routers())
+            panic("topology: routing loop in table");
+    }
+    return hops;
+}
+
+int
+Topology::channelCount() const
+{
+    int count = 0;
+    for (int r = 0; r < routers(); ++r) {
+        for (int p = 0; p < radix(r); ++p) {
+            if (ports_[r][p].kind == PortConn::Kind::Link)
+                ++count;
+        }
+    }
+    return count;
+}
+
+} // namespace dr

@@ -1,0 +1,144 @@
+#ifndef DR_NOC_TOPOLOGY_HPP
+#define DR_NOC_TOPOLOGY_HPP
+
+/**
+ * @file
+ * Topology descriptions. A topology is a set of routers with typed ports:
+ * a port either carries a channel to a peer router, attaches a node's
+ * network interface, or is unconnected. Nodes (endpoints) map onto
+ * routers; the mesh attaches one node per router while the crossbar
+ * attaches all nodes to a single central switch and the flattened
+ * butterfly / dragonfly concentrate several nodes per router.
+ *
+ * Every topology gives each endpoint exactly one injection link and one
+ * ejection link — the property that makes memory-node clogging
+ * topology-independent (Section III.B of the paper).
+ */
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace dr
+{
+
+/** What a router port is wired to. */
+struct PortConn
+{
+    enum class Kind : std::uint8_t { None, Link, Node };
+
+    Kind kind = Kind::None;
+    std::int16_t peerRouter = -1;  //!< for Kind::Link
+    std::int16_t peerPort = -1;    //!< for Kind::Link
+    NodeId node = invalidNode;     //!< for Kind::Node
+};
+
+/** Mesh port numbering (port 0 is the local/node port). */
+enum MeshPort : int
+{
+    meshLocal = 0,
+    meshEast = 1,
+    meshWest = 2,
+    meshNorth = 3,
+    meshSouth = 4,
+    meshPorts = 5,
+};
+
+/**
+ * An immutable topology graph plus the node-to-router attachment map.
+ */
+class Topology
+{
+  public:
+    /** 2D mesh, one node per router; routers indexed row-major. */
+    static Topology makeMesh(int width, int height);
+
+    /** Central full crossbar: all nodes attach to one switch. */
+    static Topology makeCrossbar(int nodes);
+
+    /**
+     * Flattened butterfly: routers in a grid with full row and column
+     * connectivity and `concentration` nodes per router [41].
+     */
+    static Topology makeFlattenedButterfly(int nodes, int concentration);
+
+    /**
+     * Dragonfly: `groups` fully-connected groups, global links between
+     * every group pair, `concentration` nodes per router [42].
+     */
+    static Topology makeDragonfly(int nodes, int groups,
+                                  int routersPerGroup);
+
+    /** Build the topology selected by `kind` for `nodes` endpoints. */
+    static Topology make(TopologyKind kind, int nodes, int meshWidth,
+                         int meshHeight);
+
+    TopologyKind kind() const { return kind_; }
+    int routers() const { return static_cast<int>(ports_.size()); }
+    int nodes() const { return static_cast<int>(attachRouter_.size()); }
+    int radix(int router) const
+    {
+        return static_cast<int>(ports_[router].size());
+    }
+
+    const PortConn &port(int router, int p) const
+    {
+        return ports_[router][p];
+    }
+
+    /** Router the given node's NI attaches to. */
+    int attachRouter(NodeId n) const { return attachRouter_[n]; }
+    /** Port on that router that faces the node. */
+    int attachPort(NodeId n) const { return attachPort_[n]; }
+
+    /** Mesh coordinates (valid only for mesh topologies). */
+    int xOf(int router) const { return router % meshWidth_; }
+    int yOf(int router) const { return router / meshWidth_; }
+    int meshWidth() const { return meshWidth_; }
+    int meshHeight() const { return meshHeight_; }
+
+    /** Group of a router (dragonfly only; 0 otherwise). */
+    int groupOf(int router) const
+    {
+        return groups_.empty() ? 0 : groups_[router];
+    }
+
+    /**
+     * Minimal next-hop port from `router` toward `destRouter`, from the
+     * deterministic table built at construction. For the mesh the table
+     * encodes XY order; dimension-order routing overrides it.
+     */
+    int nextPortTable(int router, int destRouter) const
+    {
+        return table_[router][destRouter];
+    }
+
+    /** Hop count along table paths. */
+    int hopCount(int srcRouter, int destRouter) const;
+
+    /** Total number of router-to-router channels (unidirectional). */
+    int channelCount() const;
+
+  private:
+    Topology() = default;
+
+    /** Wire a bidirectional link between (ra, pa) and (rb, pb). */
+    void link(int ra, int pa, int rb, int pb);
+    void attach(NodeId n, int router, int port);
+    void buildTable();
+    /** Mesh/FB dimension-ordered table: row (X) first, then column. */
+    void buildGridTable();
+
+    TopologyKind kind_ = TopologyKind::Mesh;
+    int meshWidth_ = 0;
+    int meshHeight_ = 0;
+    std::vector<std::vector<PortConn>> ports_;
+    std::vector<int> attachRouter_;
+    std::vector<int> attachPort_;
+    std::vector<int> groups_;
+    std::vector<std::vector<std::int16_t>> table_;
+};
+
+} // namespace dr
+
+#endif // DR_NOC_TOPOLOGY_HPP

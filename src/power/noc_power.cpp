@@ -1,0 +1,78 @@
+#include "power/noc_power.hpp"
+
+#include "noc/topology.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+// Calibration (see header): with the Table I mesh — 64 routers x 2
+// physical networks, 5 ports, 2 VCs x 4 flits, 16 B channels — total
+// router+link area must be 2.27 mm^2, and 5.76 mm^2 at 32 B channels.
+// Buffer/allocator area ~ width; crossbar ~ width^2 * ports^2.
+constexpr double bufferCoef = 1.611e-5;   // mm^2 per byte per VC-flit
+constexpr double crossbarCoef = 7.446e-7; // mm^2 per (byte*port)^2
+constexpr double linkCoef = 4.74e-5;      // mm^2 per byte per link
+
+} // namespace
+
+double
+routerAreaMm2(int ports, int channelBytes, int vcs, int vcDepth)
+{
+    const double buffers =
+        bufferCoef * channelBytes * vcs * vcDepth * ports;
+    const double crossbar = crossbarCoef *
+                            static_cast<double>(channelBytes) *
+                            channelBytes * ports * ports;
+    return buffers + crossbar;
+}
+
+double
+linkAreaMm2(int channelBytes)
+{
+    return linkCoef * channelBytes;
+}
+
+double
+nocAreaMm2(const SystemConfig &cfg)
+{
+    const Topology topo = Topology::make(
+        cfg.noc.topology, cfg.nodeCount(), cfg.noc.meshWidth,
+        cfg.noc.meshHeight);
+    const int channel = cfg.noc.effectiveChannelBytes();
+    const int networks = cfg.noc.sharedPhysical ? 1 : 2;
+    const int vcs = cfg.noc.sharedPhysical
+                        ? cfg.noc.sharedReqVcs + cfg.noc.sharedReplyVcs
+                        : cfg.noc.vcsPerNet;
+
+    double area = 0.0;
+    for (int r = 0; r < topo.routers(); ++r) {
+        area += networks * routerAreaMm2(topo.radix(r), channel, vcs,
+                                         cfg.noc.vcDepthFlits);
+    }
+    area += networks * topo.channelCount() * linkAreaMm2(channel);
+    return area;
+}
+
+double
+NocEnergyModel::dynamicUj(std::uint64_t bufferWrites,
+                          std::uint64_t switchTraversals,
+                          std::uint64_t linkTraversals) const
+{
+    return (bufferWritePj * static_cast<double>(bufferWrites) +
+            switchTraversalPj * static_cast<double>(switchTraversals) +
+            linkTraversalPj * static_cast<double>(linkTraversals)) *
+           1e-6;
+}
+
+double
+NocEnergyModel::staticUj(int routers, std::uint64_t cycles,
+                         double clockGhz) const
+{
+    const double seconds = static_cast<double>(cycles) / (clockGhz * 1e9);
+    return staticPerRouterMw * routers * seconds * 1e3;
+}
+
+} // namespace dr

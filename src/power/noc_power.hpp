@@ -1,0 +1,54 @@
+#ifndef DR_POWER_NOC_POWER_HPP
+#define DR_POWER_NOC_POWER_HPP
+
+/**
+ * @file
+ * DSENT-like analytical NoC area and energy model (22 nm). Following
+ * DSENT's structure: input-buffer and allocator area grow linearly with
+ * channel width, while the router-internal crossbar grows quadratically
+ * with channel width and port count (Section III.B of the paper). The
+ * linear/quadratic coefficients are calibrated so the Table I baseline
+ * mesh comes out at 2.27 mm^2 and the double-bandwidth mesh at
+ * 5.76 mm^2, as the paper reports from DSENT 0.91.
+ */
+
+#include <cstdint>
+
+#include "common/config.hpp"
+
+namespace dr
+{
+
+/** Area (mm^2) of one router. */
+double routerAreaMm2(int ports, int channelBytes, int vcs, int vcDepth);
+
+/** Area (mm^2) of one unidirectional link (4.3 mm at 22 nm). */
+double linkAreaMm2(int channelBytes);
+
+/**
+ * Total NoC area for a configuration: all routers and channels of all
+ * physical networks.
+ */
+double nocAreaMm2(const SystemConfig &cfg);
+
+/** Per-event dynamic energies (pJ) at 22 nm. */
+struct NocEnergyModel
+{
+    double bufferWritePj = 0.6;   //!< per flit buffered
+    double switchTraversalPj = 1.1;  //!< per flit through the crossbar
+    double linkTraversalPj = 1.8;    //!< per flit per 4.3 mm link
+    double staticPerRouterMw = 0.35;
+
+    /** Dynamic NoC energy in microjoules. */
+    double dynamicUj(std::uint64_t bufferWrites,
+                     std::uint64_t switchTraversals,
+                     std::uint64_t linkTraversals) const;
+
+    /** Static energy over a cycle count at a clock (GHz), microjoules. */
+    double staticUj(int routers, std::uint64_t cycles,
+                    double clockGhz) const;
+};
+
+} // namespace dr
+
+#endif // DR_POWER_NOC_POWER_HPP

@@ -1,0 +1,61 @@
+#include "power/sram_area.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+// Dense SRAM arrays (pointer storage inside LLC tag arrays): calibrated
+// so the Table I configuration — (65536 LLC lines + 512 LLC MSHRs) x
+// 6-bit pointers — comes out at the paper's 0.08 mm^2.
+constexpr double denseAreaPerBit = 0.08 / ((65536.0 + 512.0) * 6.0);
+
+// Small standalone queues (FRQs) have far lower density; calibrated so
+// 40 cores x 8 entries x 64 bits equals the paper's 0.092 mm^2.
+constexpr double queueAreaPerBit = 0.092 / (40.0 * 8.0 * 64.0);
+constexpr int frqEntryBits = 64;
+
+} // namespace
+
+int
+bitsFor(int n)
+{
+    int bits = 0;
+    while ((1 << bits) < n)
+        ++bits;
+    return bits;
+}
+
+double
+sramAreaMm2(double bits)
+{
+    return denseAreaPerBit * bits;
+}
+
+double
+drPointerAreaMm2(const SystemConfig &cfg)
+{
+    const int pointerBits = bitsFor(cfg.gpu.numCores);
+    const double llcLines =
+        static_cast<double>(cfg.mem.numNodes) * cfg.mem.llcSliceKB *
+        1024.0 / cfg.mem.lineBytes;
+    const double mshrEntries =
+        static_cast<double>(cfg.mem.numNodes) * cfg.mem.llcMshrs;
+    return sramAreaMm2((llcLines + mshrEntries) * pointerBits);
+}
+
+double
+drFrqAreaMm2(const SystemConfig &cfg)
+{
+    return queueAreaPerBit * cfg.gpu.numCores * cfg.gpu.frqEntries *
+           frqEntryBits;
+}
+
+double
+drTotalAreaMm2(const SystemConfig &cfg)
+{
+    return drPointerAreaMm2(cfg) + drFrqAreaMm2(cfg);
+}
+
+} // namespace dr

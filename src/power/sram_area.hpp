@@ -1,0 +1,35 @@
+#ifndef DR_POWER_SRAM_AREA_HPP
+#define DR_POWER_SRAM_AREA_HPP
+
+/**
+ * @file
+ * CACTI-like SRAM area estimates (22 nm) for the Delegated Replies
+ * hardware additions (Section IV): per-line core pointers in the LLC
+ * and MSHRs, and the per-core Forwarded Request Queues. Calibrated to
+ * the paper's CACTI 6.5 / DSENT numbers: 0.08 mm^2 of pointer storage
+ * and 0.092 mm^2 of FRQs, 0.172 mm^2 in total.
+ */
+
+#include "common/config.hpp"
+
+namespace dr
+{
+
+/** Area of an SRAM structure of `bits` bits at 22 nm (mm^2). */
+double sramAreaMm2(double bits);
+
+/** Bits needed to name one of `n` items. */
+int bitsFor(int n);
+
+/** Core-pointer storage: LLC lines + MSHR entries (mm^2). */
+double drPointerAreaMm2(const SystemConfig &cfg);
+
+/** Forwarded Request Queues across all GPU cores (mm^2). */
+double drFrqAreaMm2(const SystemConfig &cfg);
+
+/** Total Delegated Replies area overhead (mm^2). */
+double drTotalAreaMm2(const SystemConfig &cfg);
+
+} // namespace dr
+
+#endif // DR_POWER_SRAM_AREA_HPP

@@ -1,0 +1,532 @@
+#include "workloads/gpu_benchmarks.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+namespace
+{
+
+constexpr Addr lineBytes = 128;
+
+/** Disjoint 256 MB address regions per benchmark. */
+Addr
+regionBase(int slot)
+{
+    return 0x100000000ull + static_cast<Addr>(slot) * 0x10000000ull;
+}
+
+/** Deterministic mixing for irregular patterns (B+tree). */
+std::uint64_t
+mix(std::uint64_t a, std::uint64_t b, std::uint64_t c)
+{
+    std::uint64_t x = a * 0x9e3779b97f4a7c15ull + b * 0xbf58476d1ce4e5b9ull +
+                      c * 0x94d049bb133111ebull;
+    x ^= x >> 29;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 32;
+    return x;
+}
+
+/**
+ * Row-tiled stencil: CTA c computes rows [c*R, (c+1)*R) and reads halo
+ * rows on both sides, so each input row is read by 1 + 2*halo/R CTAs —
+ * inter-core locality by construction under round-robin scheduling.
+ */
+class StencilPattern : public KernelAccessPattern
+{
+  public:
+    StencilPattern(const StencilSpec &spec, int regionSlot)
+        : spec_(spec), inBase_(regionBase(regionSlot)),
+          outBase_(regionBase(regionSlot) + 0x8000000ull)
+    {
+        colsPerWarp_ = spec_.colsPerWarp > 0
+                           ? spec_.colsPerWarp
+                           : std::max(1, spec_.rowLines / spec_.warpsPerCta);
+        readRows_ = spec_.rowsPerCta + 2 * spec_.halo;
+        readsPerSweep_ = readRows_ * colsPerWarp_;
+        const int reads = spec_.sweeps * readsPerSweep_;
+        accesses_ = reads + reads / std::max(1, spec_.writeEvery - 1);
+    }
+
+    std::string name() const override { return spec_.name; }
+    int ctaCount() const override { return spec_.ctas; }
+    int warpsPerCta() const override { return spec_.warpsPerCta; }
+    int accessesPerWarp() const override { return accesses_; }
+    int computePerMem() const override { return spec_.computePerMem; }
+
+    MemAccess
+    access(int cta, int warp, int idx) const override
+    {
+        const int totalRows = spec_.ctas * spec_.rowsPerCta;
+        // Warps in one group read the same column slice (coalesced
+        // overlapping loads), bounding the CTA's L1 footprint.
+        const int group = warp / std::max(1, spec_.warpsPerGroup);
+        const int warpCol =
+            (group * colsPerWarp_) % std::max(1, spec_.rowLines);
+        if (spec_.writeEvery > 0 &&
+            idx % spec_.writeEvery == spec_.writeEvery - 1) {
+            const int w = idx / spec_.writeEvery;
+            const int outRow =
+                cta * spec_.rowsPerCta + w % spec_.rowsPerCta;
+            const int col = (w / spec_.rowsPerCta) % colsPerWarp_;
+            const Addr line =
+                static_cast<Addr>(outRow) * spec_.rowLines + warpCol + col;
+            return {outBase_ + line * lineBytes, true};
+        }
+        const int k =
+            (idx - (spec_.writeEvery > 0 ? idx / spec_.writeEvery : 0)) %
+            std::max(1, spec_.sweeps * readsPerSweep_);
+        const int within = k % readsPerSweep_;
+        const int r = within / colsPerWarp_;
+        const int col = within % colsPerWarp_;
+        int row = cta * spec_.rowsPerCta - spec_.halo + r;
+        row = ((row % totalRows) + totalRows) % totalRows;
+        const Addr line =
+            static_cast<Addr>(row) * spec_.rowLines + warpCol + col;
+        return {inBase_ + line * lineBytes, false};
+    }
+
+  private:
+    StencilSpec spec_;
+    Addr inBase_;
+    Addr outBase_;
+    int colsPerWarp_;
+    int readRows_;
+    int readsPerSweep_;
+    int accesses_;
+};
+
+/**
+ * Tiled GEMM: CTA (i, j) reads row tiles of A (shared with every CTA of
+ * row i) and column tiles of B (shared down column j), then writes its
+ * C tile.
+ */
+class MatMulPattern : public KernelAccessPattern
+{
+  public:
+    MatMulPattern(std::string name, int gridX, int gridY, int kSteps,
+                  int tileLines, int tileRows, int warpsPerCta,
+                  int computePerMem, int regionSlot)
+        : name_(std::move(name)), gridX_(gridX), gridY_(gridY),
+          kSteps_(kSteps), tileLines_(tileLines), tileRows_(tileRows),
+          warps_(warpsPerCta), compute_(computePerMem),
+          aBase_(regionBase(regionSlot)),
+          bBase_(regionBase(regionSlot) + 0x4000000ull),
+          cBase_(regionBase(regionSlot) + 0x8000000ull)
+    {
+        accesses_ = kSteps_ * 2 * tileLines_ + tileLines_;  // A+B, then C
+    }
+
+    std::string name() const override { return name_; }
+    int ctaCount() const override { return gridX_ * gridY_; }
+    int warpsPerCta() const override { return warps_; }
+    int accessesPerWarp() const override { return accesses_; }
+    int computePerMem() const override { return compute_; }
+
+    MemAccess
+    access(int cta, int warp, int idx) const override
+    {
+        const int i = cta / gridX_;
+        const int j = cta % gridX_;
+        const int row = warp % tileRows_;
+        const int aRowLines = kSteps_ * tileLines_;
+        const int bRowLines = gridX_ * tileLines_;
+        if (idx >= kSteps_ * 2 * tileLines_) {
+            // Write the C tile.
+            const int col = idx - kSteps_ * 2 * tileLines_;
+            const Addr line = static_cast<Addr>(i * tileRows_ + row) *
+                                  bRowLines +
+                              j * tileLines_ + col;
+            return {cBase_ + line * lineBytes, true};
+        }
+        const int k = idx / (2 * tileLines_);
+        const int within = idx % (2 * tileLines_);
+        if (within < tileLines_) {
+            const Addr line = static_cast<Addr>(i * tileRows_ + row) *
+                                  aRowLines +
+                              k * tileLines_ + within;
+            return {aBase_ + line * lineBytes, false};
+        }
+        const int col = within - tileLines_;
+        const Addr line = static_cast<Addr>(k * tileRows_ + row) *
+                              bRowLines +
+                          j * tileLines_ + col;
+        return {bBase_ + line * lineBytes, false};
+    }
+
+  private:
+    std::string name_;
+    int gridX_, gridY_, kSteps_, tileLines_, tileRows_, warps_, compute_;
+    Addr aBase_, bBase_, cBase_;
+    int accesses_;
+};
+
+/**
+ * B+tree search (BT): every query walks the levels; the small upper
+ * levels are shared chip-wide while the large leaf level replaces
+ * frequently — producing BT's mix of remote hits and remote misses.
+ */
+class TreePattern : public KernelAccessPattern
+{
+  public:
+    TreePattern(std::string name, int ctas, int warpsPerCta, int queries,
+                int levels, int fanout, int leafCapLines,
+                int computePerMem, int regionSlot)
+        : name_(std::move(name)), ctas_(ctas), warps_(warpsPerCta),
+          queries_(queries), levels_(levels), fanout_(fanout),
+          compute_(computePerMem), base_(regionBase(regionSlot))
+    {
+        levelLines_.resize(levels_);
+        levelOffset_.resize(levels_);
+        Addr offset = 0;
+        std::int64_t lines = 1;
+        for (int l = 0; l < levels_; ++l) {
+            levelLines_[l] = static_cast<int>(
+                std::min<std::int64_t>(lines, leafCapLines));
+            levelOffset_[l] = offset;
+            offset += static_cast<Addr>(levelLines_[l]) * lineBytes;
+            lines *= fanout_;
+        }
+    }
+
+    std::string name() const override { return name_; }
+    int ctaCount() const override { return ctas_; }
+    int warpsPerCta() const override { return warps_; }
+    int accessesPerWarp() const override { return queries_ * levels_; }
+    int computePerMem() const override { return compute_; }
+
+    MemAccess
+    access(int cta, int warp, int idx) const override
+    {
+        const int q = idx / levels_;
+        const int l = idx % levels_;
+        const std::uint64_t h = mix(static_cast<std::uint64_t>(cta), warp,
+                                    static_cast<std::uint64_t>(q) * 31 + l);
+        const int node =
+            static_cast<int>(h % static_cast<std::uint64_t>(
+                                     std::max(1, levelLines_[l])));
+        return {base_ + levelOffset_[l] +
+                    static_cast<Addr>(node) * lineBytes,
+                false};
+    }
+
+  private:
+    std::string name_;
+    int ctas_, warps_, queries_, levels_, fanout_, compute_;
+    Addr base_;
+    std::vector<int> levelLines_;
+    std::vector<Addr> levelOffset_;
+};
+
+/**
+ * NN-style streaming: most accesses hit a warp-private record buffer
+ * (low L1 miss rate, 4.3% in the paper); the misses stream a shared
+ * record window that overlapping CTAs also read, so a large fraction of
+ * the few misses find a remote copy.
+ */
+class StreamSharedPattern : public KernelAccessPattern
+{
+  public:
+    StreamSharedPattern(std::string name, int ctas, int warpsPerCta,
+                        int accesses, int privLines, int sharedLines,
+                        int sharedEvery, int computePerMem, int regionSlot)
+        : name_(std::move(name)), ctas_(ctas), warps_(warpsPerCta),
+          accesses_(accesses), privLines_(privLines),
+          sharedLines_(sharedLines), sharedEvery_(sharedEvery),
+          compute_(computePerMem), base_(regionBase(regionSlot)),
+          privBase_(regionBase(regionSlot) + 0x8000000ull)
+    {
+    }
+
+    std::string name() const override { return name_; }
+    int ctaCount() const override { return ctas_; }
+    int warpsPerCta() const override { return warps_; }
+    int accessesPerWarp() const override { return accesses_; }
+    int computePerMem() const override { return compute_; }
+
+    MemAccess
+    access(int cta, int warp, int idx) const override
+    {
+        if (idx % sharedEvery_ == sharedEvery_ - 1) {
+            // Shared stream: all CTAs of one launch wave (consecutive
+            // CTA ids, spread across cores by round-robin scheduling)
+            // stream the same record window -> the few misses usually
+            // find a copy in a remote L1 (Figure 2's NN behaviour).
+            const int t = idx / sharedEvery_;
+            const int wave = cta / 40;
+            // Stagger the per-CTA window inside the wave so sharers
+            // re-read a line a few hundred cycles apart: the LLC then
+            // serves them as (delegatable) hits rather than merging
+            // them into one in-flight fill.
+            const int start =
+                (wave * 83 + (cta % 40) * 5) % sharedLines_;
+            const int line = (start + t) % sharedLines_;
+            return {base_ + static_cast<Addr>(line) * lineBytes, false};
+        }
+        const int slot = (static_cast<long>(cta) * warps_ + warp) %
+                         (64 * 1024);
+        const int line = idx % privLines_;
+        return {privBase_ +
+                    (static_cast<Addr>(slot) * privLines_ + line) *
+                        lineBytes,
+                false};
+    }
+
+  private:
+    std::string name_;
+    int ctas_, warps_, accesses_, privLines_, sharedLines_, sharedEvery_,
+        compute_;
+    Addr base_;
+    Addr privBase_;
+};
+
+/**
+ * Streamcluster (SC): half the accesses read a small chip-wide center
+ * set (cache-resident), the rest stream CTA-private points that live in
+ * the LLC — few delegatable replies, modest DR benefit (the paper's
+ * explanation for SC/LUD/BP).
+ */
+class CenterStreamPattern : public KernelAccessPattern
+{
+  public:
+    CenterStreamPattern(std::string name, int ctas, int warpsPerCta,
+                        int accesses, int centerLines, int pointLines,
+                        int sweeps, double writeFraction,
+                        int computePerMem, int regionSlot)
+        : name_(std::move(name)), ctas_(ctas), warps_(warpsPerCta),
+          accesses_(accesses), centerLines_(centerLines),
+          pointLines_(pointLines), sweeps_(sweeps),
+          writeEvery_(writeFraction > 0
+                          ? std::max(2, static_cast<int>(1.0 / writeFraction))
+                          : 0),
+          compute_(computePerMem), centerBase_(regionBase(regionSlot)),
+          pointBase_(regionBase(regionSlot) + 0x8000000ull)
+    {
+    }
+
+    std::string name() const override { return name_; }
+    int ctaCount() const override { return ctas_; }
+    int warpsPerCta() const override { return warps_; }
+    int accessesPerWarp() const override { return accesses_; }
+    int computePerMem() const override { return compute_; }
+
+    MemAccess
+    access(int cta, int warp, int idx) const override
+    {
+        const bool write =
+            writeEvery_ > 0 && idx % writeEvery_ == writeEvery_ - 1;
+        if (write && (idx / writeEvery_) % 2 == 0) {
+            // Periodic center *updates* (cluster re-centering): these
+            // write-through stores invalidate the LLC core pointers, so
+            // the hot shared lines are rarely delegatable -- the reason
+            // SC sees few delegated replies in the paper.
+            const std::uint64_t h = mix(cta, warp, idx);
+            const int line =
+                static_cast<int>(h % static_cast<std::uint64_t>(
+                                         centerLines_));
+            return {centerBase_ + static_cast<Addr>(line) * lineBytes,
+                    true};
+        }
+        if (!write && idx % 2 == 0) {
+            // Center set: tiny, read by every CTA.
+            const std::uint64_t h = mix(cta, warp, idx);
+            const int line =
+                static_cast<int>(h % static_cast<std::uint64_t>(
+                                         centerLines_));
+            return {centerBase_ + static_cast<Addr>(line) * lineBytes,
+                    false};
+        }
+        // CTA-private points, swept `sweeps_` times.
+        const int t = idx / 2;
+        const int line = (t + warp * 3) % (pointLines_ * sweeps_) %
+                         pointLines_;
+        const Addr addr = pointBase_ +
+                          (static_cast<Addr>(cta) * pointLines_ + line) *
+                              lineBytes;
+        return {addr, write};
+    }
+
+  private:
+    std::string name_;
+    int ctas_, warps_, accesses_, centerLines_, pointLines_, sweeps_,
+        writeEvery_, compute_;
+    Addr centerBase_;
+    Addr pointBase_;
+};
+
+/**
+ * Backprop (BP): write-heavy weight updates (private, streaming) with
+ * reads of the shared input/hidden layers. Stresses the *request*
+ * network — the reason asymmetric VC partitioning hurts BP (Figure 6).
+ */
+class BackpropPattern : public KernelAccessPattern
+{
+  public:
+    BackpropPattern(int ctas, int warpsPerCta, int accesses,
+                    int layerLines, int weightLines, int computePerMem,
+                    int regionSlot)
+        : ctas_(ctas), warps_(warpsPerCta), accesses_(accesses),
+          layerLines_(layerLines), weightLines_(weightLines),
+          compute_(computePerMem), layerBase_(regionBase(regionSlot)),
+          weightBase_(regionBase(regionSlot) + 0x8000000ull)
+    {
+    }
+
+    std::string name() const override { return "BP"; }
+    int ctaCount() const override { return ctas_; }
+    int warpsPerCta() const override { return warps_; }
+    int accessesPerWarp() const override { return accesses_; }
+    int computePerMem() const override { return compute_; }
+
+    MemAccess
+    access(int cta, int warp, int idx) const override
+    {
+        // Alternate read (layer) / write (weight): ~45% stores.
+        if (idx % 9 >= 5) {
+            const int t = idx / 2;
+            const Addr line =
+                (static_cast<Addr>(cta) * warps_ + warp) * weightLines_ +
+                t % weightLines_;
+            return {weightBase_ + line * lineBytes, true};
+        }
+        const int line = (idx / 2 + warp * 5) % layerLines_;
+        return {layerBase_ + static_cast<Addr>(line) * lineBytes, false};
+    }
+
+  private:
+    int ctas_, warps_, accesses_, layerLines_, weightLines_, compute_;
+    Addr layerBase_;
+    Addr weightBase_;
+};
+
+} // namespace
+
+std::vector<std::string>
+gpuBenchmarkNames()
+{
+    return {"2DCON", "3DCON", "BT", "SC", "HS", "LPS", "LUD", "MM", "NN",
+            "SRAD", "BP"};
+}
+
+std::unique_ptr<KernelAccessPattern>
+makeStencil(const StencilSpec &spec)
+{
+    return std::make_unique<StencilPattern>(spec, 15);
+}
+
+std::unique_ptr<KernelAccessPattern>
+makeGpuBenchmark(const std::string &name)
+{
+    if (name == "2DCON") {
+        // 5x5 convolution over single-row tiles: each input row is read
+        // by 5 CTAs -> very high inter-core locality.
+        StencilSpec s;
+        s.name = "2DCON";
+        s.ctas = 512;
+        s.warpsPerCta = 8;
+        s.rowsPerCta = 1;
+        s.halo = 2;
+        s.rowLines = 32;
+        s.colsPerWarp = 4;
+        s.writeEvery = 6;
+        s.computePerMem = 4;
+        s.sweeps = 2;
+        s.warpsPerGroup = 4;
+        return std::make_unique<StencilPattern>(s, 0);
+    }
+    if (name == "3DCON") {
+        // 3D stencil: wider rows and single sweep -> frequent L1
+        // replacement of recently shared lines (remote misses).
+        StencilSpec s;
+        s.name = "3DCON";
+        s.ctas = 512;
+        s.warpsPerCta = 8;
+        s.rowsPerCta = 2;
+        s.halo = 2;
+        s.rowLines = 32;
+        s.colsPerWarp = 4;
+        s.writeEvery = 6;
+        s.computePerMem = 3;
+        s.sweeps = 2;
+        s.warpsPerGroup = 4;
+        return std::make_unique<StencilPattern>(s, 1);
+    }
+    if (name == "BT") {
+        return std::make_unique<TreePattern>("BT", 1024, 8, 64, 4, 64,
+                                             6144, 6, 2);
+    }
+    if (name == "SC") {
+        return std::make_unique<CenterStreamPattern>(
+            "SC", 512, 8, 384, 96, 24, 2, 0.08, 4, 3);
+    }
+    if (name == "HS") {
+        // Iterative 3x3 stencil (hotspot): highest locality and reuse.
+        StencilSpec s;
+        s.name = "HS";
+        s.ctas = 512;
+        s.warpsPerCta = 8;
+        s.rowsPerCta = 1;
+        s.halo = 1;
+        s.rowLines = 24;
+        s.colsPerWarp = 3;
+        s.writeEvery = 5;
+        s.computePerMem = 3;
+        s.sweeps = 4;
+        s.warpsPerGroup = 3;
+        return std::make_unique<StencilPattern>(s, 4);
+    }
+    if (name == "LPS") {
+        StencilSpec s;
+        s.name = "LPS";
+        s.ctas = 512;
+        s.warpsPerCta = 8;
+        s.rowsPerCta = 2;
+        s.halo = 1;
+        s.rowLines = 32;
+        s.colsPerWarp = 4;
+        s.writeEvery = 5;
+        s.computePerMem = 3;
+        s.sweeps = 1;
+        s.warpsPerGroup = 4;
+        return std::make_unique<StencilPattern>(s, 5);
+    }
+    if (name == "LUD") {
+        // Small tiled factorization: fits the LLC, strong tile reuse.
+        return std::make_unique<MatMulPattern>("LUD", 8, 8, 8, 4, 8, 8, 20,
+                                               6);
+    }
+    if (name == "MM") {
+        return std::make_unique<MatMulPattern>("MM", 16, 16, 12, 6, 8, 8,
+                                               6, 7);
+    }
+    if (name == "NN") {
+        return std::make_unique<StreamSharedPattern>("NN", 1024, 8, 400, 5,
+                                                     4096, 10, 1, 8);
+    }
+    if (name == "SRAD") {
+        StencilSpec s;
+        s.name = "SRAD";
+        s.ctas = 512;
+        s.warpsPerCta = 8;
+        s.rowsPerCta = 2;
+        s.halo = 1;
+        s.rowLines = 24;
+        s.colsPerWarp = 3;
+        s.writeEvery = 4;
+        s.computePerMem = 5;
+        s.sweeps = 2;
+        s.warpsPerGroup = 8;
+        return std::make_unique<StencilPattern>(s, 9);
+    }
+    if (name == "BP") {
+        return std::make_unique<BackpropPattern>(512, 8, 360, 256, 32, 3,
+                                                 10);
+    }
+    fatal("unknown GPU benchmark '", name, "'");
+}
+
+} // namespace dr

@@ -1,0 +1,55 @@
+#ifndef DR_WORKLOADS_GPU_BENCHMARKS_HPP
+#define DR_WORKLOADS_GPU_BENCHMARKS_HPP
+
+/**
+ * @file
+ * The 11 GPU benchmarks of Table II, rebuilt as synthetic kernels whose
+ * access *structure* matches the original CUDA codes: stencils read
+ * overlapping halo rows (2DCON, 3DCON, HS, LPS, SRAD), tiled GEMM
+ * re-reads row/column tiles across the grid (MM, LUD), B+tree search
+ * shares the upper tree levels (BT), streaming kernels share read-only
+ * record/center sets (NN, SC), and backprop is write-heavy (BP). These
+ * structures — not tuned probabilities — produce the inter-core
+ * locality of Figure 2 and the miss-breakdown of Figure 14.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hpp"
+
+namespace dr
+{
+
+/** All GPU benchmark names, in the paper's order. */
+std::vector<std::string> gpuBenchmarkNames();
+
+/** Instantiate a benchmark by name; fatal() on unknown names. */
+std::unique_ptr<KernelAccessPattern> makeGpuBenchmark(
+    const std::string &name);
+
+/**
+ * A fully parameterized stencil kernel, exposed for tests and custom
+ * workloads (examples/custom_workload).
+ */
+struct StencilSpec
+{
+    std::string name = "stencil";
+    int ctas = 128;           //!< row-tiles in the grid
+    int warpsPerCta = 4;
+    int rowsPerCta = 2;       //!< output rows computed per CTA
+    int halo = 2;             //!< extra input rows read on each side
+    int rowLines = 64;        //!< cache lines per matrix row
+    int colsPerWarp = 16;     //!< lines of each row a warp reads
+    int writeEvery = 5;       //!< every n-th access is an output store
+    int computePerMem = 4;
+    int sweeps = 2;           //!< input re-reads per warp lifetime
+    int warpsPerGroup = 1;    //!< warps sharing one column slice
+};
+
+std::unique_ptr<KernelAccessPattern> makeStencil(const StencilSpec &spec);
+
+} // namespace dr
+
+#endif // DR_WORKLOADS_GPU_BENCHMARKS_HPP

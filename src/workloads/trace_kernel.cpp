@@ -1,0 +1,113 @@
+#include "workloads/trace_kernel.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+
+namespace dr
+{
+
+std::vector<TraceRecord>
+parseTrace(std::istream &in)
+{
+    std::vector<TraceRecord> records;
+    std::string line;
+    int lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream fields(line);
+        std::string op, addrStr;
+        if (!(fields >> op))
+            continue;  // blank line
+        if (!(fields >> addrStr))
+            fatal("trace: line ", lineNo, " is missing an address");
+        if (op != "R" && op != "W")
+            fatal("trace: line ", lineNo, " has op '", op,
+                  "' (expected R or W)");
+        TraceRecord record;
+        record.write = op == "W";
+        try {
+            record.addr = std::stoull(addrStr, nullptr, 16);
+        } catch (const std::exception &) {
+            fatal("trace: line ", lineNo, " has a bad address '", addrStr,
+                  "'");
+        }
+        records.push_back(record);
+    }
+    return records;
+}
+
+std::vector<TraceRecord>
+loadTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("trace: cannot open '", path, "'");
+    return parseTrace(in);
+}
+
+void
+writeTrace(const std::vector<TraceRecord> &records, std::ostream &out)
+{
+    for (const auto &r : records)
+        out << (r.write ? "W " : "R ") << std::hex << r.addr << std::dec
+            << "\n";
+}
+
+TraceKernel::TraceKernel(std::string name,
+                         std::vector<TraceRecord> records, int ctas,
+                         int warpsPerCta, int accessesPerWarp,
+                         int computePerMem)
+    : name_(std::move(name)), records_(std::move(records)), ctas_(ctas),
+      warpsPerCta_(warpsPerCta), accessesPerWarp_(accessesPerWarp),
+      computePerMem_(computePerMem)
+{
+    if (records_.empty())
+        fatal("trace kernel '", name_, "' has an empty trace");
+    if (ctas_ < 1 || warpsPerCta_ < 1 || accessesPerWarp_ < 1)
+        fatal("trace kernel '", name_, "' has an empty geometry");
+}
+
+MemAccess
+TraceKernel::access(int cta, int warp, int idx) const
+{
+    const std::size_t slice =
+        (static_cast<std::size_t>(cta) * warpsPerCta_ + warp) *
+        accessesPerWarp_;
+    const TraceRecord &record =
+        records_[(slice + static_cast<std::size_t>(idx)) %
+                 records_.size()];
+    return {record.addr, record.write};
+}
+
+std::vector<TraceRecord>
+makeSampleTrace(int records, int sharedLines, double sharedFraction,
+                double writeFraction, std::uint64_t seed)
+{
+    constexpr Addr sharedBase = 0x300000000ull;
+    constexpr Addr privateBase = 0x310000000ull;
+    constexpr Addr lineBytes = 128;
+    Rng rng(seed);
+    std::vector<TraceRecord> out;
+    out.reserve(records);
+    Addr streamCursor = 0;
+    for (int i = 0; i < records; ++i) {
+        TraceRecord r;
+        r.write = rng.chance(writeFraction);
+        if (rng.chance(sharedFraction)) {
+            r.addr = sharedBase + rng.below(sharedLines) * lineBytes;
+        } else {
+            streamCursor += lineBytes;
+            r.addr = privateBase + streamCursor;
+        }
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace dr

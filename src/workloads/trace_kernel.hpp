@@ -1,0 +1,88 @@
+#ifndef DR_WORKLOADS_TRACE_KERNEL_HPP
+#define DR_WORKLOADS_TRACE_KERNEL_HPP
+
+/**
+ * @file
+ * Trace-driven GPU workloads: run a recorded (or externally generated)
+ * address trace through the full system instead of a synthetic
+ * generator — the "bring your own application" path of the library.
+ *
+ * Trace format (text): one access per line, `R <hex-addr>` or
+ * `W <hex-addr>`, with `#` comments. The trace is partitioned over
+ * warps: warp w of CTA c plays the slice starting at
+ * (c * warpsPerCta + w) * accessesPerWarp, wrapping around the trace.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpu/kernel.hpp"
+
+namespace dr
+{
+
+/** One parsed trace record. */
+struct TraceRecord
+{
+    Addr addr = 0;
+    bool write = false;
+};
+
+/** Parse a trace stream. fatal() on malformed lines. */
+std::vector<TraceRecord> parseTrace(std::istream &in);
+
+/** Parse a trace file. fatal() if unreadable. */
+std::vector<TraceRecord> loadTraceFile(const std::string &path);
+
+/** Write records in the canonical text format. */
+void writeTrace(const std::vector<TraceRecord> &records,
+                std::ostream &out);
+
+/** A kernel that replays a trace, partitioned over CTAs and warps. */
+class TraceKernel : public KernelAccessPattern
+{
+  public:
+    /**
+     * @param records the trace (must be non-empty)
+     * @param ctas grid size to expose
+     * @param warpsPerCta warps per CTA
+     * @param accessesPerWarp slice length per warp
+     * @param computePerMem compute instructions between accesses
+     */
+    TraceKernel(std::string name, std::vector<TraceRecord> records,
+                int ctas, int warpsPerCta, int accessesPerWarp,
+                int computePerMem);
+
+    std::string name() const override { return name_; }
+    int ctaCount() const override { return ctas_; }
+    int warpsPerCta() const override { return warpsPerCta_; }
+    int accessesPerWarp() const override { return accessesPerWarp_; }
+    int computePerMem() const override { return computePerMem_; }
+    MemAccess access(int cta, int warp, int idx) const override;
+
+    std::size_t traceLength() const { return records_.size(); }
+
+  private:
+    std::string name_;
+    std::vector<TraceRecord> records_;
+    int ctas_;
+    int warpsPerCta_;
+    int accessesPerWarp_;
+    int computePerMem_;
+};
+
+/**
+ * Generate a sample trace with tunable sharing: `sharedFraction` of the
+ * accesses target a `sharedLines`-line region that all warps revisit
+ * (inter-core locality), the rest stream privately. Useful for testing
+ * and as a template for external trace producers.
+ */
+std::vector<TraceRecord> makeSampleTrace(int records, int sharedLines,
+                                         double sharedFraction,
+                                         double writeFraction,
+                                         std::uint64_t seed);
+
+} // namespace dr
+
+#endif // DR_WORKLOADS_TRACE_KERNEL_HPP

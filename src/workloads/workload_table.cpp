@@ -1,0 +1,38 @@
+#include "workloads/workload_table.hpp"
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+const std::vector<WorkloadMix> &
+workloadTable()
+{
+    // Verbatim from Table II of the paper.
+    static const std::vector<WorkloadMix> table = {
+        {"2DCON", {"blackscholes", "canneal", "dedup"}},
+        {"3DCON", {"bodytrack", "dedup", "fluidanimate"}},
+        {"BT", {"dedup", "fluidanimate", "vips"}},
+        {"SC", {"bodytrack", "ferret", "swaptions"}},
+        {"HS", {"bodytrack", "ferret", "x264"}},
+        {"LPS", {"fluidanimate", "vips", "x264"}},
+        {"LUD", {"ferret", "blackscholes", "swaptions"}},
+        {"MM", {"canneal", "fluidanimate", "vips"}},
+        {"NN", {"blackscholes", "fluidanimate", "swaptions"}},
+        {"SRAD", {"fluidanimate", "ferret", "x264"}},
+        {"BP", {"blackscholes", "bodytrack", "ferret"}},
+    };
+    return table;
+}
+
+const std::vector<std::string> &
+cpuCoRunnersFor(const std::string &gpu)
+{
+    for (const auto &mix : workloadTable()) {
+        if (mix.gpu == gpu)
+            return mix.cpuOptions;
+    }
+    fatal("no workload mix for GPU benchmark '", gpu, "'");
+}
+
+} // namespace dr

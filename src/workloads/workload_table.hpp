@@ -1,0 +1,32 @@
+#ifndef DR_WORKLOADS_WORKLOAD_TABLE_HPP
+#define DR_WORKLOADS_WORKLOAD_TABLE_HPP
+
+/**
+ * @file
+ * Table II: the 33 heterogeneous CPU-GPU workloads. Each GPU benchmark
+ * co-runs with three CPU benchmarks; in every run all CPU cores execute
+ * one CPU benchmark.
+ */
+
+#include <string>
+#include <vector>
+
+namespace dr
+{
+
+/** One row of Table II. */
+struct WorkloadMix
+{
+    std::string gpu;
+    std::vector<std::string> cpuOptions;  //!< the three CPU co-runners
+};
+
+/** The full Table II. */
+const std::vector<WorkloadMix> &workloadTable();
+
+/** The CPU co-runners for a GPU benchmark (fatal on unknown names). */
+const std::vector<std::string> &cpuCoRunnersFor(const std::string &gpu);
+
+} // namespace dr
+
+#endif // DR_WORKLOADS_WORKLOAD_TABLE_HPP

@@ -1,0 +1,48 @@
+#include <gtest/gtest.h>
+
+#include "coherence/gpu_coherence.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(GpuCoherence, EpochsStartAtZero)
+{
+    GpuCoherence c(4);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(c.epochOf(i), 0u);
+}
+
+TEST(GpuCoherence, FlushBumpsOnlyThatCore)
+{
+    GpuCoherence c(4);
+    c.flush(1);
+    EXPECT_EQ(c.epochOf(0), 0u);
+    EXPECT_EQ(c.epochOf(1), 1u);
+    EXPECT_EQ(c.flushes().value(), 1u);
+}
+
+TEST(GpuCoherence, PointerValidityTracksEpoch)
+{
+    GpuCoherence c(2);
+    const std::uint32_t epoch = c.epochOf(0);
+    EXPECT_TRUE(c.pointerValid(0, epoch));
+    c.flush(0);
+    EXPECT_FALSE(c.pointerValid(0, epoch));
+    EXPECT_TRUE(c.pointerValid(0, c.epochOf(0)));
+}
+
+TEST(GpuCoherence, ManyFlushesMonotonic)
+{
+    GpuCoherence c(1);
+    std::uint32_t last = c.epochOf(0);
+    for (int i = 0; i < 100; ++i) {
+        c.flush(0);
+        EXPECT_GT(c.epochOf(0), last);
+        last = c.epochOf(0);
+    }
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "coherence/mesi.hpp"
+
+namespace dr
+{
+namespace
+{
+
+constexpr Cycle penalty = 20;
+
+TEST(Mesi, FirstReadGetsExclusive)
+{
+    MesiDirectory dir(4, penalty);
+    EXPECT_EQ(dir.access(0, 0x100, false), 0u);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Exclusive);
+    EXPECT_TRUE(dir.isSharer(0, 0x100));
+}
+
+TEST(Mesi, SecondReaderSharesCleanly)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, false);
+    EXPECT_EQ(dir.access(1, 0x100, false), 0u);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Shared);
+    EXPECT_EQ(dir.sharerCount(0x100), 2);
+}
+
+TEST(Mesi, WriteInvalidatesSharers)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, false);
+    dir.access(1, 0x100, false);
+    dir.access(2, 0x100, false);
+    const Cycle cost = dir.access(3, 0x100, true);
+    EXPECT_EQ(cost, penalty);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Modified);
+    EXPECT_EQ(dir.sharerCount(0x100), 1);
+    EXPECT_TRUE(dir.isSharer(3, 0x100));
+    EXPECT_EQ(dir.stats().invalidations.value(), 3u);
+}
+
+TEST(Mesi, OwnWriteAfterExclusiveIsFree)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, false);
+    EXPECT_EQ(dir.access(0, 0x100, true), 0u);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Modified);
+}
+
+TEST(Mesi, ReadOfModifiedDowngradesOwner)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, true);
+    const Cycle cost = dir.access(1, 0x100, false);
+    EXPECT_EQ(cost, penalty);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Shared);
+    EXPECT_EQ(dir.stats().downgrades.value(), 1u);
+    EXPECT_EQ(dir.stats().writebacks.value(), 1u);
+}
+
+TEST(Mesi, WriteOfModifiedByOtherPullsData)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, true);
+    const Cycle cost = dir.access(1, 0x100, true);
+    EXPECT_EQ(cost, penalty);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Modified);
+    EXPECT_TRUE(dir.isSharer(1, 0x100));
+    EXPECT_FALSE(dir.isSharer(0, 0x100));
+}
+
+TEST(Mesi, ModifiedOwnerRereadIsFree)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, true);
+    EXPECT_EQ(dir.access(0, 0x100, false), 0u);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Modified);
+}
+
+TEST(Mesi, EvictLastSharerUntracksLine)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, false);
+    dir.evict(0, 0x100);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Invalid);
+    EXPECT_EQ(dir.trackedLines(), 0u);
+}
+
+TEST(Mesi, EvictModifiedWritesBack)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, true);
+    dir.evict(0, 0x100);
+    EXPECT_EQ(dir.stats().writebacks.value(), 1u);
+}
+
+TEST(Mesi, EvictOneOfManySharersKeepsShared)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, false);
+    dir.access(1, 0x100, false);
+    dir.evict(0, 0x100);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Shared);
+    EXPECT_EQ(dir.sharerCount(0x100), 1);
+}
+
+TEST(Mesi, IndependentLines)
+{
+    MesiDirectory dir(4, penalty);
+    dir.access(0, 0x100, true);
+    dir.access(1, 0x200, true);
+    EXPECT_EQ(dir.stateOf(0x100), MesiState::Modified);
+    EXPECT_EQ(dir.stateOf(0x200), MesiState::Modified);
+    EXPECT_EQ(dir.trackedLines(), 2u);
+}
+
+TEST(MesiProperty, InvariantSingleOwnerForModified)
+{
+    // Random access trace: Modified always implies exactly one sharer.
+    MesiDirectory dir(8, penalty);
+    std::uint64_t x = 999;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        const int core = static_cast<int>((x >> 33) % 8);
+        const Addr addr = ((x >> 40) % 16) * 64;
+        const bool write = (x >> 60) % 3 == 0;
+        dir.access(core, addr, write);
+        if (dir.stateOf(addr) == MesiState::Modified ||
+            dir.stateOf(addr) == MesiState::Exclusive) {
+            ASSERT_EQ(dir.sharerCount(addr), 1);
+        }
+    }
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(Config, PaperDefaultsMatchTableI)
+{
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_EQ(cfg.gpu.numCores, 40);
+    EXPECT_EQ(cfg.cpu.numCores, 16);
+    EXPECT_EQ(cfg.mem.numNodes, 8);
+    EXPECT_EQ(cfg.noc.meshWidth, 8);
+    EXPECT_EQ(cfg.noc.meshHeight, 8);
+    EXPECT_EQ(cfg.noc.channelBytes, 16);
+    EXPECT_EQ(cfg.noc.vcsPerNet, 2);
+    EXPECT_EQ(cfg.noc.vcDepthFlits, 4);
+    EXPECT_EQ(cfg.gpu.l1SizeKB, 48);
+    EXPECT_EQ(cfg.gpu.l1LineBytes, 128);
+    EXPECT_EQ(cfg.mem.llcSliceKB, 1024);
+    EXPECT_EQ(cfg.mem.llcAssoc, 16);
+    EXPECT_EQ(cfg.mem.tCL, 12);
+    EXPECT_EQ(cfg.mem.tRC, 40);
+    cfg.validate();
+}
+
+TEST(Config, SmallConfigValidates)
+{
+    SystemConfig::makeSmall().validate();
+}
+
+TEST(Config, GpuReplyIsNineFlits)
+{
+    // 128 B line / 16 B channel + 1 header = 9 flits (paper Section I).
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_EQ(cfg.flitsFor(MsgType::ReadReply, TrafficClass::Gpu), 9);
+}
+
+TEST(Config, RequestsAreSingleFlit)
+{
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_EQ(cfg.flitsFor(MsgType::ReadReq, TrafficClass::Gpu), 1);
+    EXPECT_EQ(cfg.flitsFor(MsgType::DelegatedReq, TrafficClass::Gpu), 1);
+    EXPECT_EQ(cfg.flitsFor(MsgType::ProbeReq, TrafficClass::Gpu), 1);
+    EXPECT_EQ(cfg.flitsFor(MsgType::ProbeNack, TrafficClass::Gpu), 1);
+    EXPECT_EQ(cfg.flitsFor(MsgType::WriteAck, TrafficClass::Cpu), 1);
+}
+
+TEST(Config, CpuReplyUsesCpuLineSize)
+{
+    // 64 B CPU lines: 1 + 64/16 = 5 flits.
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_EQ(cfg.flitsFor(MsgType::ReadReply, TrafficClass::Cpu), 5);
+}
+
+TEST(Config, DoubleBandwidthHalvesDataFlits)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.bandwidthScale = 2.0;
+    EXPECT_EQ(cfg.noc.effectiveChannelBytes(), 32);
+    EXPECT_EQ(cfg.flitsFor(MsgType::ReadReply, TrafficClass::Gpu), 5);
+}
+
+TEST(Config, SharedPhysicalDoublesChannel)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.sharedPhysical = true;
+    EXPECT_EQ(cfg.noc.effectiveChannelBytes(), 32);
+}
+
+TEST(Config, WriteCarriesPayload)
+{
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_GT(cfg.flitsFor(MsgType::WriteReq, TrafficClass::Gpu), 1);
+    EXPECT_LT(cfg.flitsFor(MsgType::WriteReq, TrafficClass::Gpu),
+              cfg.flitsFor(MsgType::ReadReply, TrafficClass::Gpu));
+}
+
+TEST(ConfigDeath, UnbalancedNodeMixFails)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.gpu.numCores = 41;
+    EXPECT_DEATH(cfg.validate(), "node mix");
+}
+
+TEST(ConfigDeath, MismatchedLineSizesFail)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.gpu.l1LineBytes = 64;
+    EXPECT_DEATH(cfg.validate(), "line sizes");
+}
+
+TEST(Config, MessageToStringMentionsType)
+{
+    Message m;
+    m.type = MsgType::DelegatedReq;
+    m.id = 42;
+    EXPECT_NE(m.toString().find("DelegatedReq"), std::string::npos);
+}
+
+TEST(Config, OnRequestNetworkClassification)
+{
+    EXPECT_TRUE(onRequestNetwork(MsgType::ReadReq));
+    EXPECT_TRUE(onRequestNetwork(MsgType::WriteReq));
+    EXPECT_TRUE(onRequestNetwork(MsgType::DelegatedReq));
+    EXPECT_TRUE(onRequestNetwork(MsgType::ProbeReq));
+    EXPECT_FALSE(onRequestNetwork(MsgType::ReadReply));
+    EXPECT_FALSE(onRequestNetwork(MsgType::WriteAck));
+    EXPECT_FALSE(onRequestNetwork(MsgType::ProbeNack));
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/config_io.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(ConfigIo, AppliesScalarOptions)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    applyConfigOption(cfg, "gpu.l1SizeKB", "64");
+    applyConfigOption(cfg, "noc.bandwidthScale", "2.0");
+    applyConfigOption(cfg, "sim.cycles", "12345");
+    EXPECT_EQ(cfg.gpu.l1SizeKB, 64);
+    EXPECT_DOUBLE_EQ(cfg.noc.bandwidthScale, 2.0);
+    EXPECT_EQ(cfg.simCycles, 12345u);
+}
+
+TEST(ConfigIo, AppliesEnumOptions)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    applyConfigOption(cfg, "mechanism", "delegated-replies");
+    applyConfigOption(cfg, "layout", "B");
+    applyConfigOption(cfg, "noc.topology", "dragonfly");
+    applyConfigOption(cfg, "noc.requestRouting", "DyXY");
+    applyConfigOption(cfg, "gpu.l1Org", "dyneb");
+    applyConfigOption(cfg, "gpu.ctaSchedule", "distributed");
+    EXPECT_EQ(cfg.mechanism, Mechanism::DelegatedReplies);
+    EXPECT_EQ(cfg.layout, ChipLayout::LayoutB);
+    EXPECT_EQ(cfg.noc.topology, TopologyKind::Dragonfly);
+    EXPECT_EQ(cfg.noc.requestRouting, RoutingKind::DyXY);
+    EXPECT_EQ(cfg.gpu.l1Org, L1Organization::DynEB);
+    EXPECT_EQ(cfg.gpu.ctaSchedule, CtaSchedule::Distributed);
+}
+
+TEST(ConfigIo, AppliesBooleans)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    applyConfigOption(cfg, "dr.delegateAlways", "true");
+    applyConfigOption(cfg, "noc.sharedPhysical", "1");
+    EXPECT_TRUE(cfg.dr.delegateAlways);
+    EXPECT_TRUE(cfg.noc.sharedPhysical);
+    applyConfigOption(cfg, "dr.delegateAlways", "false");
+    EXPECT_FALSE(cfg.dr.delegateAlways);
+}
+
+TEST(ConfigIo, ParsesStreamWithCommentsAndBlanks)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    std::istringstream in(
+        "# an experiment\n"
+        "mechanism = rp   # probes\n"
+        "\n"
+        "  gpu.frqEntries = 16\n");
+    parseConfig(cfg, in);
+    EXPECT_EQ(cfg.mechanism, Mechanism::RealisticProbing);
+    EXPECT_EQ(cfg.gpu.frqEntries, 16);
+}
+
+TEST(ConfigIoDeath, UnknownKeyIsFatal)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_DEATH(applyConfigOption(cfg, "gpu.l1SizeMB", "1"),
+                 "unknown option");
+}
+
+TEST(ConfigIoDeath, BadIntegerIsFatal)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_DEATH(applyConfigOption(cfg, "gpu.l1SizeKB", "lots"),
+                 "expects an integer");
+}
+
+TEST(ConfigIoDeath, BadEnumIsFatal)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_DEATH(applyConfigOption(cfg, "noc.topology", "torus"),
+                 "unknown topology");
+}
+
+TEST(ConfigIoDeath, MissingEqualsIsFatal)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    std::istringstream in("mechanism baseline\n");
+    EXPECT_DEATH(parseConfig(cfg, in), "no '='");
+}
+
+TEST(ConfigIo, RoundTripsEveryOption)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.layout = ChipLayout::LayoutC;
+    cfg.noc.topology = TopologyKind::FlattenedButterfly;
+    cfg.noc.requestRouting = RoutingKind::Hare;
+    cfg.noc.bandwidthScale = 1.5;
+    cfg.noc.sharedPhysical = true;
+    cfg.gpu.l1Org = L1Organization::DcL1;
+    cfg.gpu.ctaSchedule = CtaSchedule::Distributed;
+    cfg.dr.delegateAlways = true;
+    cfg.rp.probeCount = 4;
+    cfg.seed = 99;
+
+    std::ostringstream out;
+    writeConfig(cfg, out);
+    SystemConfig parsed = SystemConfig::makePaper();
+    std::istringstream in(out.str());
+    parseConfig(parsed, in);
+
+    std::ostringstream out2;
+    writeConfig(parsed, out2);
+    EXPECT_EQ(out.str(), out2.str());
+    EXPECT_EQ(parsed.mechanism, cfg.mechanism);
+    EXPECT_EQ(parsed.layout, cfg.layout);
+    EXPECT_EQ(parsed.noc.topology, cfg.noc.topology);
+    EXPECT_EQ(parsed.rp.probeCount, cfg.rp.probeCount);
+    EXPECT_DOUBLE_EQ(parsed.noc.bandwidthScale, cfg.noc.bandwidthScale);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/hetero_system.hpp"
+
+namespace dr
+{
+namespace
+{
+
+/** Property-style invariants that must hold under every mechanism. */
+class MechanismInvariants : public ::testing::TestWithParam<Mechanism>
+{
+  protected:
+    SystemConfig
+    cfg() const
+    {
+        SystemConfig c = SystemConfig::makePaper();
+        c.mechanism = GetParam();
+        c.warmupCycles = 4000;
+        c.simCycles = 10000;
+        return c;
+    }
+};
+
+TEST_P(MechanismInvariants, EveryCoreMakesProgress)
+{
+    HeteroSystem sys(cfg(), "SRAD", "ferret");
+    sys.run();
+    for (int i = 0; i < sys.gpuCoreCount(); ++i) {
+        EXPECT_GT(sys.gpuCore(i).stats().instructions.value(), 0u)
+            << "GPU core " << i << " starved";
+    }
+    for (int i = 0; i < sys.cpuCoreCount(); ++i) {
+        EXPECT_GT(sys.cpuCore(i).stats().retired.value(), 0u)
+            << "CPU core " << i << " starved";
+    }
+}
+
+TEST_P(MechanismInvariants, DelegationsResolveOrRemainBounded)
+{
+    HeteroSystem sys(cfg(), "2DCON", "canneal");
+    sys.run();
+    std::uint64_t delegations = 0;
+    for (int i = 0; i < sys.memNodeCount(); ++i)
+        delegations += sys.memNode(i).stats().delegations.value();
+    std::uint64_t resolved = 0;
+    int inFrq = 0;
+    for (int i = 0; i < sys.gpuCoreCount(); ++i) {
+        const auto &s = sys.gpuCore(i).stats();
+        resolved += s.frqRemoteHits.value() + s.frqDelayedHits.value() +
+                    s.frqRemoteMisses.value();
+        inFrq += sys.gpuCore(i).frqOccupancy();
+    }
+    // Every delegated reply is eventually received and classified; the
+    // difference is bounded by what is still in flight (FRQs plus
+    // network capacity). Stats were reset after warmup, so warmup
+    // leftovers can make resolved slightly exceed delegations.
+    const std::uint64_t networkBound =
+        static_cast<std::uint64_t>(sys.gpuCoreCount()) *
+        (sys.config().gpu.frqEntries + 40);
+    if (delegations > resolved)
+        EXPECT_LE(delegations - resolved, networkBound);
+}
+
+TEST_P(MechanismInvariants, L1HitsPlusMissesEqualLoads)
+{
+    HeteroSystem sys(cfg(), "MM", "vips");
+    sys.run();
+    for (int i = 0; i < sys.gpuCoreCount(); ++i) {
+        const auto &s = sys.gpuCore(i).stats();
+        EXPECT_EQ(s.l1Hits.value() + s.l1Misses.value(), s.loads.value());
+    }
+}
+
+TEST_P(MechanismInvariants, BlockingRatesAreProbabilities)
+{
+    HeteroSystem sys(cfg(), "HS", "x264");
+    sys.run();
+    for (int i = 0; i < sys.memNodeCount(); ++i) {
+        EXPECT_GE(sys.memNode(i).blockingRate(), 0.0);
+        EXPECT_LE(sys.memNode(i).blockingRate(), 1.0);
+    }
+}
+
+TEST_P(MechanismInvariants, OnlyDrDelegatesOnlyRpProbes)
+{
+    HeteroSystem sys(cfg(), "2DCON", "dedup");
+    const RunResults r = sys.run();
+    switch (GetParam()) {
+      case Mechanism::Baseline:
+        EXPECT_EQ(r.delegations, 0u);
+        EXPECT_EQ(r.probesSent, 0u);
+        break;
+      case Mechanism::RealisticProbing:
+        EXPECT_EQ(r.delegations, 0u);
+        EXPECT_GT(r.probesSent, 0u);
+        break;
+      case Mechanism::DelegatedReplies:
+        EXPECT_GT(r.delegations, 0u);
+        EXPECT_EQ(r.probesSent, 0u);
+        break;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanisms, MechanismInvariants,
+    ::testing::Values(Mechanism::Baseline, Mechanism::RealisticProbing,
+                      Mechanism::DelegatedReplies),
+    [](const ::testing::TestParamInfo<Mechanism> &info) {
+        return std::string(mechanismName(info.param));
+    });
+
+TEST(SystemStress, DragonflyDoesNotDeadlockUnderDr)
+{
+    // VC phase escalation must keep the dragonfly deadlock-free under
+    // heavy delegated traffic: delivery must continue to the very end.
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.noc.topology = TopologyKind::Dragonfly;
+    cfg.warmupCycles = 0;
+    cfg.simCycles = 1;
+    HeteroSystem sys(cfg, "2DCON", "canneal");
+    std::uint64_t lastDelivered = 0;
+    for (int chunk = 0; chunk < 10; ++chunk) {
+        sys.advance(3000);
+        const std::uint64_t delivered =
+            sys.interconnect()
+                .net(NetKind::Reply)
+                .stats()
+                .packetsDelivered.value();
+        EXPECT_GT(delivered, lastDelivered)
+            << "no reply progress in chunk " << chunk;
+        lastDelivered = delivered;
+    }
+}
+
+TEST(SystemStress, SharedNetworkDoesNotDeadlockUnderDr)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.noc.sharedPhysical = true;
+    cfg.noc.sharedReqVcs = 1;
+    cfg.noc.sharedReplyVcs = 1;
+    cfg.warmupCycles = 0;
+    cfg.simCycles = 1;
+    HeteroSystem sys(cfg, "HS", "bodytrack");
+    std::uint64_t lastDelivered = 0;
+    for (int chunk = 0; chunk < 8; ++chunk) {
+        sys.advance(3000);
+        const std::uint64_t delivered = sys.interconnect()
+                                            .net(NetKind::Reply)
+                                            .stats()
+                                            .packetsDelivered.value();
+        EXPECT_GT(delivered, lastDelivered);
+        lastDelivered = delivered;
+    }
+}
+
+TEST(SystemStress, DifferentSeedsDiverge)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.warmupCycles = 2000;
+    cfg.simCycles = 5000;
+    cfg.seed = 1;
+    const RunResults a = runWorkload(cfg, "BT", "dedup");
+    cfg.seed = 2;
+    const RunResults b = runWorkload(cfg, "BT", "dedup");
+    // CPU traffic is stochastic per seed; the runs must not be
+    // accidentally identical.
+    EXPECT_NE(a.cpuLatency, b.cpuLatency);
+}
+
+TEST(SystemStress, TinyInjectionBuffersStillDrain)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.noc.memInjBufferFlits = 9;  // exactly one GPU reply
+    cfg.noc.coreInjBufferFlits = 9;
+    cfg.warmupCycles = 2000;
+    cfg.simCycles = 6000;
+    const RunResults r = runWorkload(cfg, "SRAD", "fluidanimate");
+    EXPECT_GT(r.gpuIpc, 0.05);
+}
+
+TEST(SystemStress, SingleVcPerNetworkWorks)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.vcsPerNet = 1;
+    cfg.warmupCycles = 2000;
+    cfg.simCycles = 6000;
+    const RunResults r = runWorkload(cfg, "LPS", "x264");
+    EXPECT_GT(r.gpuIpc, 0.05);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/layout.hpp"
+
+namespace dr
+{
+namespace
+{
+
+SystemConfig
+paperCfg(ChipLayout layout)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.layout = layout;
+    return cfg;
+}
+
+TEST(Layout, AllLayoutsProduceCorrectMix)
+{
+    for (const ChipLayout l :
+         {ChipLayout::Baseline, ChipLayout::LayoutB, ChipLayout::LayoutC,
+          ChipLayout::LayoutD}) {
+        const LayoutMap map = buildLayout(paperCfg(l));
+        EXPECT_EQ(map.gpuCores.size(), 40u) << layoutName(l);
+        EXPECT_EQ(map.cpuCores.size(), 16u) << layoutName(l);
+        EXPECT_EQ(map.memNodes.size(), 8u) << layoutName(l);
+        EXPECT_EQ(map.types.size(), 64u);
+    }
+}
+
+TEST(Layout, BaselineMemoryColumnBetweenCpusAndGpus)
+{
+    // Figure 1a: CPUs in columns 0-1, memory nodes in column 2, GPUs
+    // in columns 3-7.
+    const LayoutMap map = buildLayout(paperCfg(ChipLayout::Baseline));
+    for (int y = 0; y < 8; ++y) {
+        EXPECT_EQ(map.types[y * 8 + 0], NodeType::CpuCore);
+        EXPECT_EQ(map.types[y * 8 + 1], NodeType::CpuCore);
+        EXPECT_EQ(map.types[y * 8 + 2], NodeType::MemNode);
+        for (int x = 3; x < 8; ++x)
+            EXPECT_EQ(map.types[y * 8 + x], NodeType::GpuCore);
+    }
+}
+
+TEST(Layout, LayoutBMemoryAtTopRow)
+{
+    const LayoutMap map = buildLayout(paperCfg(ChipLayout::LayoutB));
+    for (int x = 0; x < 8; ++x)
+        EXPECT_EQ(map.types[x], NodeType::MemNode);
+}
+
+TEST(Layout, LayoutCCpusClustered)
+{
+    // Every CPU pair must be within a small hop radius (the clustering
+    // property the layout optimizes for).
+    const SystemConfig cfg = paperCfg(ChipLayout::LayoutC);
+    const LayoutMap map = buildLayout(cfg);
+    int maxDist = 0;
+    for (const NodeId a : map.cpuCores) {
+        for (const NodeId b : map.cpuCores) {
+            const int dist = std::abs(a % 8 - b % 8) +
+                             std::abs(a / 8 - b / 8);
+            maxDist = std::max(maxDist, dist);
+        }
+    }
+    EXPECT_LE(maxDist, 6);
+}
+
+TEST(Layout, LayoutDSpreadsMemoryNodes)
+{
+    // Distribution: memory nodes must not be confined to one row or
+    // column.
+    const LayoutMap map = buildLayout(paperCfg(ChipLayout::LayoutD));
+    std::set<int> rows, cols;
+    for (const NodeId m : map.memNodes) {
+        rows.insert(m / 8);
+        cols.insert(m % 8);
+    }
+    EXPECT_GT(rows.size(), 2u);
+    EXPECT_GT(cols.size(), 2u);
+}
+
+TEST(Layout, DefaultRoutingPerLayoutMatchesFigure9)
+{
+    SystemConfig cfg = paperCfg(ChipLayout::Baseline);
+    applyDefaultRouting(cfg);
+    EXPECT_EQ(cfg.noc.requestRouting, RoutingKind::DimOrderYX);
+    EXPECT_EQ(cfg.noc.replyRouting, RoutingKind::DimOrderXY);
+
+    cfg.layout = ChipLayout::LayoutB;
+    applyDefaultRouting(cfg);
+    EXPECT_EQ(cfg.noc.requestRouting, RoutingKind::DimOrderXY);
+    EXPECT_EQ(cfg.noc.replyRouting, RoutingKind::DimOrderYX);
+
+    cfg.layout = ChipLayout::LayoutD;
+    applyDefaultRouting(cfg);
+    EXPECT_EQ(cfg.noc.requestRouting, RoutingKind::DimOrderXY);
+    EXPECT_EQ(cfg.noc.replyRouting, RoutingKind::DimOrderXY);
+}
+
+TEST(Layout, ScalesToLargerMeshes)
+{
+    // Figure 19's node-count sensitivity: 10x10 and 12x12 with the
+    // same type proportions.
+    for (const int dim : {10, 12}) {
+        SystemConfig cfg = SystemConfig::makePaper();
+        cfg.noc.meshWidth = dim;
+        cfg.noc.meshHeight = dim;
+        const int tiles = dim * dim;
+        cfg.mem.numNodes = tiles / 8;
+        cfg.cpu.numCores = tiles / 4;
+        cfg.gpu.numCores = tiles - cfg.mem.numNodes - cfg.cpu.numCores;
+        for (const ChipLayout l :
+             {ChipLayout::Baseline, ChipLayout::LayoutB,
+              ChipLayout::LayoutD}) {
+            cfg.layout = l;
+            const LayoutMap map = buildLayout(cfg);
+            EXPECT_EQ(static_cast<int>(map.gpuCores.size()),
+                      cfg.gpu.numCores);
+        }
+    }
+}
+
+TEST(Layout, SmallConfigWorks)
+{
+    SystemConfig cfg = SystemConfig::makeSmall();
+    for (const ChipLayout l :
+         {ChipLayout::Baseline, ChipLayout::LayoutB, ChipLayout::LayoutC,
+          ChipLayout::LayoutD}) {
+        cfg.layout = l;
+        const LayoutMap map = buildLayout(cfg);
+        EXPECT_EQ(map.gpuCores.size(), 10u) << layoutName(l);
+    }
+}
+
+TEST(Layout, RenderShowsEveryTile)
+{
+    const SystemConfig cfg = paperCfg(ChipLayout::Baseline);
+    const std::string art = renderLayout(cfg, buildLayout(cfg));
+    int g = 0, c = 0, m = 0;
+    for (const char ch : art) {
+        g += ch == 'G';
+        c += ch == 'C';
+        m += ch == 'M';
+    }
+    EXPECT_EQ(g, 40);
+    EXPECT_EQ(c, 16);
+    EXPECT_EQ(m, 8);
+}
+
+TEST(Layout, IndexListsMatchTypes)
+{
+    for (const ChipLayout l :
+         {ChipLayout::Baseline, ChipLayout::LayoutB, ChipLayout::LayoutC,
+          ChipLayout::LayoutD}) {
+        const LayoutMap map = buildLayout(paperCfg(l));
+        for (const NodeId n : map.gpuCores)
+            EXPECT_EQ(map.types[n], NodeType::GpuCore);
+        for (const NodeId n : map.cpuCores)
+            EXPECT_EQ(map.types[n], NodeType::CpuCore);
+        for (const NodeId n : map.memNodes)
+            EXPECT_EQ(map.types[n], NodeType::MemNode);
+    }
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "cpu/cpu_node.hpp"
+#include "cpu/cpu_profile.hpp"
+#include "noc/interconnect.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(CpuProfile, AllTableIIBenchmarksExist)
+{
+    for (const char *name :
+         {"blackscholes", "bodytrack", "canneal", "dedup", "ferret",
+          "fluidanimate", "swaptions", "vips", "x264"}) {
+        const CpuProfile &p = cpuProfileFor(name);
+        EXPECT_EQ(p.name, name);
+        EXPECT_GT(p.accessRate, 0.0);
+        EXPECT_LE(p.accessRate, 1.0);
+        EXPECT_GE(p.depFraction, 0.0);
+        EXPECT_LE(p.depFraction, 1.0);
+        EXPECT_GT(p.workingSetKB, 0);
+        EXPECT_GT(p.maxOutstanding, 0);
+    }
+}
+
+TEST(CpuProfile, SensitivityOrderingMatchesPaper)
+{
+    // Figure 13's discussion: vips is latency-sensitive, dedup is not.
+    EXPECT_GT(cpuProfileFor("vips").depFraction,
+              cpuProfileFor("dedup").depFraction);
+}
+
+TEST(CpuProfile, UnknownNameDies)
+{
+    EXPECT_DEATH(cpuProfileFor("doom"), "unknown CPU benchmark");
+}
+
+TEST(CpuProfile, NamesListMatchesProfiles)
+{
+    const auto names = cpuBenchmarkNames();
+    EXPECT_EQ(names.size(), 9u);
+    for (const auto &n : names)
+        EXPECT_EQ(cpuProfileFor(n).name, n);
+}
+
+/** Fixture: one CPU node wired to a small interconnect + echo server. */
+class CpuNodeTest : public ::testing::Test
+{
+  protected:
+    CpuNodeTest()
+        : cfg(SystemConfig::makeSmall()),
+          types(16, NodeType::GpuCore)
+    {
+        types[0] = NodeType::MemNode;
+        types[1] = NodeType::MemNode;
+        types[5] = NodeType::CpuCore;
+        types[6] = NodeType::CpuCore;
+        ic = std::make_unique<Interconnect>(cfg, types);
+        map = std::make_unique<AddressMap>(2, cfg.mem.lineBytes,
+                                           std::vector<NodeId>{0, 1},
+                                           cfg.mem.mapSeed);
+        node = std::make_unique<CpuNode>(5, 0, cfg,
+                                         cpuProfileFor("vips"), *ic, *map);
+    }
+
+    /** Memory nodes reply after a fixed latency. */
+    void
+    serveMemory(Cycle now)
+    {
+        for (NodeId mem : {NodeId(0), NodeId(1)}) {
+            while (ic->hasMessage(mem, NetKind::Request)) {
+                Message req = ic->popMessage(mem, NetKind::Request);
+                Message reply;
+                reply.type = req.type == MsgType::WriteReq
+                                 ? MsgType::WriteAck
+                                 : MsgType::ReadReply;
+                reply.cls = req.cls;
+                reply.addr = req.addr;
+                reply.src = mem;
+                reply.dst = req.requester;
+                reply.requester = req.requester;
+                reply.id = req.id;
+                if (ic->canSend(reply))
+                    ic->send(reply, now);
+            }
+        }
+    }
+
+    SystemConfig cfg;
+    std::vector<NodeType> types;
+    std::unique_ptr<Interconnect> ic;
+    std::unique_ptr<AddressMap> map;
+    std::unique_ptr<CpuNode> node;
+};
+
+TEST_F(CpuNodeTest, GeneratesTrafficAndRetires)
+{
+    for (Cycle c = 0; c < 20000; ++c) {
+        node->tick(c);
+        serveMemory(c);
+        ic->tick(c);
+    }
+    EXPECT_GT(node->stats().accesses.value(), 500u);
+    EXPECT_GT(node->stats().requestsSent.value(), 10u);
+    EXPECT_GT(node->stats().retired.value(), 5000u);
+    EXPECT_GT(node->stats().l1Hits.value(), 0u);
+    EXPECT_GT(node->stats().requestLatency.count(), 0u);
+    EXPECT_GT(node->ipc(20000), 0.2);
+    EXPECT_LE(node->ipc(20000), 1.0);
+}
+
+TEST_F(CpuNodeTest, BlockedCyclesReduceIpc)
+{
+    // Without any memory service the first dependent miss stalls the
+    // core forever: retirement must stop.
+    for (Cycle c = 0; c < 5000; ++c) {
+        node->tick(c);
+        ic->tick(c);  // no serveMemory
+    }
+    EXPECT_GT(node->stats().blockedCycles.value(), 1000u);
+    EXPECT_LT(node->ipc(5000), 1.0);
+}
+
+TEST_F(CpuNodeTest, InjectionRateInPaperRange)
+{
+    // Paper: CPU injection is 0.013-0.084 flits/cycle. Requests are one
+    // flit (plus write payloads); verify the order of magnitude.
+    for (Cycle c = 0; c < 20000; ++c) {
+        node->tick(c);
+        serveMemory(c);
+        ic->tick(c);
+    }
+    const double reqPerCycle =
+        static_cast<double>(node->stats().requestsSent.value()) / 20000.0;
+    EXPECT_GT(reqPerCycle, 0.001);
+    EXPECT_LT(reqPerCycle, 0.12);
+}
+
+TEST_F(CpuNodeTest, OutstandingBoundedByMlp)
+{
+    for (Cycle c = 0; c < 10000; ++c) {
+        node->tick(c);
+        // Never serve: outstanding must saturate at the MLP bound.
+        ic->tick(c);
+        EXPECT_LE(node->outstanding(),
+                  cpuProfileFor("vips").maxOutstanding);
+    }
+}
+
+TEST_F(CpuNodeTest, LatencySensitivityOrdering)
+{
+    // vips (dep 0.8) loses more IPC than dedup (dep 0.15) under equal
+    // memory latency.
+    CpuNode dedupNode(6, 1, cfg, cpuProfileFor("dedup"), *ic, *map);
+    CpuNode vipsNode(5, 0, cfg, cpuProfileFor("vips"), *ic, *map);
+    // Compare blocked fractions under the same echo-served memory.
+    for (Cycle c = 0; c < 20000; ++c) {
+        dedupNode.tick(c);
+        vipsNode.tick(c);
+        serveMemory(c);
+        ic->tick(c);
+    }
+    const double vipsBlocked =
+        static_cast<double>(vipsNode.stats().blockedCycles.value());
+    const double dedupBlocked =
+        static_cast<double>(dedupNode.stats().blockedCycles.value());
+    EXPECT_GT(vipsBlocked, dedupBlocked);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpu/cta_scheduler.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(CtaSchedulerRR, CtaMapsToCoreModuloN)
+{
+    // Round-robin launch: CTA i runs on core (i mod N).
+    CtaScheduler sched(CtaSchedule::RoundRobin, 40, 4);
+    for (int round = 0; round < 3; ++round) {
+        for (int core = 0; core < 4; ++core) {
+            const CtaAssignment a = sched.next(core);
+            EXPECT_EQ(a.cta % 4, core);
+            EXPECT_EQ(a.cta, core + round * 4);
+            EXPECT_EQ(a.kernelInstance, 0u);
+        }
+    }
+}
+
+TEST(CtaSchedulerRR, AdjacentCtasOnDifferentCores)
+{
+    CtaScheduler sched(CtaSchedule::RoundRobin, 16, 4);
+    std::vector<int> coreOf(16, -1);
+    for (int round = 0; round < 4; ++round) {
+        for (int core = 0; core < 4; ++core)
+            coreOf[sched.next(core).cta] = core;
+    }
+    for (int cta = 0; cta + 1 < 16; ++cta)
+        EXPECT_NE(coreOf[cta], coreOf[cta + 1]);
+}
+
+TEST(CtaSchedulerRR, RelaunchBumpsInstance)
+{
+    CtaScheduler sched(CtaSchedule::RoundRobin, 8, 4);
+    // Core 0 owns CTAs {0, 4}: after two assignments the instance
+    // advances.
+    EXPECT_EQ(sched.next(0).kernelInstance, 0u);
+    EXPECT_EQ(sched.next(0).kernelInstance, 0u);
+    const CtaAssignment third = sched.next(0);
+    EXPECT_EQ(third.kernelInstance, 1u);
+    EXPECT_EQ(third.cta, 0);
+}
+
+TEST(CtaSchedulerDistributed, ContiguousChunks)
+{
+    CtaScheduler sched(CtaSchedule::Distributed, 40, 4);
+    for (int core = 0; core < 4; ++core) {
+        for (int i = 0; i < 10; ++i) {
+            const CtaAssignment a = sched.next(core);
+            EXPECT_EQ(a.cta, core * 10 + i);
+        }
+    }
+}
+
+TEST(CtaSchedulerDistributed, PerCoreInstanceIndependent)
+{
+    CtaScheduler sched(CtaSchedule::Distributed, 8, 4);
+    // Core 0 exhausts its 2-CTA chunk twice; core 1 untouched.
+    sched.next(0);
+    sched.next(0);
+    EXPECT_EQ(sched.next(0).kernelInstance, 1u);
+    EXPECT_EQ(sched.next(1).kernelInstance, 0u);
+}
+
+TEST(CtaSchedulerDistributed, MoreCoresThanCtasStillProgresses)
+{
+    CtaScheduler sched(CtaSchedule::Distributed, 2, 8);
+    for (int core = 0; core < 8; ++core) {
+        const CtaAssignment a = sched.next(core);
+        EXPECT_GE(a.cta, 0);
+        EXPECT_LT(a.cta, 2);
+    }
+}
+
+TEST(CtaSchedulerProperty, AllCtasCoveredEachInstance)
+{
+    for (const CtaSchedule policy :
+         {CtaSchedule::RoundRobin, CtaSchedule::Distributed}) {
+        CtaScheduler sched(policy, 24, 4);
+        std::set<int> seen;
+        // Pull one full instance's worth per core.
+        for (int core = 0; core < 4; ++core) {
+            for (int i = 0; i < 6; ++i)
+                seen.insert(sched.next(core).cta);
+        }
+        EXPECT_EQ(seen.size(), 24u) << ctaScheduleName(policy);
+    }
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "gpu/l1_cache.hpp"
+#include "gpu/shared_l1.hpp"
+
+namespace dr
+{
+namespace
+{
+
+GpuConfig
+cfg()
+{
+    GpuConfig g;
+    g.numCores = 16;
+    g.l1SizeKB = 4;
+    g.l1Assoc = 4;
+    g.l1LineBytes = 128;
+    g.dcl1CoresPerCluster = 8;
+    g.dcl1Slices = 4;
+    return g;
+}
+
+TEST(PrivateL1, CoresAreIsolated)
+{
+    PrivateL1 l1(cfg());
+    l1.fill(0, 0x1000);
+    EXPECT_TRUE(l1.contains(0, 0x1000));
+    EXPECT_FALSE(l1.contains(1, 0x1000));
+    EXPECT_EQ(l1.load(1, 0x1000, 0), L1Result::Miss);
+    EXPECT_EQ(l1.load(0, 0x1000, 0), L1Result::Hit);
+}
+
+TEST(PrivateL1, FlushOnlyAffectsOneCore)
+{
+    PrivateL1 l1(cfg());
+    l1.fill(0, 0x1000);
+    l1.fill(1, 0x1000);
+    l1.flush(0);
+    EXPECT_FALSE(l1.contains(0, 0x1000));
+    EXPECT_TRUE(l1.contains(1, 0x1000));
+}
+
+TEST(PrivateL1, WriteThroughKeepsLineValid)
+{
+    PrivateL1 l1(cfg());
+    l1.fill(0, 0x1000);
+    l1.write(0, 0x1000, 0);
+    EXPECT_TRUE(l1.contains(0, 0x1000));
+    EXPECT_EQ(l1.stats().writeHits.value(), 1u);
+}
+
+TEST(PrivateL1, WriteMissDoesNotAllocate)
+{
+    PrivateL1 l1(cfg());
+    l1.write(0, 0x2000, 0);
+    EXPECT_FALSE(l1.contains(0, 0x2000));
+}
+
+TEST(SharedL1, ClusterMembersShareLines)
+{
+    SharedL1 l1(cfg());
+    l1.fill(0, 0x1000);
+    // Cores 0..7 are one cluster.
+    EXPECT_TRUE(l1.contains(7, 0x1000));
+    // Core 8 is in the next cluster.
+    EXPECT_FALSE(l1.contains(8, 0x1000));
+}
+
+TEST(SharedL1, SlicePortSerializesSameCycle)
+{
+    SharedL1 l1(cfg());
+    l1.fill(0, 0x1000);
+    l1.tick(0);
+    EXPECT_EQ(l1.load(0, 0x1000, 0), L1Result::Hit);
+    // Second access to the same slice in the same cycle conflicts.
+    EXPECT_EQ(l1.load(1, 0x1000, 0), L1Result::PortBusy);
+    EXPECT_EQ(l1.stats().portConflicts.value(), 1u);
+    // Next cycle the port is free again.
+    l1.tick(1);
+    EXPECT_EQ(l1.load(1, 0x1000, 1), L1Result::Hit);
+}
+
+TEST(SharedL1, DifferentSlicesAccessInParallel)
+{
+    SharedL1 l1(cfg());
+    l1.fill(0, 0x1000);
+    l1.fill(0, 0x1080);  // adjacent line -> different slice
+    l1.tick(0);
+    EXPECT_NE(l1.sliceOf(0x1000), l1.sliceOf(0x1080));
+    EXPECT_EQ(l1.load(0, 0x1000, 0), L1Result::Hit);
+    EXPECT_EQ(l1.load(1, 0x1080, 0), L1Result::Hit);
+}
+
+TEST(SharedL1, CapacityEqualsClusterSum)
+{
+    // 8 cores x 4 KB = 32 KB per cluster: 256 lines fit without
+    // eviction when spread over sets.
+    SharedL1 l1(cfg());
+    int evictions = 0;
+    for (int i = 0; i < 256; ++i)
+        evictions += l1.fill(0, static_cast<Addr>(i) * 128);
+    EXPECT_EQ(evictions, 0);
+}
+
+TEST(SharedL1, HitLatencyIncludesClusterInterconnect)
+{
+    SharedL1 shared(cfg());
+    PrivateL1 priv(cfg());
+    EXPECT_GT(shared.hitLatency(), priv.hitLatency());
+}
+
+TEST(SharedL1, FlushInvalidatesWholeCluster)
+{
+    SharedL1 l1(cfg());
+    l1.fill(0, 0x1000);
+    l1.fill(3, 0x2000);
+    l1.flush(1);  // any member flushes the cluster
+    EXPECT_FALSE(l1.contains(0, 0x1000));
+    EXPECT_FALSE(l1.contains(3, 0x2000));
+}
+
+TEST(DynEb, StartsInSharedMode)
+{
+    DynEbL1 l1(cfg());
+    EXPECT_TRUE(l1.sharedActive());
+}
+
+TEST(DynEb, CommitsToPrivateUnderPortConflicts)
+{
+    // Hammer one shared line from many cores: shared mode suffers port
+    // conflicts; after probing, DynEB must fall back to private.
+    DynEbL1 l1(cfg());
+    Cycle now = 0;
+    for (int i = 0; i < 12000; ++i) {
+        l1.tick(now);
+        for (int core = 0; core < 8; ++core) {
+            if (l1.load(core, 0x1000, now) == L1Result::Miss)
+                l1.fill(core, 0x1000);
+        }
+        ++now;
+    }
+    EXPECT_FALSE(l1.sharedActive());
+}
+
+TEST(DynEb, FlushRestartsProbing)
+{
+    DynEbL1 l1(cfg());
+    Cycle now = 0;
+    for (int i = 0; i < 12000; ++i) {
+        l1.tick(now);
+        for (int core = 0; core < 8; ++core) {
+            if (l1.load(core, 0x1000, now) == L1Result::Miss)
+                l1.fill(core, 0x1000);
+        }
+        ++now;
+    }
+    ASSERT_FALSE(l1.sharedActive());
+    l1.flush(0);
+    EXPECT_TRUE(l1.sharedActive());  // probing again
+}
+
+TEST(Factory, BuildsConfiguredOrganization)
+{
+    GpuConfig g = cfg();
+    g.l1Org = L1Organization::Private;
+    EXPECT_NE(dynamic_cast<PrivateL1 *>(makeL1Organizer(g).get()), nullptr);
+    g.l1Org = L1Organization::DcL1;
+    EXPECT_NE(dynamic_cast<SharedL1 *>(makeL1Organizer(g).get()), nullptr);
+    g.l1Org = L1Organization::DynEB;
+    EXPECT_NE(dynamic_cast<DynEbL1 *>(makeL1Organizer(g).get()), nullptr);
+}
+
+} // namespace
+} // namespace dr

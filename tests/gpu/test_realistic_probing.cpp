@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gpu/realistic_probing.hpp"
+
+namespace dr
+{
+namespace
+{
+
+std::vector<NodeId>
+nodes(int n)
+{
+    std::vector<NodeId> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(static_cast<NodeId>(10 + i));
+    return out;
+}
+
+TEST(SharingPredictor, StartsOptimistic)
+{
+    // RP probes aggressively by default (5.9x request inflation in the
+    // paper), so fresh counters predict "probe".
+    SharingPredictor pred(64);
+    EXPECT_TRUE(pred.shouldProbe(0x1000));
+}
+
+TEST(SharingPredictor, NegativeTrainingDisablesProbing)
+{
+    SharingPredictor pred(64);
+    pred.train(0x1000, false);
+    pred.train(0x1000, false);
+    EXPECT_FALSE(pred.shouldProbe(0x1000));
+}
+
+TEST(SharingPredictor, PositiveTrainingReenables)
+{
+    SharingPredictor pred(64);
+    for (int i = 0; i < 3; ++i)
+        pred.train(0x1000, false);
+    EXPECT_FALSE(pred.shouldProbe(0x1000));
+    pred.train(0x1000, true);
+    pred.train(0x1000, true);
+    EXPECT_TRUE(pred.shouldProbe(0x1000));
+}
+
+TEST(SharingPredictor, CountersSaturate)
+{
+    SharingPredictor pred(64);
+    for (int i = 0; i < 10; ++i)
+        pred.train(0x1000, true);
+    // One negative outcome must not flip a saturated counter.
+    pred.train(0x1000, false);
+    EXPECT_TRUE(pred.shouldProbe(0x1000));
+}
+
+TEST(ProbeCandidates, NeverIncludesSelf)
+{
+    const auto ids = nodes(40);
+    for (Addr line = 0; line < 64 * 128; line += 128) {
+        const auto targets = probeCandidates(5, line, 2, ids);
+        for (const NodeId t : targets)
+            EXPECT_NE(t, ids[5]);
+    }
+}
+
+TEST(ProbeCandidates, ReturnsRequestedCountDistinct)
+{
+    const auto ids = nodes(40);
+    const auto targets = probeCandidates(0, 0x4000, 4, ids);
+    EXPECT_EQ(targets.size(), 4u);
+    const std::set<NodeId> unique(targets.begin(), targets.end());
+    EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(ProbeCandidates, DeterministicPerLine)
+{
+    const auto ids = nodes(40);
+    EXPECT_EQ(probeCandidates(3, 0x8000, 2, ids),
+              probeCandidates(3, 0x8000, 2, ids));
+}
+
+TEST(ProbeCandidates, SpreadAcrossCores)
+{
+    // Hash-based selection: over many lines the candidates must cover
+    // many different cores (RP searches blindly).
+    const auto ids = nodes(40);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 200; ++i) {
+        for (const NodeId t :
+             probeCandidates(0, static_cast<Addr>(i) * 128, 2, ids)) {
+            seen.insert(t);
+        }
+    }
+    EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(ProbeCandidates, TwoCoreSystemProbesTheOther)
+{
+    const auto ids = nodes(2);
+    const auto targets = probeCandidates(0, 0x1000, 2, ids);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0], ids[1]);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "mem/dram.hpp"
+
+namespace dr
+{
+namespace
+{
+
+MemConfig
+cfg()
+{
+    return SystemConfig::makePaper().mem;
+}
+
+/** Run the channel until a completion appears; returns the cycle. */
+Cycle
+runUntilDone(DramChannel &dram, Cycle from, Cycle limit = 10000)
+{
+    for (Cycle c = from; c < from + limit; ++c) {
+        dram.tick(c);
+        if (dram.hasCompletion(c))
+            return c;
+    }
+    return from + limit;
+}
+
+TEST(Dram, CompletesARead)
+{
+    DramChannel dram(cfg());
+    dram.enqueue({0x1000, false, 42, 0}, 0);
+    const Cycle done = runUntilDone(dram, 0);
+    ASSERT_TRUE(dram.hasCompletion(done));
+    const DramCompletion c = dram.popCompletion();
+    EXPECT_EQ(c.token, 42u);
+    EXPECT_EQ(c.lineAddr, 0x1000u);
+    EXPECT_FALSE(c.write);
+    EXPECT_EQ(dram.stats().reads.value(), 1u);
+}
+
+TEST(Dram, RowMissLatencyMatchesTimingParams)
+{
+    const MemConfig m = cfg();
+    DramChannel dram(m);
+    dram.enqueue({0x0, false, 1, 0}, 0);
+    const Cycle done = runUntilDone(dram, 0);
+    // Closed bank: tRCD + tCL + burst.
+    EXPECT_EQ(done, static_cast<Cycle>(m.tRCD + m.tCL + m.burstCycles));
+    EXPECT_EQ(dram.stats().rowMisses.value(), 1u);
+}
+
+TEST(Dram, RowHitIsFasterThanConflict)
+{
+    const MemConfig m = cfg();
+    // Row hit: same row.
+    DramChannel hitChannel(m);
+    hitChannel.enqueue({0x0, false, 1, 0}, 0);
+    Cycle t = runUntilDone(hitChannel, 0);
+    hitChannel.popCompletion();
+    hitChannel.enqueue({static_cast<Addr>(m.lineBytes * m.banksPerMc),
+                        false, 2, t + 1},
+                       t + 1);
+    const Cycle hitDone = runUntilDone(hitChannel, t + 1) - (t + 1);
+
+    // Row conflict: same bank, different row.
+    DramChannel conflictChannel(m);
+    conflictChannel.enqueue({0x0, false, 1, 0}, 0);
+    t = runUntilDone(conflictChannel, 0);
+    conflictChannel.popCompletion();
+    const Addr otherRow = static_cast<Addr>(m.lineBytes) * m.banksPerMc *
+                          16 * 4;  // same bank, far row
+    conflictChannel.enqueue({otherRow, false, 2, t + 1}, t + 1);
+    const Cycle conflictDone =
+        runUntilDone(conflictChannel, t + 1) - (t + 1);
+
+    EXPECT_LT(hitDone, conflictDone);
+}
+
+TEST(Dram, FrFcfsPrefersRowHits)
+{
+    const MemConfig m = cfg();
+    DramChannel dram(m);
+    // Open a row in bank 0.
+    dram.enqueue({0x0, false, 1, 0}, 0);
+    Cycle now = runUntilDone(dram, 0);
+    dram.popCompletion();
+    ++now;
+    // Queue a conflict (same bank, other row) then a row hit.
+    const Addr conflict =
+        static_cast<Addr>(m.lineBytes) * m.banksPerMc * 16 * 4;
+    const Addr rowHit = static_cast<Addr>(m.lineBytes) * m.banksPerMc;
+    dram.enqueue({conflict, false, 2, now}, now);
+    dram.enqueue({rowHit, false, 3, now}, now);
+    // The row hit (queued second) must complete first.
+    std::vector<std::uint64_t> order;
+    for (Cycle c = now; c < now + 1000 && order.size() < 2; ++c) {
+        dram.tick(c);
+        while (dram.hasCompletion(c))
+            order.push_back(dram.popCompletion().token);
+    }
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 3u);
+    EXPECT_EQ(order[1], 2u);
+}
+
+TEST(Dram, SustainedBandwidthMatchesBusModel)
+{
+    // Stream row hits: throughput must approach one line per
+    // burstCycles.
+    const MemConfig m = cfg();
+    DramChannel dram(m);
+    int enqueued = 0;
+    int completed = 0;
+    const Cycle horizon = 3000;
+    Addr next = 0;
+    for (Cycle c = 0; c < horizon; ++c) {
+        if (!dram.queueFull()) {
+            // Sequential lines interleave banks: plenty of parallelism.
+            dram.enqueue({next, false, 1, c}, c);
+            next += m.lineBytes;
+            ++enqueued;
+        }
+        dram.tick(c);
+        while (dram.hasCompletion(c)) {
+            dram.popCompletion();
+            ++completed;
+        }
+    }
+    const double linesPerCycle =
+        static_cast<double>(completed) / static_cast<double>(horizon);
+    EXPECT_GT(linesPerCycle, 0.8 / m.burstCycles);
+    EXPECT_LE(linesPerCycle, 1.001 / m.burstCycles);
+}
+
+TEST(Dram, CompletionsAreTimeOrdered)
+{
+    const MemConfig m = cfg();
+    DramChannel dram(m);
+    std::uint64_t token = 1;
+    Cycle lastFinish = 0;
+    for (Cycle c = 0; c < 2000; ++c) {
+        if (!dram.queueFull() && c % 3 == 0) {
+            // Mix of banks and rows.
+            const Addr addr =
+                static_cast<Addr>((token * 977) % 4096) * m.lineBytes;
+            dram.enqueue({addr, token % 4 == 0, token, c}, c);
+            ++token;
+        }
+        dram.tick(c);
+        while (dram.hasCompletion(c)) {
+            const DramCompletion done = dram.popCompletion();
+            EXPECT_GE(done.finished, lastFinish);
+            lastFinish = done.finished;
+        }
+    }
+}
+
+TEST(Dram, QueueFullBlocksEnqueue)
+{
+    DramChannel dram(cfg());
+    int accepted = 0;
+    while (!dram.queueFull()) {
+        dram.enqueue({static_cast<Addr>(accepted) * 128, false, 1, 0}, 0);
+        ++accepted;
+    }
+    EXPECT_EQ(accepted, 64);
+    EXPECT_DEATH(dram.enqueue({0, false, 1, 0}, 0), "full queue");
+}
+
+TEST(Dram, WritesCountedSeparately)
+{
+    DramChannel dram(cfg());
+    dram.enqueue({0x0, true, 1, 0}, 0);
+    runUntilDone(dram, 0);
+    EXPECT_EQ(dram.stats().writes.value(), 1u);
+    EXPECT_EQ(dram.stats().reads.value(), 0u);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include "coherence/gpu_coherence.hpp"
+#include "common/config.hpp"
+#include "mem/dram.hpp"
+#include "mem/llc.hpp"
+
+namespace dr
+{
+namespace
+{
+
+/** Fixture wiring an LLC slice to a private DRAM channel. */
+class LlcTest : public ::testing::Test
+{
+  protected:
+    LlcTest()
+        : cfg(SystemConfig::makeSmall()), coherence(cfg.gpu.numCores),
+          dram(cfg.mem),
+          llc(/*nodeId=*/0, cfg, coherence, dram, gpuIds())
+    {
+    }
+
+    std::vector<NodeId>
+    gpuIds() const
+    {
+        // Nodes 2.. are GPU cores in this synthetic setup.
+        std::vector<NodeId> ids;
+        for (int i = 0; i < cfg.gpu.numCores; ++i)
+            ids.push_back(static_cast<NodeId>(2 + i));
+        return ids;
+    }
+
+    Message
+    read(NodeId requester, Addr addr, bool dnf = false,
+         TrafficClass cls = TrafficClass::Gpu)
+    {
+        Message m;
+        m.type = MsgType::ReadReq;
+        m.cls = cls;
+        m.addr = addr;
+        m.src = requester;
+        m.dst = 0;
+        m.requester = requester;
+        m.id = nextId++;
+        m.dnf = dnf;
+        return m;
+    }
+
+    Message
+    write(NodeId requester, Addr addr)
+    {
+        Message m = read(requester, addr);
+        m.type = MsgType::WriteReq;
+        return m;
+    }
+
+    /** Tick until a reply is available (or the limit is hit). */
+    bool
+    runUntilReply(Cycle limit = 2000)
+    {
+        for (; !llc.hasReply() && limit > 0; --limit) {
+            dram.tick(now);
+            llc.tick(now);
+            ++now;
+        }
+        return llc.hasReply();
+    }
+
+    void
+    drainReplies()
+    {
+        while (llc.hasReply())
+            llc.popReply();
+    }
+
+    SystemConfig cfg;
+    GpuCoherence coherence;
+    DramChannel dram;
+    LlcSlice llc;
+    Cycle now = 0;
+    std::uint64_t nextId = 1;
+};
+
+TEST_F(LlcTest, ReadMissFetchesFromDram)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    const LlcReply reply = llc.popReply();
+    EXPECT_EQ(reply.msg.type, MsgType::ReadReply);
+    EXPECT_EQ(reply.msg.dst, 2);
+    EXPECT_FALSE(reply.delegatable);
+    EXPECT_EQ(llc.stats().misses.value(), 1u);
+    EXPECT_EQ(dram.stats().reads.value(), 1u);
+}
+
+TEST_F(LlcTest, ReadHitAfterFill)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    EXPECT_EQ(llc.stats().hits.value(), 1u);
+    EXPECT_EQ(dram.stats().reads.value(), 1u);  // no second DRAM access
+}
+
+TEST_F(LlcTest, PointerTracksLastGpuReader)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    EXPECT_EQ(llc.pointerOf(0x1000), 2);
+    llc.accept(read(3, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    EXPECT_EQ(llc.pointerOf(0x1000), 3);
+}
+
+TEST_F(LlcTest, SecondReaderGetsDelegatableReply)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    llc.accept(read(3, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    const LlcReply reply = llc.popReply();
+    EXPECT_TRUE(reply.delegatable);
+    EXPECT_EQ(reply.delegateTo, 2);
+    EXPECT_EQ(llc.stats().delegatableHits.value(), 1u);
+}
+
+TEST_F(LlcTest, SameReaderNotDelegatable)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    EXPECT_FALSE(llc.popReply().delegatable);
+}
+
+TEST_F(LlcTest, DnfRequestNeverDelegatesAndRepoints)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    // A remote miss comes back with DNF set, requester 3.
+    llc.accept(read(3, 0x1000, /*dnf=*/true), now);
+    ASSERT_TRUE(runUntilReply());
+    const LlcReply reply = llc.popReply();
+    EXPECT_FALSE(reply.delegatable);
+    EXPECT_EQ(reply.msg.dst, 3);
+    EXPECT_EQ(llc.pointerOf(0x1000), 3);
+    EXPECT_EQ(llc.stats().dnfRequests.value(), 1u);
+}
+
+TEST_F(LlcTest, WriteInvalidatesPointer)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    EXPECT_EQ(llc.pointerOf(0x1000), 2);
+    llc.accept(write(3, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    EXPECT_EQ(llc.popReply().msg.type, MsgType::WriteAck);
+    EXPECT_EQ(llc.pointerOf(0x1000), invalidNode);
+    EXPECT_EQ(llc.stats().pointerInvalidates.value(), 1u);
+}
+
+TEST_F(LlcTest, FlushEpochInvalidatesPointers)
+{
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    EXPECT_EQ(llc.pointerOf(0x1000), 2);
+    // Core 2 is GPU index 0; its L1 flush bumps the epoch and the
+    // pointer becomes stale without touching the LLC.
+    coherence.flush(0);
+    EXPECT_EQ(llc.pointerOf(0x1000), invalidNode);
+    llc.accept(read(3, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    EXPECT_FALSE(llc.popReply().delegatable);
+}
+
+TEST_F(LlcTest, MshrMergesConcurrentMisses)
+{
+    llc.accept(read(2, 0x1000), now);
+    llc.accept(read(3, 0x1000), now);
+    int replies = 0;
+    for (Cycle limit = 2000; limit > 0; --limit) {
+        dram.tick(now);
+        llc.tick(now);
+        ++now;
+        while (llc.hasReply()) {
+            llc.popReply();
+            ++replies;
+        }
+        if (replies == 2)
+            break;
+    }
+    EXPECT_EQ(replies, 2);
+    EXPECT_EQ(dram.stats().reads.value(), 1u);
+    EXPECT_EQ(llc.stats().mshrMerges.value(), 1u);
+}
+
+TEST_F(LlcTest, CpuReplyKeepsCpuClass)
+{
+    llc.accept(read(1, 0x2000, false, TrafficClass::Cpu), now);
+    ASSERT_TRUE(runUntilReply());
+    EXPECT_EQ(llc.popReply().msg.cls, TrafficClass::Cpu);
+}
+
+TEST_F(LlcTest, CpuReaderDoesNotSetPointer)
+{
+    llc.accept(read(1, 0x2000, false, TrafficClass::Cpu), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    EXPECT_EQ(llc.pointerOf(0x2000), invalidNode);
+}
+
+TEST_F(LlcTest, FullReplyQueueStallsPipeline)
+{
+    // Fill the line, then issue hits without draining replies.
+    llc.accept(read(2, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    for (int i = 0; i < 8; ++i) {
+        if (llc.canAccept())
+            llc.accept(read(3, 0x1000), now);
+    }
+    for (int i = 0; i < 200; ++i) {
+        dram.tick(now);
+        llc.tick(now);
+        ++now;
+    }
+    // The reply queue caps at 4; the rest must be stalled, not lost.
+    EXPECT_GT(llc.stats().stallCycles.value(), 0u);
+    int drained = 0;
+    for (int i = 0; i < 400; ++i) {
+        dram.tick(now);
+        llc.tick(now);
+        ++now;
+        while (llc.hasReply()) {
+            llc.popReply();
+            ++drained;
+        }
+    }
+    EXPECT_EQ(drained, 8);
+}
+
+TEST_F(LlcTest, WriteMissAllocatesAndAcksAfterFill)
+{
+    // Write-allocate: the miss fetches the line, acks the writer after
+    // the fill, and leaves the line dirty in the cache.
+    llc.accept(write(2, 0x3000), now);
+    ASSERT_TRUE(runUntilReply());
+    EXPECT_EQ(llc.popReply().msg.type, MsgType::WriteAck);
+    EXPECT_EQ(dram.stats().reads.value(), 1u);
+    // A subsequent read hits and is NOT delegatable (write cleared the
+    // pointer).
+    llc.accept(read(3, 0x3000), now);
+    ASSERT_TRUE(runUntilReply());
+    const LlcReply reply = llc.popReply();
+    EXPECT_FALSE(reply.delegatable);
+    EXPECT_EQ(llc.stats().hits.value(), 1u);
+}
+
+TEST_F(LlcTest, DirtyEvictionWritesBack)
+{
+    // Dirty a line, then evict it by filling its set with reads: the
+    // eviction must produce a DRAM write.
+    llc.accept(write(2, 0x3000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    const Addr setStride = static_cast<Addr>(cfg.mem.lineBytes) *
+                           (cfg.mem.llcSliceKB * 1024 /
+                            (cfg.mem.llcAssoc * cfg.mem.lineBytes));
+    for (int w = 0; w <= cfg.mem.llcAssoc; ++w) {
+        llc.accept(read(2, 0x3000 + (w + 1) * setStride), now);
+        ASSERT_TRUE(runUntilReply());
+        drainReplies();
+    }
+    for (int i = 0; i < 400; ++i) {
+        dram.tick(now);
+        llc.tick(now);
+        ++now;
+    }
+    EXPECT_GE(llc.stats().writebacks.value(), 1u);
+    EXPECT_GE(dram.stats().writes.value(), 1u);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "mem/mshr.hpp"
+
+namespace dr
+{
+namespace
+{
+
+MshrTarget
+target(std::uint64_t id, NodeId node = 3)
+{
+    return {id, node, TrafficClass::Gpu, false, false};
+}
+
+TEST(Mshr, AllocateAndRelease)
+{
+    MshrFile mshrs(4, 4);
+    EXPECT_FALSE(mshrs.outstanding(0x100));
+    mshrs.allocate(0x100, target(1));
+    EXPECT_TRUE(mshrs.outstanding(0x100));
+    EXPECT_EQ(mshrs.used(), 1);
+    const auto targets = mshrs.release(0x100);
+    ASSERT_EQ(targets.size(), 1u);
+    EXPECT_EQ(targets[0].reqId, 1u);
+    EXPECT_FALSE(mshrs.outstanding(0x100));
+}
+
+TEST(Mshr, FullWhenAllEntriesUsed)
+{
+    MshrFile mshrs(2, 4);
+    mshrs.allocate(0x100, target(1));
+    EXPECT_FALSE(mshrs.full());
+    mshrs.allocate(0x200, target(2));
+    EXPECT_TRUE(mshrs.full());
+    mshrs.release(0x100);
+    EXPECT_FALSE(mshrs.full());
+}
+
+TEST(Mshr, MergesTargets)
+{
+    MshrFile mshrs(2, 3);
+    mshrs.allocate(0x100, target(1));
+    EXPECT_TRUE(mshrs.addTarget(0x100, target(2)));
+    EXPECT_TRUE(mshrs.addTarget(0x100, target(3)));
+    // Fourth target exceeds targetsPerEntry.
+    EXPECT_FALSE(mshrs.addTarget(0x100, target(4)));
+    const auto targets = mshrs.release(0x100);
+    EXPECT_EQ(targets.size(), 3u);
+}
+
+TEST(Mshr, RemoteTargetsPreserved)
+{
+    MshrFile mshrs(2, 4);
+    mshrs.allocate(0x100, target(1));
+    MshrTarget remote{9, 7, TrafficClass::Gpu, true, false};
+    EXPECT_TRUE(mshrs.addTarget(0x100, remote));
+    const auto targets = mshrs.release(0x100);
+    ASSERT_EQ(targets.size(), 2u);
+    EXPECT_FALSE(targets[0].remote);
+    EXPECT_TRUE(targets[1].remote);
+    EXPECT_EQ(targets[1].replyTo, 7);
+}
+
+TEST(Mshr, IndependentLines)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.allocate(0x100, target(1));
+    mshrs.allocate(0x200, target(2));
+    EXPECT_EQ(mshrs.targets(0x100).size(), 1u);
+    EXPECT_EQ(mshrs.targets(0x200).size(), 1u);
+    mshrs.release(0x100);
+    EXPECT_TRUE(mshrs.outstanding(0x200));
+}
+
+TEST(MshrDeath, DoubleAllocatePanics)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.allocate(0x100, target(1));
+    EXPECT_DEATH(mshrs.allocate(0x100, target(2)), "already-outstanding");
+}
+
+TEST(MshrDeath, ReleaseUnknownPanics)
+{
+    MshrFile mshrs(4, 4);
+    EXPECT_DEATH(mshrs.release(0x500), "non-outstanding");
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "noc/interconnect.hpp"
+
+namespace dr
+{
+namespace
+{
+
+std::vector<NodeType>
+uniformTypes(int n, int memNodes)
+{
+    std::vector<NodeType> types(n, NodeType::GpuCore);
+    for (int i = 0; i < memNodes; ++i)
+        types[i] = NodeType::MemNode;
+    return types;
+}
+
+SystemConfig
+smallCfg()
+{
+    SystemConfig cfg = SystemConfig::makeSmall();
+    return cfg;
+}
+
+Message
+makeMsg(NodeId src, NodeId dst, MsgType type,
+        TrafficClass cls = TrafficClass::Gpu)
+{
+    static std::uint64_t nextId = 1;
+    Message m;
+    m.type = type;
+    m.cls = cls;
+    m.src = src;
+    m.dst = dst;
+    m.requester = src;
+    m.id = nextId++;
+    return m;
+}
+
+TEST(Interconnect, SeparateNetworksRouteByMessageType)
+{
+    const SystemConfig cfg = smallCfg();
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    EXPECT_FALSE(ic.shared());
+    EXPECT_NE(&ic.net(NetKind::Request), &ic.net(NetKind::Reply));
+
+    ic.send(makeMsg(2, 0, MsgType::ReadReq), 0);
+    ic.send(makeMsg(0, 2, MsgType::ReadReply), 0);
+    for (Cycle c = 0; c < 300; ++c)
+        ic.tick(c);
+    EXPECT_TRUE(ic.hasMessage(0, NetKind::Request));
+    EXPECT_TRUE(ic.hasMessage(2, NetKind::Reply));
+    EXPECT_EQ(ic.net(NetKind::Request).stats().packetsDelivered.value(), 1u);
+    EXPECT_EQ(ic.net(NetKind::Reply).stats().packetsDelivered.value(), 1u);
+}
+
+TEST(Interconnect, SharedModeUsesOneNetwork)
+{
+    SystemConfig cfg = smallCfg();
+    cfg.noc.sharedPhysical = true;
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    EXPECT_TRUE(ic.shared());
+    EXPECT_EQ(&ic.net(NetKind::Request), &ic.net(NetKind::Reply));
+
+    ic.send(makeMsg(2, 0, MsgType::ReadReq), 0);
+    ic.send(makeMsg(0, 2, MsgType::ReadReply), 0);
+    for (Cycle c = 0; c < 300; ++c)
+        ic.tick(c);
+    EXPECT_TRUE(ic.hasMessage(0, NetKind::Request));
+    EXPECT_TRUE(ic.hasMessage(2, NetKind::Reply));
+}
+
+TEST(Interconnect, SharedModeWiderChannelsShrinkReplies)
+{
+    SystemConfig cfg = smallCfg();
+    cfg.noc.sharedPhysical = true;
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    // 32 B effective channel: 128 B line -> 1 + 4 flits.
+    EXPECT_EQ(ic.flitsFor(makeMsg(0, 2, MsgType::ReadReply)), 5);
+}
+
+TEST(Interconnect, FlitSizesFollowConfig)
+{
+    const SystemConfig cfg = smallCfg();
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    EXPECT_EQ(ic.flitsFor(makeMsg(2, 0, MsgType::ReadReq)), 1);
+    EXPECT_EQ(ic.flitsFor(makeMsg(0, 2, MsgType::ReadReply)), 9);
+    EXPECT_EQ(ic.flitsFor(
+                  makeMsg(0, 2, MsgType::ReadReply, TrafficClass::Cpu)),
+              5);
+}
+
+TEST(Interconnect, CanSendReflectsBufferSpace)
+{
+    SystemConfig cfg = smallCfg();
+    cfg.noc.memInjBufferFlits = 9;
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    const Message reply = makeMsg(0, 2, MsgType::ReadReply);
+    EXPECT_TRUE(ic.canSend(reply));
+    ic.send(reply, 0);
+    EXPECT_FALSE(ic.canSend(makeMsg(0, 3, MsgType::ReadReply)));
+    // The request network is unaffected.
+    EXPECT_TRUE(ic.canSend(makeMsg(0, 3, MsgType::DelegatedReq)));
+}
+
+TEST(Interconnect, MemNodesGetMemBufferSize)
+{
+    SystemConfig cfg = smallCfg();
+    cfg.noc.memInjBufferFlits = 18;
+    cfg.noc.coreInjBufferFlits = 9;
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    EXPECT_EQ(ic.injectFree(0, NetKind::Reply), 18);  // mem node
+    EXPECT_EQ(ic.injectFree(5, NetKind::Reply), 9);   // core
+}
+
+TEST(Interconnect, DelegatedRequestTravelsOnRequestNetwork)
+{
+    const SystemConfig cfg = smallCfg();
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    ic.send(makeMsg(0, 5, MsgType::DelegatedReq), 0);
+    for (Cycle c = 0; c < 300; ++c)
+        ic.tick(c);
+    EXPECT_TRUE(ic.hasMessage(5, NetKind::Request));
+    EXPECT_EQ(ic.net(NetKind::Reply).stats().packetsInjected.value(), 0u);
+}
+
+TEST(Interconnect, NonMeshTopologiesWork)
+{
+    for (const TopologyKind kind :
+         {TopologyKind::Crossbar, TopologyKind::FlattenedButterfly,
+          TopologyKind::Dragonfly}) {
+        SystemConfig cfg = smallCfg();
+        cfg.noc.topology = kind;
+        Interconnect ic(cfg, uniformTypes(16, 2));
+        ic.send(makeMsg(3, 9, MsgType::ReadReq), 0);
+        for (Cycle c = 0; c < 500; ++c)
+            ic.tick(c);
+        EXPECT_TRUE(ic.hasMessage(9, NetKind::Request))
+            << topologyName(kind);
+    }
+}
+
+TEST(Interconnect, AsymmetricVcSplit)
+{
+    // AVCP: 1 request VC + 3 reply VCs on the shared network.
+    SystemConfig cfg = smallCfg();
+    cfg.noc.sharedPhysical = true;
+    cfg.noc.sharedReqVcs = 1;
+    cfg.noc.sharedReplyVcs = 3;
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    int sentReq = 0, sentRep = 0;
+    int requests = 0, replies = 0;
+    for (Cycle c = 0; c < 2000; ++c) {
+        if (sentReq < 10) {
+            const Message m = makeMsg(2, 0, MsgType::ReadReq);
+            if (ic.canSend(m)) {
+                ic.send(m, c);
+                ++sentReq;
+            }
+        }
+        if (sentRep < 10) {
+            const Message m = makeMsg(0, 2, MsgType::ReadReply);
+            if (ic.canSend(m)) {
+                ic.send(m, c);
+                ++sentRep;
+            }
+        }
+        ic.tick(c);
+        while (ic.hasMessage(0, NetKind::Request)) {
+            ic.popMessage(0, NetKind::Request);
+            ++requests;
+        }
+        while (ic.hasMessage(2, NetKind::Reply)) {
+            ic.popMessage(2, NetKind::Reply);
+            ++replies;
+        }
+    }
+    EXPECT_EQ(requests, 10);
+    EXPECT_EQ(replies, 10);
+}
+
+TEST(Interconnect, EnergyCountersAggregate)
+{
+    const SystemConfig cfg = smallCfg();
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    ic.send(makeMsg(0, 15, MsgType::ReadReply), 0);
+    for (Cycle c = 0; c < 300; ++c)
+        ic.tick(c);
+    EXPECT_GT(ic.totalSwitchTraversals(), 0u);
+    EXPECT_GT(ic.totalBufferWrites(), 0u);
+    EXPECT_GT(ic.totalLinkTraversals(), 0u);
+}
+
+} // namespace
+} // namespace dr

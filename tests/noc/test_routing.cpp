@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "noc/routing.hpp"
+#include "noc/topology.hpp"
+
+namespace dr
+{
+namespace
+{
+
+/** Congestion stub reporting fixed per-port credit counts. */
+class FixedCongestion : public CongestionProbe
+{
+  public:
+    explicit FixedCongestion(std::vector<int> credits)
+        : credits_(std::move(credits))
+    {}
+
+    int
+    freeCredits(int, int port) const override
+    {
+        return credits_.at(port);
+    }
+
+  private:
+    std::vector<int> credits_;
+};
+
+Flit
+headFor(int destRouter, DimOrder order)
+{
+    Flit f;
+    f.head = true;
+    f.destRouter = static_cast<std::int16_t>(destRouter);
+    f.destPort = meshLocal;
+    f.order = order;
+    return f;
+}
+
+TEST(RoutingXY, MovesXThenY)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DimOrderXY, t, 2, 1);
+    // From router 0 (0,0) to router 15 (3,3): go east first.
+    EXPECT_EQ(r.outputPort(0, headFor(15, DimOrder::XY)), meshEast);
+    // From router 3 (3,0) to 15 (3,3): aligned in X, go south.
+    EXPECT_EQ(r.outputPort(3, headFor(15, DimOrder::XY)), meshSouth);
+}
+
+TEST(RoutingYX, MovesYThenX)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DimOrderYX, t, 2, 1);
+    EXPECT_EQ(r.outputPort(0, headFor(15, DimOrder::YX)), meshSouth);
+    EXPECT_EQ(r.outputPort(12, headFor(15, DimOrder::YX)), meshEast);
+}
+
+TEST(Routing, EjectsAtDestination)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DimOrderXY, t, 2, 1);
+    EXPECT_EQ(r.outputPort(15, headFor(15, DimOrder::XY)), meshLocal);
+}
+
+TEST(Routing, WestAndNorthDirections)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DimOrderXY, t, 2, 1);
+    EXPECT_EQ(r.outputPort(15, headFor(0, DimOrder::XY)), meshWest);
+    EXPECT_EQ(r.outputPort(12, headFor(0, DimOrder::XY)), meshNorth);
+}
+
+TEST(Routing, FullPathTerminates)
+{
+    const Topology t = Topology::makeMesh(8, 8);
+    RoutingPolicy r(RoutingKind::DimOrderXY, t, 2, 1);
+    for (int src = 0; src < 64; src += 7) {
+        for (int dst = 0; dst < 64; dst += 5) {
+            int cur = src;
+            int hops = 0;
+            while (cur != dst) {
+                const int port = r.outputPort(cur, headFor(dst, DimOrder::XY));
+                ASSERT_NE(port, meshLocal);
+                cur = t.port(cur, port).peerRouter;
+                ASSERT_LE(++hops, 14);
+            }
+        }
+    }
+}
+
+TEST(Routing, DeterministicKindsIgnoreCongestion)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy xy(RoutingKind::DimOrderXY, t, 2, 1);
+    RoutingPolicy yx(RoutingKind::DimOrderYX, t, 2, 1);
+    FixedCongestion net({0, 0, 0, 0, 0});
+    EXPECT_EQ(xy.chooseOrder(0, 15, net), DimOrder::XY);
+    EXPECT_EQ(yx.chooseOrder(0, 15, net), DimOrder::YX);
+}
+
+TEST(Routing, DeterministicMaskAllowsAllVcs)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DimOrderXY, t, 2, 1);
+    EXPECT_EQ(r.packetMask(DimOrder::XY), 0x3);
+    EXPECT_EQ(r.packetMask(DimOrder::YX), 0x3);
+    EXPECT_FALSE(r.adaptive());
+}
+
+TEST(RoutingDyXY, PrefersLessCongestedDimension)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DyXY, t, 2, 1);
+    // Router 0 -> 15: east port is meshEast, south is meshSouth.
+    FixedCongestion eastFree({0, 8, 0, 0, 1});
+    EXPECT_EQ(r.chooseOrder(0, 15, eastFree), DimOrder::XY);
+    FixedCongestion southFree({0, 1, 0, 0, 8});
+    EXPECT_EQ(r.chooseOrder(0, 15, southFree), DimOrder::YX);
+}
+
+TEST(RoutingDyXY, AdaptiveMaskSplitsVcs)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DyXY, t, 2, 1);
+    EXPECT_TRUE(r.adaptive());
+    EXPECT_EQ(r.packetMask(DimOrder::XY), 0x1);
+    EXPECT_EQ(r.packetMask(DimOrder::YX), 0x2);
+}
+
+TEST(RoutingDyXY, FourVcMaskSplitsInHalves)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DyXY, t, 4, 1);
+    EXPECT_EQ(r.packetMask(DimOrder::XY), 0x3);
+    EXPECT_EQ(r.packetMask(DimOrder::YX), 0xc);
+}
+
+TEST(RoutingFootprint, SticksToXYUnlessBlocked)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::Footprint, t, 2, 1);
+    FixedCongestion open({0, 1, 0, 0, 0});
+    EXPECT_EQ(r.chooseOrder(0, 15, open), DimOrder::XY);
+    FixedCongestion blocked({0, 0, 0, 0, 5});
+    EXPECT_EQ(r.chooseOrder(0, 15, blocked), DimOrder::YX);
+}
+
+TEST(RoutingHare, LearnsFromDeliveredLatency)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::Hare, t, 2, 1);
+    FixedCongestion net({0, 0, 0, 0, 0});
+    // Teach it that YX is much faster for 0 -> 15.
+    for (int i = 0; i < 50; ++i) {
+        r.onDelivered(0, 15, DimOrder::XY, 500);
+        r.onDelivered(0, 15, DimOrder::YX, 10);
+    }
+    int yx = 0;
+    for (int i = 0; i < 100; ++i)
+        yx += r.chooseOrder(0, 15, net) == DimOrder::YX;
+    // Exploration keeps a small random component.
+    EXPECT_GT(yx, 80);
+}
+
+TEST(RoutingTable, NonMeshUsesTables)
+{
+    const Topology t = Topology::makeCrossbar(8);
+    RoutingPolicy r(RoutingKind::TableMinimal, t, 2, 1);
+    Flit f = headFor(0, DimOrder::XY);
+    f.destPort = 5;
+    EXPECT_EQ(r.outputPort(0, f), 5);
+}
+
+TEST(RoutingDragonfly, VcPhaseEscalation)
+{
+    const Topology t = Topology::makeDragonfly(64, 4, 4);
+    RoutingPolicy r(RoutingKind::TableMinimal, t, 2, 1);
+    Flit f = headFor(/*destRouter=*/14, DimOrder::XY);  // group 3
+    // Link into a router in the destination group: upper VC half.
+    EXPECT_EQ(r.vcMaskForLink(12, f), 0x2);
+    // Link into a router outside the destination group: lower half.
+    EXPECT_EQ(r.vcMaskForLink(2, f), 0x1);
+}
+
+TEST(RoutingDeath, AdaptiveOnNonMeshFails)
+{
+    const Topology t = Topology::makeCrossbar(8);
+    EXPECT_DEATH(
+        { RoutingPolicy r(RoutingKind::DyXY, t, 2, 1); (void)r; },
+        "table routing");
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/synthetic_traffic.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(SyntheticPatterns, TransposeSwapsCoordinates)
+{
+    SyntheticTraffic t(TrafficPattern::Transpose, 64, 8);
+    Rng rng(1);
+    // (x=3, y=1) = node 11 -> (x=1, y=3) = node 25.
+    EXPECT_EQ(t.dest(11, rng), 25);
+    EXPECT_EQ(t.dest(25, rng), 11);
+}
+
+TEST(SyntheticPatterns, BitComplementMirrors)
+{
+    SyntheticTraffic t(TrafficPattern::BitComplement, 64, 8);
+    Rng rng(1);
+    EXPECT_EQ(t.dest(0, rng), 63);
+    EXPECT_EQ(t.dest(63, rng), 0);
+    EXPECT_EQ(t.dest(10, rng), 53);
+}
+
+TEST(SyntheticPatterns, NeighborIsRingSuccessor)
+{
+    SyntheticTraffic t(TrafficPattern::Neighbor, 16, 4);
+    Rng rng(1);
+    EXPECT_EQ(t.dest(5, rng), 6);
+    EXPECT_EQ(t.dest(15, rng), 0);
+}
+
+TEST(SyntheticPatterns, HotspotTargetsOnlyHotspots)
+{
+    SyntheticTraffic t(TrafficPattern::Hotspot, 64, 8, {7, 21});
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const NodeId d = t.dest(3, rng);
+        EXPECT_TRUE(d == 7 || d == 21);
+    }
+}
+
+TEST(SyntheticPatterns, NeverSendsToSelf)
+{
+    for (const TrafficPattern p :
+         {TrafficPattern::UniformRandom, TrafficPattern::Transpose,
+          TrafficPattern::BitComplement, TrafficPattern::Neighbor}) {
+        SyntheticTraffic t(p, 16, 4);
+        Rng rng(5);
+        for (NodeId src = 0; src < 16; ++src) {
+            for (int i = 0; i < 20; ++i)
+                EXPECT_NE(t.dest(src, rng), src)
+                    << trafficPatternName(p);
+        }
+    }
+}
+
+TEST(SyntheticPatterns, UniformCoversManyDestinations)
+{
+    SyntheticTraffic t(TrafficPattern::UniformRandom, 64, 8);
+    Rng rng(9);
+    std::set<NodeId> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(t.dest(0, rng));
+    EXPECT_GT(seen.size(), 50u);
+}
+
+TEST(SyntheticLoad, LowLoadHasLowLatency)
+{
+    const SyntheticResult r = runSyntheticLoad(
+        TopologyKind::Mesh, 16, 4, 4, TrafficPattern::UniformRandom,
+        0.01, 5, 5000);
+    EXPECT_GT(r.packetsDelivered, 100u);
+    EXPECT_LT(r.avgLatency, 60.0);
+    EXPECT_NEAR(r.acceptedFlitsPerNode, r.offeredFlitsPerNode,
+                r.offeredFlitsPerNode * 0.4);
+}
+
+TEST(SyntheticLoad, ThroughputSaturates)
+{
+    const SyntheticResult low = runSyntheticLoad(
+        TopologyKind::Mesh, 16, 4, 4, TrafficPattern::UniformRandom,
+        0.02, 5, 5000);
+    const SyntheticResult high = runSyntheticLoad(
+        TopologyKind::Mesh, 16, 4, 4, TrafficPattern::UniformRandom,
+        0.5, 5, 5000);
+    EXPECT_GT(high.acceptedFlitsPerNode, low.acceptedFlitsPerNode);
+    // Far beyond saturation the accepted rate is well below offered.
+    EXPECT_LT(high.acceptedFlitsPerNode, high.offeredFlitsPerNode * 0.8);
+    // And latency explodes relative to low load.
+    EXPECT_GT(high.avgLatency, 2.0 * low.avgLatency);
+}
+
+TEST(SyntheticLoad, HotspotSaturatesBeforeUniform)
+{
+    // The clogging pattern: everyone sends to two nodes. Accepted
+    // throughput must be far below uniform at the same offered load.
+    const SyntheticResult uniform = runSyntheticLoad(
+        TopologyKind::Mesh, 64, 8, 8, TrafficPattern::UniformRandom,
+        0.06, 5, 6000);
+    const SyntheticResult hotspot = runSyntheticLoad(
+        TopologyKind::Mesh, 64, 8, 8, TrafficPattern::Hotspot, 0.06, 5,
+        6000);
+    EXPECT_LT(hotspot.acceptedFlitsPerNode,
+              0.6 * uniform.acceptedFlitsPerNode);
+}
+
+TEST(SyntheticLoad, WorksOnAllTopologies)
+{
+    for (const TopologyKind topo :
+         {TopologyKind::Mesh, TopologyKind::Crossbar,
+          TopologyKind::FlattenedButterfly, TopologyKind::Dragonfly}) {
+        const SyntheticResult r = runSyntheticLoad(
+            topo, 64, 8, 8, TrafficPattern::UniformRandom, 0.02, 5,
+            3000);
+        EXPECT_GT(r.packetsDelivered, 100u) << topologyName(topo);
+    }
+}
+
+} // namespace
+} // namespace dr

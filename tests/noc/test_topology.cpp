@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "noc/topology.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(Mesh, DimensionsAndAttachment)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    EXPECT_EQ(t.routers(), 16);
+    EXPECT_EQ(t.nodes(), 16);
+    for (NodeId n = 0; n < 16; ++n) {
+        EXPECT_EQ(t.attachRouter(n), n);
+        EXPECT_EQ(t.attachPort(n), meshLocal);
+    }
+}
+
+TEST(Mesh, CoordinatesRowMajor)
+{
+    const Topology t = Topology::makeMesh(4, 2);
+    EXPECT_EQ(t.xOf(5), 1);
+    EXPECT_EQ(t.yOf(5), 1);
+    EXPECT_EQ(t.xOf(3), 3);
+    EXPECT_EQ(t.yOf(3), 0);
+}
+
+TEST(Mesh, LinksAreSymmetric)
+{
+    const Topology t = Topology::makeMesh(3, 3);
+    for (int r = 0; r < t.routers(); ++r) {
+        for (int p = 0; p < t.radix(r); ++p) {
+            const auto &conn = t.port(r, p);
+            if (conn.kind != PortConn::Kind::Link)
+                continue;
+            const auto &back = t.port(conn.peerRouter, conn.peerPort);
+            EXPECT_EQ(back.kind, PortConn::Kind::Link);
+            EXPECT_EQ(back.peerRouter, r);
+            EXPECT_EQ(back.peerPort, p);
+        }
+    }
+}
+
+TEST(Mesh, EdgeRoutersHaveFewerLinks)
+{
+    const Topology t = Topology::makeMesh(3, 3);
+    // Corner router 0 has east and south links only.
+    EXPECT_EQ(t.port(0, meshEast).kind, PortConn::Kind::Link);
+    EXPECT_EQ(t.port(0, meshSouth).kind, PortConn::Kind::Link);
+    EXPECT_EQ(t.port(0, meshWest).kind, PortConn::Kind::None);
+    EXPECT_EQ(t.port(0, meshNorth).kind, PortConn::Kind::None);
+}
+
+TEST(Mesh, HopCountIsManhattanDistance)
+{
+    const Topology t = Topology::makeMesh(8, 8);
+    EXPECT_EQ(t.hopCount(0, 63), 14);
+    EXPECT_EQ(t.hopCount(0, 7), 7);
+    EXPECT_EQ(t.hopCount(9, 9), 0);
+    EXPECT_EQ(t.hopCount(9, 10), 1);
+}
+
+TEST(Mesh, ChannelCount)
+{
+    // 2 * (w-1) * h horizontal + 2 * w * (h-1) vertical unidirectional.
+    const Topology t = Topology::makeMesh(4, 4);
+    EXPECT_EQ(t.channelCount(), 2 * 3 * 4 + 2 * 4 * 3);
+}
+
+TEST(Crossbar, SingleSwitch)
+{
+    const Topology t = Topology::makeCrossbar(8);
+    EXPECT_EQ(t.routers(), 1);
+    EXPECT_EQ(t.nodes(), 8);
+    EXPECT_EQ(t.radix(0), 8);
+    for (NodeId n = 0; n < 8; ++n) {
+        EXPECT_EQ(t.attachRouter(n), 0);
+        EXPECT_EQ(t.attachPort(n), n);
+    }
+    EXPECT_EQ(t.channelCount(), 0);
+}
+
+TEST(FlattenedButterfly, RowColumnFullConnectivity)
+{
+    const Topology t = Topology::makeFlattenedButterfly(64, 4);
+    EXPECT_EQ(t.routers(), 16);
+    EXPECT_EQ(t.nodes(), 64);
+    // Radix: 4 node ports + 3 row + 3 column links.
+    EXPECT_EQ(t.radix(0), 10);
+    // Any router pair is at most 2 hops apart.
+    for (int a = 0; a < 16; ++a) {
+        for (int b = 0; b < 16; ++b)
+            EXPECT_LE(t.hopCount(a, b), 2);
+    }
+}
+
+TEST(FlattenedButterfly, FourNodesPerRouter)
+{
+    const Topology t = Topology::makeFlattenedButterfly(64, 4);
+    EXPECT_EQ(t.attachRouter(0), 0);
+    EXPECT_EQ(t.attachRouter(3), 0);
+    EXPECT_EQ(t.attachRouter(4), 1);
+    EXPECT_EQ(t.attachRouter(63), 15);
+}
+
+TEST(Dragonfly, GroupsAndDiameter)
+{
+    const Topology t = Topology::makeDragonfly(64, 4, 4);
+    EXPECT_EQ(t.routers(), 16);
+    EXPECT_EQ(t.nodes(), 64);
+    EXPECT_EQ(t.groupOf(0), 0);
+    EXPECT_EQ(t.groupOf(15), 3);
+    // Minimal paths: at most local + global + local = 3 hops.
+    for (int a = 0; a < 16; ++a) {
+        for (int b = 0; b < 16; ++b)
+            EXPECT_LE(t.hopCount(a, b), 3);
+    }
+}
+
+TEST(Dragonfly, IntraGroupSingleHop)
+{
+    const Topology t = Topology::makeDragonfly(64, 4, 4);
+    for (int a = 0; a < 4; ++a) {
+        for (int b = 0; b < 4; ++b) {
+            if (a != b)
+                EXPECT_EQ(t.hopCount(a, b), 1);
+        }
+    }
+}
+
+TEST(TopologyFactory, MakesAllKinds)
+{
+    EXPECT_EQ(Topology::make(TopologyKind::Mesh, 64, 8, 8).kind(),
+              TopologyKind::Mesh);
+    EXPECT_EQ(Topology::make(TopologyKind::Crossbar, 64, 8, 8).kind(),
+              TopologyKind::Crossbar);
+    EXPECT_EQ(
+        Topology::make(TopologyKind::FlattenedButterfly, 64, 8, 8).kind(),
+        TopologyKind::FlattenedButterfly);
+    EXPECT_EQ(Topology::make(TopologyKind::Dragonfly, 64, 8, 8).kind(),
+              TopologyKind::Dragonfly);
+}
+
+TEST(TopologyProperty, EveryNodeHasExactlyOneAttachment)
+{
+    for (const TopologyKind kind :
+         {TopologyKind::Mesh, TopologyKind::Crossbar,
+          TopologyKind::FlattenedButterfly, TopologyKind::Dragonfly}) {
+        const Topology t = Topology::make(kind, 64, 8, 8);
+        std::vector<int> seen(64, 0);
+        for (int r = 0; r < t.routers(); ++r) {
+            for (int p = 0; p < t.radix(r); ++p) {
+                const auto &conn = t.port(r, p);
+                if (conn.kind == PortConn::Kind::Node)
+                    ++seen[conn.node];
+            }
+        }
+        for (NodeId n = 0; n < 64; ++n)
+            EXPECT_EQ(seen[n], 1) << topologyName(kind) << " node " << n;
+    }
+}
+
+TEST(TopologyProperty, TablesReachAllDestinations)
+{
+    for (const TopologyKind kind :
+         {TopologyKind::Mesh, TopologyKind::FlattenedButterfly,
+          TopologyKind::Dragonfly}) {
+        const Topology t = Topology::make(kind, 64, 8, 8);
+        for (int a = 0; a < t.routers(); ++a) {
+            for (int b = 0; b < t.routers(); ++b)
+                EXPECT_GE(t.hopCount(a, b), 0);
+        }
+    }
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "power/noc_power.hpp"
+#include "power/sram_area.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(NocArea, BaselineMeshMatchesPaperCalibration)
+{
+    // DSENT on the Table I mesh: 2.27 mm^2 (Section III.B).
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_NEAR(nocAreaMm2(cfg), 2.27, 0.25);
+}
+
+TEST(NocArea, DoubleBandwidthIsAbout2p5x)
+{
+    // The paper's headline: 2x bandwidth costs 2.5x area (5.76 mm^2).
+    SystemConfig cfg = SystemConfig::makePaper();
+    const double nominal = nocAreaMm2(cfg);
+    cfg.noc.bandwidthScale = 2.0;
+    const double doubled = nocAreaMm2(cfg);
+    EXPECT_NEAR(doubled, 5.76, 0.6);
+    EXPECT_NEAR(doubled / nominal, 2.5, 0.3);
+}
+
+TEST(NocArea, CrossbarSwitchAreaSuperlinearInPorts)
+{
+    // A 64-port central crossbar costs far more than 64/5 of a 5-port
+    // mesh router: the crossbar term is quadratic in port count.
+    const double mesh5 = routerAreaMm2(5, 16, 2, 4);
+    const double xbar64 = routerAreaMm2(64, 16, 2, 4);
+    EXPECT_GT(xbar64, (64.0 / 5.0) * mesh5);
+}
+
+TEST(NocArea, RouterAreaGrowsSuperlinearlyWithWidth)
+{
+    const double w16 = routerAreaMm2(5, 16, 2, 4);
+    const double w32 = routerAreaMm2(5, 32, 2, 4);
+    EXPECT_GT(w32, 2.0 * w16);
+}
+
+TEST(NocArea, CrossbarTermQuadraticInPorts)
+{
+    const double p5 = routerAreaMm2(5, 16, 2, 4);
+    const double p10 = routerAreaMm2(10, 16, 2, 4);
+    EXPECT_GT(p10, 2.0 * p5);
+}
+
+TEST(SramArea, DrPointerAreaMatchesPaper)
+{
+    // CACTI 6.5: 0.08 mm^2 for the core pointers (Section IV).
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_NEAR(drPointerAreaMm2(cfg), 0.08, 0.01);
+}
+
+TEST(SramArea, FrqAreaMatchesPaper)
+{
+    const SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_NEAR(drFrqAreaMm2(cfg), 0.092, 0.01);
+}
+
+TEST(SramArea, TotalDrOverheadMatchesPaper)
+{
+    // 0.172 mm^2 total, and ~5% of the double-bandwidth NoC's *extra*
+    // area.
+    SystemConfig cfg = SystemConfig::makePaper();
+    const double dr = drTotalAreaMm2(cfg);
+    EXPECT_NEAR(dr, 0.172, 0.02);
+    const double nominal = nocAreaMm2(cfg);
+    cfg.noc.bandwidthScale = 2.0;
+    const double extra = nocAreaMm2(cfg) - nominal;
+    EXPECT_LT(dr / extra, 0.08);
+}
+
+TEST(SramArea, BitsForCoversRanges)
+{
+    EXPECT_EQ(bitsFor(40), 6);
+    EXPECT_EQ(bitsFor(64), 6);
+    EXPECT_EQ(bitsFor(65), 7);
+    EXPECT_EQ(bitsFor(2), 1);
+    EXPECT_EQ(bitsFor(1), 0);
+}
+
+TEST(SramArea, PointerAreaScalesWithLlc)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    const double base = drPointerAreaMm2(cfg);
+    cfg.mem.llcSliceKB *= 2;
+    EXPECT_NEAR(drPointerAreaMm2(cfg) / base, 2.0, 0.1);
+}
+
+TEST(NocEnergy, DynamicScalesWithEvents)
+{
+    const NocEnergyModel model;
+    const double one = model.dynamicUj(1000, 1000, 1000);
+    const double two = model.dynamicUj(2000, 2000, 2000);
+    EXPECT_DOUBLE_EQ(two, 2.0 * one);
+    EXPECT_GT(one, 0.0);
+}
+
+TEST(NocEnergy, StaticScalesWithTimeAndRouters)
+{
+    const NocEnergyModel model;
+    const double base = model.staticUj(64, 100000, 1.4);
+    EXPECT_DOUBLE_EQ(model.staticUj(128, 100000, 1.4), 2.0 * base);
+    EXPECT_DOUBLE_EQ(model.staticUj(64, 200000, 1.4), 2.0 * base);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/gpu_benchmarks.hpp"
+#include "workloads/workload_table.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(Benchmarks, AllElevenExist)
+{
+    const auto names = gpuBenchmarkNames();
+    EXPECT_EQ(names.size(), 11u);
+    for (const auto &name : names) {
+        const auto kernel = makeGpuBenchmark(name);
+        EXPECT_EQ(kernel->name(), name);
+        EXPECT_GT(kernel->ctaCount(), 0);
+        EXPECT_GT(kernel->warpsPerCta(), 0);
+        EXPECT_GT(kernel->accessesPerWarp(), 0);
+        EXPECT_GE(kernel->computePerMem(), 0);
+    }
+}
+
+TEST(Benchmarks, UnknownNameDies)
+{
+    EXPECT_DEATH(makeGpuBenchmark("quake"), "unknown GPU benchmark");
+}
+
+TEST(Benchmarks, AccessesAreDeterministic)
+{
+    for (const auto &name : gpuBenchmarkNames()) {
+        const auto a = makeGpuBenchmark(name);
+        const auto b = makeGpuBenchmark(name);
+        for (int i = 0; i < 50; ++i) {
+            const MemAccess x = a->access(3, 1, i);
+            const MemAccess y = b->access(3, 1, i);
+            EXPECT_EQ(x.addr, y.addr);
+            EXPECT_EQ(x.write, y.write);
+        }
+    }
+}
+
+TEST(Benchmarks, AddressesAreLineAligned)
+{
+    for (const auto &name : gpuBenchmarkNames()) {
+        const auto kernel = makeGpuBenchmark(name);
+        for (int cta : {0, 7, kernel->ctaCount() - 1}) {
+            for (int w = 0; w < kernel->warpsPerCta(); ++w) {
+                for (int i = 0; i < kernel->accessesPerWarp(); i += 7)
+                    EXPECT_EQ(kernel->access(cta, w, i).addr % 128, 0u);
+            }
+        }
+    }
+}
+
+TEST(Benchmarks, RegionsAreDisjoint)
+{
+    // Every benchmark works in its own 256 MB region, so co-running
+    // experiments never falsely share.
+    std::set<Addr> regions;
+    for (const auto &name : gpuBenchmarkNames()) {
+        const auto kernel = makeGpuBenchmark(name);
+        const Addr region = kernel->access(0, 0, 0).addr >> 28;
+        for (int i = 0; i < kernel->accessesPerWarp(); ++i) {
+            EXPECT_EQ(kernel->access(1, 0, i).addr >> 28, region)
+                << name;
+        }
+        EXPECT_TRUE(regions.insert(region).second)
+            << name << " overlaps another benchmark's region";
+    }
+}
+
+/** Fraction of CTA c's read lines also read by CTA c+1. */
+double
+haloOverlap(const KernelAccessPattern &kernel, int cta)
+{
+    std::set<Addr> mine, theirs;
+    for (int w = 0; w < kernel.warpsPerCta(); ++w) {
+        for (int i = 0; i < kernel.accessesPerWarp(); ++i) {
+            const MemAccess a = kernel.access(cta, w, i);
+            const MemAccess b = kernel.access(cta + 1, w, i);
+            if (!a.write)
+                mine.insert(a.addr);
+            if (!b.write)
+                theirs.insert(b.addr);
+        }
+    }
+    int shared = 0;
+    for (const Addr a : mine)
+        shared += theirs.count(a);
+    return static_cast<double>(shared) / static_cast<double>(mine.size());
+}
+
+TEST(Benchmarks, StencilsShareHaloRowsBetweenAdjacentCtas)
+{
+    for (const char *name : {"2DCON", "HS", "SRAD", "3DCON", "LPS"}) {
+        const auto kernel = makeGpuBenchmark(name);
+        EXPECT_GT(haloOverlap(*kernel, 10), 0.15) << name;
+    }
+}
+
+TEST(Benchmarks, HighestLocalityIsConvolutionLike)
+{
+    // 2DCON reads each row from 5 CTAs (5x5 conv): over half of its
+    // input lines overlap with a neighbour CTA.
+    const auto kernel = makeGpuBenchmark("2DCON");
+    EXPECT_GT(haloOverlap(*kernel, 10), 0.5);
+}
+
+double
+writeFraction(const KernelAccessPattern &kernel)
+{
+    int writes = 0, total = 0;
+    for (int cta : {0, 5}) {
+        for (int w = 0; w < kernel.warpsPerCta(); ++w) {
+            for (int i = 0; i < kernel.accessesPerWarp(); ++i) {
+                writes += kernel.access(cta, w, i).write;
+                ++total;
+            }
+        }
+    }
+    return static_cast<double>(writes) / total;
+}
+
+TEST(Benchmarks, BpIsWriteHeavy)
+{
+    // The paper: BP is write-heavy and stresses the request network
+    // (Figure 6). It must be by far the most store-intensive kernel.
+    const double bp = writeFraction(*makeGpuBenchmark("BP"));
+    EXPECT_GT(bp, 0.35);
+    for (const auto &name : gpuBenchmarkNames()) {
+        if (name == "BP")
+            continue;
+        EXPECT_LT(writeFraction(*makeGpuBenchmark(name)), bp) << name;
+    }
+}
+
+TEST(Benchmarks, BtReadsWalkTreeLevels)
+{
+    const auto kernel = makeGpuBenchmark("BT");
+    // Level-0 accesses all hit the root line.
+    const Addr root = kernel->access(0, 0, 0).addr;
+    for (int q = 1; q < 10; ++q)
+        EXPECT_EQ(kernel->access(3, 2, q * 4).addr, root);
+    // Leaf accesses spread widely.
+    std::set<Addr> leaves;
+    for (int q = 0; q < 50; ++q)
+        leaves.insert(kernel->access(q % 8, q % 4, q * 4 + 3).addr);
+    EXPECT_GT(leaves.size(), 30u);
+}
+
+TEST(Benchmarks, NnHasSmallPerWarpFootprint)
+{
+    // NN's L1 miss rate is tiny (4.3% in the paper): most accesses hit
+    // a small private buffer.
+    const auto kernel = makeGpuBenchmark("NN");
+    std::set<Addr> lines;
+    for (int i = 0; i < kernel->accessesPerWarp(); ++i)
+        lines.insert(kernel->access(3, 1, i).addr);
+    EXPECT_LT(lines.size(), 64u);
+}
+
+TEST(Benchmarks, MmSharesRowTilesAcrossGridRow)
+{
+    const auto kernel = makeGpuBenchmark("MM");
+    // CTAs 16 and 17 (gridX=16 -> same i, different j) share A reads.
+    std::set<Addr> a16, a17;
+    for (int i = 0; i < kernel->accessesPerWarp(); ++i) {
+        const MemAccess x = kernel->access(16, 0, i);
+        const MemAccess y = kernel->access(17, 0, i);
+        if (!x.write)
+            a16.insert(x.addr);
+        if (!y.write)
+            a17.insert(y.addr);
+    }
+    int shared = 0;
+    for (const Addr a : a16)
+        shared += a17.count(a);
+    EXPECT_GT(shared, 0);
+}
+
+TEST(Benchmarks, CustomStencilRespectsSpec)
+{
+    StencilSpec spec;
+    spec.name = "custom";
+    spec.ctas = 64;
+    spec.warpsPerCta = 4;
+    spec.rowsPerCta = 2;
+    spec.halo = 1;
+    spec.rowLines = 16;
+    spec.colsPerWarp = 4;
+    spec.writeEvery = 4;
+    const auto kernel = makeStencil(spec);
+    EXPECT_EQ(kernel->ctaCount(), 64);
+    EXPECT_EQ(kernel->warpsPerCta(), 4);
+    EXPECT_GT(kernel->accessesPerWarp(), 0);
+    // Every 4th access is a write.
+    EXPECT_TRUE(kernel->access(0, 0, 3).write);
+    EXPECT_FALSE(kernel->access(0, 0, 0).write);
+}
+
+TEST(WorkloadTable, MatchesTableII)
+{
+    const auto &table = workloadTable();
+    EXPECT_EQ(table.size(), 11u);
+    // Spot-check rows straight from the paper.
+    EXPECT_EQ(cpuCoRunnersFor("2DCON"),
+              (std::vector<std::string>{"blackscholes", "canneal",
+                                        "dedup"}));
+    EXPECT_EQ(cpuCoRunnersFor("BP"),
+              (std::vector<std::string>{"blackscholes", "bodytrack",
+                                        "ferret"}));
+    // 33 heterogeneous workloads in total.
+    int total = 0;
+    for (const auto &mix : table)
+        total += static_cast<int>(mix.cpuOptions.size());
+    EXPECT_EQ(total, 33);
+}
+
+TEST(WorkloadTable, AllNamesResolvable)
+{
+    for (const auto &mix : workloadTable()) {
+        EXPECT_NO_FATAL_FAILURE({ makeGpuBenchmark(mix.gpu); });
+    }
+}
+
+TEST(WorkloadTable, UnknownGpuDies)
+{
+    EXPECT_DEATH(cpuCoRunnersFor("quake"), "no workload mix");
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hetero_system.hpp"
+#include "workloads/trace_kernel.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(TraceParse, ReadsRecordsWithComments)
+{
+    std::istringstream in(
+        "# a sample trace\n"
+        "R 1000\n"
+        "W 2080   # store\n"
+        "\n"
+        "R 30c0\n");
+    const auto records = parseTrace(in);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].addr, 0x1000u);
+    EXPECT_FALSE(records[0].write);
+    EXPECT_EQ(records[1].addr, 0x2080u);
+    EXPECT_TRUE(records[1].write);
+    EXPECT_EQ(records[2].addr, 0x30c0u);
+}
+
+TEST(TraceParseDeath, BadOpIsFatal)
+{
+    std::istringstream in("X 1000\n");
+    EXPECT_DEATH((void)parseTrace(in), "expected R or W");
+}
+
+TEST(TraceParseDeath, MissingAddressIsFatal)
+{
+    std::istringstream in("R\n");
+    EXPECT_DEATH((void)parseTrace(in), "missing an address");
+}
+
+TEST(TraceParseDeath, BadAddressIsFatal)
+{
+    std::istringstream in("R zzz\n");
+    EXPECT_DEATH((void)parseTrace(in), "bad address");
+}
+
+TEST(TraceRoundTrip, WriteThenParse)
+{
+    const auto original = makeSampleTrace(500, 64, 0.4, 0.2, 7);
+    std::ostringstream out;
+    writeTrace(original, out);
+    std::istringstream in(out.str());
+    const auto parsed = parseTrace(in);
+    ASSERT_EQ(parsed.size(), original.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].addr, original[i].addr);
+        EXPECT_EQ(parsed[i].write, original[i].write);
+    }
+}
+
+TEST(SampleTrace, RespectsFractions)
+{
+    const auto records = makeSampleTrace(10000, 64, 0.4, 0.2, 3);
+    int shared = 0, writes = 0;
+    for (const auto &r : records) {
+        shared += r.addr < 0x310000000ull;
+        writes += r.write;
+    }
+    EXPECT_NEAR(shared / 10000.0, 0.4, 0.05);
+    EXPECT_NEAR(writes / 10000.0, 0.2, 0.05);
+}
+
+TEST(TraceKernelTest, PartitionsTraceOverWarps)
+{
+    std::vector<TraceRecord> records;
+    for (int i = 0; i < 1000; ++i)
+        records.push_back({static_cast<Addr>(i) * 128, false});
+    TraceKernel kernel("trace", records, 8, 4, 10, 2);
+    // Warp 0 of CTA 0 plays records [0, 10); warp 1 plays [10, 20).
+    EXPECT_EQ(kernel.access(0, 0, 0).addr, 0u);
+    EXPECT_EQ(kernel.access(0, 0, 9).addr, 9u * 128);
+    EXPECT_EQ(kernel.access(0, 1, 0).addr, 10u * 128);
+    EXPECT_EQ(kernel.access(1, 0, 0).addr, 40u * 128);
+}
+
+TEST(TraceKernelTest, WrapsAroundShortTraces)
+{
+    std::vector<TraceRecord> records = {{0x100, false}, {0x200, true}};
+    TraceKernel kernel("tiny", records, 4, 2, 8, 1);
+    EXPECT_EQ(kernel.access(3, 1, 0).addr,
+              kernel.access(0, 0, 0).addr);  // wrapped
+    EXPECT_EQ(kernel.access(0, 0, 1).addr, 0x200u);
+}
+
+TEST(TraceKernelTest, RunsThroughTheFullSystem)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.warmupCycles = 1500;
+    cfg.simCycles = 4000;
+    auto kernel = std::make_unique<TraceKernel>(
+        "sample", makeSampleTrace(60000, 512, 0.5, 0.1, 11), 512, 8, 64,
+        3);
+    HeteroSystem system(cfg, std::move(kernel), "dedup");
+    const RunResults r = system.run();
+    EXPECT_GT(r.gpuIpc, 0.1);
+    EXPECT_GT(r.l1Misses, 100u);
+}
+
+TEST(TraceKernelDeath, EmptyTraceIsFatal)
+{
+    EXPECT_DEATH(TraceKernel("empty", {}, 4, 2, 8, 1), "empty trace");
+}
+
+} // namespace
+} // namespace dr
