@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dr.dir/ablation_dr.cpp.o"
+  "CMakeFiles/ablation_dr.dir/ablation_dr.cpp.o.d"
+  "ablation_dr"
+  "ablation_dr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

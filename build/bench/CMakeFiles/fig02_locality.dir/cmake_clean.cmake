@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_locality.dir/fig02_locality.cpp.o"
+  "CMakeFiles/fig02_locality.dir/fig02_locality.cpp.o.d"
+  "fig02_locality"
+  "fig02_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_topology_bw.dir/fig05_topology_bw.cpp.o"
+  "CMakeFiles/fig05_topology_bw.dir/fig05_topology_bw.cpp.o.d"
+  "fig05_topology_bw"
+  "fig05_topology_bw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_topology_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

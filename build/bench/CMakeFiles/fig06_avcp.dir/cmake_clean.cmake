@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_avcp.dir/fig06_avcp.cpp.o"
+  "CMakeFiles/fig06_avcp.dir/fig06_avcp.cpp.o.d"
+  "fig06_avcp"
+  "fig06_avcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_avcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_adaptive.dir/fig07_adaptive.cpp.o"
+  "CMakeFiles/fig07_adaptive.dir/fig07_adaptive.cpp.o.d"
+  "fig07_adaptive"
+  "fig07_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_layout_routing.dir/fig09_layout_routing.cpp.o"
+  "CMakeFiles/fig09_layout_routing.dir/fig09_layout_routing.cpp.o.d"
+  "fig09_layout_routing"
+  "fig09_layout_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_layout_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

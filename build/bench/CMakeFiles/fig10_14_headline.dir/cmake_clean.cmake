@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_14_headline.dir/fig10_14_headline.cpp.o"
+  "CMakeFiles/fig10_14_headline.dir/fig10_14_headline.cpp.o.d"
+  "fig10_14_headline"
+  "fig10_14_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_14_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

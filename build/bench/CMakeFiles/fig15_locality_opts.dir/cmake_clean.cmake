@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_locality_opts.dir/fig15_locality_opts.cpp.o"
+  "CMakeFiles/fig15_locality_opts.dir/fig15_locality_opts.cpp.o.d"
+  "fig15_locality_opts"
+  "fig15_locality_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_locality_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

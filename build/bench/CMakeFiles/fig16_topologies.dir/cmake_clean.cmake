@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_topologies.dir/fig16_topologies.cpp.o"
+  "CMakeFiles/fig16_topologies.dir/fig16_topologies.cpp.o.d"
+  "fig16_topologies"
+  "fig16_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

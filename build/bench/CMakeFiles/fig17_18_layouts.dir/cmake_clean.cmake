@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_18_layouts.dir/fig17_18_layouts.cpp.o"
+  "CMakeFiles/fig17_18_layouts.dir/fig17_18_layouts.cpp.o.d"
+  "fig17_18_layouts"
+  "fig17_18_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_18_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

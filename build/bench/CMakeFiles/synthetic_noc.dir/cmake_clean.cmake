@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_noc.dir/synthetic_noc.cpp.o"
+  "CMakeFiles/synthetic_noc.dir/synthetic_noc.cpp.o.d"
+  "synthetic_noc"
+  "synthetic_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_energy_area.dir/tab_energy_area.cpp.o"
+  "CMakeFiles/tab_energy_area.dir/tab_energy_area.cpp.o.d"
+  "tab_energy_area"
+  "tab_energy_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_energy_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_node_mix.dir/tab_node_mix.cpp.o"
+  "CMakeFiles/tab_node_mix.dir/tab_node_mix.cpp.o.d"
+  "tab_node_mix"
+  "tab_node_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_node_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

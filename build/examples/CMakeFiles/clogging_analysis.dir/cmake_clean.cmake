@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clogging_analysis.dir/clogging_analysis.cpp.o"
+  "CMakeFiles/clogging_analysis.dir/clogging_analysis.cpp.o.d"
+  "clogging_analysis"
+  "clogging_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clogging_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

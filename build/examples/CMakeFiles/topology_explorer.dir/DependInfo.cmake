@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/topology_explorer.cpp" "examples/CMakeFiles/topology_explorer.dir/topology_explorer.cpp.o" "gcc" "examples/CMakeFiles/topology_explorer.dir/topology_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dr_core_lib.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dr_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dr_coherence.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/dr_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

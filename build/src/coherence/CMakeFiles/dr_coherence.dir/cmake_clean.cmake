@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_coherence.dir/gpu_coherence.cpp.o"
+  "CMakeFiles/dr_coherence.dir/gpu_coherence.cpp.o.d"
+  "CMakeFiles/dr_coherence.dir/mesi.cpp.o"
+  "CMakeFiles/dr_coherence.dir/mesi.cpp.o.d"
+  "libdr_coherence.a"
+  "libdr_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

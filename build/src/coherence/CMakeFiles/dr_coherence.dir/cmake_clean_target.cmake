@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdr_coherence.a"
+)

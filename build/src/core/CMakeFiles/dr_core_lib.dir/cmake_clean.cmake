@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_core_lib.dir/config_io.cpp.o"
+  "CMakeFiles/dr_core_lib.dir/config_io.cpp.o.d"
+  "CMakeFiles/dr_core_lib.dir/experiment.cpp.o"
+  "CMakeFiles/dr_core_lib.dir/experiment.cpp.o.d"
+  "CMakeFiles/dr_core_lib.dir/hetero_system.cpp.o"
+  "CMakeFiles/dr_core_lib.dir/hetero_system.cpp.o.d"
+  "CMakeFiles/dr_core_lib.dir/layout.cpp.o"
+  "CMakeFiles/dr_core_lib.dir/layout.cpp.o.d"
+  "CMakeFiles/dr_core_lib.dir/stats_report.cpp.o"
+  "CMakeFiles/dr_core_lib.dir/stats_report.cpp.o.d"
+  "libdr_core_lib.a"
+  "libdr_core_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_core_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

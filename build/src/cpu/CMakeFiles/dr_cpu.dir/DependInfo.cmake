@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu_node.cpp" "src/cpu/CMakeFiles/dr_cpu.dir/cpu_node.cpp.o" "gcc" "src/cpu/CMakeFiles/dr_cpu.dir/cpu_node.cpp.o.d"
+  "/root/repo/src/cpu/cpu_profile.cpp" "src/cpu/CMakeFiles/dr_cpu.dir/cpu_profile.cpp.o" "gcc" "src/cpu/CMakeFiles/dr_cpu.dir/cpu_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dr_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

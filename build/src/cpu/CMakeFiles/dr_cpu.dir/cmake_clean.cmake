@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_cpu.dir/cpu_node.cpp.o"
+  "CMakeFiles/dr_cpu.dir/cpu_node.cpp.o.d"
+  "CMakeFiles/dr_cpu.dir/cpu_profile.cpp.o"
+  "CMakeFiles/dr_cpu.dir/cpu_profile.cpp.o.d"
+  "libdr_cpu.a"
+  "libdr_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/cta_scheduler.cpp" "src/gpu/CMakeFiles/dr_gpu.dir/cta_scheduler.cpp.o" "gcc" "src/gpu/CMakeFiles/dr_gpu.dir/cta_scheduler.cpp.o.d"
+  "/root/repo/src/gpu/l1_cache.cpp" "src/gpu/CMakeFiles/dr_gpu.dir/l1_cache.cpp.o" "gcc" "src/gpu/CMakeFiles/dr_gpu.dir/l1_cache.cpp.o.d"
+  "/root/repo/src/gpu/realistic_probing.cpp" "src/gpu/CMakeFiles/dr_gpu.dir/realistic_probing.cpp.o" "gcc" "src/gpu/CMakeFiles/dr_gpu.dir/realistic_probing.cpp.o.d"
+  "/root/repo/src/gpu/shared_l1.cpp" "src/gpu/CMakeFiles/dr_gpu.dir/shared_l1.cpp.o" "gcc" "src/gpu/CMakeFiles/dr_gpu.dir/shared_l1.cpp.o.d"
+  "/root/repo/src/gpu/sm_core.cpp" "src/gpu/CMakeFiles/dr_gpu.dir/sm_core.cpp.o" "gcc" "src/gpu/CMakeFiles/dr_gpu.dir/sm_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dr_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

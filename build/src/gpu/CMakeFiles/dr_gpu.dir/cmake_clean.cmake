@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_gpu.dir/cta_scheduler.cpp.o"
+  "CMakeFiles/dr_gpu.dir/cta_scheduler.cpp.o.d"
+  "CMakeFiles/dr_gpu.dir/l1_cache.cpp.o"
+  "CMakeFiles/dr_gpu.dir/l1_cache.cpp.o.d"
+  "CMakeFiles/dr_gpu.dir/realistic_probing.cpp.o"
+  "CMakeFiles/dr_gpu.dir/realistic_probing.cpp.o.d"
+  "CMakeFiles/dr_gpu.dir/shared_l1.cpp.o"
+  "CMakeFiles/dr_gpu.dir/shared_l1.cpp.o.d"
+  "CMakeFiles/dr_gpu.dir/sm_core.cpp.o"
+  "CMakeFiles/dr_gpu.dir/sm_core.cpp.o.d"
+  "libdr_gpu.a"
+  "libdr_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_map.cpp" "src/mem/CMakeFiles/dr_mem.dir/address_map.cpp.o" "gcc" "src/mem/CMakeFiles/dr_mem.dir/address_map.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/mem/CMakeFiles/dr_mem.dir/dram.cpp.o" "gcc" "src/mem/CMakeFiles/dr_mem.dir/dram.cpp.o.d"
+  "/root/repo/src/mem/llc.cpp" "src/mem/CMakeFiles/dr_mem.dir/llc.cpp.o" "gcc" "src/mem/CMakeFiles/dr_mem.dir/llc.cpp.o.d"
+  "/root/repo/src/mem/mem_node.cpp" "src/mem/CMakeFiles/dr_mem.dir/mem_node.cpp.o" "gcc" "src/mem/CMakeFiles/dr_mem.dir/mem_node.cpp.o.d"
+  "/root/repo/src/mem/mshr.cpp" "src/mem/CMakeFiles/dr_mem.dir/mshr.cpp.o" "gcc" "src/mem/CMakeFiles/dr_mem.dir/mshr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dr_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

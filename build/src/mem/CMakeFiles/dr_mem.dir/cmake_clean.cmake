@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_mem.dir/address_map.cpp.o"
+  "CMakeFiles/dr_mem.dir/address_map.cpp.o.d"
+  "CMakeFiles/dr_mem.dir/dram.cpp.o"
+  "CMakeFiles/dr_mem.dir/dram.cpp.o.d"
+  "CMakeFiles/dr_mem.dir/llc.cpp.o"
+  "CMakeFiles/dr_mem.dir/llc.cpp.o.d"
+  "CMakeFiles/dr_mem.dir/mem_node.cpp.o"
+  "CMakeFiles/dr_mem.dir/mem_node.cpp.o.d"
+  "CMakeFiles/dr_mem.dir/mshr.cpp.o"
+  "CMakeFiles/dr_mem.dir/mshr.cpp.o.d"
+  "libdr_mem.a"
+  "libdr_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

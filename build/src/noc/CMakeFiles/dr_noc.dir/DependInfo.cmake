@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/noc/interconnect.cpp" "src/noc/CMakeFiles/dr_noc.dir/interconnect.cpp.o" "gcc" "src/noc/CMakeFiles/dr_noc.dir/interconnect.cpp.o.d"
+  "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/dr_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/dr_noc.dir/network.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/dr_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/dr_noc.dir/router.cpp.o.d"
+  "/root/repo/src/noc/routing.cpp" "src/noc/CMakeFiles/dr_noc.dir/routing.cpp.o" "gcc" "src/noc/CMakeFiles/dr_noc.dir/routing.cpp.o.d"
+  "/root/repo/src/noc/synthetic_traffic.cpp" "src/noc/CMakeFiles/dr_noc.dir/synthetic_traffic.cpp.o" "gcc" "src/noc/CMakeFiles/dr_noc.dir/synthetic_traffic.cpp.o.d"
+  "/root/repo/src/noc/topology.cpp" "src/noc/CMakeFiles/dr_noc.dir/topology.cpp.o" "gcc" "src/noc/CMakeFiles/dr_noc.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

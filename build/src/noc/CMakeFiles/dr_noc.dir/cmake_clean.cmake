@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_noc.dir/interconnect.cpp.o"
+  "CMakeFiles/dr_noc.dir/interconnect.cpp.o.d"
+  "CMakeFiles/dr_noc.dir/network.cpp.o"
+  "CMakeFiles/dr_noc.dir/network.cpp.o.d"
+  "CMakeFiles/dr_noc.dir/router.cpp.o"
+  "CMakeFiles/dr_noc.dir/router.cpp.o.d"
+  "CMakeFiles/dr_noc.dir/routing.cpp.o"
+  "CMakeFiles/dr_noc.dir/routing.cpp.o.d"
+  "CMakeFiles/dr_noc.dir/synthetic_traffic.cpp.o"
+  "CMakeFiles/dr_noc.dir/synthetic_traffic.cpp.o.d"
+  "CMakeFiles/dr_noc.dir/topology.cpp.o"
+  "CMakeFiles/dr_noc.dir/topology.cpp.o.d"
+  "libdr_noc.a"
+  "libdr_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

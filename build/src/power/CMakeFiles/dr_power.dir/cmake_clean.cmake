@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_power.dir/noc_power.cpp.o"
+  "CMakeFiles/dr_power.dir/noc_power.cpp.o.d"
+  "CMakeFiles/dr_power.dir/sram_area.cpp.o"
+  "CMakeFiles/dr_power.dir/sram_area.cpp.o.d"
+  "libdr_power.a"
+  "libdr_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/gpu_benchmarks.cpp" "src/workloads/CMakeFiles/dr_workloads.dir/gpu_benchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/dr_workloads.dir/gpu_benchmarks.cpp.o.d"
+  "/root/repo/src/workloads/trace_kernel.cpp" "src/workloads/CMakeFiles/dr_workloads.dir/trace_kernel.cpp.o" "gcc" "src/workloads/CMakeFiles/dr_workloads.dir/trace_kernel.cpp.o.d"
+  "/root/repo/src/workloads/workload_table.cpp" "src/workloads/CMakeFiles/dr_workloads.dir/workload_table.cpp.o" "gcc" "src/workloads/CMakeFiles/dr_workloads.dir/workload_table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/dr_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/dr_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/dr_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/dr_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/coherence/CMakeFiles/dr_coherence.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dr_workloads.dir/gpu_benchmarks.cpp.o"
+  "CMakeFiles/dr_workloads.dir/gpu_benchmarks.cpp.o.d"
+  "CMakeFiles/dr_workloads.dir/trace_kernel.cpp.o"
+  "CMakeFiles/dr_workloads.dir/trace_kernel.cpp.o.d"
+  "CMakeFiles/dr_workloads.dir/workload_table.cpp.o"
+  "CMakeFiles/dr_workloads.dir/workload_table.cpp.o.d"
+  "libdr_workloads.a"
+  "libdr_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dr_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence.dir/coherence/test_gpu_coherence.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_gpu_coherence.cpp.o.d"
+  "CMakeFiles/test_coherence.dir/coherence/test_mesi.cpp.o"
+  "CMakeFiles/test_coherence.dir/coherence/test_mesi.cpp.o.d"
+  "test_coherence"
+  "test_coherence.pdb"
+  "test_coherence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_config_io.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_config_io.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_invariants.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_invariants.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_layout.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_layout.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_stats_report.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_stats_report.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_system.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

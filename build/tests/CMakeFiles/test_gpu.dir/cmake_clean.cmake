@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu.dir/gpu/test_cta_scheduler.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_cta_scheduler.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_l1_orgs.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_l1_orgs.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_realistic_probing.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_realistic_probing.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_sm_core.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_sm_core.cpp.o.d"
+  "test_gpu"
+  "test_gpu.pdb"
+  "test_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

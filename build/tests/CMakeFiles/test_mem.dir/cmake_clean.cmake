@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mem.dir/mem/test_address_map.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_address_map.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_cache.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_dram.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_llc.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_llc.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mem_node.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_mem_node.cpp.o.d"
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cpp.o"
+  "CMakeFiles/test_mem.dir/mem/test_mshr.cpp.o.d"
+  "test_mem"
+  "test_mem.pdb"
+  "test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc.dir/noc/test_interconnect.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_interconnect.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_network.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_network.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_router_unit.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_router_unit.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_routing.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_routing.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_synthetic_traffic.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_synthetic_traffic.cpp.o.d"
+  "CMakeFiles/test_noc.dir/noc/test_topology.cpp.o"
+  "CMakeFiles/test_noc.dir/noc/test_topology.cpp.o.d"
+  "test_noc"
+  "test_noc.pdb"
+  "test_noc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

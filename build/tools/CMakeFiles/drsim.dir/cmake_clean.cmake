@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drsim.dir/drsim.cpp.o"
+  "CMakeFiles/drsim.dir/drsim.cpp.o.d"
+  "drsim"
+  "drsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
