@@ -134,6 +134,23 @@ struct RpConfig
     int predictorEntries = 512;//!< per-core sharing predictor table
 };
 
+/** Correctness-toolkit knobs: progress watchdog + checked-build sweeps. */
+struct DebugConfig
+{
+    /** No-forward-progress window before the watchdog fires (0 = off). */
+    Cycle watchdogCycles = 0;
+    /** panic() on a detected stall; false reports, counts, re-arms. */
+    bool watchdogAbort = true;
+    /** Max cycles an MSHR entry may stay outstanding (leak bound). */
+    Cycle mshrLeakCycles = 200000;
+    /**
+     * DR_CHECKED builds: cycles between full conservation sweeps
+     * (flit/credit conservation, MSHR leak check). 0 disables sweeps;
+     * ignored entirely in non-checked builds.
+     */
+    Cycle sweepCycles = 4096;
+};
+
 /** Complete system configuration. */
 struct SystemConfig
 {
@@ -143,6 +160,7 @@ struct SystemConfig
     MemConfig mem;
     DrConfig dr;
     RpConfig rp;
+    DebugConfig debug;
 
     Mechanism mechanism = Mechanism::Baseline;
     ChipLayout layout = ChipLayout::Baseline;

@@ -1,0 +1,93 @@
+#ifndef DR_COMMON_INVARIANT_HPP
+#define DR_COMMON_INVARIANT_HPP
+
+/**
+ * @file
+ * Machine-checked simulator invariants. The macros below compile to a
+ * panic() (with file/line and the failing expression) in DR_CHECKED
+ * builds (-DDR_CHECKED=ON) and to nothing in Release, so conservation
+ * laws can be asserted on hot paths without taxing measurement runs.
+ *
+ * Conventions:
+ *  - DR_ASSERT(cond)            — local sanity check on a hot path.
+ *  - DR_ASSERT_MSG(cond, ...)   — same, with extra diagnostic operands.
+ *  - DR_INVARIANT(cond, ...)    — a simulator-wide conservation law
+ *                                 (flit/credit/MSHR accounting); reads
+ *                                 as documentation of the law itself.
+ *  - DR_CHECKED_ONLY(stmt)      — bookkeeping needed only by checks.
+ *
+ * Explicit checker *functions* (Network::checkCreditConservation() and
+ * friends) are compiled unconditionally — they run only when called, so
+ * tests and the watchdog can use them in any build type.
+ */
+
+#include "common/log.hpp"
+
+namespace dr
+{
+
+/** True when the build carries invariant checks (-DDR_CHECKED=ON). */
+constexpr bool
+checkedBuild()
+{
+#ifdef DR_CHECKED
+    return true;
+#else
+    return false;
+#endif
+}
+
+} // namespace dr
+
+#ifdef DR_CHECKED
+
+#define DR_ASSERT(cond)                                                    \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dr::panic("assertion failed: ", #cond, " at ", __FILE__,     \
+                        ":", __LINE__);                                    \
+        }                                                                  \
+    } while (0)
+
+#define DR_ASSERT_MSG(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dr::panic("assertion failed: ", #cond, " at ", __FILE__,     \
+                        ":", __LINE__, ": ", __VA_ARGS__);                 \
+        }                                                                  \
+    } while (0)
+
+#define DR_INVARIANT(cond, ...)                                            \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dr::panic("invariant violated: ", #cond, " at ", __FILE__,   \
+                        ":", __LINE__, ": ", __VA_ARGS__);                 \
+        }                                                                  \
+    } while (0)
+
+#define DR_CHECKED_ONLY(stmt)                                              \
+    do {                                                                   \
+        stmt;                                                              \
+    } while (0)
+
+#else
+
+#define DR_ASSERT(cond)                                                    \
+    do {                                                                   \
+    } while (0)
+
+#define DR_ASSERT_MSG(cond, ...)                                           \
+    do {                                                                   \
+    } while (0)
+
+#define DR_INVARIANT(cond, ...)                                            \
+    do {                                                                   \
+    } while (0)
+
+#define DR_CHECKED_ONLY(stmt)                                              \
+    do {                                                                   \
+    } while (0)
+
+#endif // DR_CHECKED
+
+#endif // DR_COMMON_INVARIANT_HPP

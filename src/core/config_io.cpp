@@ -1,5 +1,8 @@
 #include "core/config_io.hpp"
 
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <map>
@@ -24,32 +27,43 @@ trim(const std::string &s)
     return s.substr(begin, end - begin + 1);
 }
 
+// Malformed input is a user error, not a simulator bug: report through
+// fatal() like every other configuration problem instead of throwing.
+// std::from_chars / strtod never throw, so no try/catch is needed.
 int
 parseInt(const std::string &key, const std::string &value)
 {
-    try {
-        std::size_t used = 0;
-        const int parsed = std::stoi(value, &used);
-        if (used != value.size())
-            throw std::invalid_argument(value);
-        return parsed;
-    } catch (const std::exception &) {
+    int parsed = 0;
+    const char *first = value.data();
+    const char *last = first + value.size();
+    const auto [ptr, ec] = std::from_chars(first, last, parsed);
+    if (ec != std::errc{} || ptr != last || value.empty())
         fatal("config: '", key, "' expects an integer, got '", value, "'");
-    }
+    return parsed;
+}
+
+/** Cycle counts are unsigned: reject negatives instead of wrapping. */
+Cycle
+parseCycles(const std::string &key, const std::string &value)
+{
+    const int parsed = parseInt(key, value);
+    if (parsed < 0)
+        fatal("config: '", key, "' expects a non-negative cycle count, ",
+              "got '", value, "'");
+    return static_cast<Cycle>(parsed);
 }
 
 double
 parseDouble(const std::string &key, const std::string &value)
 {
-    try {
-        std::size_t used = 0;
-        const double parsed = std::stod(value, &used);
-        if (used != value.size())
-            throw std::invalid_argument(value);
-        return parsed;
-    } catch (const std::exception &) {
+    errno = 0;
+    char *parseEnd = nullptr;
+    const double parsed = std::strtod(value.c_str(), &parseEnd);
+    if (errno != 0 || value.empty() ||
+        parseEnd != value.c_str() + value.size()) {
         fatal("config: '", key, "' expects a number, got '", value, "'");
     }
+    return parsed;
 }
 
 bool
@@ -155,8 +169,8 @@ applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
         {"mechanism", [&] { cfg.mechanism = parseMechanism(value); }},
         {"layout", [&] { cfg.layout = parseLayout(value); }},
         {"seed", [&] { cfg.seed = parseInt(key, value); }},
-        {"sim.cycles", [&] { cfg.simCycles = parseInt(key, value); }},
-        {"sim.warmup", [&] { cfg.warmupCycles = parseInt(key, value); }},
+        {"sim.cycles", [&] { cfg.simCycles = parseCycles(key, value); }},
+        {"sim.warmup", [&] { cfg.warmupCycles = parseCycles(key, value); }},
 
         {"noc.topology", [&] { cfg.noc.topology = parseTopology(value); }},
         {"noc.meshWidth", [&] { cfg.noc.meshWidth = parseInt(key, value); }},
@@ -224,6 +238,15 @@ applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
         {"rp.probeCount", [&] { cfg.rp.probeCount = parseInt(key, value); }},
         {"rp.predictorEntries",
          [&] { cfg.rp.predictorEntries = parseInt(key, value); }},
+
+        {"debug.watchdogCycles",
+         [&] { cfg.debug.watchdogCycles = parseCycles(key, value); }},
+        {"debug.watchdogAbort",
+         [&] { cfg.debug.watchdogAbort = parseBool(key, value); }},
+        {"debug.mshrLeakCycles",
+         [&] { cfg.debug.mshrLeakCycles = parseCycles(key, value); }},
+        {"debug.sweepCycles",
+         [&] { cfg.debug.sweepCycles = parseCycles(key, value); }},
     };
     const auto it = handlers.find(key);
     if (it == handlers.end())
@@ -347,6 +370,11 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
         << (cfg.dr.frqRemotePriority ? "true" : "false") << "\n";
     out << "rp.probeCount = " << cfg.rp.probeCount << "\n";
     out << "rp.predictorEntries = " << cfg.rp.predictorEntries << "\n";
+    out << "debug.watchdogCycles = " << cfg.debug.watchdogCycles << "\n";
+    out << "debug.watchdogAbort = "
+        << (cfg.debug.watchdogAbort ? "true" : "false") << "\n";
+    out << "debug.mshrLeakCycles = " << cfg.debug.mshrLeakCycles << "\n";
+    out << "debug.sweepCycles = " << cfg.debug.sweepCycles << "\n";
 }
 
 } // namespace dr

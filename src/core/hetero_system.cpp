@@ -1,5 +1,8 @@
 #include "core/hetero_system.hpp"
 
+#include <ostream>
+
+#include "common/invariant.hpp"
 #include "common/log.hpp"
 #include "cpu/cpu_profile.hpp"
 #include "workloads/gpu_benchmarks.hpp"
@@ -84,6 +87,27 @@ HeteroSystem::HeteroSystem(const SystemConfig &cfg,
             node, cfg_, *ic_, *coherence_, *mesi_, layout_.gpuCores,
             layout_.cpuCores));
     }
+
+    if (cfg_.debug.watchdogCycles > 0) {
+        WatchdogParams wp;
+        wp.stallCycles = cfg_.debug.watchdogCycles;
+        wp.abortOnStall = cfg_.debug.watchdogAbort;
+        watchdog_ = std::make_unique<ProgressWatchdog>(*ic_, wp);
+        watchdog_->setExtraDump([this](std::ostream &os) {
+            os << "endpoint state:\n";
+            for (const auto &mem : memNodes_) {
+                os << "  mem node " << mem->nodeId() << ": "
+                   << mem->llc().mshrUsed() << " LLC MSHRs in use, oldest "
+                   << mem->llc().mshrOldestAge(now_) << " cycles\n";
+            }
+            for (const auto &gpu : gpuCores_) {
+                os << "  gpu core " << gpu->coreIdx() << " (node "
+                   << gpu->nodeId() << "): FRQ " << gpu->frqOccupancy()
+                   << " entries, oldest MSHR "
+                   << gpu->mshrOldestAge(now_) << " cycles\n";
+            }
+        });
+    }
 }
 
 HeteroSystem::~HeteroSystem() = default;
@@ -101,6 +125,11 @@ HeteroSystem::anyRemoteL1Has(int coreIdx, Addr line) const
 void
 HeteroSystem::advance(Cycle cycles)
 {
+    // Watchdog observation interval: fine enough to bound detection
+    // latency, coarse enough to keep the signature walk off the
+    // per-cycle path.
+    constexpr Cycle kObserveEvery = 64;
+
     const Cycle end = now_ + cycles;
     for (; now_ < end; ++now_) {
         ic_->tick(now_);
@@ -111,7 +140,47 @@ HeteroSystem::advance(Cycle cycles)
             gpu->tick(now_);
         for (auto &cpu : cpuNodes_)
             cpu->tick(now_);
+
+        if (watchdog_ && now_ % kObserveEvery == 0)
+            watchdog_->observe(now_, progressSignature());
+
+        if constexpr (checkedBuild()) {
+            if (cfg_.debug.sweepCycles > 0 &&
+                now_ % cfg_.debug.sweepCycles == 0 && now_ > 0) {
+                checkInvariants();
+            }
+        }
     }
+}
+
+std::uint64_t
+HeteroSystem::progressSignature() const
+{
+    // Built from monotone counters that resetAllStats() does not touch
+    // (network conservation counters) plus instruction counts; any
+    // change means the chip did useful work.
+    std::uint64_t sig = 0;
+    const Network &req = ic_->net(NetKind::Request);
+    sig += req.conservedFlitsInjected() + req.conservedFlitsEjected();
+    if (!ic_->shared()) {
+        const Network &rep = ic_->net(NetKind::Reply);
+        sig += rep.conservedFlitsInjected() + rep.conservedFlitsEjected();
+    }
+    for (const auto &gpu : gpuCores_)
+        sig += gpu->stats().instructions.value();
+    for (const auto &cpu : cpuNodes_)
+        sig += cpu->stats().retired.value();
+    return sig;
+}
+
+void
+HeteroSystem::checkInvariants() const
+{
+    ic_->checkInvariants();
+    for (const auto &mem : memNodes_)
+        mem->llc().checkMshrLeaks(now_, cfg_.debug.mshrLeakCycles);
+    for (const auto &gpu : gpuCores_)
+        gpu->checkMshrLeaks(now_, cfg_.debug.mshrLeakCycles);
 }
 
 void

@@ -19,6 +19,7 @@
 #include "common/config.hpp"
 #include "core/layout.hpp"
 #include "cpu/cpu_node.hpp"
+#include "debug/progress_watchdog.hpp"
 #include "gpu/cta_scheduler.hpp"
 #include "gpu/kernel.hpp"
 #include "gpu/l1_cache.hpp"
@@ -120,6 +121,24 @@ class HeteroSystem
     GpuCoherence &coherence() { return *coherence_; }
     MesiDirectory &mesi() { return *mesi_; }
 
+    /**
+     * Monotone progress signature: advances whenever any network moves
+     * a flit or any core retires an instruction. The watchdog flags a
+     * stall when this stops changing for debug.watchdogCycles cycles.
+     */
+    std::uint64_t progressSignature() const;
+
+    /** The progress watchdog, or nullptr when debug.watchdogCycles==0. */
+    ProgressWatchdog *watchdog() { return watchdog_.get(); }
+
+    /**
+     * Run every registered invariant sweep once: network flit/credit
+     * conservation plus LLC and L1 MSHR leak bounds. Called
+     * automatically every debug.sweepCycles in DR_CHECKED builds;
+     * callable from any build (tests, post-mortem triage).
+     */
+    void checkInvariants() const;
+
   private:
     bool anyRemoteL1Has(int coreIdx, Addr line) const;
 
@@ -135,6 +154,7 @@ class HeteroSystem
     std::vector<std::unique_ptr<SmCore>> gpuCores_;
     std::vector<std::unique_ptr<CpuNode>> cpuNodes_;
     std::vector<std::unique_ptr<MemNode>> memNodes_;
+    std::unique_ptr<ProgressWatchdog> watchdog_;
     Cycle now_ = 0;
 };
 

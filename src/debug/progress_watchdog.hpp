@@ -1,0 +1,81 @@
+#ifndef DR_DEBUG_PROGRESS_WATCHDOG_HPP
+#define DR_DEBUG_PROGRESS_WATCHDOG_HPP
+
+/**
+ * @file
+ * Forward-progress watchdog for deadlock triage. The enclosing system
+ * feeds it a monotonic progress signature (packets delivered +
+ * instructions retired); if the signature stops changing for a
+ * configured window the watchdog dumps per-router occupancy and credit
+ * state plus the blocked-flit dependency chain — the wait-for graph a
+ * credit leak or protocol cycle shows up in — and then panics (or, in
+ * keep-going mode, counts the stall and re-arms).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+
+#include "common/types.hpp"
+
+namespace dr
+{
+
+class Interconnect;
+class Network;
+
+/** Watchdog configuration. */
+struct WatchdogParams
+{
+    /** Cycles without progress before the watchdog fires. */
+    Cycle stallCycles = 50000;
+    /** panic() on stall (default); false reports, counts, and re-arms. */
+    bool abortOnStall = true;
+};
+
+/**
+ * Detects no-forward-progress and dumps deadlock triage state. Owned by
+ * the HeteroSystem (or any harness driving an Interconnect) and fed via
+ * observe(); stateless with respect to the simulation proper.
+ */
+class ProgressWatchdog
+{
+  public:
+    ProgressWatchdog(const Interconnect &ic, const WatchdogParams &params);
+
+    /**
+     * Feed one observation. `signature` is any value that changes when
+     * the system makes forward progress. Returns true when a stall was
+     * detected this call (only possible in keep-going mode — with
+     * abortOnStall the call panics instead).
+     */
+    bool observe(Cycle now, std::uint64_t signature);
+
+    /** Write the triage dump (router state + blocked chains) to `os`. */
+    void reportStall(Cycle now, std::ostream &os) const;
+
+    /** Extra owner-supplied state appended to the dump (MSHRs, FRQs). */
+    void setExtraDump(std::function<void(std::ostream &)> dump);
+
+    /** Cycle of the last observed progress. */
+    Cycle lastProgressCycle() const { return lastProgress_; }
+
+    /** Stalls detected so far (keep-going mode). */
+    int stallsDetected() const { return stalls_; }
+
+  private:
+    void dumpNetwork(const Network &net, std::ostream &os) const;
+    void dumpBlockedChain(const Network &net, std::ostream &os) const;
+
+    const Interconnect &ic_;
+    WatchdogParams params_;
+    std::function<void(std::ostream &)> extraDump_;
+    std::uint64_t lastSignature_ = 0;
+    bool seeded_ = false;
+    Cycle lastProgress_ = 0;
+    int stalls_ = 0;
+};
+
+} // namespace dr
+
+#endif // DR_DEBUG_PROGRESS_WATCHDOG_HPP

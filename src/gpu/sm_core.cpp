@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/invariant.hpp"
 #include "common/log.hpp"
 
 namespace dr
@@ -56,6 +57,7 @@ SmCore::makeRequest(MsgType type, Addr line, Cycle now) const
 void
 SmCore::tick(Cycle now)
 {
+    DR_CHECKED_ONLY(frqServicedThisTick_ = false);
     receiveReplies(now);
     receiveRequests(now);
     if (cfg_.dr.frqRemotePriority)
@@ -138,8 +140,18 @@ SmCore::receiveRequests(Cycle now)
                     break;
                 }
             }
+            // The delegate is always a third party: a memory node never
+            // forwards a core its own request (mem_node asserts the
+            // sending side of the same law).
+            DR_INVARIANT(head.requester != nodeId_,
+                         "core ", coreIdx_, " received a delegated "
+                         "request for its own miss");
             frq_.push_back(ic_.popMessage(nodeId_, NetKind::Request));
             ++stats_.frqReceived;
+            DR_INVARIANT(static_cast<int>(frq_.size()) <=
+                             cfg_.gpu.frqEntries,
+                         "core ", coreIdx_, " FRQ overran its ",
+                         cfg_.gpu.frqEntries, " entries");
         } else if (head.type == MsgType::ProbeReq) {
             if (probeQueue_.size() >= 8)
                 break;
@@ -164,6 +176,7 @@ SmCore::sendOrQueueReply(const Message &msg, Cycle now)
 void
 SmCore::processFrq(Cycle now)
 {
+    DR_CHECKED_ONLY(frqServicedThisTick_ = true);
     // One forwarded request per cycle, with priority over local accesses
     // (deadlock avoidance, Section IV).
     if (!frq_.empty()) {
@@ -198,6 +211,12 @@ SmCore::processFrq(Cycle now)
             resend.dnf = true;
             resend.requester = msg.requester;
             resend.id = msg.id;
+            // The DNF re-send goes back to the line's home LLC slice on
+            // behalf of the original requester — never to another core
+            // (no delegation chains, Section IV).
+            DR_ASSERT_MSG(isMemNode(resend.dst),
+                          "core ", coreIdx_,
+                          " DNF re-send addressed to a core");
             if (ic_.canSend(resend)) {
                 ic_.send(resend, now);
                 ++stats_.frqRemoteMisses;
@@ -260,6 +279,12 @@ SmCore::drainOutbound(Cycle now)
 void
 SmCore::issueWarps(Cycle now)
 {
+    // Deadlock avoidance (Section IV): with remote priority enabled the
+    // FRQ must have been offered service before any local issue.
+    DR_INVARIANT(!cfg_.dr.frqRemotePriority || frqServicedThisTick_,
+                 "core ", coreIdx_,
+                 " FRQ-priority ordering violated: local issue before "
+                 "forwarded-request service");
     const int n = static_cast<int>(warps_.size());
     int issued = 0;
     for (int k = 0; k < n && issued < cfg_.gpu.issueWidth; ++k) {
@@ -409,7 +434,8 @@ SmCore::startMiss(Warp &warp, int warpId, Addr line, Cycle now)
         if (localityOracle_ && localityOracle_(coreIdx_, line))
             ++stats_.missesWithRemoteCopy;
         mshrs_.allocate(line, {static_cast<std::uint64_t>(warpId), nodeId_,
-                               TrafficClass::Gpu, false, false});
+                               TrafficClass::Gpu, false, false},
+                        now);
         Message probe = makeRequest(MsgType::ProbeReq, line, now);
         ++nextReqId_;
         for (const NodeId target : targets) {
@@ -438,7 +464,8 @@ SmCore::startMiss(Warp &warp, int warpId, Addr line, Cycle now)
     if (localityOracle_ && localityOracle_(coreIdx_, line))
         ++stats_.missesWithRemoteCopy;
     mshrs_.allocate(line, {static_cast<std::uint64_t>(warpId), nodeId_,
-                           TrafficClass::Gpu, false, false});
+                           TrafficClass::Gpu, false, false},
+                    now);
     ic_.send(req, now);
     ++nextReqId_;
     ++stats_.llcRequests;

@@ -107,6 +107,15 @@ class SmCore
     int frqOccupancy() const { return static_cast<int>(frq_.size()); }
     int outstandingMisses() const { return mshrs_.used(); }
 
+    /** Age of the longest-outstanding L1 MSHR entry. */
+    Cycle mshrOldestAge(Cycle now) const { return mshrs_.oldestAge(now); }
+
+    /** panic() if any MSHR entry has been outstanding beyond `maxAge`. */
+    void checkMshrLeaks(Cycle now, Cycle maxAge) const
+    {
+        mshrs_.checkNoLeaks(now, maxAge, "SM L1");
+    }
+
   private:
     struct Warp
     {
@@ -186,6 +195,7 @@ class SmCore
     SharingPredictor predictor_;
 
     int outstandingWrites_ = 0;
+    bool frqServicedThisTick_ = false;  //!< DR_CHECKED ordering witness
     std::uint64_t nextReqId_;
     std::function<bool(int, Addr)> localityOracle_;
 

@@ -1,5 +1,6 @@
 #include "mem/llc.hpp"
 
+#include "common/invariant.hpp"
 #include "common/log.hpp"
 
 namespace dr
@@ -128,7 +129,7 @@ LlcSlice::tick(Cycle now)
                 ++stats_.stallCycles;
                 break;
             }
-            mshrs_.allocate(line, target);
+            mshrs_.allocate(line, target, now);
             dram_.enqueue({line, false, req.id, now}, now);
             pipe_.pop_front();
             continue;
@@ -149,6 +150,18 @@ LlcSlice::tick(Cycle now)
                 reply.delegateTo = hit->meta.lastCore;
                 ++stats_.delegatableHits;
             }
+            // DR protocol (Section IV): a request that already bounced
+            // off a remote L1 carries the Do-Not-Forward bit and must
+            // never be re-delegated (that could ping-pong forever), and
+            // a delegation pointer naming the requester itself would be
+            // a self-forward.
+            DR_INVARIANT(!(reply.delegatable && req.dnf),
+                         "LLC ", nodeId_, ": DNF request re-delegated for "
+                         "line 0x", std::hex, line, std::dec);
+            DR_INVARIANT(!reply.delegatable ||
+                             reply.delegateTo != req.requester,
+                         "LLC ", nodeId_, ": delegation pointer equals "
+                         "requester node ", req.requester);
             if (requesterIdx >= 0) {
                 // Track the most recent GPU reader (6-bit pointer).
                 hit->meta.lastCore = req.requester;
@@ -181,7 +194,7 @@ LlcSlice::tick(Cycle now)
         if (req.dnf)
             ++stats_.dnfRequests;
         ++stats_.misses;
-        mshrs_.allocate(line, target);
+        mshrs_.allocate(line, target, now);
         dram_.enqueue({line, false, req.id, now}, now);
         pipe_.pop_front();
     }

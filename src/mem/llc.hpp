@@ -82,6 +82,18 @@ class LlcSlice
     /** Valid lines in the tag store (diagnostics). */
     int validLines() const { return cache_.validLines(); }
 
+    /** Outstanding MSHR entries (diagnostics / leak detection). */
+    int mshrUsed() const { return mshrs_.used(); }
+
+    /** Age of the longest-outstanding MSHR entry. */
+    Cycle mshrOldestAge(Cycle now) const { return mshrs_.oldestAge(now); }
+
+    /** panic() if any MSHR entry has been outstanding beyond `maxAge`. */
+    void checkMshrLeaks(Cycle now, Cycle maxAge) const
+    {
+        mshrs_.checkNoLeaks(now, maxAge, "LLC");
+    }
+
   private:
     struct LineMeta
     {

@@ -1,5 +1,6 @@
 #include "mem/mem_node.hpp"
 
+#include "common/invariant.hpp"
 #include "common/log.hpp"
 
 namespace dr
@@ -41,6 +42,18 @@ MemNode::drainReplies(Cycle now)
             reply.delegatable &&
             (cfg_.dr.delegateAlways || !ic_.canSend(reply.msg));
         if (wantDelegate) {
+            // DR protocol: delegation only applies to read replies, and
+            // the delegate must be a third party — forwarding back to
+            // the requester (or to nobody) would be a protocol bug.
+            DR_INVARIANT(reply.msg.type == MsgType::ReadReply,
+                         "mem node ", nodeId_, ": delegating a ",
+                         msgTypeName(reply.msg.type));
+            DR_INVARIANT(reply.delegateTo != invalidNode,
+                         "mem node ", nodeId_,
+                         ": delegatable reply without a core pointer");
+            DR_INVARIANT(reply.delegateTo != reply.msg.requester,
+                         "mem node ", nodeId_, ": delegation pointer "
+                         "equals requester node ", reply.msg.requester);
             Message delegated;
             delegated.type = MsgType::DelegatedReq;
             delegated.cls = TrafficClass::Gpu;

@@ -51,6 +51,7 @@ class MemNode
     const LlcStats &llcStats() const { return llc_.stats(); }
     const DramStats &dramStats() const { return dram_.stats(); }
     LlcSlice &llc() { return llc_; }
+    const LlcSlice &llc() const { return llc_; }
     DramChannel &dram() { return dram_; }
 
     /** Fraction of cycles the node could not inject its head reply. */

@@ -1,5 +1,8 @@
 #include "mem/mshr.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 #include "common/log.hpp"
 
 namespace dr
@@ -19,13 +22,13 @@ MshrFile::outstanding(Addr lineAddr) const
 }
 
 void
-MshrFile::allocate(Addr lineAddr, const MshrTarget &first)
+MshrFile::allocate(Addr lineAddr, const MshrTarget &first, Cycle now)
 {
     if (full())
         panic("MSHR allocate on full file");
     if (outstanding(lineAddr))
         panic("MSHR allocate on already-outstanding line");
-    map_[lineAddr] = {first};
+    map_[lineAddr] = {{first}, now};
 }
 
 bool
@@ -34,9 +37,9 @@ MshrFile::addTarget(Addr lineAddr, const MshrTarget &target)
     auto it = map_.find(lineAddr);
     if (it == map_.end())
         panic("MSHR addTarget on non-outstanding line");
-    if (static_cast<int>(it->second.size()) >= targetsPerEntry_)
+    if (static_cast<int>(it->second.targets.size()) >= targetsPerEntry_)
         return false;
-    it->second.push_back(target);
+    it->second.targets.push_back(target);
     return true;
 }
 
@@ -46,7 +49,7 @@ MshrFile::targets(Addr lineAddr) const
     const auto it = map_.find(lineAddr);
     if (it == map_.end())
         panic("MSHR targets on non-outstanding line");
-    return it->second;
+    return it->second.targets;
 }
 
 std::vector<MshrTarget>
@@ -55,9 +58,46 @@ MshrFile::release(Addr lineAddr)
     auto it = map_.find(lineAddr);
     if (it == map_.end())
         panic("MSHR release on non-outstanding line");
-    std::vector<MshrTarget> targets = std::move(it->second);
+    std::vector<MshrTarget> targets = std::move(it->second.targets);
     map_.erase(it);
     return targets;
+}
+
+Cycle
+MshrFile::oldestAge(Cycle now) const
+{
+    Cycle oldest = 0;
+    for (const auto &[addr, entry] : map_) {
+        if (now >= entry.allocatedAt)
+            oldest = std::max(oldest, now - entry.allocatedAt);
+    }
+    return oldest;
+}
+
+void
+MshrFile::checkDrained(const char *owner) const
+{
+    if (map_.empty())
+        return;
+    std::ostringstream lines;
+    for (const auto &[addr, entry] : map_) {
+        lines << " 0x" << std::hex << addr << std::dec << "("
+              << entry.targets.size() << " targets)";
+    }
+    panic(owner, ": MSHR leak: ", map_.size(),
+          " entries still outstanding at drain:", lines.str());
+}
+
+void
+MshrFile::checkNoLeaks(Cycle now, Cycle maxAge, const char *owner) const
+{
+    for (const auto &[addr, entry] : map_) {
+        if (now >= entry.allocatedAt && now - entry.allocatedAt > maxAge) {
+            panic(owner, ": MSHR leak: line 0x", std::hex, addr, std::dec,
+                  " outstanding for ", now - entry.allocatedAt,
+                  " cycles (bound ", maxAge, "); its fill was lost");
+        }
+    }
 }
 
 } // namespace dr

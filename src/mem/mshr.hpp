@@ -42,10 +42,11 @@ class MshrFile
     bool outstanding(Addr lineAddr) const;
 
     /**
-     * Allocate an entry for a new outstanding miss.
+     * Allocate an entry for a new outstanding miss. `now` stamps the
+     * allocation so the leak checker can age entries.
      * @pre !full() && !outstanding(lineAddr)
      */
-    void allocate(Addr lineAddr, const MshrTarget &first);
+    void allocate(Addr lineAddr, const MshrTarget &first, Cycle now = 0);
 
     /**
      * Merge a target into an outstanding entry.
@@ -59,10 +60,34 @@ class MshrFile
     /** Release an entry on fill, returning its targets. */
     std::vector<MshrTarget> release(Addr lineAddr);
 
+    // --- leak detection -------------------------------------------------
+
+    /** Age in cycles of the longest-outstanding entry (0 when empty). */
+    Cycle oldestAge(Cycle now) const;
+
+    /**
+     * Leak check at a drain point (end of kernel / quiesced system):
+     * panic()s listing the stuck lines if any entry is still held.
+     */
+    void checkDrained(const char *owner) const;
+
+    /**
+     * Liveness form of the leak check for use mid-run: an entry older
+     * than `maxAge` cycles can no longer be explained by DRAM service
+     * or network latency — its fill was lost. panic()s naming the line.
+     */
+    void checkNoLeaks(Cycle now, Cycle maxAge, const char *owner) const;
+
   private:
+    struct Entry
+    {
+        std::vector<MshrTarget> targets;
+        Cycle allocatedAt = 0;
+    };
+
     int entries_;
     int targetsPerEntry_;
-    std::unordered_map<Addr, std::vector<MshrTarget>> map_;
+    std::unordered_map<Addr, Entry> map_;
 };
 
 } // namespace dr

@@ -180,6 +180,14 @@ Interconnect::resetStats()
         reply_->resetStats();
 }
 
+void
+Interconnect::checkInvariants() const
+{
+    request_->checkAllInvariants();
+    if (reply_)
+        reply_->checkAllInvariants();
+}
+
 std::uint64_t
 Interconnect::totalSwitchTraversals() const
 {

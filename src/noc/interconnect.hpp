@@ -59,6 +59,12 @@ class Interconnect
     /** Reset statistics on all physical networks. */
     void resetStats();
 
+    /**
+     * Run the flit- and credit-conservation checkers on every physical
+     * network. panic()s on the first violated law. Call between cycles.
+     */
+    void checkInvariants() const;
+
     /** Sum of energy-model event counts over all physical networks. */
     std::uint64_t totalSwitchTraversals() const;
     std::uint64_t totalBufferWrites() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 
+#include "common/invariant.hpp"
 #include "common/log.hpp"
 
 namespace dr
@@ -207,10 +208,14 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
 
     if (flit.head)
         pkt.injectedAt = now;
+    DR_INVARIANT(ni.credits[sendVc] > 0, "network ", params_.name,
+                 ": NI injection without a credit on VC ", sendVc);
     routers_[attachRouter]->acceptFlit(attachPort, flit, now + 1);
     --ni.credits[sendVc];
     --ni.queuedFlits;
+    DR_ASSERT(ni.queuedFlits >= 0);
     ++ni.flitsInjected;
+    ++conservInjected_;
     ++ss.sent;
     if (flit.tail)
         ss.busy = false;
@@ -224,6 +229,7 @@ Network::niEject(Ni &ni, NodeId node, Cycle now)
         const Flit flit = ni.ejArrivals.front().second;
         ni.ejArrivals.pop_front();
         ++ni.flitsEjected;
+        ++conservEjected_;
         ++stats_.flitsDelivered;
 
         const int v = flit.vc;
@@ -258,6 +264,9 @@ Network::niEject(Ni &ni, NodeId node, Cycle now)
 
         const int kindIdx = onRequestNetwork(pkt.msg.type) ? 0 : 1;
         ni.ready[kindIdx].push_back({pkt.msg, pkt.flits});
+        // The completed packet's ejection slots are now accounted
+        // against the ready-queue entry (returned by popMessage).
+        ni.assembledFlits[v] = 0;
         inFlight_.erase(it);
     }
 }
@@ -427,6 +436,109 @@ std::uint64_t
 Network::totalLinkTraversals() const
 {
     return linkTraversals_;
+}
+
+int
+Network::flitsInFlight() const
+{
+    int total = 0;
+    for (const auto &router : routers_)
+        total += router->bufferedFlits() + router->pendingArrivalFlits();
+    for (const auto &ni : nis_)
+        total += static_cast<int>(ni.ejArrivals.size());
+    return total;
+}
+
+void
+Network::checkFlitConservation() const
+{
+    const std::uint64_t inFlight =
+        static_cast<std::uint64_t>(flitsInFlight());
+    if (conservInjected_ != conservEjected_ + inFlight) {
+        panic("network ", params_.name, ": flit conservation violated: ",
+              conservInjected_, " injected != ", conservEjected_,
+              " ejected + ", inFlight, " in flight");
+    }
+}
+
+void
+Network::checkCreditConservation() const
+{
+    const int depth = params_.vcDepthFlits;
+
+    // Router-to-router links: credits held upstream + flits occupying
+    // (or in flight toward) the downstream buffer + credit returns in
+    // flight must equal the buffer depth.
+    for (int r = 0; r < topo_.routers(); ++r) {
+        for (int p = 0; p < topo_.radix(r); ++p) {
+            const auto &conn = topo_.port(r, p);
+            if (conn.kind != PortConn::Kind::Link)
+                continue;
+            for (int v = 0; v < params_.numVcs; ++v) {
+                const int held = routers_[r]->outVcCredits(p, v);
+                const int downstream =
+                    routers_[conn.peerRouter]->inVcOccupancy(conn.peerPort,
+                                                             v);
+                const int returning = routers_[r]->pendingCreditsFor(p, v);
+                if (held + downstream + returning != depth) {
+                    panic("network ", params_.name,
+                          ": credit conservation violated on link R", r,
+                          " port ", p, " vc ", v, ": ", held, " held + ",
+                          downstream, " downstream + ", returning,
+                          " returning != depth ", depth);
+                }
+                if (held < 0 || held > depth) {
+                    panic("network ", params_.name, ": R", r, " port ", p,
+                          " vc ", v, " credit count ", held,
+                          " outside [0, ", depth, "]");
+                }
+            }
+        }
+    }
+
+    // NI attach links (node -> router) and ejection-slot accounting.
+    for (NodeId n = 0; n < static_cast<NodeId>(nis_.size()); ++n) {
+        const Ni &ni = nis_[n];
+        const int attachRouter = topo_.attachRouter(n);
+        const int attachPort = topo_.attachPort(n);
+        for (int v = 0; v < params_.numVcs; ++v) {
+            const int held = ni.credits[v];
+            const int downstream =
+                routers_[attachRouter]->inVcOccupancy(attachPort, v);
+            int returning = 0;
+            for (const auto &timed : ni.creditArrivals) {
+                if (timed.second == v)
+                    ++returning;
+            }
+            if (held + downstream + returning != depth) {
+                panic("network ", params_.name,
+                      ": credit conservation violated on NI", n, " vc ", v,
+                      ": ", held, " held + ", downstream, " downstream + ",
+                      returning, " returning != depth ", depth);
+            }
+        }
+
+        int staged = static_cast<int>(ni.ejArrivals.size());
+        for (int v = 0; v < params_.numVcs; ++v)
+            staged += ni.assembledFlits[v];
+        for (const auto &kind : ni.ready) {
+            for (const auto &entry : kind)
+                staged += entry.second;
+        }
+        if (params_.ejBufferFlits - ni.ejFree != staged) {
+            panic("network ", params_.name, ": NI", n,
+                  " ejection-slot accounting violated: capacity ",
+                  params_.ejBufferFlits, " - free ", ni.ejFree,
+                  " != staged ", staged);
+        }
+    }
+}
+
+void
+Network::checkAllInvariants() const
+{
+    checkFlitConservation();
+    checkCreditConservation();
 }
 
 } // namespace dr

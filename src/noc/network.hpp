@@ -117,6 +117,53 @@ class Network : public RouterEnv, public CongestionProbe
     /** Total buffered flits in all routers (debug/diagnostics). */
     int routerOccupancy() const;
 
+    // --- correctness toolkit --------------------------------------------
+    // Explicit conservation-law checkers. Available in every build type
+    // (they only cost when called); DR_CHECKED builds additionally run
+    // fine-grained assertions inline on the hot paths. Call between
+    // ticks — mid-cycle the laws do not hold.
+
+    /**
+     * Flit conservation: every flit handed to a router by an NI is
+     * either ejected or still in flight (router buffers, arrival queues,
+     * or ejection staging). panic()s on mismatch.
+     */
+    void checkFlitConservation() const;
+
+    /**
+     * Credit conservation, per link and per VC: credits held upstream,
+     * flits occupying the downstream buffer, and credit returns in
+     * flight always sum to the configured buffer depth. Covers both
+     * router-router links and NI attach links, plus ejection-buffer
+     * slot accounting. panic()s on a leaked or duplicated credit.
+     */
+    void checkCreditConservation() const;
+
+    /** Run every conservation checker. */
+    void checkAllInvariants() const;
+
+    /** Flits injected into / ejected from routers since construction
+     *  (unaffected by resetStats — these feed the conservation law). */
+    std::uint64_t conservedFlitsInjected() const { return conservInjected_; }
+    std::uint64_t conservedFlitsEjected() const { return conservEjected_; }
+
+    /** Flits currently inside the network fabric. */
+    int flitsInFlight() const;
+
+    /** Blocked input-VC heads of one router (watchdog triage). */
+    std::vector<BlockedHead> blockedHeads(int router) const
+    {
+        return routers_[router]->blockedHeads();
+    }
+
+    /** Fault injection (tests only): leak one credit on a router link. */
+    void debugLeakCredit(int router, int port, int vc)
+    {
+        routers_[router]->debugLeakCredit(port, vc);
+    }
+
+    const std::string &name() const { return params_.name; }
+
     /** Per-router statistics (switch/port counters). */
     const RouterStats &routerStats(int router) const
     {
@@ -178,6 +225,8 @@ class Network : public RouterEnv, public CongestionProbe
     PacketId nextPktId_ = 1;
     NetworkStats stats_;
     std::uint64_t linkTraversals_ = 0;
+    std::uint64_t conservInjected_ = 0;  //!< flits NIs handed to routers
+    std::uint64_t conservEjected_ = 0;   //!< flits NIs drained from routers
     Cycle now_ = 0;
 };
 

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "common/invariant.hpp"
 #include "common/log.hpp"
 
 namespace dr
@@ -11,7 +12,8 @@ Router::Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
                RouterEnv &env,
                const std::vector<std::uint8_t> &portIsLink,
                const std::vector<NodeId> &portNode)
-    : id_(id), numPorts_(numPorts), numVcs_(numVcs), stages_(stages),
+    : id_(id), numPorts_(numPorts), numVcs_(numVcs), vcDepth_(vcDepth),
+      stages_(stages),
       env_(env), portIsLink_(portIsLink), portNode_(portNode),
       in_(numPorts, std::vector<InVc>(numVcs)),
       arrivals_(numPorts),
@@ -47,18 +49,33 @@ Router::applyArrivals(Cycle now)
     for (int p = 0; p < numPorts_; ++p) {
         auto &credits = creditArrivals_[p];
         while (!credits.empty() && credits.front().when <= now) {
+            // Credit conservation: returns can never push a VC's credit
+            // count past the buffer depth (that would be a duplicated
+            // credit, letting the upstream router overrun the buffer).
+            DR_INVARIANT(out_[p][credits.front().vc].credits < vcDepth_,
+                         "router ", id_, " port ", p, " vc ",
+                         int(credits.front().vc),
+                         " credit return exceeds buffer depth ", vcDepth_);
             ++out_[p][credits.front().vc].credits;
             credits.pop_front();
             --pendingCredits_;
+            DR_ASSERT(pendingCredits_ >= 0);
         }
         auto &queue = arrivals_[p];
         while (!queue.empty() && queue.front().when <= now) {
             const Flit &flit = queue.front().flit;
+            DR_ASSERT_MSG(flit.vc < numVcs_, "router ", id_,
+                          ": arriving flit names VC ", int(flit.vc));
+            DR_INVARIANT(
+                static_cast<int>(in_[p][flit.vc].buf.size()) < vcDepth_,
+                "router ", id_, " port ", p, " vc ", int(flit.vc),
+                " input buffer overrun (upstream sent without credit)");
             in_[p][flit.vc].buf.push_back(flit);
             ++stats_.bufferWrites;
             queue.pop_front();
             --pendingArrivals_;
             ++bufferedCount_;
+            DR_ASSERT(pendingArrivals_ >= 0);
         }
     }
 }
@@ -180,6 +197,9 @@ Router::switchAllocate(Cycle now)
         ++stats_.portFlitsSent[outPort];
 
         if (portIsLink_[outPort]) {
+            DR_INVARIANT(out_[outPort][outVc].credits > 0,
+                         "router ", id_, " port ", outPort, " vc ", outVc,
+                         " switch traversal without a credit");
             --out_[outPort][outVc].credits;
             env_.deliverToRouter(id_, outPort, flit, arrive);
         } else {
@@ -264,6 +284,61 @@ Router::bufferedFlits() const
             total += static_cast<int>(vc.buf.size());
     }
     return total;
+}
+
+int
+Router::inVcOccupancy(int port, int vc) const
+{
+    int total = static_cast<int>(in_[port][vc].buf.size());
+    for (const auto &timed : arrivals_[port]) {
+        if (timed.flit.vc == vc)
+            ++total;
+    }
+    return total;
+}
+
+int
+Router::pendingCreditsFor(int port, int vc) const
+{
+    int total = 0;
+    for (const auto &timed : creditArrivals_[port]) {
+        if (timed.vc == vc)
+            ++total;
+    }
+    return total;
+}
+
+std::vector<BlockedHead>
+Router::blockedHeads() const
+{
+    std::vector<BlockedHead> heads;
+    for (int p = 0; p < numPorts_; ++p) {
+        for (int v = 0; v < numVcs_; ++v) {
+            const InVc &ivc = in_[p][v];
+            if (ivc.buf.empty())
+                continue;
+            BlockedHead head;
+            head.router = id_;
+            head.inPort = p;
+            head.inVc = v;
+            head.outPort = ivc.routed ? ivc.outPort : -1;
+            head.outVc = ivc.active ? ivc.outVc : -1;
+            head.pkt = ivc.buf.front().pkt;
+            head.destRouter = ivc.buf.front().destRouter;
+            head.buffered = static_cast<int>(ivc.buf.size());
+            heads.push_back(head);
+        }
+    }
+    return heads;
+}
+
+void
+Router::debugLeakCredit(int port, int vc)
+{
+    if (out_[port][vc].credits <= 0)
+        panic("debugLeakCredit: no credit to leak on router ", id_,
+              " port ", port, " vc ", vc);
+    --out_[port][vc].credits;
 }
 
 } // namespace dr

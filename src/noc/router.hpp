@@ -60,6 +60,22 @@ struct RouterStats
 };
 
 /**
+ * Snapshot of one input VC whose head flit is waiting for resources —
+ * the unit of the watchdog's blocked-flit dependency chains.
+ */
+struct BlockedHead
+{
+    int router = -1;
+    int inPort = -1;
+    int inVc = -1;
+    int outPort = -1;   //!< -1 before route computation
+    int outVc = -1;     //!< -1 before VC allocation
+    PacketId pkt = 0;
+    std::int16_t destRouter = -1;
+    int buffered = 0;   //!< flits queued behind (and including) the head
+};
+
+/**
  * A single router. The enclosing Network calls tick() once per cycle
  * after scheduling all arrivals for that cycle.
  */
@@ -95,6 +111,36 @@ class Router
 
     /** Clear statistics without touching router state. */
     void resetStats() { stats_ = RouterStats{}; }
+
+    // --- invariant-checker and watchdog accessors -----------------------
+
+    /** Configured buffer depth per VC (the credit-conservation bound). */
+    int vcDepth() const { return vcDepth_; }
+
+    /** Downstream credits currently held for one output VC. */
+    int outVcCredits(int port, int vc) const
+    {
+        return out_[port][vc].credits;
+    }
+
+    /** Flits occupying one input VC, including undelivered arrivals. */
+    int inVcOccupancy(int port, int vc) const;
+
+    /** Credit returns queued on `port` for `vc` not yet applied. */
+    int pendingCreditsFor(int port, int vc) const;
+
+    /** Flits in arrival queues not yet written into input VCs. */
+    int pendingArrivalFlits() const { return pendingArrivals_; }
+
+    /** Input VCs whose head flit is waiting on a downstream resource. */
+    std::vector<BlockedHead> blockedHeads() const;
+
+    /**
+     * Fault injection (tests only): discard one downstream credit of an
+     * output VC, as a buggy allocator double-decrement would. The credit
+     * conservation checker must detect the resulting leak.
+     */
+    void debugLeakCredit(int port, int vc);
 
   private:
     struct InVc
@@ -133,6 +179,7 @@ class Router
     int id_;
     int numPorts_;
     int numVcs_;
+    int vcDepth_;
     int stages_;
     RouterEnv &env_;
 

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/invariant.hpp"
+#include "common/log.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(LogDeath, PanicAbortsWithMessage)
+{
+    EXPECT_DEATH(panic("router ", 7, " lost a credit"),
+                 "panic: router 7 lost a credit");
+}
+
+TEST(LogDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config value ", 42),
+                ::testing::ExitedWithCode(1),
+                "fatal: bad config value 42");
+}
+
+TEST(Log, QuietSuppressesWarnAndInform)
+{
+    setQuiet(true);
+    ::testing::internal::CaptureStderr();
+    ::testing::internal::CaptureStdout();
+    warn("should not appear");
+    inform("should not appear");
+    EXPECT_EQ(::testing::internal::GetCapturedStderr(), "");
+    EXPECT_EQ(::testing::internal::GetCapturedStdout(), "");
+    setQuiet(false);
+}
+
+TEST(Log, WarnAndInformPrintWhenNotQuiet)
+{
+    setQuiet(false);
+    ::testing::internal::CaptureStderr();
+    warn("buffer nearly full");
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                  "warn: buffer nearly full"),
+              std::string::npos);
+    ::testing::internal::CaptureStdout();
+    inform("stats reset");
+    EXPECT_NE(::testing::internal::GetCapturedStdout().find(
+                  "info: stats reset"),
+              std::string::npos);
+}
+
+TEST(Invariant, MacrosPassOnTrueConditions)
+{
+    // Must be a no-op in every build type.
+    DR_ASSERT(1 + 1 == 2);
+    DR_ASSERT_MSG(true, "never printed");
+    DR_INVARIANT(2 > 1, "never printed");
+}
+
+TEST(Invariant, CheckedBuildMatchesCompileDefinition)
+{
+#ifdef DR_CHECKED
+    EXPECT_TRUE(checkedBuild());
+#else
+    EXPECT_FALSE(checkedBuild());
+#endif
+}
+
+#ifdef DR_CHECKED
+TEST(InvariantDeath, FailedAssertPanicsInCheckedBuilds)
+{
+    EXPECT_DEATH(DR_ASSERT(1 == 2), "assertion failed: 1 == 2");
+}
+
+TEST(InvariantDeath, FailedInvariantReportsMessage)
+{
+    const int credits = -1;
+    EXPECT_DEATH(DR_INVARIANT(credits >= 0, "credits went negative: ",
+                              credits),
+                 "invariant violated.*credits went negative: -1");
+}
+#endif
+
+} // namespace
+} // namespace dr

@@ -61,6 +61,39 @@ TEST(ConfigIo, ParsesStreamWithCommentsAndBlanks)
     EXPECT_EQ(cfg.gpu.frqEntries, 16);
 }
 
+TEST(ConfigIo, AppliesDebugOptions)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    applyConfigOption(cfg, "debug.watchdogCycles", "50000");
+    applyConfigOption(cfg, "debug.watchdogAbort", "false");
+    applyConfigOption(cfg, "debug.mshrLeakCycles", "123456");
+    applyConfigOption(cfg, "debug.sweepCycles", "1024");
+    EXPECT_EQ(cfg.debug.watchdogCycles, 50000u);
+    EXPECT_FALSE(cfg.debug.watchdogAbort);
+    EXPECT_EQ(cfg.debug.mshrLeakCycles, 123456u);
+    EXPECT_EQ(cfg.debug.sweepCycles, 1024u);
+}
+
+TEST(ConfigIo, RejectsTrailingGarbageOnNumbers)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_DEATH(applyConfigOption(cfg, "gpu.l1SizeKB", "64k"),
+                 "expects an integer");
+    EXPECT_DEATH(applyConfigOption(cfg, "noc.bandwidthScale", "1.5x"),
+                 "expects a number");
+    EXPECT_DEATH(applyConfigOption(cfg, "gpu.l1SizeKB", ""),
+                 "expects an integer");
+}
+
+TEST(ConfigIo, RejectsNegativeCycleCounts)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_DEATH(applyConfigOption(cfg, "debug.watchdogCycles", "-5"),
+                 "non-negative cycle count");
+    EXPECT_DEATH(applyConfigOption(cfg, "sim.cycles", "-1"),
+                 "non-negative cycle count");
+}
+
 TEST(ConfigIoDeath, UnknownKeyIsFatal)
 {
     SystemConfig cfg = SystemConfig::makePaper();

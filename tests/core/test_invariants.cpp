@@ -59,8 +59,9 @@ TEST_P(MechanismInvariants, DelegationsResolveOrRemainBounded)
     const std::uint64_t networkBound =
         static_cast<std::uint64_t>(sys.gpuCoreCount()) *
         (sys.config().gpu.frqEntries + 40);
-    if (delegations > resolved)
+    if (delegations > resolved) {
         EXPECT_LE(delegations - resolved, networkBound);
+    }
 }
 
 TEST_P(MechanismInvariants, L1HitsPlusMissesEqualLoads)
@@ -107,8 +108,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllMechanisms, MechanismInvariants,
     ::testing::Values(Mechanism::Baseline, Mechanism::RealisticProbing,
                       Mechanism::DelegatedReplies),
-    [](const ::testing::TestParamInfo<Mechanism> &info) {
-        return std::string(mechanismName(info.param));
+    [](const ::testing::TestParamInfo<Mechanism> &tpi) {
+        return std::string(mechanismName(tpi.param));
     });
 
 TEST(SystemStress, DragonflyDoesNotDeadlockUnderDr)

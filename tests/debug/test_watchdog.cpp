@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/hetero_system.hpp"
+#include "core/layout.hpp"
+#include "debug/progress_watchdog.hpp"
+#include "noc/interconnect.hpp"
+
+namespace dr
+{
+namespace
+{
+
+/** A small idle interconnect for driving the watchdog directly. */
+class WatchdogTest : public ::testing::Test
+{
+  protected:
+    WatchdogTest()
+        : cfg_(SystemConfig::makeSmall()),
+          layout_(buildLayout(cfg_)),
+          ic_(cfg_, layout_.types)
+    {
+    }
+
+    SystemConfig cfg_;
+    LayoutMap layout_;
+    Interconnect ic_;
+};
+
+TEST_F(WatchdogTest, NoStallWhileSignatureAdvances)
+{
+    WatchdogParams wp;
+    wp.stallCycles = 100;
+    wp.abortOnStall = false;
+    ProgressWatchdog dog(ic_, wp);
+    for (Cycle c = 0; c < 2000; c += 64)
+        EXPECT_FALSE(dog.observe(c, /*signature=*/c));
+    EXPECT_EQ(dog.stallsDetected(), 0u);
+}
+
+TEST_F(WatchdogTest, DetectsStallOnConstantSignature)
+{
+    WatchdogParams wp;
+    wp.stallCycles = 100;
+    wp.abortOnStall = false;
+    ProgressWatchdog dog(ic_, wp);
+
+    EXPECT_FALSE(dog.observe(0, 7));   // seeds the signature
+    EXPECT_FALSE(dog.observe(64, 7));  // within the window
+    ::testing::internal::CaptureStderr();
+    EXPECT_TRUE(dog.observe(128, 7));  // window exceeded
+    const std::string dump = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(dump.find("watchdog: no forward progress"),
+              std::string::npos);
+    EXPECT_NE(dump.find("network"), std::string::npos);
+    EXPECT_EQ(dog.stallsDetected(), 1u);
+}
+
+TEST_F(WatchdogTest, ReArmsAfterReportedStall)
+{
+    WatchdogParams wp;
+    wp.stallCycles = 100;
+    wp.abortOnStall = false;
+    ProgressWatchdog dog(ic_, wp);
+    ::testing::internal::CaptureStderr();
+    dog.observe(0, 7);
+    EXPECT_TRUE(dog.observe(128, 7));
+    EXPECT_FALSE(dog.observe(192, 7));  // fresh window after re-arm
+    EXPECT_TRUE(dog.observe(256, 7));   // stalls again
+    ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(dog.stallsDetected(), 2u);
+}
+
+TEST_F(WatchdogTest, ProgressResetsTheWindow)
+{
+    WatchdogParams wp;
+    wp.stallCycles = 100;
+    wp.abortOnStall = false;
+    ProgressWatchdog dog(ic_, wp);
+    dog.observe(0, 1);
+    dog.observe(90, 1);
+    dog.observe(99, 2);  // progress just before the deadline
+    EXPECT_FALSE(dog.observe(190, 2));
+    EXPECT_EQ(dog.lastProgressCycle(), 99u);
+}
+
+TEST_F(WatchdogTest, ExtraDumpIsAppendedToReport)
+{
+    WatchdogParams wp;
+    wp.stallCycles = 50;
+    wp.abortOnStall = false;
+    ProgressWatchdog dog(ic_, wp);
+    dog.setExtraDump([](std::ostream &os) { os << "frq-occupancy: 3\n"; });
+    ::testing::internal::CaptureStderr();
+    dog.observe(0, 1);
+    EXPECT_TRUE(dog.observe(64, 1));
+    EXPECT_NE(::testing::internal::GetCapturedStderr().find(
+                  "frq-occupancy: 3"),
+              std::string::npos);
+}
+
+TEST_F(WatchdogTest, AbortModePanics)
+{
+    WatchdogParams wp;
+    wp.stallCycles = 50;
+    wp.abortOnStall = true;
+    ProgressWatchdog dog(ic_, wp);
+    dog.observe(0, 7);
+    EXPECT_DEATH(dog.observe(64, 7), "watchdog: no forward progress");
+}
+
+TEST_F(WatchdogTest, ZeroWindowIsAConfigError)
+{
+    WatchdogParams wp;
+    wp.stallCycles = 0;
+    EXPECT_EXIT(ProgressWatchdog(ic_, wp),
+                ::testing::ExitedWithCode(1), "stallCycles");
+}
+
+TEST(WatchdogSystem, HealthySystemNeverTripsTheWatchdog)
+{
+    SystemConfig cfg = SystemConfig::makeSmall();
+    cfg.debug.watchdogCycles = 2000;  // far below the run length
+    cfg.warmupCycles = 1000;
+    cfg.simCycles = 5000;
+    HeteroSystem sys(cfg, "HS", "bodytrack");
+    ASSERT_NE(sys.watchdog(), nullptr);
+    sys.run();
+    EXPECT_EQ(sys.watchdog()->stallsDetected(), 0u);
+}
+
+TEST(WatchdogSystem, DisabledByDefault)
+{
+    SystemConfig cfg = SystemConfig::makeSmall();
+    HeteroSystem sys(cfg, "HS", "bodytrack");
+    EXPECT_EQ(sys.watchdog(), nullptr);
+}
+
+TEST(WatchdogSystem, SignatureAdvancesWithTheSystem)
+{
+    SystemConfig cfg = SystemConfig::makeSmall();
+    HeteroSystem sys(cfg, "HS", "bodytrack");
+    const std::uint64_t before = sys.progressSignature();
+    sys.advance(500);
+    EXPECT_GT(sys.progressSignature(), before);
+}
+
+TEST(WatchdogSystem, FullInvariantSweepPassesAfterARun)
+{
+    SystemConfig cfg = SystemConfig::makeSmall();
+    cfg.warmupCycles = 500;
+    cfg.simCycles = 3000;
+    HeteroSystem sys(cfg, "2DCON", "canneal");
+    sys.run();
+    sys.checkInvariants();  // flit/credit conservation + MSHR bounds
+}
+
+} // namespace
+} // namespace dr

@@ -73,6 +73,43 @@ TEST(Mshr, IndependentLines)
     EXPECT_TRUE(mshrs.outstanding(0x200));
 }
 
+TEST(Mshr, OldestAgeTracksAllocationCycle)
+{
+    MshrFile mshrs(4, 4);
+    EXPECT_EQ(mshrs.oldestAge(100), 0u);
+    mshrs.allocate(0x100, target(1), 100);
+    mshrs.allocate(0x200, target(2), 250);
+    EXPECT_EQ(mshrs.oldestAge(300), 200u);
+    mshrs.release(0x100);
+    EXPECT_EQ(mshrs.oldestAge(300), 50u);
+}
+
+TEST(Mshr, CheckersPassOnHealthyFile)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.allocate(0x100, target(1), 10);
+    mshrs.checkNoLeaks(/*now=*/500, /*maxAge=*/1000, "test");
+    mshrs.release(0x100);
+    mshrs.checkDrained("test");
+}
+
+TEST(MshrDeath, LeakedEntryCaughtByAgeBound)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.allocate(0x100, target(1), 10);
+    // A fill that never arrives: past the age bound this is a leak.
+    EXPECT_DEATH(mshrs.checkNoLeaks(/*now=*/5000, /*maxAge=*/1000, "LLC"),
+                 "LLC: MSHR leak: line 0x100");
+}
+
+TEST(MshrDeath, UndrainedEntryCaughtAtDrainPoint)
+{
+    MshrFile mshrs(4, 4);
+    mshrs.allocate(0x2c0, target(1), 10);
+    EXPECT_DEATH(mshrs.checkDrained("SM L1"),
+                 "SM L1: MSHR leak: 1 entries still outstanding");
+}
+
 TEST(MshrDeath, DoubleAllocatePanics)
 {
     MshrFile mshrs(4, 4);

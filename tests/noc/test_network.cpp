@@ -299,10 +299,10 @@ INSTANTIATE_TEST_SUITE_P(
                         RoutingKind::TableMinimal},
         TopoRoutingCase{TopologyKind::Dragonfly,
                         RoutingKind::TableMinimal}),
-    [](const ::testing::TestParamInfo<TopoRoutingCase> &info) {
-        std::string name = topologyName(info.param.topo);
+    [](const ::testing::TestParamInfo<TopoRoutingCase> &tpi) {
+        std::string name = topologyName(tpi.param.topo);
         name += "_";
-        name += routingName(info.param.routing);
+        name += routingName(tpi.param.routing);
         for (auto &c : name) {
             if (c == '-')
                 c = '_';

@@ -174,10 +174,16 @@ TEST_F(RouterUnit, WormholeKeepsPacketOnOneOutputVc)
 TEST_F(RouterUnit, CreditsLimitInFlightFlits)
 {
     // Downstream buffer depth is 4; with no credits returned, at most
-    // 4 flits of a long packet may leave.
-    for (int seq = 0; seq < 8; ++seq)
+    // 4 flits of a long packet may leave. Feed the second half only
+    // after the input buffer drains — a real upstream holds just 4
+    // credits, and DR_CHECKED builds assert that law.
+    for (int seq = 0; seq < 4; ++seq)
         router->acceptFlit(1, makeFlit(1, seq, 8, 2), 0);
-    for (Cycle c = 0; c < 20; ++c)
+    for (Cycle c = 0; c < 10; ++c)
+        router->tick(c);
+    for (int seq = 4; seq < 8; ++seq)
+        router->acceptFlit(1, makeFlit(1, seq, 8, 2), 10);
+    for (Cycle c = 10; c < 20; ++c)
         router->tick(c);
     EXPECT_EQ(env.linkDeliveries.size(), 4u);
     // Returning credits releases the rest.

@@ -124,8 +124,9 @@ TEST(Dragonfly, IntraGroupSingleHop)
     const Topology t = Topology::makeDragonfly(64, 4, 4);
     for (int a = 0; a < 4; ++a) {
         for (int b = 0; b < 4; ++b) {
-            if (a != b)
+            if (a != b) {
                 EXPECT_EQ(t.hopCount(a, b), 1);
+            }
         }
     }
 }

@@ -9,6 +9,10 @@
  *     --gpu NAME          GPU benchmark (default HS; see --list)
  *     --cpu NAME          CPU benchmark (default bodytrack)
  *     --stats FORMAT      text | csv | json (default text summary only)
+ *     --watchdog N        abort with a router-state dump if the system
+ *                         makes no forward progress for N cycles
+ *     --check             run the invariant sweep (flit/credit
+ *                         conservation, MSHR leaks) after the run
  *     --dump-config       print the effective configuration and exit
  *     --list              list benchmarks and exit
  *     --help
@@ -46,6 +50,9 @@ usage()
         "  --gpu NAME        GPU benchmark (default HS)\n"
         "  --cpu NAME        CPU benchmark (default bodytrack)\n"
         "  --stats FORMAT    text | csv | json full stats dump\n"
+        "  --watchdog N      abort with a state dump after N cycles of\n"
+        "                    no forward progress\n"
+        "  --check           run the invariant sweep after the run\n"
         "  --dump-config     print the effective configuration and exit\n"
         "  --list            list benchmarks and exit\n");
 }
@@ -72,6 +79,7 @@ main(int argc, char **argv)
     std::string cpu = "bodytrack";
     std::string statsFormat;
     bool dumpConfig = false;
+    bool checkAfterRun = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -100,6 +108,10 @@ main(int argc, char **argv)
             cpu = next();
         } else if (arg == "--stats") {
             statsFormat = next();
+        } else if (arg == "--watchdog") {
+            applyConfigOption(cfg, "debug.watchdogCycles", next());
+        } else if (arg == "--check") {
+            checkAfterRun = true;
         } else if (arg == "--dump-config") {
             dumpConfig = true;
         } else {
@@ -115,6 +127,8 @@ main(int argc, char **argv)
 
     HeteroSystem system(cfg, gpu, cpu);
     const RunResults r = system.run();
+    if (checkAfterRun)
+        system.checkInvariants();
 
     if (statsFormat.empty()) {
         std::printf("workload           %s + %s\n", gpu.c_str(),
