@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Kernel-performance benchmark for the cycle-level NoC engine itself
+ * (not a paper figure): how many simulated cycles per wall-clock second
+ * the Network kernel sustains under synthetic uniform-random and
+ * hotspot traffic at several injection rates. Emits a single JSON
+ * object on stdout; `tools/run_perf_kernel.sh` wraps it into
+ * `BENCH_noc_kernel.json` and the CI perf smoke job diffs the summary
+ * against the committed baseline.
+ *
+ * Simulated-cycles/sec is the figure of merit: it bounds how large a
+ * `DR_BENCH_CYCLES` horizon the paper benches can afford (EXPERIMENTS.md
+ * "kernel performance").
+ */
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "noc/network.hpp"
+#include "noc/synthetic_traffic.hpp"
+
+using namespace dr;
+
+namespace
+{
+
+struct WorkloadResult
+{
+    const char *pattern;
+    double rate;
+    Cycle cycles;
+    double wallSeconds;
+    double cyclesPerSec;
+    double flitHopsPerSec;
+    std::uint64_t packetsDelivered;
+};
+
+/** One timed run of the raw Network kernel (no memory system). */
+WorkloadResult
+timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
+             std::uint64_t seed)
+{
+    const int nodes = 64;
+    const int width = 8;
+    const int packetFlits = 5;
+
+    const Topology topo = Topology::makeMesh(width, width);
+    NetworkParams params;
+    params.routing = RoutingKind::DimOrderXY;
+    params.injBufferFlits.assign(nodes, 36);
+    params.seed = seed;
+    Network net(params, topo);
+
+    SyntheticTraffic traffic(
+        pattern, nodes, width,
+        pattern == TrafficPattern::Hotspot
+            ? std::vector<NodeId>{0, static_cast<NodeId>(nodes / 2)}
+            : std::vector<NodeId>{});
+    Rng rng(seed * 31 + 7);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t id = 1;
+    for (Cycle now = 0; now < cycles; ++now) {
+        for (NodeId src = 0; src < nodes; ++src) {
+            if (!rng.chance(rate))
+                continue;
+            if (!net.canInject(src, packetFlits))
+                continue;
+            Message m;
+            m.type = MsgType::ReadReply;
+            m.cls = TrafficClass::Gpu;
+            m.src = src;
+            m.dst = traffic.dest(src, rng);
+            m.id = id++;
+            net.inject(m, packetFlits, now);
+        }
+        net.tick(now);
+        for (NodeId n = 0; n < nodes; ++n) {
+            while (net.hasMessage(n, NetKind::Reply))
+                net.popMessage(n, NetKind::Reply);
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(stop - start).count();
+
+    WorkloadResult r;
+    r.pattern = trafficPatternName(pattern);
+    r.rate = rate;
+    r.cycles = cycles;
+    r.wallSeconds = wall;
+    r.cyclesPerSec = wall > 0.0 ? static_cast<double>(cycles) / wall : 0.0;
+    r.flitHopsPerSec =
+        wall > 0.0
+            ? static_cast<double>(net.totalLinkTraversals()) / wall
+            : 0.0;
+    r.packetsDelivered = net.stats().packetsDelivered.value();
+    return r;
+}
+
+long
+peakRssKb()
+{
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+    return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+} // namespace
+
+int
+main()
+{
+    // Long enough that per-run timing noise stays in the low percent
+    // range on a loaded machine; DR_BENCH_CYCLES scales it.
+    const Cycle cycles = benchCycles(300000);
+
+    struct Load
+    {
+        TrafficPattern pattern;
+        double rate;
+    };
+    const Load loads[] = {
+        {TrafficPattern::UniformRandom, 0.02},
+        {TrafficPattern::UniformRandom, 0.05},
+        {TrafficPattern::UniformRandom, 0.10},
+        {TrafficPattern::Hotspot, 0.02},
+        {TrafficPattern::Hotspot, 0.05},
+    };
+
+    std::vector<WorkloadResult> results;
+    for (const Load &load : loads)
+        results.push_back(timeWorkload(load.pattern, load.rate, cycles, 1));
+
+    std::vector<double> uniformCps;
+    std::vector<double> hotspotCps;
+    for (const WorkloadResult &r : results) {
+        if (r.pattern == std::string("uniform"))
+            uniformCps.push_back(r.cyclesPerSec);
+        else
+            hotspotCps.push_back(r.cyclesPerSec);
+    }
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"noc_kernel\",\n");
+    std::printf("  \"config\": {\"topology\": \"mesh8x8\", \"nodes\": 64, "
+                "\"packet_flits\": 5, \"cycles\": %llu},\n",
+                static_cast<unsigned long long>(cycles));
+    std::printf("  \"workloads\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const WorkloadResult &r = results[i];
+        std::printf("    {\"pattern\": \"%s\", \"rate\": %.3f, "
+                    "\"wall_s\": %.3f, \"cycles_per_sec\": %.0f, "
+                    "\"flit_hops_per_sec\": %.0f, "
+                    "\"packets_delivered\": %llu}%s\n",
+                    r.pattern, r.rate, r.wallSeconds, r.cyclesPerSec,
+                    r.flitHopsPerSec,
+                    static_cast<unsigned long long>(r.packetsDelivered),
+                    i + 1 < results.size() ? "," : "");
+    }
+    std::printf("  ],\n");
+    std::printf("  \"summary\": {\n");
+    std::printf("    \"uniform_cycles_per_sec\": %.0f,\n",
+                geomean(uniformCps));
+    std::printf("    \"hotspot_cycles_per_sec\": %.0f,\n",
+                geomean(hotspotCps));
+    std::printf("    \"peak_rss_kb\": %ld\n", peakRssKb());
+    std::printf("  }\n");
+    std::printf("}\n");
+    return 0;
+}

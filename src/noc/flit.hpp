@@ -20,12 +20,23 @@ namespace dr
 using PacketId = std::uint64_t;
 
 /**
+ * Stable handle of an in-flight packet: an index into the Network's
+ * PacketPool slab. Carried in every flit so the NI hot paths resolve
+ * the parent packet with one array index instead of a hash lookup.
+ * Handles are reused after the packet is delivered; PacketId stays
+ * globally unique for diagnostics.
+ */
+using PacketHandle = std::int32_t;
+constexpr PacketHandle invalidPacket = -1;
+
+/**
  * One flow-control unit. Flits carry the routing state they need so that
  * routers never have to look up the parent packet.
  */
 struct Flit
 {
     PacketId pkt = 0;
+    PacketHandle slot = invalidPacket; //!< PacketPool slot of the parent
     std::uint16_t seq = 0;        //!< position within the packet
     bool head = false;
     bool tail = false;

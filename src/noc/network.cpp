@@ -11,7 +11,8 @@ namespace dr
 
 Network::Network(const NetworkParams &params, const Topology &topo)
     : topo_(topo), params_(params),
-      routing_(params.routing, topo, params.numVcs, params.seed)
+      routing_(params.routing, topo, params.numVcs, params.seed),
+      activeNis_(topo.nodes()), activeRouters_(topo.routers())
 {
     if (static_cast<int>(params_.injBufferFlits.size()) != topo_.nodes())
         fatal("network ", params_.name, ": injBufferFlits must have one "
@@ -37,10 +38,23 @@ Network::Network(const NetworkParams &params, const Topology &topo)
         Ni &ni = nis_[n];
         ni.capacity = params_.injBufferFlits[n];
         ni.vcSend.resize(params_.numVcs);
+        ni.vcFlitsSent.assign(params_.numVcs, 0);
         ni.credits.assign(params_.numVcs, params_.vcDepthFlits);
         ni.ejFree = params_.ejBufferFlits;
         ni.assembling.assign(params_.numVcs, 0);
         ni.assembledFlits.assign(params_.numVcs, 0);
+        // Ring capacities sized to the structural bounds so the queues
+        // never grow in steady state: credits outstanding are bounded
+        // by the attach link's VC buffers, staged ejections by the
+        // ejection buffer, queued packets by the injection buffer
+        // (every packet is at least one flit).
+        ni.creditArrivals.reserve(
+            static_cast<std::size_t>(params_.numVcs) *
+            static_cast<std::size_t>(params_.vcDepthFlits));
+        ni.ejArrivals.reserve(
+            static_cast<std::size_t>(params_.ejBufferFlits));
+        ni.queue[0].reserve(static_cast<std::size_t>(ni.capacity));
+        ni.queue[1].reserve(static_cast<std::size_t>(ni.capacity));
     }
 }
 
@@ -66,15 +80,26 @@ Network::inject(const Message &msg, int flits, Cycle now,
     const int clsIdx = msg.cls == TrafficClass::Cpu ? 0 : 1;
     ++stats_.packetsInjected;
 
-    // Local delivery needs no network resources.
+    // Local delivery: the message loops back inside the NI without
+    // entering the fabric. It completes in zero cycles — the minimum —
+    // and that is sampled into the latency averages so local traffic is
+    // not invisible to latency figures; flit, link, and router counters
+    // are untouched because no flit ever exists (DESIGN.md).
     if (msg.src == msg.dst) {
         const int kindIdx = onRequestNetwork(msg.type) ? 0 : 1;
         nis_[msg.dst].ready[kindIdx].push_back({msg, 0});
         ++stats_.packetsDelivered;
+        ++stats_.localDeliveries;
+        stats_.packetLatency.sample(0.0);
+        if (msg.cls == TrafficClass::Cpu)
+            stats_.cpuPacketLatency.sample(0.0);
+        else
+            stats_.gpuPacketLatency.sample(0.0);
         return;
     }
 
-    Packet pkt;
+    const PacketHandle handle = pool_.alloc();
+    Packet &pkt = pool_[handle];
     pkt.msg = msg;
     pkt.id = nextPktId_++;
     pkt.flits = flits;
@@ -91,13 +116,14 @@ Network::inject(const Message &msg, int flits, Cycle now,
     if (!pkt.vcMask)
         panic("network ", params_.name, ": empty VC mask at injection");
     pkt.queuedAt = now;
+    pkt.injectedAt = 0;  // slot is recycled; set when the head flit leaves
 
     Ni &ni = nis_[msg.src];
     if (ni.capacity - ni.queuedFlits < flits)
         panic("network ", params_.name, ": inject() without canInject()");
     ni.queuedFlits += flits;
-    ni.queue[clsIdx].push_back(pkt.id);
-    inFlight_.emplace(pkt.id, pkt);
+    ni.queue[clsIdx].push_back(handle);
+    activeNis_.add(msg.src);
 }
 
 bool
@@ -120,8 +146,14 @@ Network::popMessage(NodeId node, NetKind kind)
     if (queue.empty())
         panic("popMessage on empty queue");
     Message msg = queue.front().first;
-    ni.ejFree += queue.front().second;
+    const int freedSlots = queue.front().second;
+    ni.ejFree += freedSlots;
     queue.pop_front();
+    // Ejection space is the one allocation input that changes without a
+    // flit or credit arriving at the attach router: wake its stalled
+    // fast path so flits blocked on ejection re-arbitrate.
+    if (freedSlots > 0)
+        routers_[topo_.attachRouter(node)]->wakeEjectSpace();
     return msg;
 }
 
@@ -129,8 +161,8 @@ void
 Network::niInject(Ni &ni, NodeId node, Cycle now)
 {
     while (!ni.creditArrivals.empty() &&
-           ni.creditArrivals.front().first <= now) {
-        ++ni.credits[ni.creditArrivals.front().second];
+           ni.creditArrivals.front().when <= now) {
+        ++ni.credits[ni.creditArrivals.front().vc];
         ni.creditArrivals.pop_front();
     }
 
@@ -139,15 +171,18 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
 
     // Pick a VC with an in-flight packet, a pending flit, and a credit;
     // CPU-class packets win (Figure 4: the scheduler prioritizes CPU
-    // replies inside the injection buffer).
+    // replies inside the injection buffer). Among same-class sends the
+    // scan starts at a per-NI round-robin pointer — a fixed starting
+    // index would let the lowest-index VC monopolize the attach link
+    // and starve packets mid-flight on higher VCs under saturation.
     int sendVc = -1;
     bool sendCpu = false;
-    for (int v = 0; v < params_.numVcs; ++v) {
+    for (int i = 0; i < params_.numVcs; ++i) {
+        const int v = (ni.sendRr + i) % params_.numVcs;
         const auto &ss = ni.vcSend[v];
         if (!ss.busy || ni.credits[v] <= 0)
             continue;
-        const bool isCpu =
-            inFlight_.at(ss.pkt).cls == TrafficClass::Cpu;
+        const bool isCpu = pool_[ss.pkt].cls == TrafficClass::Cpu;
         if (sendVc < 0 || (isCpu && !sendCpu)) {
             sendVc = v;
             sendCpu = isCpu;
@@ -164,7 +199,7 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
                 break;
             if (ni.queue[clsIdx].empty())
                 continue;
-            const Packet &pkt = inFlight_.at(ni.queue[clsIdx].front());
+            const Packet &pkt = pool_[ni.queue[clsIdx].front()];
             Flit probe;  // only routing fields matter for the mask hook
             probe.destRouter = pkt.destRouter;
             probe.order = pkt.order;
@@ -193,9 +228,10 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
         return;
 
     auto &ss = ni.vcSend[sendVc];
-    Packet &pkt = inFlight_.at(ss.pkt);
+    Packet &pkt = pool_[ss.pkt];
     Flit flit;
     flit.pkt = pkt.id;
+    flit.slot = ss.pkt;
     flit.seq = static_cast<std::uint16_t>(ss.sent);
     flit.head = ss.sent == 0;
     flit.tail = ss.sent == pkt.flits - 1;
@@ -211,22 +247,25 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
     DR_INVARIANT(ni.credits[sendVc] > 0, "network ", params_.name,
                  ": NI injection without a credit on VC ", sendVc);
     routers_[attachRouter]->acceptFlit(attachPort, flit, now + 1);
+    activeRouters_.add(attachRouter);
     --ni.credits[sendVc];
     --ni.queuedFlits;
     DR_ASSERT(ni.queuedFlits >= 0);
     ++ni.flitsInjected;
+    ++ni.vcFlitsSent[sendVc];
     ++conservInjected_;
     ++ss.sent;
     if (flit.tail)
         ss.busy = false;
+    ni.sendRr = (sendVc + 1) % params_.numVcs;
 }
 
 void
 Network::niEject(Ni &ni, NodeId node, Cycle now)
 {
     (void)node;
-    while (!ni.ejArrivals.empty() && ni.ejArrivals.front().first <= now) {
-        const Flit flit = ni.ejArrivals.front().second;
+    while (!ni.ejArrivals.empty() && ni.ejArrivals.front().when <= now) {
+        const Flit flit = ni.ejArrivals.front().flit;
         ni.ejArrivals.pop_front();
         ++ni.flitsEjected;
         ++conservEjected_;
@@ -244,20 +283,29 @@ Network::niEject(Ni &ni, NodeId node, Cycle now)
         if (!flit.tail)
             continue;
 
-        auto it = inFlight_.find(flit.pkt);
-        if (it == inFlight_.end())
+        if (!pool_.isLive(flit.slot) || pool_[flit.slot].id != flit.pkt)
             panic("network ", params_.name, ": unknown packet ejected");
-        const Packet &pkt = it->second;
+        const Packet &pkt = pool_[flit.slot];
         if (ni.assembledFlits[v] != pkt.flits)
             panic("network ", params_.name, ": flit count mismatch at "
                   "reassembly");
 
         const Cycle latency = now - pkt.queuedAt;
-        stats_.packetLatency.sample(static_cast<double>(latency));
-        if (pkt.cls == TrafficClass::Cpu)
-            stats_.cpuPacketLatency.sample(static_cast<double>(latency));
-        else
-            stats_.gpuPacketLatency.sample(static_cast<double>(latency));
+        if (pkt.queuedAt < statsResetAt_) {
+            // The packet was queued before the warmup/measurement
+            // boundary: its latency spans both phases and would
+            // contaminate the measured averages. Drop the sample but
+            // count the drop so throughput accounting stays explicit.
+            ++stats_.warmupStraddlers;
+        } else {
+            stats_.packetLatency.sample(static_cast<double>(latency));
+            if (pkt.cls == TrafficClass::Cpu)
+                stats_.cpuPacketLatency.sample(
+                    static_cast<double>(latency));
+            else
+                stats_.gpuPacketLatency.sample(
+                    static_cast<double>(latency));
+        }
         routing_.onDelivered(pkt.srcRouter, pkt.destRouter, pkt.order,
                              latency);
         ++stats_.packetsDelivered;
@@ -267,7 +315,7 @@ Network::niEject(Ni &ni, NodeId node, Cycle now)
         // The completed packet's ejection slots are now accounted
         // against the ready-queue entry (returned by popMessage).
         ni.assembledFlits[v] = 0;
-        inFlight_.erase(it);
+        pool_.release(flit.slot);
     }
 }
 
@@ -275,12 +323,22 @@ void
 Network::tick(Cycle now)
 {
     now_ = now;
-    for (NodeId n = 0; n < static_cast<NodeId>(nis_.size()); ++n) {
-        niEject(nis_[n], n, now);
-        niInject(nis_[n], n, now);
-    }
-    for (auto &router : routers_)
-        router->tick(now);
+    // Active-set scheduling: only NIs and routers holding work are
+    // visited; everything else is skipped outright. Members re-register
+    // through the flit/credit delivery hooks, and sweep order is
+    // ascending-index — identical to the old tick-everything loop, on
+    // which the skipped entities were no-ops.
+    activeNis_.sweep([&](int n) {
+        Ni &ni = nis_[n];
+        const NodeId node = static_cast<NodeId>(n);
+        niEject(ni, node, now);
+        niInject(ni, node, now);
+        return ni.busy();
+    });
+    activeRouters_.sweep([&](int r) {
+        routers_[r]->tick(now);
+        return !routers_[r]->idle();
+    });
 }
 
 int
@@ -303,6 +361,7 @@ Network::deliverToRouter(int router, int port, const Flit &flit, Cycle when)
 {
     const auto &conn = topo_.port(router, port);
     routers_[conn.peerRouter]->acceptFlit(conn.peerPort, flit, when);
+    activeRouters_.add(conn.peerRouter);
     ++linkTraversals_;
 }
 
@@ -310,6 +369,7 @@ void
 Network::deliverToNode(NodeId node, const Flit &flit, Cycle when)
 {
     nis_[node].ejArrivals.push_back({when, flit});
+    activeNis_.add(node);
     ++linkTraversals_;
 }
 
@@ -334,9 +394,11 @@ Network::creditToFeeder(int router, int inputPort, int vc, Cycle when)
     const auto &conn = topo_.port(router, inputPort);
     if (conn.kind == PortConn::Kind::Link) {
         routers_[conn.peerRouter]->acceptCredit(conn.peerPort, vc, when);
+        activeRouters_.add(conn.peerRouter);
     } else if (conn.kind == PortConn::Kind::Node) {
         nis_[conn.node].creditArrivals.push_back(
             {when, static_cast<std::uint8_t>(vc)});
+        activeNis_.add(conn.node);
     } else {
         panic("credit to unconnected port");
     }
@@ -376,6 +438,9 @@ void
 Network::resetStats()
 {
     stats_ = NetworkStats{};
+    // Record the boundary: packets queued before this cycle must not
+    // contribute latency samples to the fresh measurement window.
+    statsResetAt_ = now_;
     linkTraversals_ = 0;
     for (auto &router : routers_)
         router->resetStats();
@@ -506,8 +571,8 @@ Network::checkCreditConservation() const
             const int downstream =
                 routers_[attachRouter]->inVcOccupancy(attachPort, v);
             int returning = 0;
-            for (const auto &timed : ni.creditArrivals) {
-                if (timed.second == v)
+            for (std::size_t i = 0; i < ni.creditArrivals.size(); ++i) {
+                if (ni.creditArrivals[i].vc == v)
                     ++returning;
             }
             if (held + downstream + returning != depth) {

@@ -14,13 +14,15 @@
 #include <deque>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "noc/active_set.hpp"
 #include "noc/flit.hpp"
+#include "noc/packet_pool.hpp"
+#include "noc/ring_buffer.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
 #include "noc/topology.hpp"
@@ -51,6 +53,19 @@ struct NetworkStats
     Average packetLatency;      //!< NI entry to tail ejection
     Average cpuPacketLatency;
     Average gpuPacketLatency;
+    /**
+     * Packets delivered in the measurement window but queued before the
+     * last resetStats(). Their latency straddles the warmup boundary
+     * and is dropped from the latency averages (it would mix warmup
+     * queueing into measured samples); this counts the drops.
+     */
+    Counter warmupStraddlers;
+    /**
+     * src == dst messages, delivered NI-to-NI without entering the
+     * fabric: a zero-cycle (minimum) latency sample, excluded from all
+     * flit, link, and router counters (see DESIGN.md).
+     */
+    Counter localDeliveries;
 };
 
 /**
@@ -113,6 +128,12 @@ class Network : public RouterEnv, public CongestionProbe
     double ejectionLinkUtilization(NodeId node, Cycle cycles) const;
     /** Reply/data flits ejected at a node (received data rate). */
     std::uint64_t flitsEjectedAt(NodeId node) const;
+
+    /** Flits a node's NI sent on one attach-link VC (fairness tests). */
+    std::uint64_t niVcFlitsSent(NodeId node, int vc) const
+    {
+        return nis_[node].vcFlitsSent[vc];
+    }
 
     /** Total buffered flits in all routers (debug/diagnostics). */
     int routerOccupancy() const;
@@ -186,31 +207,53 @@ class Network : public RouterEnv, public CongestionProbe
     std::uint64_t totalLinkTraversals() const;
 
   private:
+    struct TimedCredit
+    {
+        Cycle when;
+        std::uint8_t vc;
+    };
+
+    struct TimedFlit
+    {
+        Cycle when;
+        Flit flit;
+    };
+
     struct Ni
     {
         // --- injection side ---
-        std::deque<PacketId> queue[2];  //!< per traffic class (Cpu, Gpu)
+        RingBuffer<PacketHandle> queue[2]; //!< per traffic class (Cpu, Gpu)
         int queuedFlits = 0;
         int capacity = 0;
 
         struct SendState
         {
             bool busy = false;
-            PacketId pkt = 0;
+            PacketHandle pkt = invalidPacket;
             int sent = 0;
         };
         std::vector<SendState> vcSend;  //!< per VC of the attach link
+        int sendRr = 0;  //!< round-robin start VC for send selection
+        std::vector<std::uint64_t> vcFlitsSent;  //!< per VC, for fairness
         std::vector<int> credits;       //!< per VC downstream credits
-        std::deque<std::pair<Cycle, std::uint8_t>> creditArrivals;
+        RingBuffer<TimedCredit> creditArrivals;
         std::uint64_t flitsInjected = 0;
 
         // --- ejection side ---
         int ejFree = 0;
-        std::deque<std::pair<Cycle, Flit>> ejArrivals;
+        RingBuffer<TimedFlit> ejArrivals;
         std::vector<PacketId> assembling;     //!< per VC
         std::vector<int> assembledFlits;      //!< per VC
         std::deque<std::pair<Message, int>> ready[2];  //!< per NetKind
         std::uint64_t flitsEjected = 0;
+
+        /** Whether the NI still needs per-cycle service. */
+        bool
+        busy() const
+        {
+            return queuedFlits > 0 || !creditArrivals.empty() ||
+                   !ejArrivals.empty();
+        }
     };
 
     void niInject(Ni &ni, NodeId node, Cycle now);
@@ -221,13 +264,16 @@ class Network : public RouterEnv, public CongestionProbe
     RoutingPolicy routing_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<Ni> nis_;
-    std::unordered_map<PacketId, Packet> inFlight_;
+    PacketPool pool_;                    //!< slab of in-flight packets
+    ActiveSet activeNis_;                //!< NIs with pending work
+    ActiveSet activeRouters_;            //!< routers with pending work
     PacketId nextPktId_ = 1;
     NetworkStats stats_;
     std::uint64_t linkTraversals_ = 0;
     std::uint64_t conservInjected_ = 0;  //!< flits NIs handed to routers
     std::uint64_t conservEjected_ = 0;   //!< flits NIs drained from routers
     Cycle now_ = 0;
+    Cycle statsResetAt_ = 0;  //!< cycle of the last resetStats()
 };
 
 } // namespace dr

@@ -1,0 +1,90 @@
+#ifndef DR_NOC_PACKET_POOL_HPP
+#define DR_NOC_PACKET_POOL_HPP
+
+/**
+ * @file
+ * Slab allocator for in-flight packets. The Network previously kept
+ * packets in a std::unordered_map<PacketId, Packet>, paying a hash
+ * lookup on every NI injection, ejection, and scheduling decision; the
+ * pool replaces the map with a flat slab indexed by a stable handle
+ * that flits carry alongside the (debug-facing) PacketId. Released
+ * slots go onto a free list and are reused, so steady-state traffic
+ * allocates nothing.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "common/invariant.hpp"
+#include "noc/flit.hpp"
+
+namespace dr
+{
+
+class PacketPool
+{
+  public:
+    /** Claim a slot. The returned packet holds stale contents; the
+     *  caller overwrites every field. */
+    PacketHandle
+    alloc()
+    {
+        PacketHandle h;
+        if (!free_.empty()) {
+            h = free_.back();
+            free_.pop_back();
+        } else {
+            h = static_cast<PacketHandle>(slots_.size());
+            slots_.emplace_back();
+            live_.push_back(0);
+        }
+        live_[static_cast<std::size_t>(h)] = 1;
+        ++liveCount_;
+        return h;
+    }
+
+    void
+    release(PacketHandle h)
+    {
+        DR_ASSERT(isLive(h));
+        live_[static_cast<std::size_t>(h)] = 0;
+        --liveCount_;
+        free_.push_back(h);
+    }
+
+    Packet &operator[](PacketHandle h)
+    {
+        DR_ASSERT(isLive(h));
+        return slots_[static_cast<std::size_t>(h)];
+    }
+
+    const Packet &operator[](PacketHandle h) const
+    {
+        DR_ASSERT(isLive(h));
+        return slots_[static_cast<std::size_t>(h)];
+    }
+
+    /** Whether `h` names an allocated slot (cheap; any build type). */
+    bool
+    isLive(PacketHandle h) const
+    {
+        return h >= 0 && static_cast<std::size_t>(h) < live_.size() &&
+               live_[static_cast<std::size_t>(h)];
+    }
+
+    /** Packets currently allocated. */
+    std::size_t liveCount() const { return liveCount_; }
+
+    /** Slab capacity high-water mark (diagnostics). */
+    std::size_t slotCount() const { return slots_.size(); }
+
+  private:
+    std::vector<Packet> slots_;
+    std::vector<std::uint8_t> live_;
+    std::vector<PacketHandle> free_;
+    std::size_t liveCount_ = 0;
+};
+
+} // namespace dr
+
+#endif // DR_NOC_PACKET_POOL_HPP

@@ -1,5 +1,7 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <ostream>
 
 #include "common/invariant.hpp"
@@ -15,17 +17,29 @@ Router::Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
     : id_(id), numPorts_(numPorts), numVcs_(numVcs), vcDepth_(vcDepth),
       stages_(stages),
       env_(env), portIsLink_(portIsLink), portNode_(portNode),
-      in_(numPorts, std::vector<InVc>(numVcs)),
+      in_(static_cast<std::size_t>(numPorts) * numVcs),
       arrivals_(numPorts),
-      out_(numPorts, std::vector<OutVc>(numVcs)),
+      out_(static_cast<std::size_t>(numPorts) * numVcs),
       creditArrivals_(numPorts),
-      rrPtr_(numPorts, 0)
+      rrPtr_(numPorts, 0),
+      saInUsed_(numPorts, 0),
+      saReq_(numPorts, 0)
 {
     if (numVcs_ > 8)
         fatal("at most 8 VCs supported (VC masks are 8 bits)");
+    wide_ = numPorts_ * numVcs_ > 64;
     for (int p = 0; p < numPorts_; ++p) {
-        for (int v = 0; v < numVcs_; ++v)
-            out_[p][v].credits = vcDepth;
+        for (int v = 0; v < numVcs_; ++v) {
+            out_[p * numVcs_ + v].credits = vcDepth;
+            in_[p * numVcs_ + v].buf.reserve(
+                static_cast<std::size_t>(vcDepth));
+        }
+        // Arrivals are bounded by the upstream credits on the link
+        // (one slot per downstream buffer entry, across all VCs).
+        arrivals_[p].reserve(static_cast<std::size_t>(numVcs) *
+                             static_cast<std::size_t>(vcDepth));
+        creditArrivals_[p].reserve(static_cast<std::size_t>(numVcs) *
+                                   static_cast<std::size_t>(vcDepth));
     }
 }
 
@@ -34,6 +48,8 @@ Router::acceptFlit(int port, const Flit &flit, Cycle when)
 {
     arrivals_[port].push_back({when, flit});
     ++pendingArrivals_;
+    if (when < nextApplyCycle_)
+        nextApplyCycle_ = when;
 }
 
 void
@@ -41,108 +57,256 @@ Router::acceptCredit(int port, int vc, Cycle when)
 {
     creditArrivals_[port].push_back({when, static_cast<std::uint8_t>(vc)});
     ++pendingCredits_;
+    if (when < nextApplyCycle_)
+        nextApplyCycle_ = when;
 }
 
-void
+bool
 Router::applyArrivals(Cycle now)
 {
+    if (pendingCredits_ == 0 && pendingArrivals_ == 0)
+        return false;
+    if (now < nextApplyCycle_)
+        return false;
+    bool applied = false;
+    Cycle next = ~Cycle{0};
     for (int p = 0; p < numPorts_; ++p) {
         auto &credits = creditArrivals_[p];
         while (!credits.empty() && credits.front().when <= now) {
             // Credit conservation: returns can never push a VC's credit
             // count past the buffer depth (that would be a duplicated
             // credit, letting the upstream router overrun the buffer).
-            DR_INVARIANT(out_[p][credits.front().vc].credits < vcDepth_,
-                         "router ", id_, " port ", p, " vc ",
-                         int(credits.front().vc),
-                         " credit return exceeds buffer depth ", vcDepth_);
-            ++out_[p][credits.front().vc].credits;
+            DR_INVARIANT(
+                out_[p * numVcs_ + credits.front().vc].credits < vcDepth_,
+                "router ", id_, " port ", p, " vc ",
+                int(credits.front().vc),
+                " credit return exceeds buffer depth ", vcDepth_);
+            ++out_[p * numVcs_ + credits.front().vc].credits;
             credits.pop_front();
             --pendingCredits_;
+            applied = true;
             DR_ASSERT(pendingCredits_ >= 0);
         }
+        if (!credits.empty() && credits.front().when < next)
+            next = credits.front().when;
         auto &queue = arrivals_[p];
         while (!queue.empty() && queue.front().when <= now) {
             const Flit &flit = queue.front().flit;
             DR_ASSERT_MSG(flit.vc < numVcs_, "router ", id_,
                           ": arriving flit names VC ", int(flit.vc));
+            const int key = p * numVcs_ + flit.vc;
             DR_INVARIANT(
-                static_cast<int>(in_[p][flit.vc].buf.size()) < vcDepth_,
+                static_cast<int>(in_[key].buf.size()) < vcDepth_,
                 "router ", id_, " port ", p, " vc ", int(flit.vc),
                 " input buffer overrun (upstream sent without credit)");
-            in_[p][flit.vc].buf.push_back(flit);
+            in_[key].buf.push_back(flit);
+            if (!wide_)
+                occ_ |= std::uint64_t{1} << key;
             ++stats_.bufferWrites;
             queue.pop_front();
             --pendingArrivals_;
             ++bufferedCount_;
+            applied = true;
             DR_ASSERT(pendingArrivals_ >= 0);
         }
+        if (!queue.empty() && queue.front().when < next)
+            next = queue.front().when;
     }
+    nextApplyCycle_ = next;
+    return applied;
 }
 
-void
+bool
+Router::routeComputeWide()
+{
+    bool routed = false;
+    const int keys = numPorts_ * numVcs_;
+    for (int key = 0; key < keys; ++key) {
+        InVc &ivc = in_[key];
+        if (ivc.routed || ivc.buf.empty())
+            continue;
+        const Flit &head = ivc.buf.front();
+        if (!head.head)
+            panic("router ", id_, ": body flit at idle VC head");
+        ivc.outPort = env_.routeOutput(id_, head);
+        ivc.routed = true;
+        routed = true;
+    }
+    return routed;
+}
+
+bool
 Router::routeCompute()
 {
-    for (int p = 0; p < numPorts_; ++p) {
-        for (int v = 0; v < numVcs_; ++v) {
-            InVc &ivc = in_[p][v];
-            if (ivc.routed || ivc.buf.empty())
-                continue;
-            const Flit &head = ivc.buf.front();
-            if (!head.head)
-                panic("router ", id_, ": body flit at idle VC head");
-            ivc.outPort = env_.routeOutput(id_, head);
-            ivc.routed = true;
-        }
+    if (wide_)
+        return routeComputeWide();
+    // Non-empty input VCs whose head has no output port yet.
+    std::uint64_t pending = occ_ & ~routed_;
+    if (!pending)
+        return false;
+    while (pending) {
+        const int key = std::countr_zero(pending);
+        pending &= pending - 1;
+        InVc &ivc = in_[key];
+        const Flit &head = ivc.buf.front();
+        if (!head.head)
+            panic("router ", id_, ": body flit at idle VC head");
+        ivc.outPort = env_.routeOutput(id_, head);
+        ivc.routed = true;
+        routed_ |= std::uint64_t{1} << key;
     }
+    return true;
 }
 
-void
-Router::vcAllocate()
+bool
+Router::vcAllocateWide()
 {
+    bool allocated = false;
+    const int keys = numPorts_ * numVcs_;
     // Two passes give CPU-class packets strict priority.
     for (const TrafficClass cls : {TrafficClass::Cpu, TrafficClass::Gpu}) {
-        for (int p = 0; p < numPorts_; ++p) {
-            for (int v = 0; v < numVcs_; ++v) {
-                InVc &ivc = in_[p][v];
-                if (!ivc.routed || ivc.active || ivc.buf.empty())
+        for (int key = 0; key < keys; ++key) {
+            InVc &ivc = in_[key];
+            if (!ivc.routed || ivc.active || ivc.buf.empty())
+                continue;
+            const Flit &head = ivc.buf.front();
+            if (head.cls != cls)
+                continue;
+            const std::uint8_t mask =
+                head.vcMask & env_.vcMaskForOutput(id_, ivc.outPort, head);
+            for (int ov = 0; ov < numVcs_; ++ov) {
+                if (!(mask & (1u << ov)))
                     continue;
-                const Flit &head = ivc.buf.front();
-                if (head.cls != cls)
+                OutVc &ovc = out_[ivc.outPort * numVcs_ + ov];
+                if (ovc.ownerIn >= 0)
                     continue;
-                const std::uint8_t mask =
-                    head.vcMask &
-                    env_.vcMaskForOutput(id_, ivc.outPort, head);
-                for (int ov = 0; ov < numVcs_; ++ov) {
-                    if (!(mask & (1u << ov)))
-                        continue;
-                    OutVc &ovc = out_[ivc.outPort][ov];
-                    if (ovc.ownerIn >= 0)
-                        continue;
-                    ovc.ownerIn = p * numVcs_ + v;
-                    ivc.outVc = ov;
-                    ivc.active = true;
-                    break;
-                }
+                ovc.ownerIn = key;
+                ivc.outVc = ov;
+                ivc.active = true;
+                allocated = true;
+                break;
             }
         }
     }
+    return allocated;
+}
+
+bool
+Router::vcAllocate()
+{
+    if (wide_)
+        return vcAllocateWide();
+    // Routed, non-empty heads that still need an output VC.
+    std::uint64_t cand = routed_ & ~active_ & occ_;
+    if (!cand)
+        return false;
+    bool allocated = false;
+    // Two passes give CPU-class packets strict priority.
+    for (const TrafficClass cls : {TrafficClass::Cpu, TrafficClass::Gpu}) {
+        std::uint64_t m = cand;
+        while (m) {
+            const int key = std::countr_zero(m);
+            m &= m - 1;
+            InVc &ivc = in_[key];
+            const Flit &head = ivc.buf.front();
+            if (head.cls != cls)
+                continue;
+            const std::uint8_t mask =
+                head.vcMask & env_.vcMaskForOutput(id_, ivc.outPort, head);
+            for (int ov = 0; ov < numVcs_; ++ov) {
+                if (!(mask & (1u << ov)))
+                    continue;
+                OutVc &ovc = out_[ivc.outPort * numVcs_ + ov];
+                if (ovc.ownerIn >= 0)
+                    continue;
+                ovc.ownerIn = key;
+                ivc.outVc = ov;
+                ivc.active = true;
+                active_ |= std::uint64_t{1} << key;
+                cand &= ~(std::uint64_t{1} << key);
+                allocated = true;
+                break;
+            }
+        }
+    }
+    return allocated;
 }
 
 bool
 Router::outVcHasSpace(int port, int vc, NodeId node) const
 {
     if (portIsLink_[port])
-        return out_[port][vc].credits > 0;
+        return out_[port * numVcs_ + vc].credits > 0;
     return env_.nodeEjectFree(node) > 0;
 }
 
-void
+bool
 Router::switchAllocate(Cycle now)
 {
-    // Collect candidates per output port, then grant one crossbar
-    // traversal per output and per input (separable allocation).
-    std::vector<std::uint8_t> inUsed(numPorts_, 0);
+    // Grant one crossbar traversal per output and per input (separable
+    // allocation). Requests are bucketed per output port up front from
+    // the active-VC mask; outputs with no requesters are skipped with a
+    // single test. The best-candidate comparison (CPU class first, then
+    // rotation distance — unique per key) is order-independent, so the
+    // grants match the old exhaustive port x VC scan exactly.
+    if (wide_)
+        return switchAllocateWide(now);
+    bool granted = false;
+    const std::uint64_t req = active_ & occ_;
+    if (!req) {
+        saOffset_ = (saOffset_ + 1) % numPorts_;
+        return false;
+    }
+    std::fill(saInUsed_.begin(), saInUsed_.end(), 0);
+    std::fill(saReq_.begin(), saReq_.end(), 0);
+    std::uint8_t *inUsed = saInUsed_.data();
+    for (std::uint64_t m = req; m != 0; m &= m - 1) {
+        const int key = std::countr_zero(m);
+        saReq_[in_[key].outPort] |= std::uint64_t{1} << key;
+    }
+
+    for (int i = 0; i < numPorts_; ++i) {
+        const int outPort = (i + saOffset_) % numPorts_;
+        int best = -1;
+        bool bestCpu = false;
+        int bestDist = 0;
+        for (std::uint64_t m = saReq_[outPort]; m != 0; m &= m - 1) {
+            const int key = std::countr_zero(m);
+            if (inUsed[key / numVcs_])
+                continue;
+            const InVc &ivc = in_[key];
+            const Flit &flit = ivc.buf.front();
+            if (!outVcHasSpace(outPort, ivc.outVc, portNode_[outPort]))
+                continue;
+            const bool isCpu = flit.cls == TrafficClass::Cpu;
+            const int dist =
+                (key - rrPtr_[outPort] + numPorts_ * numVcs_) %
+                (numPorts_ * numVcs_);
+            if (best < 0 || (isCpu && !bestCpu) ||
+                (isCpu == bestCpu && dist < bestDist)) {
+                best = key;
+                bestCpu = isCpu;
+                bestDist = dist;
+            }
+        }
+        if (best < 0)
+            continue;
+
+        granted = true;
+        inUsed[best / numVcs_] = 1;
+        rrPtr_[outPort] = (best + 1) % (numPorts_ * numVcs_);
+        grantTraversal(best, outPort, now);
+    }
+    saOffset_ = (saOffset_ + 1) % numPorts_;
+    return granted;
+}
+
+bool
+Router::switchAllocateWide(Cycle now)
+{
+    bool granted = false;
+    std::fill(saInUsed_.begin(), saInUsed_.end(), 0);
+    std::uint8_t *inUsed = saInUsed_.data();
 
     for (int i = 0; i < numPorts_; ++i) {
         const int outPort = (i + saOffset_) % numPorts_;
@@ -153,7 +317,8 @@ Router::switchAllocate(Cycle now)
             if (inUsed[p])
                 continue;
             for (int v = 0; v < numVcs_; ++v) {
-                const InVc &ivc = in_[p][v];
+                const int key = p * numVcs_ + v;
+                const InVc &ivc = in_[key];
                 if (!ivc.active || ivc.outPort != outPort ||
                     ivc.buf.empty()) {
                     continue;
@@ -162,7 +327,6 @@ Router::switchAllocate(Cycle now)
                 if (!outVcHasSpace(outPort, ivc.outVc, portNode_[outPort]))
                     continue;
                 const bool isCpu = flit.cls == TrafficClass::Cpu;
-                const int key = p * numVcs_ + v;
                 const int dist =
                     (key - rrPtr_[outPort] + numPorts_ * numVcs_) %
                     (numPorts_ * numVcs_);
@@ -177,64 +341,84 @@ Router::switchAllocate(Cycle now)
         if (best < 0)
             continue;
 
-        const int p = best / numVcs_;
-        const int v = best % numVcs_;
-        InVc &ivc = in_[p][v];
-        Flit flit = ivc.buf.front();
-        ivc.buf.pop_front();
-        --bufferedCount_;
-        inUsed[p] = 1;
+        granted = true;
+        inUsed[best / numVcs_] = 1;
         rrPtr_[outPort] = (best + 1) % (numPorts_ * numVcs_);
-
-        // The flit leaves on the allocated output VC after traversing
-        // the remaining pipeline stages plus one cycle of link latency.
-        const int outVc = ivc.outVc;
-        flit.vc = static_cast<std::uint8_t>(outVc);
-        const Cycle arrive = now + static_cast<Cycle>(stages_ - 1) + 1;
-        ++stats_.switchTraversals;
-        if (stats_.portFlitsSent.empty())
-            stats_.portFlitsSent.assign(numPorts_, 0);
-        ++stats_.portFlitsSent[outPort];
-
-        if (portIsLink_[outPort]) {
-            DR_INVARIANT(out_[outPort][outVc].credits > 0,
-                         "router ", id_, " port ", outPort, " vc ", outVc,
-                         " switch traversal without a credit");
-            --out_[outPort][outVc].credits;
-            env_.deliverToRouter(id_, outPort, flit, arrive);
-        } else {
-            env_.nodeEjectReserve(portNode_[outPort]);
-            env_.deliverToNode(portNode_[outPort], flit, arrive);
-        }
-
-        // Return buffer credit to whoever feeds this input port.
-        env_.creditToFeeder(id_, p, v, now + 1);
-
-        if (flit.tail) {
-            out_[outPort][outVc].ownerIn = -1;
-            ivc.routed = false;
-            ivc.active = false;
-            ivc.outPort = -1;
-            ivc.outVc = -1;
-        }
+        grantTraversal(best, outPort, now);
     }
     saOffset_ = (saOffset_ + 1) % numPorts_;
+    return granted;
+}
+
+void
+Router::grantTraversal(int key, int outPort, Cycle now)
+{
+    InVc &ivc = in_[key];
+    Flit flit = ivc.buf.front();
+    ivc.buf.pop_front();
+    if (!wide_ && ivc.buf.empty())
+        occ_ &= ~(std::uint64_t{1} << key);
+    --bufferedCount_;
+
+    // The flit leaves on the allocated output VC after traversing
+    // the remaining pipeline stages plus one cycle of link latency.
+    const int outVc = ivc.outVc;
+    flit.vc = static_cast<std::uint8_t>(outVc);
+    const Cycle arrive = now + static_cast<Cycle>(stages_ - 1) + 1;
+    ++stats_.switchTraversals;
+    if (stats_.portFlitsSent.empty())
+        stats_.portFlitsSent.assign(numPorts_, 0);
+    ++stats_.portFlitsSent[outPort];
+
+    if (portIsLink_[outPort]) {
+        DR_INVARIANT(out_[outPort * numVcs_ + outVc].credits > 0,
+                     "router ", id_, " port ", outPort, " vc ", outVc,
+                     " switch traversal without a credit");
+        --out_[outPort * numVcs_ + outVc].credits;
+        env_.deliverToRouter(id_, outPort, flit, arrive);
+    } else {
+        env_.nodeEjectReserve(portNode_[outPort]);
+        env_.deliverToNode(portNode_[outPort], flit, arrive);
+    }
+
+    // Return buffer credit to whoever feeds this input port.
+    env_.creditToFeeder(id_, key / numVcs_, key % numVcs_, now + 1);
+
+    if (flit.tail) {
+        out_[outPort * numVcs_ + outVc].ownerIn = -1;
+        ivc.routed = false;
+        ivc.active = false;
+        ivc.outPort = -1;
+        ivc.outVc = -1;
+        if (!wide_) {
+            routed_ &= ~(std::uint64_t{1} << key);
+            active_ &= ~(std::uint64_t{1} << key);
+        }
+    }
 }
 
 void
 Router::tick(Cycle now)
 {
     // Idle fast path: nothing buffered and nothing arriving.
-    if (pendingArrivals_ == 0 && pendingCredits_ == 0 &&
-        bufferedCount_ == 0) {
+    if (idle())
         return;
-    }
-    applyArrivals(now);
+    if (applyArrivals(now))
+        quiescent_ = false;
     if (bufferedCount_ == 0)
         return;
-    routeCompute();
-    vcAllocate();
-    switchAllocate(now);
+    if (quiescent_) {
+        // Stalled: the last pass changed nothing and no input has
+        // changed since, so this pass would also change nothing. Only
+        // the rotating arbitration offset advances (as a grant-less
+        // switchAllocate would have advanced it).
+        saOffset_ = (saOffset_ + 1) % numPorts_;
+        return;
+    }
+    const bool routed = routeCompute();
+    const bool allocated = vcAllocate();
+    const bool granted = switchAllocate(now);
+    quiescent_ = !routed && !allocated && !granted;
 }
 
 int
@@ -242,7 +426,7 @@ Router::freeCredits(int port) const
 {
     int total = 0;
     for (int v = 0; v < numVcs_; ++v)
-        total += out_[port][v].credits;
+        total += out_[port * numVcs_ + v].credits;
     return total;
 }
 
@@ -251,7 +435,7 @@ Router::debugDump(std::ostream &os) const
 {
     for (int p = 0; p < numPorts_; ++p) {
         for (int v = 0; v < numVcs_; ++v) {
-            const InVc &ivc = in_[p][v];
+            const InVc &ivc = in_[p * numVcs_ + v];
             if (ivc.buf.empty() && !ivc.routed)
                 continue;
             os << "R" << id_ << " in[" << p << "][" << v << "] buf="
@@ -269,8 +453,8 @@ Router::debugDump(std::ostream &os) const
     for (int p = 0; p < numPorts_; ++p) {
         os << "R" << id_ << " out[" << p << "] credits:";
         for (int v = 0; v < numVcs_; ++v)
-            os << " " << out_[p][v].credits << "(o" << out_[p][v].ownerIn
-               << ")";
+            os << " " << out_[p * numVcs_ + v].credits << "(o"
+               << out_[p * numVcs_ + v].ownerIn << ")";
         os << "\n";
     }
 }
@@ -279,19 +463,18 @@ int
 Router::bufferedFlits() const
 {
     int total = 0;
-    for (const auto &port : in_) {
-        for (const auto &vc : port)
-            total += static_cast<int>(vc.buf.size());
-    }
+    for (const InVc &vc : in_)
+        total += static_cast<int>(vc.buf.size());
     return total;
 }
 
 int
 Router::inVcOccupancy(int port, int vc) const
 {
-    int total = static_cast<int>(in_[port][vc].buf.size());
-    for (const auto &timed : arrivals_[port]) {
-        if (timed.flit.vc == vc)
+    int total = static_cast<int>(in_[port * numVcs_ + vc].buf.size());
+    const auto &queue = arrivals_[port];
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].flit.vc == vc)
             ++total;
     }
     return total;
@@ -301,8 +484,9 @@ int
 Router::pendingCreditsFor(int port, int vc) const
 {
     int total = 0;
-    for (const auto &timed : creditArrivals_[port]) {
-        if (timed.vc == vc)
+    const auto &queue = creditArrivals_[port];
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        if (queue[i].vc == vc)
             ++total;
     }
     return total;
@@ -314,7 +498,7 @@ Router::blockedHeads() const
     std::vector<BlockedHead> heads;
     for (int p = 0; p < numPorts_; ++p) {
         for (int v = 0; v < numVcs_; ++v) {
-            const InVc &ivc = in_[p][v];
+            const InVc &ivc = in_[p * numVcs_ + v];
             if (ivc.buf.empty())
                 continue;
             BlockedHead head;
@@ -335,10 +519,10 @@ Router::blockedHeads() const
 void
 Router::debugLeakCredit(int port, int vc)
 {
-    if (out_[port][vc].credits <= 0)
+    if (out_[port * numVcs_ + vc].credits <= 0)
         panic("debugLeakCredit: no credit to leak on router ", id_,
               " port ", port, " vc ", vc);
-    --out_[port][vc].credits;
+    --out_[port * numVcs_ + vc].credits;
 }
 
 } // namespace dr

@@ -12,12 +12,12 @@
  */
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <vector>
 
 #include "common/types.hpp"
 #include "noc/flit.hpp"
+#include "noc/ring_buffer.hpp"
 
 namespace dr
 {
@@ -96,6 +96,14 @@ class Router
     /** One simulation cycle: route computation, VC and switch alloc. */
     void tick(Cycle now);
 
+    /**
+     * External wake: ejection space at an attached node grew (the
+     * endpoint popped a message). Clears the stalled fast path — the
+     * only allocation input that can change without a flit or credit
+     * arriving at this router.
+     */
+    void wakeEjectSpace() { quiescent_ = false; }
+
     /** Free downstream credits summed over an output port's VCs. */
     int freeCredits(int port) const;
 
@@ -120,7 +128,7 @@ class Router
     /** Downstream credits currently held for one output VC. */
     int outVcCredits(int port, int vc) const
     {
-        return out_[port][vc].credits;
+        return out_[port * numVcs_ + vc].credits;
     }
 
     /** Flits occupying one input VC, including undelivered arrivals. */
@@ -131,6 +139,15 @@ class Router
 
     /** Flits in arrival queues not yet written into input VCs. */
     int pendingArrivalFlits() const { return pendingArrivals_; }
+
+    /** Whether the router holds no work at all (active-set scheduling:
+     *  idle routers leave the Network's work list and skip tick()). */
+    bool
+    idle() const
+    {
+        return pendingArrivals_ == 0 && pendingCredits_ == 0 &&
+               bufferedCount_ == 0;
+    }
 
     /** Input VCs whose head flit is waiting on a downstream resource. */
     std::vector<BlockedHead> blockedHeads() const;
@@ -145,7 +162,7 @@ class Router
   private:
     struct InVc
     {
-        std::deque<Flit> buf;
+        RingBuffer<Flit> buf;
         bool routed = false;   //!< head has an output port
         bool active = false;   //!< head has an output VC
         int outPort = -1;
@@ -170,11 +187,21 @@ class Router
         int ownerIn = -1;  //!< encoded input (port * numVcs + vc) or -1
     };
 
-    void applyArrivals(Cycle now);
-    void routeCompute();
-    void vcAllocate();
-    void switchAllocate(Cycle now);
+    bool applyArrivals(Cycle now);   //!< returns whether anything applied
+    bool routeCompute();             //!< returns whether any head routed
+    bool vcAllocate();               //!< returns whether any VC allocated
+    bool switchAllocate(Cycle now);  //!< returns whether any flit granted
     bool outVcHasSpace(int port, int vc, NodeId node) const;
+
+    // Fallbacks for routers with more than 64 input VCs (e.g. a full
+    // crossbar), where the occupancy bitmasks don't fit one word: the
+    // allocation passes scan every VC as the original kernel did.
+    bool routeComputeWide();
+    bool vcAllocateWide();
+    bool switchAllocateWide(Cycle now);
+
+    /** Grant one switch traversal to input VC `key` toward `outPort`. */
+    void grantTraversal(int key, int outPort, Cycle now);
 
     int id_;
     int numPorts_;
@@ -186,18 +213,53 @@ class Router
     std::vector<std::uint8_t> portIsLink_;  //!< per port: link vs node/none
     std::vector<NodeId> portNode_;          //!< per port: attached node
 
-    std::vector<std::vector<InVc>> in_;      //!< [port][vc]
-    std::vector<std::deque<TimedFlit>> arrivals_;    //!< per input port
-    std::vector<std::vector<OutVc>> out_;    //!< [port][vc]
-    std::vector<std::deque<TimedCredit>> creditArrivals_;  //!< per out port
+    // Input and output VC state is stored flat, indexed by the VC key
+    // `port * numVcs + vc` — the same encoding OutVc::ownerIn and the
+    // switch-allocation rotation already use.
+    std::vector<InVc> in_;                   //!< [port * numVcs + vc]
+    std::vector<RingBuffer<TimedFlit>> arrivals_;    //!< per input port
+    std::vector<OutVc> out_;                 //!< [port * numVcs + vc]
+    std::vector<RingBuffer<TimedCredit>> creditArrivals_;  //!< per out port
+
+    // One bit per input VC key. The allocation passes iterate set bits
+    // instead of scanning every port x VC pair; with a handful of flits
+    // in a 5-port router that cuts each pass from dozens of probes to
+    // one or two. Ascending bit order equals the old loop order, so
+    // arbitration outcomes are unchanged.
+    std::uint64_t occ_ = 0;     //!< input VCs with buffered flits
+    std::uint64_t routed_ = 0;  //!< heads holding an output port
+    std::uint64_t active_ = 0;  //!< heads holding an output VC
+    bool wide_ = false;         //!< > 64 input VCs: masks unusable
 
     int saOffset_ = 0;                 //!< rotating output iteration start
     std::vector<int> rrPtr_;           //!< per output, input rotation
+    std::vector<std::uint8_t> saInUsed_; //!< switch-allocation scratch
+    std::vector<std::uint64_t> saReq_;   //!< per output, requesting VC keys
+
+    /**
+     * Stalled fast path: the last allocation pass routed, allocated and
+     * granted nothing, and no flit/credit has arrived since — every
+     * allocation input (buffers, credits, pure routing functions) is
+     * unchanged, so the pass is skipped wholesale. Cleared by arrivals
+     * and by wakeEjectSpace(); the arbitration rotation still advances
+     * exactly as a run of switchAllocate would, keeping schedules
+     * bit-identical with the non-skipping kernel.
+     */
+    bool quiescent_ = false;
 
     // Activity tracking so idle routers can skip their tick entirely.
     int bufferedCount_ = 0;
     int pendingArrivals_ = 0;
     int pendingCredits_ = 0;
+
+    /**
+     * Earliest cycle at which any queued flit or credit matures. Every
+     * arrival queue is FIFO-ordered by maturity time (each has a single
+     * feeder with a fixed latency), so the minimum over queue fronts is
+     * exact; applyArrivals() skips its scan while now is below it.
+     * Pushes lower the watermark, scans recompute it from the fronts.
+     */
+    Cycle nextApplyCycle_ = 0;
 
     RouterStats stats_;
 };

@@ -203,7 +203,10 @@ TEST_F(RouterUnit, EjectionRespectsNodeBufferSpace)
         router->tick(c);
     EXPECT_EQ(env.nodeDeliveries.size(), 2u);
     EXPECT_EQ(env.ejFree, 0);
+    // Growing ejection space must wake the stalled router, as
+    // Network::popMessage does (the quiescent fast-path contract).
     env.ejFree = 10;
+    router->wakeEjectSpace();
     for (Cycle c = 10; c < 20; ++c)
         router->tick(c);
     EXPECT_EQ(env.nodeDeliveries.size(), 4u);

@@ -1,0 +1,62 @@
+#!/bin/sh
+# Run the NoC kernel-performance benchmark and emit BENCH_noc_kernel.json.
+#
+# Usage:
+#   tools/run_perf_kernel.sh [BUILD_DIR] [OUTPUT_JSON] [BASELINE_JSON]
+#
+#   BUILD_DIR      build tree containing bench/perf_kernel (default: build)
+#   OUTPUT_JSON    where to write the result (default: BENCH_noc_kernel.json)
+#   BASELINE_JSON  optional committed baseline; when given, exit non-zero
+#                  if uniform cycles/sec regressed by more than
+#                  DR_PERF_REGRESSION_PCT percent (default 20).
+#
+# DR_BENCH_CYCLES scales the measured horizon as for every bench binary.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-BENCH_noc_kernel.json}"
+BASELINE="${3:-}"
+BIN="$BUILD_DIR/bench/perf_kernel"
+
+if [ ! -x "$BIN" ]; then
+    echo "run_perf_kernel: $BIN not found (build the 'perf_kernel' target)" >&2
+    exit 2
+fi
+
+"$BIN" > "$OUTPUT"
+echo "run_perf_kernel: wrote $OUTPUT"
+
+if [ -z "$BASELINE" ]; then
+    exit 0
+fi
+if [ ! -f "$BASELINE" ]; then
+    echo "run_perf_kernel: baseline $BASELINE not found" >&2
+    exit 2
+fi
+
+python3 - "$OUTPUT" "$BASELINE" "${DR_PERF_REGRESSION_PCT:-20}" <<'EOF'
+import json
+import sys
+
+current_path, baseline_path, threshold_pct = sys.argv[1:4]
+threshold = float(threshold_pct)
+
+with open(current_path) as f:
+    current = json.load(f)
+with open(baseline_path) as f:
+    baseline = json.load(f)
+
+# The committed baseline stores an "after" section (see EXPERIMENTS.md);
+# a raw perf_kernel emission stores "summary" only.
+base_summary = baseline.get("after", baseline)["summary"]
+cur = current["summary"]["uniform_cycles_per_sec"]
+base = base_summary["uniform_cycles_per_sec"]
+
+delta_pct = 100.0 * (cur - base) / base
+print(f"run_perf_kernel: uniform cycles/sec {cur:.0f} vs baseline "
+      f"{base:.0f} ({delta_pct:+.1f}%)")
+if cur < base * (1.0 - threshold / 100.0):
+    print(f"run_perf_kernel: REGRESSION beyond {threshold:.0f}% threshold",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
