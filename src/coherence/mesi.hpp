@@ -88,6 +88,8 @@ class MesiDirectory
 
     int numCores_;
     Cycle invalidationPenalty_;
+    // drlint-allow(unordered-container): lookup by line address
+    // only; the directory is never iterated.
     std::unordered_map<Addr, Entry> dir_;
     MesiStats stats_;
 };

@@ -79,6 +79,8 @@ class CpuNode
     {};
     SetAssocCache<NoMeta> l1_;
 
+    // drlint-allow(unordered-container): lookup by request id
+    // only; completion order comes from reply arrival.
     std::unordered_map<std::uint64_t, InFlightReq> inFlight_;
     std::uint64_t nextReqId_;
     bool blocked_ = false;

@@ -190,6 +190,8 @@ class SmCore
     std::deque<Message> frq_;              //!< Forwarded Request Queue
     std::deque<Message> probeQueue_;       //!< incoming RP probes
     std::deque<Message> outboundReplies_;  //!< core-to-core data replies
+    // drlint-allow(unordered-container): lookup by line only;
+    // probe completion is driven by message arrival order.
     std::unordered_map<Addr, ProbeState> probes_;
     std::deque<Addr> probeFallbacks_;      //!< lines awaiting LLC re-send
     SharingPredictor predictor_;

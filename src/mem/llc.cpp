@@ -162,8 +162,17 @@ LlcSlice::tick(Cycle now)
                              reply.delegateTo != req.requester,
                          "LLC ", nodeId_, ": delegation pointer equals "
                          "requester node ", req.requester);
-            if (requesterIdx >= 0) {
-                // Track the most recent GPU reader (6-bit pointer).
+            if (requesterIdx >= 0 && !reply.delegatable) {
+                // Track the most recent *directly served* GPU reader
+                // (6-bit pointer). A delegatable reply may be converted
+                // into a delegation downstream, leaving the requester
+                // waiting on another core; repointing at such a waiter
+                // lets delayed-hit attachments form a cyclic wait
+                // (three cores each holding the next one's forwarded
+                // request in their MSHRs — found by drverify, see
+                // DESIGN.md §10). Keeping the pointer on the last
+                // direct reader means every delegation chain ends at a
+                // core whose fill the LLC itself guaranteed.
                 hit->meta.lastCore = req.requester;
                 hit->meta.epoch = coherence_.epochOf(requesterIdx);
             }

@@ -63,11 +63,25 @@ MshrFile::release(Addr lineAddr)
     return targets;
 }
 
+std::vector<Addr>
+MshrFile::sortedLines() const
+{
+    std::vector<Addr> lines;
+    lines.reserve(map_.size());
+    // drlint-allow(unordered-iteration): key collection only; the sort
+    // below erases the hash order before anyone observes it.
+    for (const auto &[addr, entry] : map_)
+        lines.push_back(addr);
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
 Cycle
 MshrFile::oldestAge(Cycle now) const
 {
     Cycle oldest = 0;
-    for (const auto &[addr, entry] : map_) {
+    for (const Addr addr : sortedLines()) {
+        const Entry &entry = map_.at(addr);
         if (now >= entry.allocatedAt)
             oldest = std::max(oldest, now - entry.allocatedAt);
     }
@@ -80,9 +94,9 @@ MshrFile::checkDrained(const char *owner) const
     if (map_.empty())
         return;
     std::ostringstream lines;
-    for (const auto &[addr, entry] : map_) {
+    for (const Addr addr : sortedLines()) {
         lines << " 0x" << std::hex << addr << std::dec << "("
-              << entry.targets.size() << " targets)";
+              << map_.at(addr).targets.size() << " targets)";
     }
     panic(owner, ": MSHR leak: ", map_.size(),
           " entries still outstanding at drain:", lines.str());
@@ -91,7 +105,8 @@ MshrFile::checkDrained(const char *owner) const
 void
 MshrFile::checkNoLeaks(Cycle now, Cycle maxAge, const char *owner) const
 {
-    for (const auto &[addr, entry] : map_) {
+    for (const Addr addr : sortedLines()) {
+        const Entry &entry = map_.at(addr);
         if (now >= entry.allocatedAt && now - entry.allocatedAt > maxAge) {
             panic(owner, ": MSHR leak: line 0x", std::hex, addr, std::dec,
                   " outstanding for ", now - entry.allocatedAt,

@@ -85,8 +85,15 @@ class MshrFile
         Cycle allocatedAt = 0;
     };
 
+    /** Outstanding lines in a deterministic (sorted) order; every
+     *  iteration over the file goes through this so that reports and
+     *  panics never expose hash order. */
+    std::vector<Addr> sortedLines() const;
+
     int entries_;
     int targetsPerEntry_;
+    // drlint-allow(unordered-container): lookup by line address only;
+    // all iteration goes through sortedLines().
     std::unordered_map<Addr, Entry> map_;
 };
 

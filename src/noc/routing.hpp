@@ -86,6 +86,8 @@ class RoutingPolicy
         double lat[2] = {0.0, 0.0};
         bool seen[2] = {false, false};
     };
+    // drlint-allow(unordered-container): lookup by (src,dst) key
+    // only; route choice reads one entry, never iterates.
     std::unordered_map<std::uint32_t, History> history_;
 };
 

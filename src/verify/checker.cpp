@@ -1,0 +1,296 @@
+#include "verify/checker.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+namespace verify
+{
+
+namespace
+{
+
+constexpr std::uint32_t noParent = 0xFFFFFFFFu;
+
+struct NodeInfo
+{
+    std::uint32_t parent = noParent;
+    std::string action;  //!< transition taken from parent to this node
+};
+
+struct Search
+{
+    // Exact visited map: keyed on the full canonical encoding, so a
+    // hash collision can only slow the lookup down, never merge two
+    // distinct states. Search-time only, never a sim-tick path, and
+    // never iterated: trace order comes from `info`.
+    // drlint-allow(unordered-container)
+    std::unordered_map<std::string, std::uint32_t> ids;
+    std::vector<const std::string *> encodings;  //!< id -> canonical bytes
+    std::vector<NodeInfo> info;                  //!< id -> BFS tree node
+
+    std::uint32_t intern(const std::string &bytes, std::uint32_t parent,
+                         std::string action, bool &inserted)
+    {
+        auto [it, fresh] = ids.emplace(bytes, 0);
+        inserted = fresh;
+        if (!fresh)
+            return it->second;
+        const auto id = static_cast<std::uint32_t>(encodings.size());
+        it->second = id;
+        encodings.push_back(&it->first);
+        info.push_back(NodeInfo{parent, std::move(action)});
+        return id;
+    }
+};
+
+/** Rebuild the minimal trace from the initial state to `id`. */
+std::vector<TraceStep>
+tracePath(const Model &model, const Search &search, std::uint32_t id)
+{
+    std::vector<std::uint32_t> chain;
+    for (std::uint32_t cur = id; cur != noParent;
+         cur = search.info[cur].parent) {
+        chain.push_back(cur);
+    }
+    std::vector<TraceStep> trace;
+    trace.reserve(chain.size());
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+        trace.push_back(TraceStep{search.info[*it].action,
+                                  model.decode(*search.encodings[*it])});
+    }
+    return trace;
+}
+
+/**
+ * Iterative three-colour DFS for a cycle among reachable states. The
+ * safety sweep has already visited every reachable state, so each
+ * successor resolves to a known id. Terminal states can only evict
+ * their way down a DAG, so any cycle found involves pending work and
+ * witnesses livelock under weak fairness.
+ */
+struct CyclePass
+{
+    const Model &model;
+    const Search &search;
+
+    struct Frame
+    {
+        std::uint32_t id = 0;
+        std::vector<std::pair<std::uint32_t, std::string>> succs;
+        std::size_t next = 0;
+    };
+
+    std::vector<std::uint8_t> color;  // 0 white, 1 gray, 2 black
+    std::vector<Frame> stack;
+
+    explicit CyclePass(const Model &m, const Search &s)
+        : model(m), search(s), color(s.encodings.size(), 0)
+    {
+    }
+
+    Frame makeFrame(std::uint32_t id)
+    {
+        Frame f;
+        f.id = id;
+        const State state = model.decode(*search.encodings[id]);
+        std::vector<Succ> succs;
+        model.successors(state, succs);
+        f.succs.reserve(succs.size());
+        for (Succ &succ : succs) {
+            const auto it = search.ids.find(model.encode(succ.state));
+            if (it == search.ids.end())
+                panic("drverify: cycle pass found an unvisited state");
+            f.succs.emplace_back(it->second, std::move(succ.action));
+        }
+        return f;
+    }
+
+    /** Returns the cycle as trace steps (closing state repeated last),
+     *  or an empty vector when the reachable graph is acyclic. */
+    std::vector<TraceStep> run()
+    {
+        color[0] = 1;
+        stack.push_back(makeFrame(0));
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            if (f.next >= f.succs.size()) {
+                color[f.id] = 2;
+                stack.pop_back();
+                continue;
+            }
+            const auto [childId, action] = f.succs[f.next];
+            ++f.next;
+            if (color[childId] == 1)
+                return buildCycle(childId, action);
+            if (color[childId] == 0) {
+                color[childId] = 1;
+                stack.push_back(makeFrame(childId));
+            }
+        }
+        return {};
+    }
+
+    std::vector<TraceStep> buildCycle(std::uint32_t entryId,
+                                      const std::string &closingAction)
+    {
+        // Prefix: minimal path to the cycle entry, then the gray stack
+        // segment from the entry to the current state, then the back
+        // edge that closes the loop.
+        std::vector<TraceStep> trace =
+            tracePath(model, search, entryId);
+        std::size_t k = 0;
+        while (k < stack.size() && stack[k].id != entryId)
+            ++k;
+        if (k == stack.size())
+            panic("drverify: cycle entry not on the DFS stack");
+        for (std::size_t i = k + 1; i < stack.size(); ++i) {
+            const Frame &f = stack[i];
+            const std::string &action = stack[i - 1]
+                .succs[stack[i - 1].next - 1].second;
+            trace.push_back(TraceStep{
+                action, model.decode(*search.encodings[f.id])});
+        }
+        trace.push_back(TraceStep{
+            closingAction + "  [returns to the state of step " +
+                std::to_string(tracePath(model, search, entryId).size()) +
+                "]",
+            model.decode(*search.encodings[entryId])});
+        return trace;
+    }
+};
+
+} // namespace
+
+CheckResult
+check(const Model &model, const CheckOptions &opts)
+{
+    CheckResult result;
+    Search search;
+
+    const State init = model.initialState();
+    bool inserted = false;
+    search.intern(model.encode(init), noParent, "(initial state)",
+                  inserted);
+
+    std::deque<std::uint32_t> frontier;
+    frontier.push_back(0);
+    std::vector<Succ> succs;
+
+    auto fail = [&](std::uint32_t id, const Violation &v,
+                    const Succ *extra) {
+        result.passed = false;
+        result.violatedProperty = v.property;
+        result.violationDetail = v.detail;
+        result.trace = tracePath(model, search, id);
+        if (extra != nullptr)
+            result.trace.push_back(TraceStep{extra->action, extra->state});
+    };
+
+    while (!frontier.empty()) {
+        const std::uint32_t id = frontier.front();
+        frontier.pop_front();
+        const State state = model.decode(*search.encodings[id]);
+        model.successors(state, succs);
+        result.transitions += succs.size();
+
+        if (succs.empty() && !model.terminal(state)) {
+            // No enabled transition and pending work: either a reply
+            // was lost (quiescent) or resources deadlocked.
+            if (const auto quiet = model.quiescenceViolation(state)) {
+                fail(id, *quiet, nullptr);
+            } else {
+                fail(id,
+                     Violation{property::deadlockFreedom,
+                               "no transition is enabled but work is "
+                               "pending (every queue blocked)"},
+                     nullptr);
+            }
+            result.statesExplored = search.encodings.size();
+            return result;
+        }
+
+        for (Succ &succ : succs) {
+            if (succ.violation) {
+                fail(id, *succ.violation, &succ);
+                result.statesExplored = search.encodings.size();
+                return result;
+            }
+            const std::uint32_t childId =
+                search.intern(model.encode(succ.state), id,
+                              std::move(succ.action), inserted);
+            if (inserted) {
+                if (search.encodings.size() > opts.maxStates) {
+                    result.hitStateLimit = true;
+                    result.statesExplored = search.encodings.size();
+                    return result;
+                }
+                frontier.push_back(childId);
+            }
+        }
+    }
+
+    result.statesExplored = search.encodings.size();
+
+    if (opts.checkLivelock) {
+        CyclePass pass(model, search);
+        std::vector<TraceStep> cycle = pass.run();
+        if (!cycle.empty()) {
+            result.passed = false;
+            result.violatedProperty = property::livelockFreedom;
+            result.violationDetail =
+                "a reachable cycle never completes pending work";
+            result.trace = std::move(cycle);
+            return result;
+        }
+    }
+
+    result.passed = true;
+    return result;
+}
+
+std::string
+formatResult(const Model &model, const CheckResult &result, bool verbose)
+{
+    std::ostringstream os;
+    if (result.hitStateLimit) {
+        os << "INCONCLUSIVE: state limit reached after "
+           << result.statesExplored << " states ("
+           << result.transitions << " transitions); raise --max-states\n";
+        return os.str();
+    }
+    if (result.passed) {
+        os << "PASS: explored " << result.statesExplored
+           << " states, " << result.transitions
+           << " transitions to fixed point\n"
+           << "  holds: " << property::deadlockFreedom << ", "
+           << property::livelockFreedom << ", "
+           << property::delegateNotRequester << ", "
+           << property::dnfNoRedelegate << ", "
+           << property::exactlyOneReply << ", "
+           << property::replyDelivery << "\n";
+        return os.str();
+    }
+    os << "VIOLATION: " << result.violatedProperty << "\n"
+       << "  " << result.violationDetail << "\n"
+       << "  counterexample (" << (result.trace.empty()
+                                       ? 0
+                                       : result.trace.size() - 1)
+       << " steps):\n";
+    for (std::size_t i = 0; i < result.trace.size(); ++i) {
+        os << "  " << i << ". " << result.trace[i].action << "\n";
+        if (verbose ||
+            (i + 1 == result.trace.size() && !result.trace.empty())) {
+            os << model.describe(result.trace[i].state);
+        }
+    }
+    return os.str();
+}
+
+} // namespace verify
+} // namespace dr

@@ -1,0 +1,67 @@
+#ifndef DR_VERIFY_CHECKER_HPP
+#define DR_VERIFY_CHECKER_HPP
+
+/**
+ * @file
+ * Exhaustive explicit-state search over the abstract DR protocol model.
+ *
+ * Breadth-first search over canonically-encoded states with an exact
+ * visited map (keyed on the full encoding, so hash collisions cannot
+ * hide states). BFS order makes the first counterexample found minimal
+ * in transition count. After a clean safety sweep an iterative
+ * three-colour depth-first pass looks for cycles among non-terminal
+ * states, which — because every transition is weakly fair in the
+ * interleaving semantics — witness livelock (e.g. a DNF retry path
+ * that never terminates).
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/model.hpp"
+
+namespace dr
+{
+namespace verify
+{
+
+struct CheckOptions
+{
+    std::uint64_t maxStates = 1'000'000;  //!< abort bound on |visited|
+    bool checkLivelock = true;            //!< run the cycle pass
+};
+
+/** One step of a counterexample trace. */
+struct TraceStep
+{
+    std::string action;  //!< transition taken to reach `state`
+    State state;
+};
+
+struct CheckResult
+{
+    bool passed = false;
+    bool hitStateLimit = false;
+    std::uint64_t statesExplored = 0;
+    std::uint64_t transitions = 0;
+
+    // On failure: which property, what happened, and a minimal trace
+    // from the initial state (trace.front() is the initial state with
+    // an empty action).
+    std::string violatedProperty;
+    std::string violationDetail;
+    std::vector<TraceStep> trace;
+};
+
+/** Exhaustively check `model`; see CheckResult for the verdict. */
+CheckResult check(const Model &model, const CheckOptions &opts = {});
+
+/** Render a counterexample (or PASS summary) for humans. */
+std::string formatResult(const Model &model, const CheckResult &result,
+                         bool verbose);
+
+} // namespace verify
+} // namespace dr
+
+#endif // DR_VERIFY_CHECKER_HPP

@@ -1,0 +1,147 @@
+#include "verify/configs.hpp"
+
+namespace dr
+{
+namespace verify
+{
+
+namespace
+{
+
+/**
+ * Base state shared by every named config: 3 SM cores, 2 lines, one
+ * read per core. Line 0 is warm in the LLC with the pointer naming
+ * core 1 (whose L1 holds it), so delegation is reachable in a handful
+ * of steps; line 1 is absent, exercising the LLC MSHR / DRAM-fill /
+ * target-merge path. All queue bounds are 1–2 so that back-pressure —
+ * the condition delegation exists to relieve — is part of the explored
+ * space.
+ */
+ModelConfig
+baseConfig()
+{
+    ModelConfig cfg;
+    cfg.numCores = 3;
+    cfg.numLines = 2;
+    cfg.maxReadsPerCore = 1;
+    cfg.llcPresent = 0b01;
+    cfg.initialPointer = {1, -1};
+    cfg.initialL1 = {0b00, 0b01, 0b00};
+    return cfg;
+}
+
+std::vector<NamedConfig>
+makeConfigs()
+{
+    std::vector<NamedConfig> out;
+
+    out.push_back(NamedConfig{
+        "standard",
+        "correct protocol, 3 cores / 2 lines / 1 read each, warm pointer",
+        "", baseConfig()});
+
+    {
+        NamedConfig c{"no-frq-priority",
+                      "FRQ loses remote-over-local priority: a core "
+                      "with an outstanding local miss starves its FRQ",
+                      property::deadlockFreedom, baseConfig()};
+        c.config.frqRemotePriority = false;
+        // Two warm delegatable lines so that two cores can end up
+        // holding each other's forwarded request while both wait on
+        // their own local miss — the circular wait the priority rule
+        // prevents.
+        c.config.llcPresent = 0b11;
+        c.config.initialPointer = {1, 2};
+        c.config.initialL1 = {0b00, 0b01, 0b10};
+        out.push_back(std::move(c));
+    }
+    {
+        NamedConfig c{"dnf-redelegate",
+                      "LLC ignores the Do-Not-Forward bit and delegates "
+                      "a re-sent request again",
+                      property::dnfNoRedelegate, baseConfig()};
+        c.config.bugIgnoreDnf = true;
+        out.push_back(std::move(c));
+    }
+    {
+        NamedConfig c{"delegate-self",
+                      "LLC skips the third-party check and delegates a "
+                      "reply to the requester itself",
+                      property::delegateNotRequester, baseConfig()};
+        c.config.bugDelegateToRequester = true;
+        out.push_back(std::move(c));
+    }
+    {
+        NamedConfig c{"duplicate-reply",
+                      "LLC both delegates and injects the same reply",
+                      property::exactlyOneReply, baseConfig()};
+        c.config.bugDuplicateReply = true;
+        out.push_back(std::move(c));
+    }
+    {
+        NamedConfig c{"dnf-retry-loop",
+                      "a remote miss re-queues the forwarded request "
+                      "instead of re-sending it with DNF",
+                      property::livelockFreedom, baseConfig()};
+        c.config.bugFrqRequeue = true;
+        out.push_back(std::move(c));
+    }
+    {
+        // Not a seeded bug: the protocol as implemented shares the
+        // request network between first-time/DNF requests and
+        // delegated requests. When the delegations in flight toward
+        // one core exceed its FRQ depth plus the network headroom, the
+        // core can no longer inject the DNF re-send its FRQ head needs
+        // — a message-class cycle the checker finds with a fourth
+        // core. Real configurations keep frqEntries (default 8) above
+        // the worst-case fan-in and the watchdog catches the residue;
+        // the structural fix (a separate virtual network for forwarded
+        // requests) is a ROADMAP item. See DESIGN.md §10.
+        NamedConfig c{"shared-net-clog",
+                      "4 cores / 1 line: delegation fan-in exceeds FRQ "
+                      "+ request-network headroom (known hazard)",
+                      property::deadlockFreedom, baseConfig()};
+        c.config.numCores = 4;
+        c.config.numLines = 1;
+        c.config.llcPresent = 0b0;
+        c.config.initialPointer = {-1};
+        c.config.initialL1 = {0, 0, 0, 0};
+        out.push_back(std::move(c));
+    }
+    {
+        NamedConfig c{"lost-reply",
+                      "LLC drops a request when its reply queue is full",
+                      property::replyDelivery, baseConfig()};
+        c.config.bugDropWhenBusy = true;
+        out.push_back(std::move(c));
+    }
+    return out;
+}
+
+} // namespace
+
+NamedConfig
+standardConfig()
+{
+    return allConfigs().front();
+}
+
+const std::vector<NamedConfig> &
+allConfigs()
+{
+    static const std::vector<NamedConfig> configs = makeConfigs();
+    return configs;
+}
+
+const NamedConfig *
+findConfig(const std::string &name)
+{
+    for (const NamedConfig &c : allConfigs()) {
+        if (c.name == name)
+            return &c;
+    }
+    return nullptr;
+}
+
+} // namespace verify
+} // namespace dr

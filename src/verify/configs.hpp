@@ -1,0 +1,44 @@
+#ifndef DR_VERIFY_CONFIGS_HPP
+#define DR_VERIFY_CONFIGS_HPP
+
+/**
+ * @file
+ * Named model-checking configurations: the standard (correct) protocol
+ * plus one mutant per seeded bug. Each mutant records the property the
+ * checker is expected to report, so the mutation tests and the CLI's
+ * --all mode can assert that drverify actually detects the paper's
+ * failure modes.
+ */
+
+#include <string>
+#include <vector>
+
+#include "verify/model.hpp"
+
+namespace dr
+{
+namespace verify
+{
+
+struct NamedConfig
+{
+    std::string name;
+    std::string summary;
+    /** Property the checker must report; empty means "must pass". */
+    std::string expectation;
+    ModelConfig config;
+};
+
+/** The correct-protocol configuration (3 cores, warm pointers). */
+NamedConfig standardConfig();
+
+/** All named configurations: standard first, then every mutant. */
+const std::vector<NamedConfig> &allConfigs();
+
+/** Lookup by name; nullptr when unknown. */
+const NamedConfig *findConfig(const std::string &name);
+
+} // namespace verify
+} // namespace dr
+
+#endif // DR_VERIFY_CONFIGS_HPP

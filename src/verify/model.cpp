@@ -1,0 +1,844 @@
+#include "verify/model.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace dr
+{
+namespace verify
+{
+
+namespace
+{
+
+constexpr std::uint8_t
+bit(int line)
+{
+    return static_cast<std::uint8_t>(1u << line);
+}
+
+int
+count(std::uint8_t mask)
+{
+    return std::popcount(static_cast<unsigned>(mask));
+}
+
+/** Insert preserving sorted order (bag semantics for the networks). */
+template <typename T>
+void
+insertSorted(std::vector<T> &v, const T &x)
+{
+    v.insert(std::upper_bound(v.begin(), v.end(), x), x);
+}
+
+template <typename T>
+void
+put8(std::string &out, T v)
+{
+    out.push_back(static_cast<char>(static_cast<std::uint8_t>(v)));
+}
+
+std::uint8_t
+get8(const std::string &in, std::size_t &pos)
+{
+    return static_cast<std::uint8_t>(in.at(pos++));
+}
+
+} // namespace
+
+const char *
+msgKindName(MsgKind k)
+{
+    switch (k) {
+      case MsgKind::ReadReq:
+        return "ReadReq";
+      case MsgKind::DelegatedReq:
+        return "DelegatedReq";
+      case MsgKind::ReadReply:
+        return "ReadReply";
+    }
+    return "?";
+}
+
+Model::Model(const ModelConfig &cfg) : cfg_(cfg)
+{
+    if (cfg_.numCores < 2 || cfg_.numCores > maxCores)
+        fatal("drverify: numCores must be in [2, ", maxCores, "]");
+    if (cfg_.numLines < 1 || cfg_.numLines > maxLines)
+        fatal("drverify: numLines must be in [1, ", maxLines, "]");
+    if (cfg_.maxReadsPerCore < 1 || cfg_.maxReadsPerCore > maxReads)
+        fatal("drverify: maxReadsPerCore must be in [1, ", maxReads, "]");
+    if (cfg_.frqEntries < 1 || cfg_.reqNetCapacity < 1 ||
+        cfg_.replyNetCapacity < 1 || cfg_.llcReplyQueue < 1 ||
+        cfg_.outboundEntries < 1 || cfg_.coreMshrs < 1 ||
+        cfg_.llcMshrs < 1 || cfg_.mshrTargets < 1) {
+        fatal("drverify: every capacity must be at least 1");
+    }
+
+    if (cfg_.initialPointer.empty())
+        cfg_.initialPointer.assign(static_cast<std::size_t>(cfg_.numLines),
+                                   -1);
+    if (static_cast<int>(cfg_.initialPointer.size()) != cfg_.numLines)
+        fatal("drverify: initialPointer must name every line");
+    for (const int p : cfg_.initialPointer) {
+        if (p < -1 || p >= cfg_.numCores)
+            fatal("drverify: initialPointer entry ", p, " out of range");
+    }
+
+    if (cfg_.initialL1.empty())
+        cfg_.initialL1.assign(static_cast<std::size_t>(cfg_.numCores), 0);
+    if (static_cast<int>(cfg_.initialL1.size()) != cfg_.numCores)
+        fatal("drverify: initialL1 must cover every core");
+    const std::uint8_t lineMask =
+        static_cast<std::uint8_t>((1u << cfg_.numLines) - 1u);
+    for (auto &m : cfg_.initialL1)
+        m = static_cast<std::uint8_t>(m & lineMask);
+    cfg_.llcPresent = static_cast<std::uint8_t>(cfg_.llcPresent & lineMask);
+}
+
+State
+Model::initialState() const
+{
+    State s;
+    s.cores.resize(static_cast<std::size_t>(cfg_.numCores));
+    for (int c = 0; c < cfg_.numCores; ++c)
+        s.cores[c].l1 = cfg_.initialL1[c];
+    s.llc.present = cfg_.llcPresent;
+    s.llc.ptr.fill(-1);
+    for (int l = 0; l < cfg_.numLines; ++l)
+        s.llc.ptr[l] = static_cast<std::int8_t>(cfg_.initialPointer[l]);
+    return s;
+}
+
+std::string
+Model::coreName(int c) const
+{
+    return c == llcNode() ? std::string("LLC")
+                          : "core " + std::to_string(c);
+}
+
+std::string
+Model::msgName(const Msg &m) const
+{
+    std::ostringstream os;
+    os << msgKindName(m.kind);
+    if (m.dnf)
+        os << "+DNF";
+    os << "[line " << int(m.line) << ", txn " << int(m.requester) << "."
+       << int(m.seq) << " -> " << coreName(m.dst) << "]";
+    return os.str();
+}
+
+// --- transitions ---------------------------------------------------------
+
+void
+Model::issueTransitions(const State &s, std::vector<Succ> &out) const
+{
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        const CoreState &core = s.cores[c];
+        if (core.issued >= cfg_.maxReadsPerCore)
+            continue;
+        const int seq = core.issued;
+        for (int l = 0; l < cfg_.numLines; ++l) {
+            const bool inL1 = (core.l1 & bit(l)) != 0;
+            const bool outstanding = (core.mshr & bit(l)) != 0;
+            if (!inL1 && !outstanding &&
+                (count(core.mshr) >= cfg_.coreMshrs ||
+                 static_cast<int>(s.reqNet.size()) >=
+                     cfg_.reqNetCapacity)) {
+                continue;  // structural stall: MSHRs or injection full
+            }
+            Succ succ;
+            succ.state = s;
+            CoreState &nc = succ.state.cores[c];
+            nc.readLine[seq] = static_cast<std::uint8_t>(l);
+            ++nc.issued;
+            std::ostringstream os;
+            os << "core " << c << ": read line " << l;
+            if (inL1) {
+                nc.readStatus[seq] = readDone;
+                os << " hits the L1";
+            } else if (outstanding) {
+                nc.readStatus[seq] = readWaiting;
+                os << " merges into the outstanding miss";
+            } else {
+                nc.readStatus[seq] = readWaiting;
+                nc.mshr |= bit(l);
+                insertSorted(succ.state.reqNet,
+                             Msg{MsgKind::ReadReq,
+                                 static_cast<std::uint8_t>(l),
+                                 static_cast<std::uint8_t>(c),
+                                 static_cast<std::uint8_t>(seq),
+                                 static_cast<std::uint8_t>(llcNode()), 0});
+                os << " misses; ReadReq sent to the LLC";
+            }
+            succ.action = os.str();
+            out.push_back(std::move(succ));
+        }
+    }
+}
+
+void
+Model::frqTransitions(const State &s, std::vector<Succ> &out) const
+{
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        const CoreState &core = s.cores[c];
+        if (core.frq.empty())
+            continue;
+        // Remote-over-local priority (Section IV): with priority on, the
+        // FRQ is always offered service. Without it, forwarded requests
+        // compete with local accesses for the L1 port, so a core whose
+        // local pipeline is blocked on its own outstanding miss starves
+        // its FRQ — which is the deadlock the paper's rule prevents.
+        if (!cfg_.frqRemotePriority && core.mshr != 0)
+            continue;
+        const Msg m = core.frq.front();
+        if (m.kind != MsgKind::DelegatedReq)
+            panic("drverify: FRQ holds a ", msgKindName(m.kind));
+        const std::uint8_t l = m.line;
+
+        if ((core.l1 & bit(l)) != 0) {
+            // Remote hit: serve the line from this L1.
+            if (static_cast<int>(core.outbound.size()) >=
+                cfg_.outboundEntries) {
+                continue;  // outbound queue full: head blocks
+            }
+            Succ succ;
+            succ.state = s;
+            CoreState &nc = succ.state.cores[c];
+            nc.frq.erase(nc.frq.begin());
+            nc.outbound.push_back(Msg{MsgKind::ReadReply, l, m.requester,
+                                      m.seq, m.requester, 0});
+            succ.action = "core " + std::to_string(c) +
+                          ": FRQ remote hit on line " + std::to_string(l) +
+                          "; reply queued for core " +
+                          std::to_string(m.requester);
+            out.push_back(std::move(succ));
+            continue;
+        }
+
+        const bool delayed =
+            (core.mshr & bit(l)) != 0 &&
+            static_cast<int>(std::count_if(
+                core.remote.begin(), core.remote.end(),
+                [l](const Target &t) { return t.line == l; })) <
+                cfg_.mshrTargets;
+        if (delayed) {
+            // Delayed hit: the fill is on its way; attach the remote
+            // requester to this core's MSHR entry.
+            Succ succ;
+            succ.state = s;
+            CoreState &nc = succ.state.cores[c];
+            nc.frq.erase(nc.frq.begin());
+            insertSorted(nc.remote, Target{l, m.requester, m.seq});
+            succ.action = "core " + std::to_string(c) +
+                          ": FRQ delayed hit on line " + std::to_string(l) +
+                          "; remote target attached to the MSHR";
+            out.push_back(std::move(succ));
+            continue;
+        }
+
+        if (cfg_.bugFrqRequeue) {
+            // Seeded bug: a remote miss is put back at the FRQ tail to
+            // "retry later" instead of re-sending with DNF — the retry
+            // path never terminates.
+            Succ succ;
+            succ.state = s;
+            CoreState &nc = succ.state.cores[c];
+            nc.frq.erase(nc.frq.begin());
+            nc.frq.push_back(m);
+            succ.action = "core " + std::to_string(c) +
+                          ": FRQ remote miss on line " + std::to_string(l) +
+                          "; BUG: request re-queued for retry";
+            out.push_back(std::move(succ));
+            continue;
+        }
+
+        // Remote miss: re-send to the LLC with the Do-Not-Forward bit on
+        // behalf of the original requester.
+        if (static_cast<int>(s.reqNet.size()) >= cfg_.reqNetCapacity)
+            continue;
+        Succ succ;
+        succ.state = s;
+        CoreState &nc = succ.state.cores[c];
+        nc.frq.erase(nc.frq.begin());
+        insertSorted(succ.state.reqNet,
+                     Msg{MsgKind::ReadReq, l, m.requester, m.seq,
+                         static_cast<std::uint8_t>(llcNode()), 1});
+        succ.action = "core " + std::to_string(c) +
+                      ": FRQ remote miss on line " + std::to_string(l) +
+                      "; DNF re-send to the LLC for core " +
+                      std::to_string(m.requester);
+        out.push_back(std::move(succ));
+    }
+}
+
+void
+Model::outboundTransitions(const State &s, std::vector<Succ> &out) const
+{
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        const CoreState &core = s.cores[c];
+        if (core.outbound.empty() ||
+            static_cast<int>(s.replyNet.size()) >= cfg_.replyNetCapacity) {
+            continue;
+        }
+        Succ succ;
+        succ.state = s;
+        CoreState &nc = succ.state.cores[c];
+        const Msg m = nc.outbound.front();
+        nc.outbound.erase(nc.outbound.begin());
+        insertSorted(succ.state.replyNet, m);
+        succ.action =
+            "core " + std::to_string(c) + ": injects " + msgName(m);
+        out.push_back(std::move(succ));
+    }
+}
+
+void
+Model::replyDeliveryTransitions(const State &s, std::vector<Succ> &out) const
+{
+    for (std::size_t i = 0; i < s.replyNet.size(); ++i) {
+        if (i > 0 && s.replyNet[i] == s.replyNet[i - 1])
+            continue;  // identical in-flight messages: one representative
+        const Msg m = s.replyNet[i];
+        if (m.kind != MsgKind::ReadReply)
+            panic("drverify: reply network holds a ", msgKindName(m.kind));
+        const int c = m.dst;
+        Succ succ;
+        succ.state = s;
+        succ.state.replyNet.erase(succ.state.replyNet.begin() +
+                                  static_cast<std::ptrdiff_t>(i));
+        CoreState &nc = succ.state.cores[c];
+        succ.action = "deliver " + msgName(m);
+
+        if (nc.readStatus[m.seq] == readDone) {
+            succ.violation =
+                Violation{property::exactlyOneReply,
+                          "transaction " + std::to_string(c) + "." +
+                              std::to_string(m.seq) + " (line " +
+                              std::to_string(m.line) +
+                              ") received a second reply"};
+        }
+        nc.readStatus[m.seq] = readDone;
+
+        if ((nc.mshr & bit(m.line)) != 0) {
+            nc.mshr = static_cast<std::uint8_t>(nc.mshr & ~bit(m.line));
+            nc.l1 |= bit(m.line);
+            // Every local waiter merged on this line wakes on the fill.
+            for (int q = 0; q < nc.issued; ++q) {
+                if (nc.readStatus[q] == readWaiting &&
+                    nc.readLine[q] == m.line) {
+                    nc.readStatus[q] = readDone;
+                }
+            }
+            // Delayed hits: forward the just-arrived line.
+            for (auto it = nc.remote.begin(); it != nc.remote.end();) {
+                if (it->line == m.line) {
+                    nc.outbound.push_back(Msg{MsgKind::ReadReply, it->line,
+                                              it->requester, it->seq,
+                                              it->requester, 0});
+                    it = nc.remote.erase(it);
+                } else {
+                    ++it;
+                }
+            }
+        }
+        out.push_back(std::move(succ));
+    }
+}
+
+void
+Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
+                    std::vector<Succ> &out) const
+{
+    const std::uint8_t l = m.line;
+    const bool present = (s.llc.present & bit(l)) != 0;
+
+    if (present) {
+        if (static_cast<int>(s.llc.replyQ.size()) >= cfg_.llcReplyQueue) {
+            if (!cfg_.bugDropWhenBusy)
+                return;  // back-pressure: the request waits in the net
+            Succ succ;
+            succ.state = s;
+            succ.state.reqNet.erase(succ.state.reqNet.begin() +
+                                    static_cast<std::ptrdiff_t>(netIdx));
+            succ.action = "LLC: BUG: drops " + msgName(m) +
+                          " because the reply queue is full";
+            out.push_back(std::move(succ));
+            return;
+        }
+        Succ succ;
+        succ.state = s;
+        succ.state.reqNet.erase(succ.state.reqNet.begin() +
+                                static_cast<std::ptrdiff_t>(netIdx));
+        LlcState &nl = succ.state.llc;
+        const std::int8_t ptr = nl.ptr[l];
+        // Delegation eligibility, mirroring LlcSlice::tick: a valid
+        // third-party pointer on a non-DNF GPU read. The bug knobs
+        // reintroduce the failure modes the two guards prevent.
+        const bool third =
+            ptr >= 0 && (cfg_.bugDelegateToRequester ||
+                         ptr != static_cast<std::int8_t>(m.requester));
+        const bool dnfOk = cfg_.bugIgnoreDnf || m.dnf == 0;
+        const bool delegatable = third && dnfOk;
+        nl.replyQ.push_back(ReplyEntry{l, m.requester, m.seq,
+                                       static_cast<std::uint8_t>(delegatable),
+                                       ptr, m.dnf});
+        // The pointer tracks the most recent *directly served* reader
+        // (mirrors LlcSlice::tick). Moving it to a requester whose
+        // reply may be delegated lets delayed-hit attachments form a
+        // cyclic wait — the checker found exactly that three-core
+        // deadlock before the guard existed (DESIGN.md §10).
+        if (!delegatable)
+            nl.ptr[l] = static_cast<std::int8_t>(m.requester);
+        succ.action = "LLC: " + msgName(m) + " hits; reply queued" +
+                      (delegatable ? " (delegatable)" : "");
+        out.push_back(std::move(succ));
+        return;
+    }
+
+    // Miss path: merge into or allocate an MSHR; the fill is in flight.
+    if ((s.llc.mshr & bit(l)) != 0) {
+        const auto onLine = std::count_if(
+            s.llc.targets.begin(), s.llc.targets.end(),
+            [l](const Target &t) { return t.line == l; });
+        if (static_cast<int>(onLine) >= cfg_.mshrTargets)
+            return;  // entry full: the request waits in the net
+        Succ succ;
+        succ.state = s;
+        succ.state.reqNet.erase(succ.state.reqNet.begin() +
+                                static_cast<std::ptrdiff_t>(netIdx));
+        insertSorted(succ.state.llc.targets,
+                     Target{l, m.requester, m.seq});
+        succ.action = "LLC: " + msgName(m) + " misses; merged into MSHR";
+        out.push_back(std::move(succ));
+        return;
+    }
+    if (count(s.llc.mshr) >= cfg_.llcMshrs)
+        return;  // MSHRs full: the request waits in the net
+    Succ succ;
+    succ.state = s;
+    succ.state.reqNet.erase(succ.state.reqNet.begin() +
+                            static_cast<std::ptrdiff_t>(netIdx));
+    succ.state.llc.mshr |= bit(l);
+    insertSorted(succ.state.llc.targets, Target{l, m.requester, m.seq});
+    succ.action = "LLC: " + msgName(m) + " misses; MSHR allocated, "
+                  "DRAM fill started";
+    out.push_back(std::move(succ));
+}
+
+void
+Model::deliverToCore(const State &s, const Msg &m, std::size_t netIdx,
+                     std::vector<Succ> &out) const
+{
+    const int c = m.dst;
+    if (static_cast<int>(s.cores[c].frq.size()) >= cfg_.frqEntries)
+        return;  // FRQ full: back-pressure into the request network
+    Succ succ;
+    succ.state = s;
+    succ.state.reqNet.erase(succ.state.reqNet.begin() +
+                            static_cast<std::ptrdiff_t>(netIdx));
+    succ.state.cores[c].frq.push_back(m);
+    succ.action = "deliver " + msgName(m) + " into the FRQ";
+    if (m.requester == m.dst) {
+        // Receiver side of the third-party law (sm_core receiveRequests
+        // asserts the same): a core must never be delegated its own miss.
+        succ.violation =
+            Violation{property::delegateNotRequester,
+                      "core " + std::to_string(c) +
+                          " received a delegated request for its own "
+                          "transaction " + std::to_string(m.requester) +
+                          "." + std::to_string(m.seq)};
+    }
+    out.push_back(std::move(succ));
+}
+
+void
+Model::requestDeliveryTransitions(const State &s,
+                                  std::vector<Succ> &out) const
+{
+    for (std::size_t i = 0; i < s.reqNet.size(); ++i) {
+        if (i > 0 && s.reqNet[i] == s.reqNet[i - 1])
+            continue;
+        const Msg &m = s.reqNet[i];
+        if (m.dst == llcNode()) {
+            deliverToLlc(s, m, i, out);
+        } else if (m.kind == MsgKind::DelegatedReq) {
+            deliverToCore(s, m, i, out);
+        } else {
+            panic("drverify: request network holds a ",
+                  msgKindName(m.kind), " addressed to a core");
+        }
+    }
+}
+
+void
+Model::llcInjectTransitions(const State &s, std::vector<Succ> &out) const
+{
+    if (s.llc.replyQ.empty())
+        return;
+    const ReplyEntry e = s.llc.replyQ.front();
+    const bool replyNetFull =
+        static_cast<int>(s.replyNet.size()) >= cfg_.replyNetCapacity;
+    // Mirrors MemNode::drainReplies: delegate when the reply cannot be
+    // injected (or always, under the ablation knob); fall back to a
+    // normal injection when the request network has no room either.
+    const bool wantDelegate =
+        e.delegatable != 0 && (cfg_.delegateAlways || replyNetFull);
+
+    if (wantDelegate &&
+        static_cast<int>(s.reqNet.size()) < cfg_.reqNetCapacity) {
+        Succ succ;
+        succ.state = s;
+        LlcState &nl = succ.state.llc;
+        nl.replyQ.erase(nl.replyQ.begin());
+        insertSorted(succ.state.reqNet,
+                     Msg{MsgKind::DelegatedReq, e.line, e.requester, e.seq,
+                         static_cast<std::uint8_t>(e.delegateTo), 0});
+        std::ostringstream os;
+        os << "LLC: delegates reply for txn " << int(e.requester) << "."
+           << int(e.seq) << " (line " << int(e.line) << ") to core "
+           << int(e.delegateTo);
+        if (cfg_.bugDuplicateReply &&
+            static_cast<int>(s.replyNet.size()) < cfg_.replyNetCapacity) {
+            insertSorted(succ.state.replyNet,
+                         Msg{MsgKind::ReadReply, e.line, e.requester,
+                             e.seq, e.requester, 0});
+            os << " AND injects the reply (BUG)";
+        }
+        succ.action = os.str();
+        // Sender side of the protocol laws (mem_node.cpp asserts the
+        // same two before sending a delegated reply).
+        if (e.dnfOrigin != 0) {
+            succ.violation = Violation{
+                property::dnfNoRedelegate,
+                "a Do-Not-Forward request for line " +
+                    std::to_string(e.line) + " (txn " +
+                    std::to_string(e.requester) + "." +
+                    std::to_string(e.seq) + ") was delegated again"};
+        } else if (e.delegateTo < 0 ||
+                   e.delegateTo == static_cast<std::int8_t>(e.requester)) {
+            succ.violation = Violation{
+                property::delegateNotRequester,
+                "delegation of txn " + std::to_string(e.requester) + "." +
+                    std::to_string(e.seq) + " names " +
+                    (e.delegateTo < 0 ? std::string("no core")
+                                      : "the requester itself")};
+        }
+        out.push_back(std::move(succ));
+        return;
+    }
+
+    if (!replyNetFull) {
+        Succ succ;
+        succ.state = s;
+        LlcState &nl = succ.state.llc;
+        nl.replyQ.erase(nl.replyQ.begin());
+        insertSorted(succ.state.replyNet,
+                     Msg{MsgKind::ReadReply, e.line, e.requester, e.seq,
+                         e.requester, 0});
+        succ.action = "LLC: injects reply for txn " +
+                      std::to_string(e.requester) + "." +
+                      std::to_string(e.seq) + " (line " +
+                      std::to_string(e.line) + ")";
+        out.push_back(std::move(succ));
+    }
+    // Both networks full: the head blocks (back-pressure).
+}
+
+void
+Model::fillTransitions(const State &s, std::vector<Succ> &out) const
+{
+    for (int l = 0; l < cfg_.numLines; ++l) {
+        if ((s.llc.mshr & bit(l)) == 0)
+            continue;
+        Succ succ;
+        succ.state = s;
+        LlcState &nl = succ.state.llc;
+        nl.present |= bit(l);
+        nl.mshr = static_cast<std::uint8_t>(nl.mshr & ~bit(l));
+        int released = 0;
+        // Fill replies are never delegatable (LlcSlice::handleFill); the
+        // pointer tracks the last merged reader.
+        for (auto it = nl.targets.begin(); it != nl.targets.end();) {
+            if (it->line == l) {
+                nl.replyQ.push_back(ReplyEntry{it->line, it->requester,
+                                               it->seq, 0, -1, 0});
+                nl.ptr[l] = static_cast<std::int8_t>(it->requester);
+                ++released;
+                it = nl.targets.erase(it);
+            } else {
+                ++it;
+            }
+        }
+        succ.action = "DRAM: fill of line " + std::to_string(l) +
+                      " completes (" + std::to_string(released) +
+                      " replies queued)";
+        out.push_back(std::move(succ));
+    }
+}
+
+void
+Model::evictTransitions(const State &s, std::vector<Succ> &out) const
+{
+    if (!cfg_.allowEvict)
+        return;
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        for (int l = 0; l < cfg_.numLines; ++l) {
+            if ((s.cores[c].l1 & bit(l)) == 0)
+                continue;
+            Succ succ;
+            succ.state = s;
+            succ.state.cores[c].l1 = static_cast<std::uint8_t>(
+                succ.state.cores[c].l1 & ~bit(l));
+            succ.action = "core " + std::to_string(c) + ": evicts line " +
+                          std::to_string(l);
+            out.push_back(std::move(succ));
+        }
+    }
+}
+
+void
+Model::successors(const State &s, std::vector<Succ> &out) const
+{
+    out.clear();
+    issueTransitions(s, out);
+    frqTransitions(s, out);
+    outboundTransitions(s, out);
+    replyDeliveryTransitions(s, out);
+    requestDeliveryTransitions(s, out);
+    llcInjectTransitions(s, out);
+    fillTransitions(s, out);
+    evictTransitions(s, out);
+}
+
+bool
+Model::terminal(const State &s) const
+{
+    if (!s.reqNet.empty() || !s.replyNet.empty())
+        return false;
+    if (s.llc.mshr != 0 || !s.llc.targets.empty() || !s.llc.replyQ.empty())
+        return false;
+    for (const CoreState &core : s.cores) {
+        if (core.issued < cfg_.maxReadsPerCore || core.mshr != 0 ||
+            !core.frq.empty() || !core.outbound.empty() ||
+            !core.remote.empty()) {
+            return false;
+        }
+        for (int q = 0; q < core.issued; ++q) {
+            if (core.readStatus[q] != readDone)
+                return false;
+        }
+    }
+    return true;
+}
+
+std::optional<Violation>
+Model::quiescenceViolation(const State &s) const
+{
+    if (!s.reqNet.empty() || !s.replyNet.empty() || s.llc.mshr != 0 ||
+        !s.llc.targets.empty() || !s.llc.replyQ.empty()) {
+        return std::nullopt;
+    }
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        const CoreState &core = s.cores[c];
+        if (!core.frq.empty() || !core.outbound.empty() ||
+            !core.remote.empty()) {
+            return std::nullopt;
+        }
+        for (int q = 0; q < core.issued; ++q) {
+            if (core.readStatus[q] == readWaiting) {
+                return Violation{
+                    property::replyDelivery,
+                    "system is quiescent but transaction " +
+                        std::to_string(c) + "." + std::to_string(q) +
+                        " (line " + std::to_string(core.readLine[q]) +
+                        ") never received a reply"};
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+// --- canonical encoding --------------------------------------------------
+
+std::string
+Model::encode(const State &s) const
+{
+    std::string out;
+    auto putMsg = [&out](const Msg &m) {
+        put8(out, m.kind);
+        put8(out, m.line);
+        put8(out, m.requester);
+        put8(out, m.seq);
+        put8(out, m.dst);
+        put8(out, m.dnf);
+    };
+    auto putTarget = [&out](const Target &t) {
+        put8(out, t.line);
+        put8(out, t.requester);
+        put8(out, t.seq);
+    };
+    for (const CoreState &core : s.cores) {
+        put8(out, core.l1);
+        put8(out, core.issued);
+        put8(out, core.mshr);
+        for (int q = 0; q < cfg_.maxReadsPerCore; ++q) {
+            put8(out, core.readLine[q]);
+            put8(out, core.readStatus[q]);
+        }
+        put8(out, core.frq.size());
+        for (const Msg &m : core.frq)
+            putMsg(m);
+        put8(out, core.outbound.size());
+        for (const Msg &m : core.outbound)
+            putMsg(m);
+        put8(out, core.remote.size());
+        for (const Target &t : core.remote)
+            putTarget(t);
+    }
+    put8(out, s.llc.present);
+    put8(out, s.llc.mshr);
+    for (int l = 0; l < cfg_.numLines; ++l)
+        put8(out, s.llc.ptr[l]);
+    put8(out, s.llc.targets.size());
+    for (const Target &t : s.llc.targets)
+        putTarget(t);
+    put8(out, s.llc.replyQ.size());
+    for (const ReplyEntry &e : s.llc.replyQ) {
+        put8(out, e.line);
+        put8(out, e.requester);
+        put8(out, e.seq);
+        put8(out, e.delegatable);
+        put8(out, e.delegateTo);
+        put8(out, e.dnfOrigin);
+    }
+    put8(out, s.reqNet.size());
+    for (const Msg &m : s.reqNet)
+        putMsg(m);
+    put8(out, s.replyNet.size());
+    for (const Msg &m : s.replyNet)
+        putMsg(m);
+    return out;
+}
+
+State
+Model::decode(const std::string &bytes) const
+{
+    State s;
+    std::size_t pos = 0;
+    auto getMsg = [&bytes, &pos]() {
+        Msg m;
+        m.kind = static_cast<MsgKind>(get8(bytes, pos));
+        m.line = get8(bytes, pos);
+        m.requester = get8(bytes, pos);
+        m.seq = get8(bytes, pos);
+        m.dst = get8(bytes, pos);
+        m.dnf = get8(bytes, pos);
+        return m;
+    };
+    auto getTarget = [&bytes, &pos]() {
+        Target t;
+        t.line = get8(bytes, pos);
+        t.requester = get8(bytes, pos);
+        t.seq = get8(bytes, pos);
+        return t;
+    };
+    s.cores.resize(static_cast<std::size_t>(cfg_.numCores));
+    for (CoreState &core : s.cores) {
+        core.l1 = get8(bytes, pos);
+        core.issued = get8(bytes, pos);
+        core.mshr = get8(bytes, pos);
+        for (int q = 0; q < cfg_.maxReadsPerCore; ++q) {
+            core.readLine[q] = get8(bytes, pos);
+            core.readStatus[q] = get8(bytes, pos);
+        }
+        core.frq.resize(get8(bytes, pos));
+        for (Msg &m : core.frq)
+            m = getMsg();
+        core.outbound.resize(get8(bytes, pos));
+        for (Msg &m : core.outbound)
+            m = getMsg();
+        core.remote.resize(get8(bytes, pos));
+        for (Target &t : core.remote)
+            t = getTarget();
+    }
+    s.llc.present = get8(bytes, pos);
+    s.llc.mshr = get8(bytes, pos);
+    s.llc.ptr.fill(-1);
+    for (int l = 0; l < cfg_.numLines; ++l)
+        s.llc.ptr[l] = static_cast<std::int8_t>(get8(bytes, pos));
+    s.llc.targets.resize(get8(bytes, pos));
+    for (Target &t : s.llc.targets)
+        t = getTarget();
+    s.llc.replyQ.resize(get8(bytes, pos));
+    for (ReplyEntry &e : s.llc.replyQ) {
+        e.line = get8(bytes, pos);
+        e.requester = get8(bytes, pos);
+        e.seq = get8(bytes, pos);
+        e.delegatable = get8(bytes, pos);
+        e.delegateTo = static_cast<std::int8_t>(get8(bytes, pos));
+        e.dnfOrigin = get8(bytes, pos);
+    }
+    s.reqNet.resize(get8(bytes, pos));
+    for (Msg &m : s.reqNet)
+        m = getMsg();
+    s.replyNet.resize(get8(bytes, pos));
+    for (Msg &m : s.replyNet)
+        m = getMsg();
+    if (pos != bytes.size())
+        panic("drverify: state decode consumed ", pos, " of ",
+              bytes.size(), " bytes");
+    return s;
+}
+
+std::string
+Model::describe(const State &s) const
+{
+    std::ostringstream os;
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        const CoreState &core = s.cores[c];
+        os << "  core " << c << ": l1=";
+        for (int l = 0; l < cfg_.numLines; ++l)
+            os << (((core.l1 >> l) & 1) != 0 ? std::to_string(l) : "-");
+        os << " mshr=";
+        for (int l = 0; l < cfg_.numLines; ++l)
+            os << (((core.mshr >> l) & 1) != 0 ? std::to_string(l) : "-");
+        os << " reads=[";
+        for (int q = 0; q < core.issued; ++q) {
+            os << (q != 0 ? " " : "") << "line" << int(core.readLine[q])
+               << (core.readStatus[q] == readDone ? ":done" : ":waiting");
+        }
+        os << "] frq=" << core.frq.size()
+           << " outbound=" << core.outbound.size()
+           << " delayed=" << core.remote.size() << "\n";
+        for (const Msg &m : core.frq)
+            os << "    frq: " << msgName(m) << "\n";
+    }
+    os << "  LLC: present=";
+    for (int l = 0; l < cfg_.numLines; ++l)
+        os << (((s.llc.present >> l) & 1) != 0 ? std::to_string(l) : "-");
+    os << " ptr=[";
+    for (int l = 0; l < cfg_.numLines; ++l) {
+        os << (l != 0 ? " " : "");
+        if (s.llc.ptr[l] < 0)
+            os << "-";
+        else
+            os << int(s.llc.ptr[l]);
+    }
+    os << "] fills=" << count(s.llc.mshr)
+       << " replyQ=" << s.llc.replyQ.size() << "\n";
+    os << "  reqNet=" << s.reqNet.size()
+       << " replyNet=" << s.replyNet.size() << "\n";
+    for (const Msg &m : s.reqNet)
+        os << "    reqNet: " << msgName(m) << "\n";
+    for (const Msg &m : s.replyNet)
+        os << "    replyNet: " << msgName(m) << "\n";
+    return os.str();
+}
+
+} // namespace verify
+} // namespace dr

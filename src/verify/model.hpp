@@ -1,0 +1,279 @@
+#ifndef DR_VERIFY_MODEL_HPP
+#define DR_VERIFY_MODEL_HPP
+
+/**
+ * @file
+ * Abstract message-passing model of the Delegated Replies protocol
+ * (Section IV of the paper) for exhaustive explicit-state checking.
+ *
+ * The model deliberately abstracts away timing: every architectural
+ * event (issuing a miss, delivering one message, servicing the FRQ
+ * head, a DRAM fill completing, ...) is one atomic transition, and the
+ * checker explores all interleavings. Networks are bounded *bags* — a
+ * delivery may pick any in-flight message — which over-approximates
+ * every ordering a real NoC (any topology, any routing) can produce.
+ * Queue capacities are small so that back-pressure, the mechanism that
+ * makes delegation fire at all, is part of the state.
+ *
+ * What is modelled (mirroring mem_node.cpp / llc.cpp / sm_core.cpp):
+ *  - GPU cores: L1 line set, MSHR file with local merge + remote
+ *    (delayed-hit) targets, the Forwarded Request Queue with
+ *    remote-over-local priority, and the outbound core-to-core reply
+ *    queue.
+ *  - One LLC/memory node: line presence, the per-line core pointer,
+ *    MSHRs with target merging, nondeterministic DRAM fills, and the
+ *    bounded reply queue whose head is either injected into the reply
+ *    network or converted into a one-flit delegated reply.
+ *  - Do-Not-Forward re-sends on remote misses, delayed-hit attachment,
+ *    and remote hits serviced from the delegate's L1.
+ *
+ * What is abstracted away (see DESIGN.md §10 for soundness limits):
+ *  - Writes, flush epochs and the CPU MESI domain. Pointer staleness is
+ *    modelled instead by nondeterministic L1 eviction, which produces
+ *    the same observable protocol event: a delegate that misses.
+ *  - Flit-level wormhole flow control. Clogging appears only as "the
+ *    bounded reply network is full".
+ *
+ * Seeded-bug knobs (`bug*` fields) let the mutation tests prove the
+ * checker actually detects the paper's failure modes.
+ */
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dr
+{
+namespace verify
+{
+
+/** Model limits: fields below are sized for these bounds. */
+constexpr int maxCores = 6;
+constexpr int maxLines = 8;
+constexpr int maxReads = 4;
+
+/** Configuration of one model-checking run. */
+struct ModelConfig
+{
+    int numCores = 3;         //!< SM cores (the LLC is one extra node)
+    int numLines = 2;         //!< distinct cache lines
+    int maxReadsPerCore = 1;  //!< read-transaction budget per core
+
+    // Queue/structure bounds (small: back-pressure must be reachable).
+    int frqEntries = 1;        //!< Forwarded Request Queue depth
+    int reqNetCapacity = 2;    //!< request-network in-flight bound
+    int replyNetCapacity = 1;  //!< reply-network in-flight bound
+    int llcReplyQueue = 1;     //!< LLC reply/injection queue depth
+    int outboundEntries = 1;   //!< core-to-core reply queue depth
+    int coreMshrs = 2;         //!< per-core MSHR entries
+    int llcMshrs = 2;          //!< LLC MSHR entries
+    int mshrTargets = 4;       //!< merged targets per MSHR entry
+
+    // Protocol knobs (same meaning as SystemConfig's dr.* keys).
+    bool delegateAlways = true;     //!< delegate whenever delegatable
+    bool frqRemotePriority = true;  //!< remote-over-local FRQ priority
+    bool allowEvict = true;         //!< nondeterministic L1 eviction
+
+    // Seeded bugs for mutation testing. Each reintroduces one failure
+    // mode the paper's protocol rules exist to prevent.
+    bool bugIgnoreDnf = false;            //!< LLC re-delegates DNF reqs
+    bool bugDelegateToRequester = false;  //!< skip third-party check
+    bool bugDuplicateReply = false;       //!< delegate AND inject reply
+    bool bugFrqRequeue = false;           //!< remote miss re-queues
+    bool bugDropWhenBusy = false;         //!< LLC drops req if queue full
+
+    // Warm initial state: per-line LLC core pointer (core index or -1)
+    // and per-core L1 contents (bitmask of lines). Both are resized or
+    // defaulted by Model's constructor when left empty.
+    std::vector<int> initialPointer;
+    std::vector<std::uint8_t> initialL1;
+    std::uint8_t llcPresent = 0xFF;  //!< initial LLC line bitmask
+};
+
+/** Message kinds carried by the abstract networks. */
+enum class MsgKind : std::uint8_t
+{
+    ReadReq,       //!< core -> LLC (dnf flag distinguishes re-sends)
+    DelegatedReq,  //!< LLC -> delegate core, over the request network
+    ReadReply,     //!< LLC or remote L1 -> requesting core
+};
+
+const char *msgKindName(MsgKind k);
+
+/** One in-flight message. `seq` identifies the requester transaction. */
+struct Msg
+{
+    MsgKind kind = MsgKind::ReadReq;
+    std::uint8_t line = 0;
+    std::uint8_t requester = 0;  //!< originating core (survives delegation)
+    std::uint8_t seq = 0;        //!< transaction index within requester
+    std::uint8_t dst = 0;        //!< core index, or numCores for the LLC
+    std::uint8_t dnf = 0;        //!< Do-Not-Forward bit
+
+    auto operator<=>(const Msg &) const = default;
+};
+
+/** A merged MSHR target awaiting a fill. */
+struct Target
+{
+    std::uint8_t line = 0;
+    std::uint8_t requester = 0;
+    std::uint8_t seq = 0;
+
+    auto operator<=>(const Target &) const = default;
+};
+
+/** One entry of the LLC reply queue (mirrors LlcReply). */
+struct ReplyEntry
+{
+    std::uint8_t line = 0;
+    std::uint8_t requester = 0;
+    std::uint8_t seq = 0;
+    std::uint8_t delegatable = 0;
+    std::int8_t delegateTo = -1;
+    std::uint8_t dnfOrigin = 0;  //!< the request carried the DNF bit
+
+    auto operator<=>(const ReplyEntry &) const = default;
+};
+
+/** Read-transaction status. */
+enum : std::uint8_t
+{
+    readUnissued = 0,
+    readWaiting = 1,
+    readDone = 2,
+};
+
+/** Architectural state of one SM core. */
+struct CoreState
+{
+    std::uint8_t l1 = 0;      //!< bitmask of lines present in the L1
+    std::uint8_t issued = 0;  //!< reads issued so far
+    std::uint8_t mshr = 0;    //!< bitmask of lines with an outstanding miss
+    std::array<std::uint8_t, maxReads> readLine{};    //!< per-seq line
+    std::array<std::uint8_t, maxReads> readStatus{};  //!< per-seq status
+    std::vector<Msg> frq;       //!< Forwarded Request Queue (FIFO)
+    std::vector<Msg> outbound;  //!< core-to-core replies (FIFO)
+    std::vector<Target> remote; //!< delayed-hit targets (sorted set)
+
+    auto operator<=>(const CoreState &) const = default;
+};
+
+/** Architectural state of the LLC/memory node. */
+struct LlcState
+{
+    std::uint8_t present = 0;  //!< bitmask of lines in the cache
+    std::uint8_t mshr = 0;     //!< bitmask of lines being filled
+    std::array<std::int8_t, maxLines> ptr{};  //!< core pointer or -1
+    std::vector<Target> targets;      //!< merged fill targets (sorted)
+    std::vector<ReplyEntry> replyQ;   //!< reply/injection queue (FIFO)
+
+    auto operator<=>(const LlcState &) const = default;
+};
+
+/** A complete protocol state. Networks are kept sorted (bag semantics). */
+struct State
+{
+    std::vector<CoreState> cores;
+    LlcState llc;
+    std::vector<Msg> reqNet;
+    std::vector<Msg> replyNet;
+
+    auto operator<=>(const State &) const = default;
+};
+
+/** Identifiers of the machine-checked protocol properties. */
+namespace property
+{
+constexpr const char *deadlockFreedom = "deadlock-freedom";
+constexpr const char *livelockFreedom = "livelock-freedom";
+constexpr const char *delegateNotRequester = "delegate-not-requester";
+constexpr const char *dnfNoRedelegate = "dnf-no-redelegate";
+constexpr const char *exactlyOneReply = "exactly-one-reply";
+constexpr const char *replyDelivery = "reply-delivery";
+} // namespace property
+
+/** A detected property violation. */
+struct Violation
+{
+    std::string property;
+    std::string detail;
+};
+
+/** One successor state with the action that produced it. */
+struct Succ
+{
+    State state;
+    std::string action;
+    std::optional<Violation> violation;
+};
+
+/**
+ * The transition system. Stateless apart from the configuration; the
+ * checker owns the search.
+ */
+class Model
+{
+  public:
+    /** Validates and normalizes the configuration (fatal() on misuse). */
+    explicit Model(const ModelConfig &cfg);
+
+    const ModelConfig &config() const { return cfg_; }
+
+    State initialState() const;
+
+    /**
+     * All enabled transitions from `s`, in a deterministic order.
+     * Successors whose transition violated a safety property carry the
+     * violation; their states are still well-formed.
+     */
+    void successors(const State &s, std::vector<Succ> &out) const;
+
+    /** Whether `s` is a legal quiescent end state (all reads done). */
+    bool terminal(const State &s) const;
+
+    /**
+     * If `s` is quiescent (no queues, no messages, no outstanding
+     * misses) but some transaction never completed, name it. Used to
+     * distinguish a lost reply from a resource deadlock.
+     */
+    std::optional<Violation> quiescenceViolation(const State &s) const;
+
+    /** Canonical byte encoding (decode() inverts it). */
+    std::string encode(const State &s) const;
+    State decode(const std::string &bytes) const;
+
+    /** Multi-line human dump of a state (deadlock reports). */
+    std::string describe(const State &s) const;
+
+  private:
+    int llcNode() const { return cfg_.numCores; }
+    std::string coreName(int c) const;
+    std::string msgName(const Msg &m) const;
+
+    void issueTransitions(const State &s, std::vector<Succ> &out) const;
+    void frqTransitions(const State &s, std::vector<Succ> &out) const;
+    void outboundTransitions(const State &s, std::vector<Succ> &out) const;
+    void replyDeliveryTransitions(const State &s,
+                                  std::vector<Succ> &out) const;
+    void requestDeliveryTransitions(const State &s,
+                                    std::vector<Succ> &out) const;
+    void llcInjectTransitions(const State &s, std::vector<Succ> &out) const;
+    void fillTransitions(const State &s, std::vector<Succ> &out) const;
+    void evictTransitions(const State &s, std::vector<Succ> &out) const;
+
+    void deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
+                      std::vector<Succ> &out) const;
+    void deliverToCore(const State &s, const Msg &m, std::size_t netIdx,
+                       std::vector<Succ> &out) const;
+
+    ModelConfig cfg_;
+};
+
+} // namespace verify
+} // namespace dr
+
+#endif // DR_VERIFY_MODEL_HPP

@@ -105,13 +105,22 @@ TEST_F(LlcTest, ReadHitAfterFill)
     EXPECT_EQ(dram.stats().reads.value(), 1u);  // no second DRAM access
 }
 
-TEST_F(LlcTest, PointerTracksLastGpuReader)
+TEST_F(LlcTest, PointerTracksLastDirectReader)
 {
     llc.accept(read(2, 0x1000), now);
     ASSERT_TRUE(runUntilReply());
     drainReplies();
     EXPECT_EQ(llc.pointerOf(0x1000), 2);
+    // A delegatable hit may be converted into a delegation downstream,
+    // so it must NOT move the pointer: a pointer naming a still-waiting
+    // requester lets delayed-hit chains form a cyclic wait (DESIGN.md
+    // §10).
     llc.accept(read(3, 0x1000), now);
+    ASSERT_TRUE(runUntilReply());
+    drainReplies();
+    EXPECT_EQ(llc.pointerOf(0x1000), 2);
+    // A direct (non-delegatable, here DNF) reply to core 3 repoints.
+    llc.accept(read(3, 0x1000, /*dnf=*/true), now);
     ASSERT_TRUE(runUntilReply());
     drainReplies();
     EXPECT_EQ(llc.pointerOf(0x1000), 3);

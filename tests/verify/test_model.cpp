@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "verify/checker.hpp"
+#include "verify/configs.hpp"
+#include "verify/model.hpp"
+
+namespace dr
+{
+namespace
+{
+
+TEST(VerifyModel, EncodeDecodeRoundTripsInitialState)
+{
+    verify::Model model(verify::standardConfig().config);
+    const verify::State init = model.initialState();
+    const std::string bytes = model.encode(init);
+    EXPECT_EQ(model.decode(bytes), init);
+}
+
+TEST(VerifyModel, EncodeDecodeRoundTripsSuccessors)
+{
+    verify::Model model(verify::standardConfig().config);
+    std::vector<verify::Succ> succs;
+    model.successors(model.initialState(), succs);
+    ASSERT_FALSE(succs.empty());
+    for (const verify::Succ &s : succs) {
+        const std::string bytes = model.encode(s.state);
+        EXPECT_EQ(model.decode(bytes), s.state) << s.action;
+    }
+}
+
+TEST(VerifyModel, SuccessorsAreDeterministic)
+{
+    verify::Model model(verify::standardConfig().config);
+    std::vector<verify::Succ> a;
+    std::vector<verify::Succ> b;
+    model.successors(model.initialState(), a);
+    model.successors(model.initialState(), b);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].state, b[i].state);
+        EXPECT_EQ(a[i].action, b[i].action);
+    }
+}
+
+TEST(VerifyModel, InitialStateIsNotTerminal)
+{
+    verify::Model model(verify::standardConfig().config);
+    EXPECT_FALSE(model.terminal(model.initialState()));
+    EXPECT_FALSE(model.quiescenceViolation(model.initialState()));
+}
+
+TEST(VerifyModel, StandardConfigPassesExhaustively)
+{
+    verify::Model model(verify::standardConfig().config);
+    const verify::CheckResult result = verify::check(model);
+    EXPECT_TRUE(result.passed) << verify::formatResult(model, result,
+                                                       false);
+    EXPECT_FALSE(result.hitStateLimit);
+    // Fixed point over a nontrivial interleaving space: the exact
+    // count is pinned by the config, so a model change that silently
+    // prunes interleavings shows up here.
+    EXPECT_GT(result.statesExplored, 1000u);
+    EXPECT_GT(result.transitions, result.statesExplored);
+}
+
+TEST(VerifyModel, ColdTwoCoreConfigPasses)
+{
+    verify::ModelConfig cfg;
+    cfg.numCores = 2;
+    cfg.numLines = 1;
+    cfg.maxReadsPerCore = 2;
+    cfg.llcPresent = 0;
+    verify::Model model(cfg);
+    const verify::CheckResult result = verify::check(model);
+    EXPECT_TRUE(result.passed) << verify::formatResult(model, result,
+                                                       false);
+}
+
+TEST(VerifyModel, StateLimitReportsInconclusive)
+{
+    verify::Model model(verify::standardConfig().config);
+    verify::CheckOptions opts;
+    opts.maxStates = 16;
+    const verify::CheckResult result = verify::check(model, opts);
+    EXPECT_FALSE(result.passed);
+    EXPECT_TRUE(result.hitStateLimit);
+    EXPECT_NE(verify::formatResult(model, result, false)
+                  .find("INCONCLUSIVE"),
+              std::string::npos);
+}
+
+TEST(VerifyConfigs, LookupFindsEveryNamedConfig)
+{
+    for (const verify::NamedConfig &c : verify::allConfigs()) {
+        const verify::NamedConfig *found = verify::findConfig(c.name);
+        ASSERT_NE(found, nullptr) << c.name;
+        EXPECT_EQ(found->expectation, c.expectation);
+    }
+    EXPECT_EQ(verify::findConfig("no-such-config"), nullptr);
+}
+
+} // namespace
+} // namespace dr

@@ -1,0 +1,358 @@
+#!/usr/bin/env python3
+"""drlint - token-level determinism lint for the simulator sources.
+
+The simulator must be bit-reproducible for a fixed seed (DESIGN.md
+paragraph 6): iteration over hash containers, raw randomness, wall-clock
+reads and pointer-valued ordering all leak host/allocator state into
+simulation results. This pass flags those hazards:
+
+  unordered-container      declaration of std::unordered_map/set (must
+                           carry a drlint-allow annotation arguing that
+                           iteration order is never observed)
+  unordered-iteration      range-for / .begin() / iterator loops over a
+                           container declared unordered in the same file
+  raw-random               rand()/srand()/std::random_device/std::mt19937
+                           etc. outside the seeded Rng wrapper
+                           (src/common/rng.hpp)
+  wall-clock               time()/clock()/gettimeofday/chrono clocks in
+                           simulation code (timing belongs in tools/
+                           benchmarks, not in model state)
+  pointer-keyed-container  std::map/std::set/unordered_* keyed on a raw
+                           pointer type (allocator-dependent order/hash)
+
+Suppression: append ``// drlint-allow(<rule>)`` (optionally with a
+``: reason``) on the offending line or anywhere in the contiguous
+``//`` comment block directly above it.
+
+A checked-in JSON baseline (tools/drlint_baseline.json) records accepted
+per-file/per-rule counts; the pass fails when a count exceeds the
+baseline, so new hazards cannot land silently. Run with
+``--update-baseline`` after deliberately accepting a change.
+
+Usage:
+  drlint.py [--baseline FILE] [--update-baseline] [--list-rules] [paths]
+
+Exits 0 when clean against the baseline, 1 on new findings, 2 on usage
+errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = {
+    "unordered-container":
+        "std::unordered_map/std::unordered_set declaration (annotate "
+        "with drlint-allow if iteration order is never observed)",
+    "unordered-iteration":
+        "iteration over a container declared unordered in this file",
+    "raw-random":
+        "raw randomness outside the seeded RNG wrapper",
+    "wall-clock":
+        "wall-clock/time source in simulation code",
+    "pointer-keyed-container":
+        "ordered/hashed container keyed on a raw pointer",
+}
+
+# Files whose whole purpose exempts them from one rule.
+EXEMPT = {
+    os.path.join("src", "common", "rng.hpp"): {"raw-random"},
+}
+
+ALLOW_RE = re.compile(r"drlint-allow\(([a-z-]+)\)")
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bstd\s*::\s*unordered_(?:map|set|multimap|multiset)\s*<")
+# `for (... : name)` range-for, or explicit iterator walks.
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;()]*:\s*(?:this\s*->\s*)?"
+                          r"([A-Za-z_]\w*)\s*\)")
+# .end() alone is the find()-comparison idiom, not iteration, so only
+# the begin family counts.
+ITER_CALL_RE = re.compile(r"\b(?:this\s*->\s*)?([A-Za-z_]\w*)\s*\.\s*"
+                          r"(?:begin|cbegin|rbegin)\s*\(")
+RAW_RANDOM_RE = re.compile(
+    r"\bstd\s*::\s*(?:random_device|mt19937(?:_64)?|minstd_rand0?|"
+    r"default_random_engine|random_shuffle)\b"
+    r"|(?<![\w:])(?:rand|srand|rand_r|drand48|lrand48|random)\s*\(")
+WALL_CLOCK_RE = re.compile(
+    r"\bstd\s*::\s*chrono\s*::\s*(?:system_clock|steady_clock|"
+    r"high_resolution_clock)\b"
+    r"|(?<![\w:])(?:time|clock|gettimeofday|clock_gettime)\s*\(")
+POINTER_KEY_RE = re.compile(
+    r"\bstd\s*::\s*(?:unordered_)?(?:map|set|multimap|multiset)\s*<"
+    r"\s*(?:const\s+)?[A-Za-z_]\w*(?:\s*::\s*\w+)*\s*\*")
+
+BLOCK_COMMENT_START_RE = re.compile(r"/\*")
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, text: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.text = text
+
+    def __str__(self) -> str:
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.text.strip())
+
+
+def strip_code(lines: list[str]) -> list[str]:
+    """Return lines with comments and string/char literals blanked.
+
+    A small state machine rather than a regex so that block comments
+    spanning lines and quotes inside comments are handled; the lint
+    rules then run on code tokens only.
+    """
+    out = []
+    in_block = False
+    for raw in lines:
+        res = []
+        i = 0
+        n = len(raw)
+        while i < n:
+            if in_block:
+                end = raw.find("*/", i)
+                if end < 0:
+                    i = n
+                else:
+                    in_block = False
+                    i = end + 2
+                continue
+            ch = raw[i]
+            nxt = raw[i + 1] if i + 1 < n else ""
+            if ch == "/" and nxt == "/":
+                break
+            if ch == "/" and nxt == "*":
+                in_block = True
+                i += 2
+                continue
+            if ch in "\"'":
+                quote = ch
+                i += 1
+                while i < n:
+                    if raw[i] == "\\":
+                        i += 2
+                        continue
+                    if raw[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+                res.append(quote + quote)
+                continue
+            res.append(ch)
+            i += 1
+        out.append("".join(res))
+    return out
+
+
+def collect_allows(lines: list[str]) -> dict[int, set[str]]:
+    """Map 1-based line number -> set of allowed rules on that line."""
+    allows: dict[int, set[str]] = {}
+    for lineno, raw in enumerate(lines, start=1):
+        for match in ALLOW_RE.finditer(raw):
+            allows.setdefault(lineno, set()).add(match.group(1))
+    return allows
+
+
+def unordered_names(code: list[str]) -> set[str]:
+    """Names of members/locals declared with an unordered container."""
+    names: set[str] = set()
+    for idx, line in enumerate(code):
+        for match in UNORDERED_DECL_RE.finditer(line):
+            # The declared name is the first identifier after the
+            # closing angle bracket; scan forward across lines because
+            # long template arguments wrap.
+            depth = 0
+            text = line[match.end() - 1:]
+            j = idx
+            while True:
+                for pos, ch in enumerate(text):
+                    if ch == "<":
+                        depth += 1
+                    elif ch == ">":
+                        depth -= 1
+                        if depth == 0:
+                            rest = text[pos + 1:]
+                            m = re.search(r"\b([A-Za-z_]\w*)", rest)
+                            if m:
+                                names.add(m.group(1))
+                            break
+                else:
+                    j += 1
+                    if depth <= 0 or j >= len(code):
+                        break
+                    text = code[j]
+                    continue
+                break
+    return names
+
+
+def sibling_unordered_names(path: str) -> set[str]:
+    """Unordered members declared in the sibling header of a .cpp.
+
+    Members are typically declared in ``x.hpp`` and iterated in
+    ``x.cpp``; without this the iteration rule only sees same-file
+    declarations.
+    """
+    stem, ext = os.path.splitext(path)
+    if ext not in (".cpp", ".cc"):
+        return set()
+    for hdr_ext in (".hpp", ".h"):
+        hdr = stem + hdr_ext
+        if os.path.isfile(hdr):
+            with open(hdr, encoding="utf-8", errors="replace") as fh:
+                return unordered_names(strip_code(
+                    fh.read().splitlines()))
+    return set()
+
+
+def lint_file(path: str, rel: str) -> list[Finding]:
+    with open(path, encoding="utf-8", errors="replace") as fh:
+        lines = fh.read().splitlines()
+    allows = collect_allows(lines)
+    code = strip_code(lines)
+    exempt = EXEMPT.get(rel, set())
+
+    def allowed(lineno: int, rule: str) -> bool:
+        if rule in allows.get(lineno, set()):
+            return True
+        # Walk up through the contiguous comment block above the
+        # finding, so a multi-line justification can carry the tag.
+        probe = lineno - 1
+        while probe >= 1 and lines[probe - 1].lstrip().startswith("//"):
+            if rule in allows.get(probe, set()):
+                return True
+            probe -= 1
+        return False
+
+    findings: list[Finding] = []
+
+    def add(lineno: int, rule: str) -> None:
+        if rule in exempt or allowed(lineno, rule):
+            return
+        findings.append(Finding(rel, lineno, rule, lines[lineno - 1]))
+
+    unordered = unordered_names(code) | sibling_unordered_names(path)
+    for lineno, line in enumerate(code, start=1):
+        if UNORDERED_DECL_RE.search(line):
+            add(lineno, "unordered-container")
+        for match in RANGE_FOR_RE.finditer(line):
+            if match.group(1) in unordered:
+                add(lineno, "unordered-iteration")
+        for match in ITER_CALL_RE.finditer(line):
+            if match.group(1) in unordered:
+                add(lineno, "unordered-iteration")
+        if RAW_RANDOM_RE.search(line):
+            add(lineno, "raw-random")
+        if WALL_CLOCK_RE.search(line):
+            add(lineno, "wall-clock")
+        if POINTER_KEY_RE.search(line):
+            add(lineno, "pointer-keyed-container")
+    return findings
+
+
+def scan(root: str, paths: list[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for base in paths:
+        full = os.path.join(root, base)
+        if os.path.isfile(full):
+            findings.extend(lint_file(full, base))
+            continue
+        for dirpath, dirnames, filenames in os.walk(full):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    continue
+                fpath = os.path.join(dirpath, name)
+                findings.extend(
+                    lint_file(fpath, os.path.relpath(fpath, root)))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def counts_of(findings: list[Finding]) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for f in findings:
+        key = "%s:%s" % (f.path, f.rule)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="drlint", add_help=True)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories relative to the "
+                             "repository root (default: src tools)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of this "
+                             "script)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON (default: "
+                             "tools/drlint_baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with current counts")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%-24s %s" % (rule, RULES[rule]))
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or ["src", "tools"]
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "drlint_baseline.json")
+
+    findings = scan(root, paths)
+    counts = counts_of(findings)
+
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(counts, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("drlint: baseline updated (%d findings in %d buckets)"
+              % (len(findings), len(counts)))
+        return 0
+
+    baseline: dict[str, int] = {}
+    if os.path.exists(baseline_path):
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    failed = False
+    for key in sorted(counts):
+        extra = counts[key] - baseline.get(key, 0)
+        if extra <= 0:
+            continue
+        failed = True
+        path, rule = key.rsplit(":", 1)
+        print("drlint: %d new finding(s) of [%s] in %s:"
+              % (extra, rule, path))
+        for f in findings:
+            if f.path == path and f.rule == rule:
+                print("  " + str(f))
+    stale = {k: v for k, v in baseline.items()
+             if counts.get(k, 0) < v}
+    if stale:
+        print("drlint: note: %d baseline bucket(s) now below their "
+              "recorded count; run --update-baseline to ratchet down"
+              % len(stale))
+
+    if failed:
+        print("drlint: FAIL (%d findings, baseline allows %d)"
+              % (len(findings), sum(baseline.values())))
+        return 1
+    print("drlint: clean (%d findings, all within baseline)"
+          % len(findings))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

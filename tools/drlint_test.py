@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Self-test for drlint.py (stdlib unittest; wired into ctest)."""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import drlint  # noqa: E402
+
+
+def rules_in(findings):
+    return sorted({f.rule for f in findings})
+
+
+class StripCodeTest(unittest.TestCase):
+    def test_line_comment_removed(self):
+        self.assertEqual(drlint.strip_code(["int x; // rand()"]),
+                         ["int x; "])
+
+    def test_block_comment_spans_lines(self):
+        code = drlint.strip_code(["a /* rand()", "still comment", "*/ b"])
+        self.assertEqual(code, ["a ", "", " b"])
+
+    def test_string_literal_blanked(self):
+        code = drlint.strip_code(['call("rand()");'])
+        self.assertEqual(code, ['call("");'])
+
+    def test_quote_inside_comment_ignored(self):
+        code = drlint.strip_code(["x; // don't crash", "y;"])
+        self.assertEqual(code, ["x; ", "y;"])
+
+
+class LintDirectory:
+    """Context manager: a temp dir linted as a repository root."""
+
+    def __init__(self, files):
+        self.files = files
+
+    def __enter__(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        for rel, content in self.files.items():
+            path = os.path.join(self.tmp.name, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(content)
+        return drlint.scan(self.tmp.name, ["src"])
+
+    def __exit__(self, *exc):
+        self.tmp.cleanup()
+        return False
+
+
+class RuleTest(unittest.TestCase):
+    def test_unordered_container_flagged(self):
+        with LintDirectory({
+            "src/a.hpp": "std::unordered_map<int, int> m_;\n",
+        }) as findings:
+            self.assertEqual(rules_in(findings), ["unordered-container"])
+
+    def test_unordered_iteration_flagged(self):
+        src = ("// drlint-allow(unordered-container)\n"
+               "std::unordered_set<int> s_;\n"
+               "void f() { for (int v : s_) use(v); }\n"
+               "void g() { std::sort(s_.begin(), s_.end()); }\n")
+        with LintDirectory({"src/a.hpp": src}) as findings:
+            self.assertEqual(rules_in(findings), ["unordered-iteration"])
+            self.assertEqual(len(findings), 2)
+
+    def test_iteration_found_via_sibling_header(self):
+        hdr = ("// drlint-allow(unordered-container)\n"
+               "std::unordered_map<int, int> map_;\n")
+        src = ("#include \"a.hpp\"\n"
+               "void f() { for (auto &kv : map_) use(kv); }\n")
+        with LintDirectory({"src/a.hpp": hdr,
+                            "src/a.cpp": src}) as findings:
+            self.assertEqual(rules_in(findings), ["unordered-iteration"])
+
+    def test_find_end_comparison_not_iteration(self):
+        src = ("// drlint-allow(unordered-container)\n"
+               "std::unordered_map<int, int> m_;\n"
+               "bool f() { return m_.find(3) != m_.end(); }\n")
+        with LintDirectory({"src/a.hpp": src}) as findings:
+            self.assertEqual(findings, [])
+
+    def test_raw_random_flagged(self):
+        with LintDirectory({
+            "src/a.cpp": "int x = rand();\nstd::mt19937 gen;\n",
+        }) as findings:
+            self.assertEqual(rules_in(findings), ["raw-random"])
+            self.assertEqual(len(findings), 2)
+
+    def test_rng_wrapper_exempt(self):
+        rel = os.path.join("src", "common", "rng.hpp")
+        with LintDirectory({
+            rel: "std::mt19937 seed_expander;\n",
+        }) as findings:
+            self.assertEqual(findings, [])
+
+    def test_wall_clock_flagged(self):
+        with LintDirectory({
+            "src/a.cpp":
+                "auto t = std::chrono::steady_clock::now();\n",
+        }) as findings:
+            self.assertEqual(rules_in(findings), ["wall-clock"])
+
+    def test_pointer_keyed_container_flagged(self):
+        with LintDirectory({
+            "src/a.hpp": "std::map<Node *, int> order_;\n",
+        }) as findings:
+            self.assertEqual(rules_in(findings),
+                             ["pointer-keyed-container"])
+
+    def test_random_in_comment_or_string_ignored(self):
+        with LintDirectory({
+            "src/a.cpp": "// rand() here\nlog(\"rand()\");\n",
+        }) as findings:
+            self.assertEqual(findings, [])
+
+
+class SuppressionTest(unittest.TestCase):
+    def test_same_line_allow(self):
+        with LintDirectory({
+            "src/a.hpp": "std::unordered_map<int, int> m_;  "
+                         "// drlint-allow(unordered-container)\n",
+        }) as findings:
+            self.assertEqual(findings, [])
+
+    def test_comment_block_above_allows(self):
+        src = ("// drlint-allow(unordered-container): lookup only,\n"
+               "// with a longer justification on a second line.\n"
+               "std::unordered_map<int, int> m_;\n")
+        with LintDirectory({"src/a.hpp": src}) as findings:
+            self.assertEqual(findings, [])
+
+    def test_wrong_rule_does_not_suppress(self):
+        src = ("// drlint-allow(raw-random)\n"
+               "std::unordered_map<int, int> m_;\n")
+        with LintDirectory({"src/a.hpp": src}) as findings:
+            self.assertEqual(rules_in(findings), ["unordered-container"])
+
+    def test_allow_does_not_leak_past_code_line(self):
+        src = ("// drlint-allow(unordered-container)\n"
+               "int unrelated;\n"
+               "std::unordered_map<int, int> m_;\n")
+        with LintDirectory({"src/a.hpp": src}) as findings:
+            self.assertEqual(rules_in(findings), ["unordered-container"])
+
+
+class BaselineTest(unittest.TestCase):
+    def run_main(self, files, args):
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, content in files.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(content)
+            return drlint.main(["--root", tmp, "src"] + args)
+
+    def test_clean_tree_passes_without_baseline(self):
+        self.assertEqual(self.run_main({"src/a.cpp": "int x;\n"}, []), 0)
+
+    def test_new_finding_fails(self):
+        self.assertEqual(
+            self.run_main({"src/a.cpp": "int x = rand();\n"}, []), 1)
+
+    def test_baselined_finding_passes(self):
+        baseline = '{"src/a.cpp:raw-random": 1}\n'
+        files = {"src/a.cpp": "int x = rand();\n",
+                 "baseline.json": baseline}
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, content in files.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(content)
+            rc = drlint.main(["--root", tmp, "--baseline",
+                              os.path.join(tmp, "baseline.json"), "src"])
+        self.assertEqual(rc, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()
