@@ -41,10 +41,16 @@ struct WorkloadResult
     std::uint64_t packetsDelivered;
 };
 
-/** One timed run of the raw Network kernel (no memory system). */
+/**
+ * One timed run of the raw Network kernel (no memory system). With
+ * `vnets` on the network runs the virtual-network partition (4 VCs, one
+ * per VN, (class, VN) arbitration) and the traffic mixes all four
+ * message classes — the configuration the CI perf gate tracks as
+ * `vnet_uniform_cycles_per_sec`.
+ */
 WorkloadResult
 timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
-             std::uint64_t seed)
+             std::uint64_t seed, bool vnets = false)
 {
     const int nodes = 64;
     const int width = 8;
@@ -55,6 +61,13 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
     params.routing = RoutingKind::DimOrderXY;
     params.injBufferFlits.assign(nodes, 36);
     params.seed = seed;
+    if (vnets) {
+        params.numVcs = numVnets;
+        params.vnPriority = true;
+        params.layout.numVcs = numVnets;
+        for (int vn = 0; vn < numVnets; ++vn)
+            params.layout.range[vn] = {static_cast<std::uint8_t>(vn), 1};
+    }
     Network net(params, topo);
 
     SyntheticTraffic traffic(
@@ -78,12 +91,26 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
             m.src = src;
             m.dst = traffic.dest(src, rng);
             m.id = id++;
-            net.inject(m, packetFlits, now);
+            if (vnets) {
+                // Spread over all four VNs: request-side classes carry
+                // 1-flit requests, reply-side classes 5-flit replies.
+                const VirtualNet vn =
+                    static_cast<VirtualNet>(rng.next() % numVnets);
+                const bool reqSide =
+                    vn == VirtualNet::Request ||
+                    vn == VirtualNet::ForwardedRequest;
+                m.type = reqSide ? MsgType::ReadReq : MsgType::ReadReply;
+                net.inject(m, reqSide ? 1 : packetFlits, now, vn);
+            } else {
+                net.inject(m, packetFlits, now);
+            }
         }
         net.tick(now);
         for (NodeId n = 0; n < nodes; ++n) {
             while (net.hasMessage(n, NetKind::Reply))
                 net.popMessage(n, NetKind::Reply);
+            while (net.hasMessage(n, NetKind::Request))
+                net.popMessage(n, NetKind::Request);
         }
     }
     const auto stop = std::chrono::steady_clock::now();
@@ -91,7 +118,7 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
         std::chrono::duration<double>(stop - start).count();
 
     WorkloadResult r;
-    r.pattern = trafficPatternName(pattern);
+    r.pattern = vnets ? "vnet_uniform" : trafficPatternName(pattern);
     r.rate = rate;
     r.cycles = cycles;
     r.wallSeconds = wall;
@@ -138,12 +165,19 @@ main()
     std::vector<WorkloadResult> results;
     for (const Load &load : loads)
         results.push_back(timeWorkload(load.pattern, load.rate, cycles, 1));
+    // One VN-enabled run so the perf gate tracks the partitioned
+    // hot path (VC-range allocation + (class, VN) arbitration) too.
+    results.push_back(timeWorkload(TrafficPattern::UniformRandom, 0.05,
+                                   cycles, 1, /*vnets=*/true));
 
     std::vector<double> uniformCps;
     std::vector<double> hotspotCps;
+    std::vector<double> vnetCps;
     for (const WorkloadResult &r : results) {
         if (r.pattern == std::string("uniform"))
             uniformCps.push_back(r.cyclesPerSec);
+        else if (r.pattern == std::string("vnet_uniform"))
+            vnetCps.push_back(r.cyclesPerSec);
         else
             hotspotCps.push_back(r.cyclesPerSec);
     }
@@ -171,6 +205,8 @@ main()
                 geomean(uniformCps));
     std::printf("    \"hotspot_cycles_per_sec\": %.0f,\n",
                 geomean(hotspotCps));
+    std::printf("    \"vnet_uniform_cycles_per_sec\": %.0f,\n",
+                geomean(vnetCps));
     std::printf("    \"peak_rss_kb\": %ld\n", peakRssKb());
     std::printf("  }\n");
     std::printf("}\n");

@@ -39,6 +39,33 @@ SystemConfig::validate() const
     }
     if (noc.sharedPhysical && (noc.sharedReqVcs < 1 || noc.sharedReplyVcs < 1))
         fatal("shared network needs at least one VC per traffic type");
+    if (noc.vnets) {
+        // Per-VN VC counts must exactly cover the owning network's VCs;
+        // anything else used to be silently clamped away by the old
+        // classMask plumbing, which left a virtual network with no
+        // buffering at all (and a guaranteed injection panic).
+        if (noc.vnetRequestVcs < 1 || noc.vnetForwardVcs < 1 ||
+            noc.vnetReplyVcs < 1 || noc.vnetDelegatedVcs < 1) {
+            fatal("every virtual network needs at least one VC "
+                  "(noc.vnet*Vcs)");
+        }
+        const int reqSide = noc.vnetRequestVcs + noc.vnetForwardVcs;
+        const int repSide = noc.vnetReplyVcs + noc.vnetDelegatedVcs;
+        const int reqVcs =
+            noc.sharedPhysical ? noc.sharedReqVcs : noc.vcsPerNet;
+        const int repVcs =
+            noc.sharedPhysical ? noc.sharedReplyVcs : noc.vcsPerNet;
+        if (reqSide != reqVcs) {
+            fatal("virtual-network VC counts must sum to the request "
+                  "network's VCs: vnetRequestVcs + vnetForwardVcs = ",
+                  reqSide, " but the network has ", reqVcs);
+        }
+        if (repSide != repVcs) {
+            fatal("virtual-network VC counts must sum to the reply "
+                  "network's VCs: vnetReplyVcs + vnetDelegatedVcs = ",
+                  repSide, " but the network has ", repVcs);
+        }
+    }
     if (gpu.frqEntries < 1)
         fatal("FRQ needs at least one entry");
     if (rp.probeCount < 1)

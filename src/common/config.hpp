@@ -37,6 +37,23 @@ struct NocConfig
     int sharedReqVcs = 2;    //!< VCs dedicated to requests when shared
     int sharedReplyVcs = 2;  //!< VCs dedicated to replies when shared
 
+    /**
+     * Virtual networks: partition each physical network's VCs into
+     * reserved per-message-class ranges (Request, ForwardedRequest,
+     * Reply, DelegatedReply — see noc/vnet.hpp) and arbitrate by
+     * (class, VN) rank. Off by default: the legacy two-class split is
+     * schedule-preserving. The per-VN counts must exactly cover the
+     * owning network's VCs: request+forward == vcsPerNet and
+     * reply+delegated == vcsPerNet for split networks, or ==
+     * sharedReqVcs / sharedReplyVcs respectively in AVCP shared mode
+     * (validate() enforces this; no silent clamping).
+     */
+    bool vnets = false;
+    int vnetRequestVcs = 1;    //!< VCs reserved for ordinary requests
+    int vnetForwardVcs = 1;    //!< VCs reserved for delegated forwards
+    int vnetReplyVcs = 1;      //!< VCs reserved for memory replies
+    int vnetDelegatedVcs = 1;  //!< VCs reserved for core-to-core replies
+
     RoutingKind requestRouting = RoutingKind::DimOrderYX;  //!< CDR: YX req
     RoutingKind replyRouting = RoutingKind::DimOrderXY;    //!< CDR: XY rep
 

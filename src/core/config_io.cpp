@@ -189,6 +189,15 @@ applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
          [&] { cfg.noc.sharedReqVcs = parseInt(key, value); }},
         {"noc.sharedReplyVcs",
          [&] { cfg.noc.sharedReplyVcs = parseInt(key, value); }},
+        {"noc.vnets", [&] { cfg.noc.vnets = parseBool(key, value); }},
+        {"noc.vnetRequestVcs",
+         [&] { cfg.noc.vnetRequestVcs = parseInt(key, value); }},
+        {"noc.vnetForwardVcs",
+         [&] { cfg.noc.vnetForwardVcs = parseInt(key, value); }},
+        {"noc.vnetReplyVcs",
+         [&] { cfg.noc.vnetReplyVcs = parseInt(key, value); }},
+        {"noc.vnetDelegatedVcs",
+         [&] { cfg.noc.vnetDelegatedVcs = parseInt(key, value); }},
         {"noc.requestRouting",
          [&] { cfg.noc.requestRouting = parseRouting(value); }},
         {"noc.replyRouting",
@@ -334,6 +343,11 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
         << (cfg.noc.sharedPhysical ? "true" : "false") << "\n";
     out << "noc.sharedReqVcs = " << cfg.noc.sharedReqVcs << "\n";
     out << "noc.sharedReplyVcs = " << cfg.noc.sharedReplyVcs << "\n";
+    out << "noc.vnets = " << (cfg.noc.vnets ? "true" : "false") << "\n";
+    out << "noc.vnetRequestVcs = " << cfg.noc.vnetRequestVcs << "\n";
+    out << "noc.vnetForwardVcs = " << cfg.noc.vnetForwardVcs << "\n";
+    out << "noc.vnetReplyVcs = " << cfg.noc.vnetReplyVcs << "\n";
+    out << "noc.vnetDelegatedVcs = " << cfg.noc.vnetDelegatedVcs << "\n";
     out << "noc.requestRouting = " << routingStr(cfg.noc.requestRouting)
         << "\n";
     out << "noc.replyRouting = " << routingStr(cfg.noc.replyRouting)

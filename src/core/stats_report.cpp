@@ -130,6 +130,27 @@ StatsReport::capture(const HeteroSystem &system, Cycle measuredCycles)
                    net.stats().cpuPacketLatency.mean());
         report.add(p + "gpuPacketLatency",
                    net.stats().gpuPacketLatency.mean());
+        for (int vn = 0; vn < numVnets; ++vn) {
+            const std::string vp =
+                p + "vnet." + vnetName(static_cast<VirtualNet>(vn)) + ".";
+            report.add(vp + "packetsInjected",
+                       static_cast<double>(
+                           net.stats().vnPacketsInjected[vn].value()));
+            report.add(vp + "flitsDelivered",
+                       static_cast<double>(
+                           net.stats().vnFlitsDelivered[vn].value()));
+            report.add(vp + "injectionStalls",
+                       static_cast<double>(
+                           net.stats().vnInjectionStalls[vn].value()));
+            report.add(vp + "peakFlits",
+                       static_cast<double>(net.stats().vnPeakFlits[vn]));
+            report.add(vp + "flitsPerCycle",
+                       measuredCycles > 0
+                           ? static_cast<double>(
+                                 net.stats().vnFlitsDelivered[vn].value()) /
+                                 static_cast<double>(measuredCycles)
+                           : 0.0);
+        }
         if (system.interconnect().shared())
             break;  // one physical network
     }

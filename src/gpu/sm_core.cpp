@@ -211,6 +211,12 @@ SmCore::processFrq(Cycle now)
             resend.dnf = true;
             resend.requester = msg.requester;
             resend.id = msg.id;
+            // The re-send rides the Request VN, not ForwardedRequest:
+            // sharing buffering with the delegation fan-in that produced
+            // it would re-create the DESIGN.md §10 cycle (noc/vnet.hpp).
+            DR_ASSERT_MSG(ic_.vnetFor(resend) == VirtualNet::Request,
+                          "core ", coreIdx_,
+                          " DNF re-send classified off the Request VN");
             // The DNF re-send goes back to the line's home LLC slice on
             // behalf of the original requester — never to another core
             // (no delegation chains, Section IV).

@@ -66,6 +66,14 @@ MemNode::drainReplies(Cycle now)
             delegated.requester = reply.msg.requester;
             delegated.id = reply.msg.id;
             delegated.created = reply.msg.created;
+            // The forward rides the ForwardedRequest VN (reserved VCs,
+            // noc/vnet.hpp); when the network cannot take it we fall
+            // through to the normal reply below, so delegation never
+            // hard-blocks the reply drain on forward buffering.
+            DR_ASSERT_MSG(ic_.vnetFor(delegated) ==
+                              VirtualNet::ForwardedRequest,
+                          "mem node ", nodeId_, ": delegation classified "
+                          "off the ForwardedRequest VN");
             if (ic_.canSend(delegated)) {
                 ic_.send(delegated, now);
                 ++stats_.delegations;

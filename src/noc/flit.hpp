@@ -12,6 +12,7 @@
 #include <cstdint>
 
 #include "common/types.hpp"
+#include "noc/vnet.hpp"
 
 namespace dr
 {
@@ -46,6 +47,7 @@ struct Flit
     TrafficClass cls = TrafficClass::Gpu;
     DimOrder order = DimOrder::XY;//!< dimension order chosen at injection
     std::uint8_t vcMask = 0xff;   //!< VCs the packet may use
+    VirtualNet vnet = VirtualNet::Request; //!< message class (VN)
 };
 
 /**
@@ -63,6 +65,7 @@ struct Packet
     TrafficClass cls = TrafficClass::Gpu;
     DimOrder order = DimOrder::XY;
     std::uint8_t vcMask = 0xff;
+    VirtualNet vnet = VirtualNet::Request; //!< message class (VN)
     Cycle injectedAt = 0;  //!< first flit left the NI
     Cycle queuedAt = 0;    //!< entered the NI injection buffer
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/invariant.hpp"
 #include "common/log.hpp"
 
 namespace dr
@@ -40,7 +41,7 @@ Interconnect::Interconnect(const SystemConfig &cfg,
     : cfg_(cfg),
       topo_(Topology::make(cfg.noc.topology, cfg.nodeCount(),
                            cfg.noc.meshWidth, cfg.noc.meshHeight)),
-      shared_(cfg.noc.sharedPhysical)
+      shared_(cfg.noc.sharedPhysical), nodeTypes_(nodeTypes)
 {
     if (static_cast<int>(nodeTypes.size()) != cfg.nodeCount())
         fatal("interconnect: node type map size mismatch");
@@ -48,6 +49,7 @@ Interconnect::Interconnect(const SystemConfig &cfg,
     NetworkParams params;
     params.vcDepthFlits = cfg.noc.vcDepthFlits;
     params.routerStages = cfg.noc.routerStages;
+    params.vnPriority = cfg.noc.vnets;
     // The ejection buffer must be able to complete one maximum-size
     // packet per VC: wormhole reassembly holds partial packets in the
     // buffer, and two interleaved replies that together exceed the
@@ -65,6 +67,7 @@ Interconnect::Interconnect(const SystemConfig &cfg,
     if (shared_) {
         params.name = "shared";
         params.numVcs = cfg.noc.sharedReqVcs + cfg.noc.sharedReplyVcs;
+        params.layout = sharedNetLayout(cfg.noc);
         params.routing = effectiveRouting(cfg, cfg.noc.requestRouting);
         if (cfg.noc.requestRouting != cfg.noc.replyRouting &&
             cfg.noc.topology == TopologyKind::Mesh) {
@@ -77,11 +80,13 @@ Interconnect::Interconnect(const SystemConfig &cfg,
     } else {
         params.name = "request";
         params.numVcs = cfg.noc.vcsPerNet;
+        params.layout = requestNetLayout(cfg.noc);
         params.routing = effectiveRouting(cfg, cfg.noc.requestRouting);
         params.seed = cfg.seed * 7919 + 1;
         request_ = std::make_unique<Network>(params, topo_);
 
         params.name = "reply";
+        params.layout = replyNetLayout(cfg.noc);
         params.routing = effectiveRouting(cfg, cfg.noc.replyRouting);
         params.seed = cfg.seed * 7919 + 2;
         reply_ = std::make_unique<Network>(params, topo_);
@@ -92,20 +97,6 @@ int
 Interconnect::flitsFor(const Message &msg) const
 {
     return cfg_.flitsFor(msg.type, msg.cls);
-}
-
-std::uint8_t
-Interconnect::classMask(NetKind kind) const
-{
-    if (!shared_)
-        return 0;  // any VC
-    const std::uint8_t reqMask =
-        static_cast<std::uint8_t>((1u << cfg_.noc.sharedReqVcs) - 1u);
-    if (kind == NetKind::Request)
-        return reqMask;
-    const std::uint8_t all = static_cast<std::uint8_t>(
-        (1u << (cfg_.noc.sharedReqVcs + cfg_.noc.sharedReplyVcs)) - 1u);
-    return static_cast<std::uint8_t>(all & ~reqMask);
 }
 
 Network &
@@ -137,7 +128,16 @@ Interconnect::send(const Message &msg, Cycle now)
 {
     const NetKind kind = onRequestNetwork(msg.type) ? NetKind::Request
                                                     : NetKind::Reply;
-    net(kind).inject(msg, flitsFor(msg), now, classMask(kind));
+    const VirtualNet vn = vnetFor(msg);
+    // The physical-network choice and the VN classification agree by
+    // construction: request-side VNs ride the request network, the
+    // reply-side VNs the reply network (one network in shared mode).
+    DR_ASSERT_MSG((kind == NetKind::Request) ==
+                      (vn == VirtualNet::Request ||
+                       vn == VirtualNet::ForwardedRequest),
+                  "message type ", static_cast<int>(msg.type),
+                  " classified onto the wrong network");
+    net(kind).inject(msg, flitsFor(msg), now, vn);
 }
 
 int

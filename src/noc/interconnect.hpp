@@ -6,7 +6,11 @@
  * Message-level interface over the physical network(s). The baseline has
  * physically separate request and reply networks; the AVCP configuration
  * (Figure 6) shares one double-width physical network and segregates
- * request and reply traffic onto disjoint VC sets.
+ * request and reply traffic onto disjoint VC sets. Both mappings are
+ * expressed as virtual-network layouts (noc/vnet.hpp): every message is
+ * classified into a VN at send() and confined to that VN's reserved VC
+ * range end to end; with `noc.vnets` on, forwarded (delegated) requests
+ * and core-to-core replies get their own ranges.
  */
 
 #include <memory>
@@ -56,6 +60,18 @@ class Interconnect
     const Network &net(NetKind kind) const;
     bool shared() const { return shared_; }
 
+    /**
+     * Virtual network a message travels on: the central classification
+     * (noc/vnet.hpp) applied with this chip's node-type map, so
+     * core-to-core replies (delegated remote hits, probe nacks) land on
+     * the DelegatedReply VN while memory replies stay on Reply.
+     */
+    VirtualNet vnetFor(const Message &msg) const
+    {
+        return classifyMessage(msg,
+                               nodeTypes_[msg.src] == NodeType::MemNode);
+    }
+
     /** Reset statistics on all physical networks. */
     void resetStats();
 
@@ -71,11 +87,10 @@ class Interconnect
     std::uint64_t totalLinkTraversals() const;
 
   private:
-    std::uint8_t classMask(NetKind kind) const;
-
     SystemConfig cfg_;
     Topology topo_;
     bool shared_;
+    std::vector<NodeType> nodeTypes_;
     std::unique_ptr<Network> request_;
     std::unique_ptr<Network> reply_;  //!< null in shared mode
 };

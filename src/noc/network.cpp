@@ -11,7 +11,8 @@ namespace dr
 
 Network::Network(const NetworkParams &params, const Topology &topo)
     : topo_(topo), params_(params),
-      routing_(params.routing, topo, params.numVcs, params.seed),
+      routing_(params.routing, topo, params.numVcs, params.seed,
+               params.layout),
       activeNis_(topo.nodes()), activeRouters_(topo.routers())
 {
     if (static_cast<int>(params_.injBufferFlits.size()) != topo_.nodes())
@@ -30,7 +31,8 @@ Network::Network(const NetworkParams &params, const Topology &topo)
         }
         routers_.push_back(std::make_unique<Router>(
             r, radix, params_.numVcs, params_.vcDepthFlits,
-            params_.routerStages, *this, isLink, node));
+            params_.routerStages, *this, isLink, node,
+            params_.vnPriority));
     }
 
     nis_.resize(topo_.nodes());
@@ -74,11 +76,12 @@ Network::canInject(NodeId node, int flits) const
 }
 
 void
-Network::inject(const Message &msg, int flits, Cycle now,
-                std::uint8_t vcMask)
+Network::inject(const Message &msg, int flits, Cycle now, VirtualNet vn)
 {
     const int clsIdx = msg.cls == TrafficClass::Cpu ? 0 : 1;
+    const int vnIdx = static_cast<int>(vn);
     ++stats_.packetsInjected;
+    ++stats_.vnPacketsInjected[vnIdx];
 
     // Local delivery: the message loops back inside the NI without
     // entering the fabric. It completes in zero cycles — the minimum —
@@ -107,14 +110,17 @@ Network::inject(const Message &msg, int flits, Cycle now,
     pkt.destRouter = static_cast<std::int16_t>(topo_.attachRouter(msg.dst));
     pkt.destPort = static_cast<std::int16_t>(topo_.attachPort(msg.dst));
     pkt.cls = msg.cls;
+    pkt.vnet = vn;
     pkt.order = routing_.chooseOrder(pkt.srcRouter, pkt.destRouter, *this);
-    const std::uint8_t all =
-        static_cast<std::uint8_t>((1u << params_.numVcs) - 1u);
-    pkt.vcMask = routing_.packetMask(pkt.order) & all;
-    if (vcMask)
-        pkt.vcMask &= vcMask;
+    pkt.vcMask = routing_.packetMask(pkt.order, vn);
     if (!pkt.vcMask)
         panic("network ", params_.name, ": empty VC mask at injection");
+    // VN isolation starts here: the packet's mask is carved from its
+    // VN's reserved range, and every downstream mask (router VC
+    // allocation, escape escalation) only ever intersects it.
+    DR_ASSERT_MSG((pkt.vcMask & ~routing_.layout().mask(vn)) == 0,
+                  "network ", params_.name,
+                  ": packet mask escapes its virtual network");
     pkt.queuedAt = now;
     pkt.injectedAt = 0;  // slot is recycled; set when the head flit leaves
 
@@ -170,22 +176,27 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
     const int attachPort = topo_.attachPort(node);
 
     // Pick a VC with an in-flight packet, a pending flit, and a credit;
-    // CPU-class packets win (Figure 4: the scheduler prioritizes CPU
-    // replies inside the injection buffer). Among same-class sends the
-    // scan starts at a per-NI round-robin pointer — a fixed starting
-    // index would let the lowest-index VC monopolize the attach link
-    // and starve packets mid-flight on higher VCs under saturation.
+    // lowest (class, VN) arbitration rank wins — CPU-class packets
+    // first (Figure 4: the scheduler prioritizes CPU replies inside the
+    // injection buffer), then (vnPriority mode) downstream virtual
+    // networks before upstream ones. Among equal-rank sends the scan
+    // starts at a per-NI round-robin pointer — a fixed starting index
+    // would let the lowest-index VC monopolize the attach link and
+    // starve packets mid-flight on higher VCs under saturation.
     int sendVc = -1;
+    int sendRank = 0;
     bool sendCpu = false;
     for (int i = 0; i < params_.numVcs; ++i) {
         const int v = (ni.sendRr + i) % params_.numVcs;
         const auto &ss = ni.vcSend[v];
         if (!ss.busy || ni.credits[v] <= 0)
             continue;
-        const bool isCpu = pool_[ss.pkt].cls == TrafficClass::Cpu;
-        if (sendVc < 0 || (isCpu && !sendCpu)) {
+        const Packet &p = pool_[ss.pkt];
+        const int rank = arbRank(p.cls, p.vnet, params_.vnPriority);
+        if (sendVc < 0 || rank < sendRank) {
             sendVc = v;
-            sendCpu = isCpu;
+            sendRank = rank;
+            sendCpu = p.cls == TrafficClass::Cpu;
         }
     }
 
@@ -203,6 +214,7 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
             Flit probe;  // only routing fields matter for the mask hook
             probe.destRouter = pkt.destRouter;
             probe.order = pkt.order;
+            probe.vnet = pkt.vnet;
             const std::uint8_t mask =
                 pkt.vcMask & routing_.vcMaskForLink(attachRouter, probe);
             bool assigned = false;
@@ -218,6 +230,11 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
                 sendVc = v;
                 assigned = true;
                 break;
+            }
+            if (!assigned) {
+                // Head-of-line packet found no free, credited VC in its
+                // virtual network's range this cycle.
+                ++stats_.vnInjectionStalls[static_cast<int>(pkt.vnet)];
             }
             if (assigned)
                 break;
@@ -241,11 +258,18 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
     flit.cls = pkt.cls;
     flit.order = pkt.order;
     flit.vcMask = pkt.vcMask;
+    flit.vnet = pkt.vnet;
 
     if (flit.head)
         pkt.injectedAt = now;
     DR_INVARIANT(ni.credits[sendVc] > 0, "network ", params_.name,
                  ": NI injection without a credit on VC ", sendVc);
+    const int vnIdx = static_cast<int>(pkt.vnet);
+    if (++vnInFabric_[vnIdx] >
+        static_cast<int>(stats_.vnPeakFlits[vnIdx])) {
+        stats_.vnPeakFlits[vnIdx] =
+            static_cast<std::uint64_t>(vnInFabric_[vnIdx]);
+    }
     routers_[attachRouter]->acceptFlit(attachPort, flit, now + 1);
     activeRouters_.add(attachRouter);
     --ni.credits[sendVc];
@@ -270,6 +294,9 @@ Network::niEject(Ni &ni, NodeId node, Cycle now)
         ++ni.flitsEjected;
         ++conservEjected_;
         ++stats_.flitsDelivered;
+        ++stats_.vnFlitsDelivered[static_cast<int>(flit.vnet)];
+        --vnInFabric_[static_cast<int>(flit.vnet)];
+        DR_ASSERT(vnInFabric_[static_cast<int>(flit.vnet)] >= 0);
 
         const int v = flit.vc;
         if (flit.head) {
@@ -438,6 +465,11 @@ void
 Network::resetStats()
 {
     stats_ = NetworkStats{};
+    // Peak per-VN occupancy restarts from the live occupancy, not from
+    // zero — flits already in flight still occupy their VN's buffers.
+    for (int vn = 0; vn < numVnets; ++vn)
+        stats_.vnPeakFlits[vn] = static_cast<std::uint64_t>(
+            std::max(vnInFabric_[vn], 0));
     // Record the boundary: packets queued before this cycle must not
     // contribute latency samples to the fresh measurement window.
     statsResetAt_ = now_;

@@ -10,6 +10,7 @@
  * back-pressure into the network (Figure 3 of the paper).
  */
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -42,6 +43,13 @@ struct NetworkParams
     std::vector<int> injBufferFlits;
     RoutingKind routing = RoutingKind::DimOrderXY;
     std::uint64_t seed = 1;
+    /**
+     * Virtual-network partition of the VCs (noc/vnet.hpp). Empty means
+     * uniform: every VN may use every VC (the legacy behaviour).
+     */
+    VnetLayout layout{};
+    /** Arbitrate by (class, VN) rank instead of class alone. */
+    bool vnPriority = false;
 };
 
 /** Aggregate network statistics. */
@@ -66,6 +74,17 @@ struct NetworkStats
      * flit, link, and router counters (see DESIGN.md).
      */
     Counter localDeliveries;
+
+    // --- per virtual network (indexed by VirtualNet) -------------------
+    std::array<Counter, numVnets> vnPacketsInjected;
+    std::array<Counter, numVnets> vnFlitsDelivered;
+    /**
+     * Cycles a head-of-line packet could not start sending because no
+     * VC in its VN's reserved range was free with a credit.
+     */
+    std::array<Counter, numVnets> vnInjectionStalls;
+    /** Peak flits simultaneously in the fabric, per VN, since reset. */
+    std::array<std::uint64_t, numVnets> vnPeakFlits{};
 };
 
 /**
@@ -88,12 +107,17 @@ class Network : public RouterEnv, public CongestionProbe
     bool canInject(NodeId node, int flits) const;
 
     /**
-     * Queue a message for injection. `vcMask` restricts the packet to a
-     * VC subset (used by the shared-network AVCP mode); 0 means "any".
+     * Queue a message for injection on the given virtual network; the
+     * packet is confined to the VN's reserved VC range for its whole
+     * flight. The three-argument overload classifies the message itself
+     * (defaultVnet — raw-kernel users: benches, synthetic traffic).
      * @pre canInject(msg.src, flits)
      */
-    void inject(const Message &msg, int flits, Cycle now,
-                std::uint8_t vcMask = 0);
+    void inject(const Message &msg, int flits, Cycle now, VirtualNet vn);
+    void inject(const Message &msg, int flits, Cycle now)
+    {
+        inject(msg, flits, now, defaultVnet(msg));
+    }
 
     /** Messages fully reassembled at a node, per logical network. */
     bool hasMessage(NodeId node, NetKind kind) const;
@@ -121,6 +145,15 @@ class Network : public RouterEnv, public CongestionProbe
     const NetworkStats &stats() const { return stats_; }
     const Topology &topology() const { return topo_; }
     RoutingPolicy &routing() { return routing_; }
+
+    /** The VC partition this network runs with (uniform if VNs off). */
+    const VnetLayout &vnetLayout() const { return routing_.layout(); }
+
+    /** Flits of one VN currently inside the fabric. */
+    int vnFlitsInFabric(VirtualNet vn) const
+    {
+        return vnInFabric_[static_cast<int>(vn)];
+    }
 
     /** Utilization of the node->router injection link over `cycles`. */
     double injectionLinkUtilization(NodeId node, Cycle cycles) const;
@@ -269,6 +302,8 @@ class Network : public RouterEnv, public CongestionProbe
     ActiveSet activeRouters_;            //!< routers with pending work
     PacketId nextPktId_ = 1;
     NetworkStats stats_;
+    /** Live per-VN flit occupancy of the fabric (survives resetStats). */
+    std::array<int, numVnets> vnInFabric_{};
     std::uint64_t linkTraversals_ = 0;
     std::uint64_t conservInjected_ = 0;  //!< flits NIs handed to routers
     std::uint64_t conservEjected_ = 0;   //!< flits NIs drained from routers

@@ -13,9 +13,9 @@ namespace dr
 Router::Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
                RouterEnv &env,
                const std::vector<std::uint8_t> &portIsLink,
-               const std::vector<NodeId> &portNode)
+               const std::vector<NodeId> &portNode, bool vnPriority)
     : id_(id), numPorts_(numPorts), numVcs_(numVcs), vcDepth_(vcDepth),
-      stages_(stages),
+      stages_(stages), vnPriority_(vnPriority),
       env_(env), portIsLink_(portIsLink), portNode_(portNode),
       in_(static_cast<std::size_t>(numPorts) * numVcs),
       arrivals_(numPorts),
@@ -163,14 +163,15 @@ Router::vcAllocateWide()
 {
     bool allocated = false;
     const int keys = numPorts_ * numVcs_;
-    // Two passes give CPU-class packets strict priority.
-    for (const TrafficClass cls : {TrafficClass::Cpu, TrafficClass::Gpu}) {
+    // Ranked passes: CPU before GPU, and within a class (vnPriority
+    // mode) downstream virtual networks before upstream ones.
+    for (int rank = 0; rank < arbRankCount(vnPriority_); ++rank) {
         for (int key = 0; key < keys; ++key) {
             InVc &ivc = in_[key];
             if (!ivc.routed || ivc.active || ivc.buf.empty())
                 continue;
             const Flit &head = ivc.buf.front();
-            if (head.cls != cls)
+            if (arbRank(head.cls, head.vnet, vnPriority_) != rank)
                 continue;
             const std::uint8_t mask =
                 head.vcMask & env_.vcMaskForOutput(id_, ivc.outPort, head);
@@ -201,15 +202,16 @@ Router::vcAllocate()
     if (!cand)
         return false;
     bool allocated = false;
-    // Two passes give CPU-class packets strict priority.
-    for (const TrafficClass cls : {TrafficClass::Cpu, TrafficClass::Gpu}) {
+    // Ranked passes: CPU before GPU, and within a class (vnPriority
+    // mode) downstream virtual networks before upstream ones.
+    for (int rank = 0; rank < arbRankCount(vnPriority_); ++rank) {
         std::uint64_t m = cand;
         while (m) {
             const int key = std::countr_zero(m);
             m &= m - 1;
             InVc &ivc = in_[key];
             const Flit &head = ivc.buf.front();
-            if (head.cls != cls)
+            if (arbRank(head.cls, head.vnet, vnPriority_) != rank)
                 continue;
             const std::uint8_t mask =
                 head.vcMask & env_.vcMaskForOutput(id_, ivc.outPort, head);
@@ -246,9 +248,10 @@ Router::switchAllocate(Cycle now)
     // Grant one crossbar traversal per output and per input (separable
     // allocation). Requests are bucketed per output port up front from
     // the active-VC mask; outputs with no requesters are skipped with a
-    // single test. The best-candidate comparison (CPU class first, then
-    // rotation distance — unique per key) is order-independent, so the
-    // grants match the old exhaustive port x VC scan exactly.
+    // single test. The best-candidate comparison (arbitration rank
+    // first — CPU before GPU, then VN rank when vnPriority is on —
+    // then rotation distance, unique per key) is order-independent, so
+    // the grants match the old exhaustive port x VC scan exactly.
     if (wide_)
         return switchAllocateWide(now);
     bool granted = false;
@@ -268,7 +271,7 @@ Router::switchAllocate(Cycle now)
     for (int i = 0; i < numPorts_; ++i) {
         const int outPort = (i + saOffset_) % numPorts_;
         int best = -1;
-        bool bestCpu = false;
+        int bestRank = 0;
         int bestDist = 0;
         for (std::uint64_t m = saReq_[outPort]; m != 0; m &= m - 1) {
             const int key = std::countr_zero(m);
@@ -278,14 +281,14 @@ Router::switchAllocate(Cycle now)
             const Flit &flit = ivc.buf.front();
             if (!outVcHasSpace(outPort, ivc.outVc, portNode_[outPort]))
                 continue;
-            const bool isCpu = flit.cls == TrafficClass::Cpu;
+            const int rank = arbRank(flit.cls, flit.vnet, vnPriority_);
             const int dist =
                 (key - rrPtr_[outPort] + numPorts_ * numVcs_) %
                 (numPorts_ * numVcs_);
-            if (best < 0 || (isCpu && !bestCpu) ||
-                (isCpu == bestCpu && dist < bestDist)) {
+            if (best < 0 || rank < bestRank ||
+                (rank == bestRank && dist < bestDist)) {
                 best = key;
-                bestCpu = isCpu;
+                bestRank = rank;
                 bestDist = dist;
             }
         }
@@ -311,7 +314,7 @@ Router::switchAllocateWide(Cycle now)
     for (int i = 0; i < numPorts_; ++i) {
         const int outPort = (i + saOffset_) % numPorts_;
         int best = -1;
-        bool bestCpu = false;
+        int bestRank = 0;
         int bestDist = 0;
         for (int p = 0; p < numPorts_; ++p) {
             if (inUsed[p])
@@ -326,14 +329,15 @@ Router::switchAllocateWide(Cycle now)
                 const Flit &flit = ivc.buf.front();
                 if (!outVcHasSpace(outPort, ivc.outVc, portNode_[outPort]))
                     continue;
-                const bool isCpu = flit.cls == TrafficClass::Cpu;
+                const int rank =
+                    arbRank(flit.cls, flit.vnet, vnPriority_);
                 const int dist =
                     (key - rrPtr_[outPort] + numPorts_ * numVcs_) %
                     (numPorts_ * numVcs_);
-                if (best < 0 || (isCpu && !bestCpu) ||
-                    (isCpu == bestCpu && dist < bestDist)) {
+                if (best < 0 || rank < bestRank ||
+                    (rank == bestRank && dist < bestDist)) {
                     best = key;
-                    bestCpu = isCpu;
+                    bestRank = rank;
                     bestDist = dist;
                 }
             }

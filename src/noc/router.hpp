@@ -82,10 +82,15 @@ struct BlockedHead
 class Router
 {
   public:
+    /**
+     * `vnPriority` switches the allocators from the legacy two-level
+     * CPU>GPU priority to the (class, virtual-network) rank of
+     * vnet.hpp; off reproduces the legacy arbitration bit-for-bit.
+     */
     Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
            RouterEnv &env,
            const std::vector<std::uint8_t> &portIsLink,
-           const std::vector<NodeId> &portNode);
+           const std::vector<NodeId> &portNode, bool vnPriority = false);
 
     /** Queue a flit arriving at an input port (takes effect at `when`). */
     void acceptFlit(int port, const Flit &flit, Cycle when);
@@ -208,6 +213,7 @@ class Router
     int numVcs_;
     int vcDepth_;
     int stages_;
+    bool vnPriority_;
     RouterEnv &env_;
 
     std::vector<std::uint8_t> portIsLink_;  //!< per port: link vs node/none

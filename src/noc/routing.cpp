@@ -6,15 +6,38 @@ namespace dr
 {
 
 RoutingPolicy::RoutingPolicy(RoutingKind kind, const Topology &topo,
-                             int numVcs, std::uint64_t seed)
-    : kind_(kind), topo_(topo), numVcs_(numVcs), rng_(seed)
+                             int numVcs, std::uint64_t seed,
+                             const VnetLayout &layout)
+    : kind_(kind), topo_(topo), numVcs_(numVcs),
+      layout_(layout.empty() ? VnetLayout::uniform(numVcs) : layout),
+      rng_(seed)
 {
     if (topo_.kind() != TopologyKind::Mesh &&
         kind_ != RoutingKind::TableMinimal) {
         fatal("only table routing is supported on non-mesh topologies");
     }
-    if (adaptive() && numVcs_ < 2)
-        fatal("adaptive routing needs at least 2 VCs (one per order)");
+    if (layout_.numVcs != numVcs_)
+        fatal("virtual-network layout covers ", layout_.numVcs,
+              " VCs but the network has ", numVcs_);
+    // Escape classes are carved out of each VN's reserved range, so
+    // VN ranges of one VC cannot express them.
+    const bool needsSplit =
+        adaptive() || topo_.kind() == TopologyKind::Dragonfly;
+    if (needsSplit) {
+        if (numVcs_ < 2)
+            fatal("adaptive routing needs at least 2 VCs (one per order)");
+        for (int vn = 0; vn < numVnets; ++vn) {
+            if (layout_.range[vn].count < 2) {
+                fatal(adaptive() ? "adaptive routing" : "dragonfly phase "
+                                                        "escalation",
+                      " needs at least 2 VCs in every virtual network; "
+                      "the ",
+                      vnetName(static_cast<VirtualNet>(vn)),
+                      " VN has ",
+                      static_cast<int>(layout_.range[vn].count));
+            }
+        }
+    }
 }
 
 bool
@@ -85,16 +108,18 @@ RoutingPolicy::chooseOrder(int srcRouter, int destRouter,
 }
 
 std::uint8_t
-RoutingPolicy::packetMask(DimOrder order) const
+RoutingPolicy::packetMask(DimOrder order, VirtualNet vn) const
 {
-    const std::uint8_t all =
-        static_cast<std::uint8_t>((1u << numVcs_) - 1u);
+    const std::uint8_t all = layout_.mask(vn);
     if (!adaptive())
         return all;
-    // Each order owns half the VCs; disjoint classes keep the union of
-    // XY- and YX-routed wormhole traffic deadlock-free (O1TURN).
-    const int half = numVcs_ / 2;
-    const std::uint8_t lower = static_cast<std::uint8_t>((1u << half) - 1u);
+    // Each order owns half the VN's reserved VCs; disjoint classes keep
+    // the union of XY- and YX-routed wormhole traffic deadlock-free
+    // (O1TURN), independently within every virtual network.
+    const VcRange &r = layout_.range[static_cast<int>(vn)];
+    const int half = r.count / 2;
+    const std::uint8_t lower =
+        static_cast<std::uint8_t>(((1u << half) - 1u) << r.base);
     return order == DimOrder::XY
                ? lower
                : static_cast<std::uint8_t>(all & ~lower);
@@ -137,12 +162,14 @@ RoutingPolicy::vcMaskForLink(int downstreamRouter, const Flit &flit) const
     if (topo_.kind() != TopologyKind::Dragonfly)
         return 0xff;
     // VC phase escalation: traffic that has reached the destination
-    // group moves to the upper VC half, breaking the local->global->local
-    // channel dependence cycle.
-    const int half = numVcs_ / 2;
-    const std::uint8_t all =
-        static_cast<std::uint8_t>((1u << numVcs_) - 1u);
-    const std::uint8_t lower = static_cast<std::uint8_t>((1u << half) - 1u);
+    // group moves to the upper half *of its virtual network's range*,
+    // breaking the local->global->local channel dependence cycle
+    // without ever borrowing another VN's VCs.
+    const VcRange &r = layout_.range[static_cast<int>(flit.vnet)];
+    const int half = r.count / 2;
+    const std::uint8_t all = layout_.mask(flit.vnet);
+    const std::uint8_t lower =
+        static_cast<std::uint8_t>(((1u << half) - 1u) << r.base);
     const bool inDestGroup =
         topo_.groupOf(downstreamRouter) == topo_.groupOf(flit.destRouter);
     return inDestGroup ? static_cast<std::uint8_t>(all & ~lower) : lower;

@@ -40,11 +40,21 @@ class CongestionProbe
 class RoutingPolicy
 {
   public:
+    /**
+     * `layout` partitions the VCs among virtual networks; an empty
+     * layout means every VN may use every VC (the legacy behaviour).
+     * VC-class escapes (O1TURN order classes, dragonfly phase
+     * escalation) are computed *within* the packet's VN range so VN
+     * isolation and escape deadlock-freedom compose — which also means
+     * adaptive routing and the dragonfly need every VN range to hold
+     * at least two VCs (fatal at construction otherwise).
+     */
     RoutingPolicy(RoutingKind kind, const Topology &topo, int numVcs,
-                  std::uint64_t seed);
+                  std::uint64_t seed, const VnetLayout &layout = {});
 
     RoutingKind kind() const { return kind_; }
     bool adaptive() const;
+    const VnetLayout &layout() const { return layout_; }
 
     /**
      * Choose the dimension order for a packet at injection. Deterministic
@@ -54,8 +64,13 @@ class RoutingPolicy
     DimOrder chooseOrder(int srcRouter, int destRouter,
                          const CongestionProbe &net);
 
-    /** VC mask a packet of the given order may use. */
-    std::uint8_t packetMask(DimOrder order) const;
+    /**
+     * VC mask a packet of the given order and virtual network may use:
+     * the VN's reserved range, halved per dimension order under
+     * adaptive (O1TURN) routing.
+     */
+    std::uint8_t packetMask(DimOrder order,
+                            VirtualNet vn = VirtualNet::Request) const;
 
     /** Output port at `router` for the flit's next hop. */
     int outputPort(int router, const Flit &flit) const;
@@ -78,6 +93,7 @@ class RoutingPolicy
     RoutingKind kind_;
     const Topology &topo_;
     int numVcs_;
+    VnetLayout layout_;
     Rng rng_;
 
     /** HARE history: EWMA latency per (src, dest) per order. */

@@ -1,0 +1,125 @@
+#include "noc/vnet.hpp"
+
+#include "common/config.hpp"
+#include "common/log.hpp"
+
+namespace dr
+{
+
+const char *
+vnetName(VirtualNet vn)
+{
+    switch (vn) {
+      case VirtualNet::Request: return "request";
+      case VirtualNet::ForwardedRequest: return "forward";
+      case VirtualNet::Reply: return "reply";
+      case VirtualNet::DelegatedReply: return "delegated";
+    }
+    return "?";
+}
+
+VirtualNet
+classifyMessage(const Message &msg, bool srcIsMemNode)
+{
+    switch (msg.type) {
+      case MsgType::ReadReq:
+      case MsgType::WriteReq:
+      case MsgType::ProbeReq:
+        // DNF re-sends (msg.dnf) ride the ordinary Request VN on
+        // purpose: see the dependency-order discussion in vnet.hpp.
+        return VirtualNet::Request;
+      case MsgType::DelegatedReq:
+        return VirtualNet::ForwardedRequest;
+      case MsgType::ReadReply:
+      case MsgType::WriteAck:
+        return srcIsMemNode ? VirtualNet::Reply
+                            : VirtualNet::DelegatedReply;
+      case MsgType::ProbeNack:
+        return VirtualNet::DelegatedReply; // always core-to-core
+    }
+    panic("unreachable message type in classifyMessage");
+}
+
+VnetLayout
+VnetLayout::uniform(int numVcs)
+{
+    VnetLayout l;
+    l.numVcs = numVcs;
+    for (int vn = 0; vn < numVnets; ++vn)
+        l.range[vn] = {0, static_cast<std::uint8_t>(numVcs)};
+    return l;
+}
+
+namespace
+{
+
+void
+setRange(VnetLayout &l, VirtualNet vn, int base, int count)
+{
+    l.range[static_cast<int>(vn)] = {static_cast<std::uint8_t>(base),
+                                     static_cast<std::uint8_t>(count)};
+}
+
+} // namespace
+
+VnetLayout
+requestNetLayout(const NocConfig &noc)
+{
+    if (!noc.vnets)
+        return VnetLayout::uniform(noc.vcsPerNet);
+    VnetLayout l;
+    l.numVcs = noc.vcsPerNet;
+    setRange(l, VirtualNet::Request, 0, noc.vnetRequestVcs);
+    setRange(l, VirtualNet::ForwardedRequest, noc.vnetRequestVcs,
+             noc.vnetForwardVcs);
+    // Reply-side VNs never travel on the request network; give them the
+    // full range so a (checked-build-caught) misrouted packet still has
+    // a legal mask instead of tripping the empty-mask panic.
+    setRange(l, VirtualNet::Reply, 0, noc.vcsPerNet);
+    setRange(l, VirtualNet::DelegatedReply, 0, noc.vcsPerNet);
+    return l;
+}
+
+VnetLayout
+replyNetLayout(const NocConfig &noc)
+{
+    if (!noc.vnets)
+        return VnetLayout::uniform(noc.vcsPerNet);
+    VnetLayout l;
+    l.numVcs = noc.vcsPerNet;
+    setRange(l, VirtualNet::Reply, 0, noc.vnetReplyVcs);
+    setRange(l, VirtualNet::DelegatedReply, noc.vnetReplyVcs,
+             noc.vnetDelegatedVcs);
+    setRange(l, VirtualNet::Request, 0, noc.vcsPerNet);
+    setRange(l, VirtualNet::ForwardedRequest, 0, noc.vcsPerNet);
+    return l;
+}
+
+VnetLayout
+sharedNetLayout(const NocConfig &noc)
+{
+    const int total = noc.sharedReqVcs + noc.sharedReplyVcs;
+    VnetLayout l;
+    l.numVcs = total;
+    if (!noc.vnets) {
+        // Legacy AVCP split: request-side classes on the first
+        // sharedReqVcs VCs, reply-side classes on the rest (what
+        // Interconnect::classMask used to express).
+        setRange(l, VirtualNet::Request, 0, noc.sharedReqVcs);
+        setRange(l, VirtualNet::ForwardedRequest, 0, noc.sharedReqVcs);
+        setRange(l, VirtualNet::Reply, noc.sharedReqVcs,
+                 noc.sharedReplyVcs);
+        setRange(l, VirtualNet::DelegatedReply, noc.sharedReqVcs,
+                 noc.sharedReplyVcs);
+        return l;
+    }
+    setRange(l, VirtualNet::Request, 0, noc.vnetRequestVcs);
+    setRange(l, VirtualNet::ForwardedRequest, noc.vnetRequestVcs,
+             noc.vnetForwardVcs);
+    setRange(l, VirtualNet::Reply, noc.sharedReqVcs, noc.vnetReplyVcs);
+    setRange(l, VirtualNet::DelegatedReply,
+             noc.sharedReqVcs + noc.vnetReplyVcs, noc.vnetDelegatedVcs);
+    return l;
+}
+
+} // namespace dr

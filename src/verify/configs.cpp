@@ -87,25 +87,45 @@ makeConfigs()
         out.push_back(std::move(c));
     }
     {
-        // Not a seeded bug: the protocol as implemented shares the
-        // request network between first-time/DNF requests and
-        // delegated requests. When the delegations in flight toward
-        // one core exceed its FRQ depth plus the network headroom, the
-        // core can no longer inject the DNF re-send its FRQ head needs
-        // — a message-class cycle the checker finds with a fourth
-        // core. Real configurations keep frqEntries (default 8) above
-        // the worst-case fan-in and the watchdog catches the residue;
-        // the structural fix (a separate virtual network for forwarded
-        // requests) is a ROADMAP item. See DESIGN.md §10.
+        // The historical fan-in hazard, now with the structural fix:
+        // with the virtual-network split (noc.vnets) delegations ride a
+        // dedicated ForwardedRequest network and core-to-core replies a
+        // dedicated DelegatedReply network, so delegation fan-in toward
+        // one core can no longer consume the buffering its FRQ head's
+        // DNF re-send needs. The checker proves the 4-core / 1-line
+        // configuration that deadlocked under the collapsed layout
+        // (see `shared-vnet` below) deadlock- and livelock-free.
         NamedConfig c{"shared-net-clog",
-                      "4 cores / 1 line: delegation fan-in exceeds FRQ "
-                      "+ request-network headroom (known hazard)",
+                      "4 cores / 1 line, VN split: delegation fan-in no "
+                      "longer blocks the DNF re-send",
+                      "", baseConfig()};
+        c.config.numCores = 4;
+        c.config.numLines = 1;
+        c.config.llcPresent = 0b0;
+        c.config.initialPointer = {-1};
+        c.config.initialL1 = {0, 0, 0, 0};
+        c.config.splitVnets = true;
+        out.push_back(std::move(c));
+    }
+    {
+        // Not a seeded bug: the collapsed-VN layout the split replaces.
+        // First-time/DNF requests and delegated requests share the
+        // request network; when the delegations in flight toward one
+        // core exceed its FRQ depth plus the network headroom, the core
+        // can no longer inject the DNF re-send its FRQ head needs — a
+        // message-class cycle the checker finds with a fourth core.
+        // Kept as a mutant to prove the checker still detects the
+        // hazard the virtual-network split removes. See DESIGN.md §10.
+        NamedConfig c{"shared-vnet",
+                      "4 cores / 1 line, VNs collapsed: delegation "
+                      "fan-in exceeds FRQ + request-network headroom",
                       property::deadlockFreedom, baseConfig()};
         c.config.numCores = 4;
         c.config.numLines = 1;
         c.config.llcPresent = 0b0;
         c.config.initialPointer = {-1};
         c.config.initialL1 = {0, 0, 0, 0};
+        c.config.splitVnets = false;
         out.push_back(std::move(c));
     }
     {

@@ -74,7 +74,8 @@ Model::Model(const ModelConfig &cfg) : cfg_(cfg)
     if (cfg_.frqEntries < 1 || cfg_.reqNetCapacity < 1 ||
         cfg_.replyNetCapacity < 1 || cfg_.llcReplyQueue < 1 ||
         cfg_.outboundEntries < 1 || cfg_.coreMshrs < 1 ||
-        cfg_.llcMshrs < 1 || cfg_.mshrTargets < 1) {
+        cfg_.llcMshrs < 1 || cfg_.mshrTargets < 1 ||
+        cfg_.fwdNetCapacity < 1 || cfg_.dlgNetCapacity < 1) {
         fatal("drverify: every capacity must be at least 1");
     }
 
@@ -279,10 +280,13 @@ Model::frqTransitions(const State &s, std::vector<Succ> &out) const
 void
 Model::outboundTransitions(const State &s, std::vector<Succ> &out) const
 {
+    // Core-to-core replies ride the DelegatedReply VN: a dedicated
+    // network with splitVnets on, the shared reply network otherwise.
     for (int c = 0; c < cfg_.numCores; ++c) {
         const CoreState &core = s.cores[c];
         if (core.outbound.empty() ||
-            static_cast<int>(s.replyNet.size()) >= cfg_.replyNetCapacity) {
+            static_cast<int>((s.*coreReplyNet()).size()) >=
+                coreReplyCapacity()) {
             continue;
         }
         Succ succ;
@@ -290,7 +294,7 @@ Model::outboundTransitions(const State &s, std::vector<Succ> &out) const
         CoreState &nc = succ.state.cores[c];
         const Msg m = nc.outbound.front();
         nc.outbound.erase(nc.outbound.begin());
-        insertSorted(succ.state.replyNet, m);
+        insertSorted(succ.state.*coreReplyNet(), m);
         succ.action =
             "core " + std::to_string(c) + ": injects " + msgName(m);
         out.push_back(std::move(succ));
@@ -298,19 +302,22 @@ Model::outboundTransitions(const State &s, std::vector<Succ> &out) const
 }
 
 void
-Model::replyDeliveryTransitions(const State &s, std::vector<Succ> &out) const
+Model::replyDeliveryTransitions(const State &s,
+                                std::vector<Msg> State::*net,
+                                std::vector<Succ> &out) const
 {
-    for (std::size_t i = 0; i < s.replyNet.size(); ++i) {
-        if (i > 0 && s.replyNet[i] == s.replyNet[i - 1])
+    const std::vector<Msg> &msgs = s.*net;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+        if (i > 0 && msgs[i] == msgs[i - 1])
             continue;  // identical in-flight messages: one representative
-        const Msg m = s.replyNet[i];
+        const Msg m = msgs[i];
         if (m.kind != MsgKind::ReadReply)
             panic("drverify: reply network holds a ", msgKindName(m.kind));
         const int c = m.dst;
         Succ succ;
         succ.state = s;
-        succ.state.replyNet.erase(succ.state.replyNet.begin() +
-                                  static_cast<std::ptrdiff_t>(i));
+        (succ.state.*net).erase((succ.state.*net).begin() +
+                                static_cast<std::ptrdiff_t>(i));
         CoreState &nc = succ.state.cores[c];
         succ.action = "deliver " + msgName(m);
 
@@ -352,6 +359,7 @@ Model::replyDeliveryTransitions(const State &s, std::vector<Succ> &out) const
 
 void
 Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
+                    std::vector<Msg> State::*net,
                     std::vector<Succ> &out) const
 {
     const std::uint8_t l = m.line;
@@ -363,7 +371,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
                 return;  // back-pressure: the request waits in the net
             Succ succ;
             succ.state = s;
-            succ.state.reqNet.erase(succ.state.reqNet.begin() +
+            (succ.state.*net).erase((succ.state.*net).begin() +
                                     static_cast<std::ptrdiff_t>(netIdx));
             succ.action = "LLC: BUG: drops " + msgName(m) +
                           " because the reply queue is full";
@@ -372,7 +380,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
         }
         Succ succ;
         succ.state = s;
-        succ.state.reqNet.erase(succ.state.reqNet.begin() +
+        (succ.state.*net).erase((succ.state.*net).begin() +
                                 static_cast<std::ptrdiff_t>(netIdx));
         LlcState &nl = succ.state.llc;
         const std::int8_t ptr = nl.ptr[l];
@@ -409,7 +417,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
             return;  // entry full: the request waits in the net
         Succ succ;
         succ.state = s;
-        succ.state.reqNet.erase(succ.state.reqNet.begin() +
+        (succ.state.*net).erase((succ.state.*net).begin() +
                                 static_cast<std::ptrdiff_t>(netIdx));
         insertSorted(succ.state.llc.targets,
                      Target{l, m.requester, m.seq});
@@ -421,7 +429,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
         return;  // MSHRs full: the request waits in the net
     Succ succ;
     succ.state = s;
-    succ.state.reqNet.erase(succ.state.reqNet.begin() +
+    (succ.state.*net).erase((succ.state.*net).begin() +
                             static_cast<std::ptrdiff_t>(netIdx));
     succ.state.llc.mshr |= bit(l);
     insertSorted(succ.state.llc.targets, Target{l, m.requester, m.seq});
@@ -432,14 +440,15 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
 
 void
 Model::deliverToCore(const State &s, const Msg &m, std::size_t netIdx,
+                     std::vector<Msg> State::*net,
                      std::vector<Succ> &out) const
 {
     const int c = m.dst;
     if (static_cast<int>(s.cores[c].frq.size()) >= cfg_.frqEntries)
-        return;  // FRQ full: back-pressure into the request network
+        return;  // FRQ full: back-pressure into the carrying network
     Succ succ;
     succ.state = s;
-    succ.state.reqNet.erase(succ.state.reqNet.begin() +
+    (succ.state.*net).erase((succ.state.*net).begin() +
                             static_cast<std::ptrdiff_t>(netIdx));
     succ.state.cores[c].frq.push_back(m);
     succ.action = "deliver " + msgName(m) + " into the FRQ";
@@ -458,16 +467,24 @@ Model::deliverToCore(const State &s, const Msg &m, std::size_t netIdx,
 
 void
 Model::requestDeliveryTransitions(const State &s,
+                                  std::vector<Msg> State::*net,
                                   std::vector<Succ> &out) const
 {
-    for (std::size_t i = 0; i < s.reqNet.size(); ++i) {
-        if (i > 0 && s.reqNet[i] == s.reqNet[i - 1])
+    const std::vector<Msg> &msgs = s.*net;
+    for (std::size_t i = 0; i < msgs.size(); ++i) {
+        if (i > 0 && msgs[i] == msgs[i - 1])
             continue;
-        const Msg &m = s.reqNet[i];
+        const Msg &m = msgs[i];
         if (m.dst == llcNode()) {
-            deliverToLlc(s, m, i, out);
+            // Only the Request VN carries LLC-bound traffic; DNF
+            // re-sends deliberately stay off the forward network
+            // (see sm_core.cpp and noc/vnet.hpp).
+            if (net == &State::fwdNet)
+                panic("drverify: forward network holds a ",
+                      msgKindName(m.kind), " addressed to the LLC");
+            deliverToLlc(s, m, i, net, out);
         } else if (m.kind == MsgKind::DelegatedReq) {
-            deliverToCore(s, m, i, out);
+            deliverToCore(s, m, i, net, out);
         } else {
             panic("drverify: request network holds a ",
                   msgKindName(m.kind), " addressed to a core");
@@ -485,17 +502,19 @@ Model::llcInjectTransitions(const State &s, std::vector<Succ> &out) const
         static_cast<int>(s.replyNet.size()) >= cfg_.replyNetCapacity;
     // Mirrors MemNode::drainReplies: delegate when the reply cannot be
     // injected (or always, under the ablation knob); fall back to a
-    // normal injection when the request network has no room either.
+    // normal injection when the delegation network (the ForwardedRequest
+    // VN with splitVnets on, else the shared request network) has no
+    // room either.
     const bool wantDelegate =
         e.delegatable != 0 && (cfg_.delegateAlways || replyNetFull);
 
-    if (wantDelegate &&
-        static_cast<int>(s.reqNet.size()) < cfg_.reqNetCapacity) {
+    if (wantDelegate && static_cast<int>((s.*delegationNet()).size()) <
+                            delegationCapacity()) {
         Succ succ;
         succ.state = s;
         LlcState &nl = succ.state.llc;
         nl.replyQ.erase(nl.replyQ.begin());
-        insertSorted(succ.state.reqNet,
+        insertSorted(succ.state.*delegationNet(),
                      Msg{MsgKind::DelegatedReq, e.line, e.requester, e.seq,
                          static_cast<std::uint8_t>(e.delegateTo), 0});
         std::ostringstream os;
@@ -608,8 +627,10 @@ Model::successors(const State &s, std::vector<Succ> &out) const
     issueTransitions(s, out);
     frqTransitions(s, out);
     outboundTransitions(s, out);
-    replyDeliveryTransitions(s, out);
-    requestDeliveryTransitions(s, out);
+    replyDeliveryTransitions(s, &State::replyNet, out);
+    replyDeliveryTransitions(s, &State::dlgNet, out);
+    requestDeliveryTransitions(s, &State::reqNet, out);
+    requestDeliveryTransitions(s, &State::fwdNet, out);
     llcInjectTransitions(s, out);
     fillTransitions(s, out);
     evictTransitions(s, out);
@@ -618,8 +639,10 @@ Model::successors(const State &s, std::vector<Succ> &out) const
 bool
 Model::terminal(const State &s) const
 {
-    if (!s.reqNet.empty() || !s.replyNet.empty())
+    if (!s.reqNet.empty() || !s.replyNet.empty() || !s.fwdNet.empty() ||
+        !s.dlgNet.empty()) {
         return false;
+    }
     if (s.llc.mshr != 0 || !s.llc.targets.empty() || !s.llc.replyQ.empty())
         return false;
     for (const CoreState &core : s.cores) {
@@ -639,8 +662,9 @@ Model::terminal(const State &s) const
 std::optional<Violation>
 Model::quiescenceViolation(const State &s) const
 {
-    if (!s.reqNet.empty() || !s.replyNet.empty() || s.llc.mshr != 0 ||
-        !s.llc.targets.empty() || !s.llc.replyQ.empty()) {
+    if (!s.reqNet.empty() || !s.replyNet.empty() || !s.fwdNet.empty() ||
+        !s.dlgNet.empty() || s.llc.mshr != 0 || !s.llc.targets.empty() ||
+        !s.llc.replyQ.empty()) {
         return std::nullopt;
     }
     for (int c = 0; c < cfg_.numCores; ++c) {
@@ -722,6 +746,12 @@ Model::encode(const State &s) const
     put8(out, s.replyNet.size());
     for (const Msg &m : s.replyNet)
         putMsg(m);
+    put8(out, s.fwdNet.size());
+    for (const Msg &m : s.fwdNet)
+        putMsg(m);
+    put8(out, s.dlgNet.size());
+    for (const Msg &m : s.dlgNet)
+        putMsg(m);
     return out;
 }
 
@@ -789,6 +819,12 @@ Model::decode(const std::string &bytes) const
     s.replyNet.resize(get8(bytes, pos));
     for (Msg &m : s.replyNet)
         m = getMsg();
+    s.fwdNet.resize(get8(bytes, pos));
+    for (Msg &m : s.fwdNet)
+        m = getMsg();
+    s.dlgNet.resize(get8(bytes, pos));
+    for (Msg &m : s.dlgNet)
+        m = getMsg();
     if (pos != bytes.size())
         panic("drverify: state decode consumed ", pos, " of ",
               bytes.size(), " bytes");
@@ -832,11 +868,20 @@ Model::describe(const State &s) const
     os << "] fills=" << count(s.llc.mshr)
        << " replyQ=" << s.llc.replyQ.size() << "\n";
     os << "  reqNet=" << s.reqNet.size()
-       << " replyNet=" << s.replyNet.size() << "\n";
+       << " replyNet=" << s.replyNet.size();
+    if (cfg_.splitVnets) {
+        os << " fwdNet=" << s.fwdNet.size()
+           << " dlgNet=" << s.dlgNet.size();
+    }
+    os << "\n";
     for (const Msg &m : s.reqNet)
         os << "    reqNet: " << msgName(m) << "\n";
     for (const Msg &m : s.replyNet)
         os << "    replyNet: " << msgName(m) << "\n";
+    for (const Msg &m : s.fwdNet)
+        os << "    fwdNet: " << msgName(m) << "\n";
+    for (const Msg &m : s.dlgNet)
+        os << "    dlgNet: " << msgName(m) << "\n";
     return os.str();
 }
 

@@ -77,6 +77,19 @@ struct ModelConfig
     bool frqRemotePriority = true;  //!< remote-over-local FRQ priority
     bool allowEvict = true;         //!< nondeterministic L1 eviction
 
+    /**
+     * Virtual-network split (`noc.vnets`, noc/vnet.hpp): LLC->core
+     * delegations travel on a dedicated forwarded-request network and
+     * core-to-core replies on a dedicated delegated-reply network, each
+     * with its own in-flight bound, instead of sharing reqNet/replyNet.
+     * Off (the default) models the collapsed layout whose fan-in clog
+     * DESIGN.md §10 documents, and leaves every legacy config's state
+     * space untouched.
+     */
+    bool splitVnets = false;
+    int fwdNetCapacity = 1;  //!< forwarded-request network bound
+    int dlgNetCapacity = 1;  //!< delegated-reply network bound
+
     // Seeded bugs for mutation testing. Each reintroduces one failure
     // mode the paper's protocol rules exist to prevent.
     bool bugIgnoreDnf = false;            //!< LLC re-delegates DNF reqs
@@ -181,6 +194,8 @@ struct State
     LlcState llc;
     std::vector<Msg> reqNet;
     std::vector<Msg> replyNet;
+    std::vector<Msg> fwdNet;  //!< delegations (splitVnets only, else empty)
+    std::vector<Msg> dlgNet;  //!< core replies (splitVnets only, else empty)
 
     auto operator<=>(const State &) const = default;
 };
@@ -254,20 +269,44 @@ class Model
     std::string coreName(int c) const;
     std::string msgName(const Msg &m) const;
 
+    /** The network a delegation rides (fwdNet under splitVnets). */
+    std::vector<Msg> State::*delegationNet() const
+    {
+        return cfg_.splitVnets ? &State::fwdNet : &State::reqNet;
+    }
+    int delegationCapacity() const
+    {
+        return cfg_.splitVnets ? cfg_.fwdNetCapacity : cfg_.reqNetCapacity;
+    }
+    /** The network a core-to-core reply rides (dlgNet under splitVnets). */
+    std::vector<Msg> State::*coreReplyNet() const
+    {
+        return cfg_.splitVnets ? &State::dlgNet : &State::replyNet;
+    }
+    int coreReplyCapacity() const
+    {
+        return cfg_.splitVnets ? cfg_.dlgNetCapacity
+                               : cfg_.replyNetCapacity;
+    }
+
     void issueTransitions(const State &s, std::vector<Succ> &out) const;
     void frqTransitions(const State &s, std::vector<Succ> &out) const;
     void outboundTransitions(const State &s, std::vector<Succ> &out) const;
     void replyDeliveryTransitions(const State &s,
+                                  std::vector<Msg> State::*net,
                                   std::vector<Succ> &out) const;
     void requestDeliveryTransitions(const State &s,
+                                    std::vector<Msg> State::*net,
                                     std::vector<Succ> &out) const;
     void llcInjectTransitions(const State &s, std::vector<Succ> &out) const;
     void fillTransitions(const State &s, std::vector<Succ> &out) const;
     void evictTransitions(const State &s, std::vector<Succ> &out) const;
 
     void deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
+                      std::vector<Msg> State::*net,
                       std::vector<Succ> &out) const;
     void deliverToCore(const State &s, const Msg &m, std::size_t netIdx,
+                       std::vector<Msg> State::*net,
                        std::vector<Succ> &out) const;
 
     ModelConfig cfg_;

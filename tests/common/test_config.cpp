@@ -93,6 +93,57 @@ TEST(ConfigDeath, MismatchedLineSizesFail)
     EXPECT_DEATH(cfg.validate(), "line sizes");
 }
 
+TEST(Config, VnetPartitionValidates)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.vnets = true;
+    cfg.noc.vcsPerNet = 2;  // 1 + 1 on each split network
+    cfg.validate();
+    cfg.noc.sharedPhysical = true;
+    cfg.noc.sharedReqVcs = 2;
+    cfg.noc.sharedReplyVcs = 2;
+    cfg.noc.vnetRequestVcs = 1;
+    cfg.noc.vnetForwardVcs = 1;
+    cfg.noc.vnetReplyVcs = 1;
+    cfg.noc.vnetDelegatedVcs = 1;
+    cfg.validate();
+}
+
+TEST(ConfigDeath, VnetVcCountsMustSumToNetworkVcs)
+{
+    // A mismatched partition must be fatal, never silently clamped:
+    // a clamp would quietly hand a VN fewer VCs than the experiment
+    // configured and skew every result downstream.
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.vnets = true;
+    cfg.noc.vcsPerNet = 4;
+    cfg.noc.vnetRequestVcs = 1;
+    cfg.noc.vnetForwardVcs = 1;  // 1 + 1 != 4
+    EXPECT_DEATH(cfg.validate(), "must sum");
+
+    SystemConfig rep = SystemConfig::makePaper();
+    rep.noc.vnets = true;
+    rep.noc.vcsPerNet = 2;
+    rep.noc.vnetReplyVcs = 2;  // reply side: 2 + 1 != 2
+    EXPECT_DEATH(rep.validate(), "must sum");
+
+    SystemConfig shared = SystemConfig::makePaper();
+    shared.noc.vnets = true;
+    shared.noc.sharedPhysical = true;
+    shared.noc.sharedReqVcs = 3;  // 1 + 1 != 3
+    EXPECT_DEATH(shared.validate(), "must sum");
+}
+
+TEST(ConfigDeath, EveryVnetNeedsAVc)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.vnets = true;
+    cfg.noc.vcsPerNet = 2;
+    cfg.noc.vnetForwardVcs = 0;
+    cfg.noc.vnetRequestVcs = 2;
+    EXPECT_DEATH(cfg.validate(), "at least one VC");
+}
+
 TEST(Config, MessageToStringMentionsType)
 {
     Message m;

@@ -48,6 +48,23 @@ TEST(ConfigIo, AppliesBooleans)
     EXPECT_FALSE(cfg.dr.delegateAlways);
 }
 
+TEST(ConfigIo, AppliesVnetOptions)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    applyConfigOption(cfg, "noc.vnets", "true");
+    applyConfigOption(cfg, "noc.vnetRequestVcs", "2");
+    applyConfigOption(cfg, "noc.vnetForwardVcs", "2");
+    applyConfigOption(cfg, "noc.vnetReplyVcs", "3");
+    applyConfigOption(cfg, "noc.vnetDelegatedVcs", "1");
+    EXPECT_TRUE(cfg.noc.vnets);
+    EXPECT_EQ(cfg.noc.vnetRequestVcs, 2);
+    EXPECT_EQ(cfg.noc.vnetForwardVcs, 2);
+    EXPECT_EQ(cfg.noc.vnetReplyVcs, 3);
+    EXPECT_EQ(cfg.noc.vnetDelegatedVcs, 1);
+    cfg.noc.vcsPerNet = 4;
+    cfg.validate();
+}
+
 TEST(ConfigIo, ParsesStreamWithCommentsAndBlanks)
 {
     SystemConfig cfg = SystemConfig::makePaper();

@@ -180,6 +180,153 @@ TEST(Interconnect, AsymmetricVcSplit)
     EXPECT_EQ(replies, 10);
 }
 
+/** One message per VN: (msg, expected VN, carrying network). */
+struct VnProbe
+{
+    Message msg;
+    VirtualNet vn;
+    NetKind kind;
+};
+
+std::vector<VnProbe>
+vnProbes()
+{
+    // Nodes 0..1 are memory nodes, the rest GPU cores (uniformTypes).
+    return {
+        {makeMsg(2, 0, MsgType::ReadReq), VirtualNet::Request,
+         NetKind::Request},
+        {makeMsg(0, 5, MsgType::DelegatedReq),
+         VirtualNet::ForwardedRequest, NetKind::Request},
+        {makeMsg(0, 2, MsgType::ReadReply), VirtualNet::Reply,
+         NetKind::Reply},
+        {makeMsg(5, 2, MsgType::ReadReply), VirtualNet::DelegatedReply,
+         NetKind::Reply},
+    };
+}
+
+/** Drive one message per VN through `ic` and check counters + masks. */
+void
+expectVnMapping(Interconnect &ic, const char *label)
+{
+    for (const VnProbe &p : vnProbes()) {
+        EXPECT_EQ(ic.vnetFor(p.msg), p.vn) << label;
+        ASSERT_TRUE(ic.canSend(p.msg)) << label;
+        ic.send(p.msg, 0);
+    }
+    for (Cycle c = 0; c < 1000; ++c)
+        ic.tick(c);
+    for (const VnProbe &p : vnProbes()) {
+        EXPECT_TRUE(ic.hasMessage(p.msg.dst, p.kind)) << label;
+        const Network &net = ic.net(p.kind);
+        EXPECT_EQ(net.stats()
+                      .vnPacketsInjected[static_cast<int>(p.vn)]
+                      .value(),
+                  1u)
+            << label << ": " << vnetName(p.vn);
+        EXPECT_GT(net.stats()
+                      .vnFlitsDelivered[static_cast<int>(p.vn)]
+                      .value(),
+                  0u)
+            << label << ": " << vnetName(p.vn);
+        EXPECT_EQ(net.vnFlitsInFabric(p.vn), 0) << label;
+    }
+    // The reserved ranges are honoured end to end: each sender's NI
+    // only used VCs inside the union of the VN masks it sent on (a
+    // node may legally send on several VNs of one physical network).
+    for (const VnProbe &p : vnProbes()) {
+        const Network &net = ic.net(p.kind);
+        std::uint8_t allowed = 0;
+        for (const VnProbe &q : vnProbes()) {
+            if (q.msg.src == p.msg.src && &ic.net(q.kind) == &net)
+                allowed |= net.vnetLayout().mask(q.vn);
+        }
+        for (int vc = 0; vc < net.vnetLayout().numVcs; ++vc) {
+            if ((allowed & (1u << vc)) == 0) {
+                EXPECT_EQ(net.niVcFlitsSent(p.msg.src, vc), 0u)
+                    << label << ": node " << p.msg.src << " used vc "
+                    << vc << " outside its VNs";
+            }
+        }
+    }
+}
+
+TEST(Interconnect, VnetMappingAcrossTopologiesSplitNetworks)
+{
+    for (const TopologyKind kind :
+         {TopologyKind::Mesh, TopologyKind::Crossbar,
+          TopologyKind::FlattenedButterfly, TopologyKind::Dragonfly}) {
+        SystemConfig cfg = smallCfg();
+        cfg.noc.topology = kind;
+        cfg.noc.vnets = true;
+        // Dragonfly phase escalation needs >= 2 VCs per VN range.
+        cfg.noc.vcsPerNet = 4;
+        cfg.noc.vnetRequestVcs = 2;
+        cfg.noc.vnetForwardVcs = 2;
+        cfg.noc.vnetReplyVcs = 2;
+        cfg.noc.vnetDelegatedVcs = 2;
+        cfg.validate();
+        Interconnect ic(cfg, uniformTypes(16, 2));
+        expectVnMapping(ic, topologyName(kind));
+        // Disjoint reservation on each physical network's own side.
+        const VnetLayout &req = ic.net(NetKind::Request).vnetLayout();
+        EXPECT_EQ(req.mask(VirtualNet::Request) &
+                      req.mask(VirtualNet::ForwardedRequest),
+                  0);
+        const VnetLayout &rep = ic.net(NetKind::Reply).vnetLayout();
+        EXPECT_EQ(rep.mask(VirtualNet::Reply) &
+                      rep.mask(VirtualNet::DelegatedReply),
+                  0);
+    }
+}
+
+TEST(Interconnect, VnetMappingAcrossTopologiesSharedAvcp)
+{
+    for (const TopologyKind kind :
+         {TopologyKind::Mesh, TopologyKind::Crossbar,
+          TopologyKind::FlattenedButterfly, TopologyKind::Dragonfly}) {
+        SystemConfig cfg = smallCfg();
+        cfg.noc.topology = kind;
+        cfg.noc.sharedPhysical = true;
+        cfg.noc.vnets = true;
+        cfg.noc.sharedReqVcs = 4;
+        cfg.noc.sharedReplyVcs = 4;
+        cfg.noc.vnetRequestVcs = 2;
+        cfg.noc.vnetForwardVcs = 2;
+        cfg.noc.vnetReplyVcs = 2;
+        cfg.noc.vnetDelegatedVcs = 2;
+        cfg.validate();
+        Interconnect ic(cfg, uniformTypes(16, 2));
+        ASSERT_TRUE(ic.shared());
+        expectVnMapping(ic, topologyName(kind));
+        // All four VNs get pairwise-disjoint VCs of the one network.
+        const VnetLayout &l = ic.net(NetKind::Request).vnetLayout();
+        std::uint8_t seen = 0;
+        for (int vn = 0; vn < numVnets; ++vn) {
+            const std::uint8_t m = l.mask(static_cast<VirtualNet>(vn));
+            EXPECT_EQ(seen & m, 0) << topologyName(kind);
+            seen |= m;
+        }
+    }
+}
+
+TEST(Interconnect, VnetsComposeWithAdaptiveRouting)
+{
+    // VN partition x escape classes (O1TURN halves within each VN's
+    // range): adaptive routing on a VN-split mesh still delivers.
+    SystemConfig cfg = smallCfg();
+    cfg.noc.vnets = true;
+    cfg.noc.vcsPerNet = 4;
+    cfg.noc.vnetRequestVcs = 2;
+    cfg.noc.vnetForwardVcs = 2;
+    cfg.noc.vnetReplyVcs = 2;
+    cfg.noc.vnetDelegatedVcs = 2;
+    cfg.noc.requestRouting = RoutingKind::DyXY;
+    cfg.noc.replyRouting = RoutingKind::DyXY;
+    cfg.validate();
+    Interconnect ic(cfg, uniformTypes(16, 2));
+    expectVnMapping(ic, "mesh+DyXY");
+}
+
 TEST(Interconnect, EnergyCountersAggregate)
 {
     const SystemConfig cfg = smallCfg();

@@ -190,5 +190,97 @@ TEST(RoutingDeath, AdaptiveOnNonMeshFails)
         "table routing");
 }
 
+/** 4 VCs: request VN on VCs 0-1, forward VN on VCs 2-3. */
+VnetLayout
+twoByTwoLayout()
+{
+    VnetLayout l;
+    l.numVcs = 4;
+    l.range[static_cast<int>(VirtualNet::Request)] = {0, 2};
+    l.range[static_cast<int>(VirtualNet::ForwardedRequest)] = {2, 2};
+    l.range[static_cast<int>(VirtualNet::Reply)] = {0, 2};
+    l.range[static_cast<int>(VirtualNet::DelegatedReply)] = {2, 2};
+    return l;
+}
+
+TEST(RoutingVnet, AdaptiveEscapeClassesSplitWithinEachVnRange)
+{
+    // O1TURN escape classes compose with the VN partition: each order
+    // owns half of the *VN's* reserved range, never another VN's VCs.
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DyXY, t, 4, 1, twoByTwoLayout());
+    EXPECT_EQ(r.packetMask(DimOrder::XY, VirtualNet::Request), 0x1);
+    EXPECT_EQ(r.packetMask(DimOrder::YX, VirtualNet::Request), 0x2);
+    EXPECT_EQ(r.packetMask(DimOrder::XY, VirtualNet::ForwardedRequest),
+              0x4);
+    EXPECT_EQ(r.packetMask(DimOrder::YX, VirtualNet::ForwardedRequest),
+              0x8);
+}
+
+TEST(RoutingVnet, DeterministicMaskIsTheVnReservation)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    RoutingPolicy r(RoutingKind::DimOrderXY, t, 4, 1, twoByTwoLayout());
+    EXPECT_EQ(r.packetMask(DimOrder::XY, VirtualNet::Request), 0x3);
+    EXPECT_EQ(r.packetMask(DimOrder::XY, VirtualNet::ForwardedRequest),
+              0xc);
+}
+
+TEST(RoutingVnet, DragonflyPhaseEscalationStaysInVnRange)
+{
+    // Reaching the destination group escalates to the upper half of
+    // the flit's own VN range — VCs of other VNs are never borrowed.
+    const Topology t = Topology::makeDragonfly(64, 4, 4);
+    RoutingPolicy r(RoutingKind::TableMinimal, t, 4, 1, twoByTwoLayout());
+    Flit f = headFor(/*destRouter=*/14, DimOrder::XY);  // group 3
+    f.vnet = VirtualNet::ForwardedRequest;
+    EXPECT_EQ(r.vcMaskForLink(12, f), 0x8);  // in dest group: upper half
+    EXPECT_EQ(r.vcMaskForLink(2, f), 0x4);   // elsewhere: lower half
+    f.vnet = VirtualNet::Request;
+    EXPECT_EQ(r.vcMaskForLink(12, f), 0x2);
+    EXPECT_EQ(r.vcMaskForLink(2, f), 0x1);
+}
+
+TEST(RoutingVnetDeath, LayoutMustCoverTheNetworkVcs)
+{
+    const Topology t = Topology::makeMesh(4, 4);
+    VnetLayout l = twoByTwoLayout();  // covers 4 VCs
+    EXPECT_DEATH(
+        {
+            RoutingPolicy r(RoutingKind::DimOrderXY, t, 2, 1, l);
+            (void)r;
+        },
+        "layout covers");
+}
+
+TEST(RoutingVnetDeath, AdaptiveNeedsTwoVcsPerVnet)
+{
+    // A 1-VC VN range cannot express the two escape classes; this must
+    // be rejected at construction, not deadlock at runtime.
+    const Topology t = Topology::makeMesh(4, 4);
+    VnetLayout l = twoByTwoLayout();
+    l.range[static_cast<int>(VirtualNet::Request)] = {0, 1};
+    l.range[static_cast<int>(VirtualNet::ForwardedRequest)] = {1, 3};
+    EXPECT_DEATH(
+        {
+            RoutingPolicy r(RoutingKind::DyXY, t, 4, 1, l);
+            (void)r;
+        },
+        "every virtual network");
+}
+
+TEST(RoutingVnetDeath, DragonflyNeedsTwoVcsPerVnet)
+{
+    const Topology t = Topology::makeDragonfly(64, 4, 4);
+    VnetLayout l = twoByTwoLayout();
+    l.range[static_cast<int>(VirtualNet::DelegatedReply)] = {3, 1};
+    EXPECT_DEATH(
+        {
+            RoutingPolicy r(RoutingKind::TableMinimal, t, 4, 1, l);
+            (void)r;
+        },
+        "every virtual network");
+}
+
 } // namespace
 } // namespace dr

@@ -64,6 +64,21 @@ TEST(VerifyModel, StandardConfigPassesExhaustively)
     EXPECT_GT(result.transitions, result.statesExplored);
 }
 
+TEST(VerifyModel, SplitVnetsRoundTripsAndPasses)
+{
+    // splitVnets adds two more bounded networks; the encoding and the
+    // standard configuration's correctness must hold there too.
+    verify::ModelConfig cfg = verify::standardConfig().config;
+    cfg.splitVnets = true;
+    verify::Model model(cfg);
+    const verify::State init = model.initialState();
+    EXPECT_EQ(model.decode(model.encode(init)), init);
+    const verify::CheckResult result = verify::check(model);
+    EXPECT_TRUE(result.passed) << verify::formatResult(model, result,
+                                                       false);
+    EXPECT_FALSE(result.hitStateLimit);
+}
+
 TEST(VerifyModel, ColdTwoCoreConfigPasses)
 {
     verify::ModelConfig cfg;

@@ -54,8 +54,38 @@ TEST(VerifyMutants, EveryMutantReportsItsExpectedProperty)
             << named.name;
     }
     // One mutant per seeded bug flag, the FRQ-priority ablation, and
-    // the shared-network fan-in hazard.
+    // the collapsed-virtual-network fan-in hazard (shared-vnet).
     EXPECT_EQ(mutants, 7);
+}
+
+TEST(VerifyMutants, VnetSplitProvesSharedNetClogDeadlockFree)
+{
+    // The historical fan-in hazard: under the collapsed VN layout
+    // (shared-vnet) the checker finds the delegation/DNF message-class
+    // cycle; the same cores/lines/capacities with the virtual-network
+    // split (shared-net-clog, splitVnets on) explore to a fixed point
+    // with no violation.
+    const verify::NamedConfig *split =
+        verify::findConfig("shared-net-clog");
+    ASSERT_NE(split, nullptr);
+    ASSERT_TRUE(split->config.splitVnets);
+    ASSERT_TRUE(split->expectation.empty());
+    const verify::CheckResult good = run(*split);
+    verify::Model model(split->config);
+    EXPECT_TRUE(good.passed) << verify::formatResult(model, good, false);
+    EXPECT_FALSE(good.hitStateLimit);
+
+    const verify::NamedConfig *collapsed =
+        verify::findConfig("shared-vnet");
+    ASSERT_NE(collapsed, nullptr);
+    ASSERT_FALSE(collapsed->config.splitVnets);
+    // Identical protocol state space apart from the network split.
+    EXPECT_EQ(collapsed->config.numCores, split->config.numCores);
+    EXPECT_EQ(collapsed->config.numLines, split->config.numLines);
+    EXPECT_EQ(collapsed->config.frqEntries, split->config.frqEntries);
+    const verify::CheckResult bad = run(*collapsed);
+    ASSERT_FALSE(bad.passed);
+    EXPECT_EQ(bad.violatedProperty, verify::property::deadlockFreedom);
 }
 
 TEST(VerifyMutants, FrqPriorityAblationDeadlocksAndTraceIsBlocked)
