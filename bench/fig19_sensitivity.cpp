@@ -78,6 +78,26 @@ main()
                     drGain(cfg));
     }
 
+    // The same sensitivity point with the first-class virtual-network
+    // subsystem (noc.vnets): per-message-class reserved VC ranges and
+    // (class, VN) arbitration on the split physical networks, instead
+    // of the legacy request/reply VC split of the shared network above.
+    // Closes the ROADMAP item "wire a VN-enabled configuration into
+    // fig19_sensitivity"; EXPERIMENTS.md reports both layouts side by
+    // side.
+    std::printf("-- Virtual networks, first-class subsystem (noc.vnets; "
+                "reserved VC ranges per message class) --\n");
+    for (const int vcs : {1, 2}) {
+        SystemConfig cfg = benchConfig(Mechanism::Baseline);
+        cfg.noc.vnets = true;
+        cfg.noc.vcsPerNet = 2 * vcs;  // request+forward / reply+delegated
+        cfg.noc.vnetRequestVcs = vcs;
+        cfg.noc.vnetForwardVcs = vcs;
+        cfg.noc.vnetReplyVcs = vcs;
+        cfg.noc.vnetDelegatedVcs = vcs;
+        std::printf("  vnets on, %d VC/vnet: %.3f\n", vcs, drGain(cfg));
+    }
+
     std::printf("-- Mesh size (paper: similar gains at 10x10 and "
                 "12x12) --\n");
     for (const int dim : {8, 10, 12}) {

@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -34,6 +35,7 @@ struct WorkloadResult
 {
     const char *pattern;
     double rate;
+    int threads;
     Cycle cycles;
     double wallSeconds;
     double cyclesPerSec;
@@ -45,12 +47,14 @@ struct WorkloadResult
  * One timed run of the raw Network kernel (no memory system). With
  * `vnets` on the network runs the virtual-network partition (4 VCs, one
  * per VN, (class, VN) arbitration) and the traffic mixes all four
- * message classes — the configuration the CI perf gate tracks as
- * `vnet_uniform_cycles_per_sec`.
+ * message classes — the configurations the CI perf gate tracks as
+ * `vnet_uniform_cycles_per_sec` / `vnet_hotspot_cycles_per_sec`.
+ * `threads` pins the parallel tick engine's domain count; results are
+ * bit-identical across values, only wall-clock changes (DESIGN.md §11).
  */
 WorkloadResult
 timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
-             std::uint64_t seed, bool vnets = false)
+             std::uint64_t seed, bool vnets = false, int threads = 1)
 {
     const int nodes = 64;
     const int width = 8;
@@ -61,6 +65,7 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
     params.routing = RoutingKind::DimOrderXY;
     params.injBufferFlits.assign(nodes, 36);
     params.seed = seed;
+    params.threads = threads;
     if (vnets) {
         params.numVcs = numVnets;
         params.vnPriority = true;
@@ -118,8 +123,12 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
         std::chrono::duration<double>(stop - start).count();
 
     WorkloadResult r;
-    r.pattern = vnets ? "vnet_uniform" : trafficPatternName(pattern);
+    r.pattern = !vnets ? trafficPatternName(pattern)
+                       : (pattern == TrafficPattern::Hotspot
+                              ? "vnet_hotspot"
+                              : "vnet_uniform");
     r.rate = rate;
+    r.threads = threads;
     r.cycles = cycles;
     r.wallSeconds = wall;
     r.cyclesPerSec = wall > 0.0 ? static_cast<double>(cycles) / wall : 0.0;
@@ -165,19 +174,39 @@ main()
     std::vector<WorkloadResult> results;
     for (const Load &load : loads)
         results.push_back(timeWorkload(load.pattern, load.rate, cycles, 1));
-    // One VN-enabled run so the perf gate tracks the partitioned
-    // hot path (VC-range allocation + (class, VN) arbitration) too.
+    // VN-enabled runs so the perf gate tracks the partitioned hot path
+    // (VC-range allocation + (class, VN) arbitration) under both
+    // spread and concentrated traffic.
     results.push_back(timeWorkload(TrafficPattern::UniformRandom, 0.05,
                                    cycles, 1, /*vnets=*/true));
+    results.push_back(timeWorkload(TrafficPattern::Hotspot, 0.05, cycles,
+                                   1, /*vnets=*/true));
+    // Parallel tick engine scaling: uniform rate 0.10 at 2 and 4
+    // domains (threads=1 is loads[2] above). Statistics are
+    // bit-identical across the column; only wall-clock moves.
+    const std::size_t uniformR10Idx = 2;
+    const std::size_t threads2Idx = results.size();
+    results.push_back(timeWorkload(TrafficPattern::UniformRandom, 0.10,
+                                   cycles, 1, /*vnets=*/false,
+                                   /*threads=*/2));
+    const std::size_t threads4Idx = results.size();
+    results.push_back(timeWorkload(TrafficPattern::UniformRandom, 0.10,
+                                   cycles, 1, /*vnets=*/false,
+                                   /*threads=*/4));
 
     std::vector<double> uniformCps;
     std::vector<double> hotspotCps;
-    std::vector<double> vnetCps;
+    std::vector<double> vnetUniformCps;
+    std::vector<double> vnetHotspotCps;
     for (const WorkloadResult &r : results) {
+        if (r.threads != 1)
+            continue;  // summary geomeans stay a single-thread metric
         if (r.pattern == std::string("uniform"))
             uniformCps.push_back(r.cyclesPerSec);
         else if (r.pattern == std::string("vnet_uniform"))
-            vnetCps.push_back(r.cyclesPerSec);
+            vnetUniformCps.push_back(r.cyclesPerSec);
+        else if (r.pattern == std::string("vnet_hotspot"))
+            vnetHotspotCps.push_back(r.cyclesPerSec);
         else
             hotspotCps.push_back(r.cyclesPerSec);
     }
@@ -185,17 +214,20 @@ main()
     std::printf("{\n");
     std::printf("  \"bench\": \"noc_kernel\",\n");
     std::printf("  \"config\": {\"topology\": \"mesh8x8\", \"nodes\": 64, "
-                "\"packet_flits\": 5, \"cycles\": %llu},\n",
-                static_cast<unsigned long long>(cycles));
+                "\"packet_flits\": 5, \"cycles\": %llu, "
+                "\"host_cores\": %u},\n",
+                static_cast<unsigned long long>(cycles),
+                std::thread::hardware_concurrency());
     std::printf("  \"workloads\": [\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
         const WorkloadResult &r = results[i];
         std::printf("    {\"pattern\": \"%s\", \"rate\": %.3f, "
+                    "\"threads\": %d, "
                     "\"wall_s\": %.3f, \"cycles_per_sec\": %.0f, "
                     "\"flit_hops_per_sec\": %.0f, "
                     "\"packets_delivered\": %llu}%s\n",
-                    r.pattern, r.rate, r.wallSeconds, r.cyclesPerSec,
-                    r.flitHopsPerSec,
+                    r.pattern, r.rate, r.threads, r.wallSeconds,
+                    r.cyclesPerSec, r.flitHopsPerSec,
                     static_cast<unsigned long long>(r.packetsDelivered),
                     i + 1 < results.size() ? "," : "");
     }
@@ -206,7 +238,15 @@ main()
     std::printf("    \"hotspot_cycles_per_sec\": %.0f,\n",
                 geomean(hotspotCps));
     std::printf("    \"vnet_uniform_cycles_per_sec\": %.0f,\n",
-                geomean(vnetCps));
+                geomean(vnetUniformCps));
+    std::printf("    \"vnet_hotspot_cycles_per_sec\": %.0f,\n",
+                geomean(vnetHotspotCps));
+    std::printf("    \"uniform_r10_threads1_cycles_per_sec\": %.0f,\n",
+                results[uniformR10Idx].cyclesPerSec);
+    std::printf("    \"uniform_r10_threads2_cycles_per_sec\": %.0f,\n",
+                results[threads2Idx].cyclesPerSec);
+    std::printf("    \"uniform_r10_threads4_cycles_per_sec\": %.0f,\n",
+                results[threads4Idx].cyclesPerSec);
     std::printf("    \"peak_rss_kb\": %ld\n", peakRssKb());
     std::printf("  }\n");
     std::printf("}\n");

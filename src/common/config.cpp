@@ -32,6 +32,8 @@ SystemConfig::validate() const
         fatal("LLC and GPU L1 line sizes must match");
     if (noc.vcsPerNet < 1 || noc.vcDepthFlits < 1)
         fatal("need at least one VC with at least one flit of buffering");
+    if (noc.threads < 0)
+        fatal("noc.threads must be >= 0 (0 = auto via DR_NOC_THREADS)");
     if (noc.memInjBufferFlits < flitsFor(MsgType::ReadReply,
                                          TrafficClass::Gpu)) {
         fatal("memory-node injection buffer smaller than one reply; "

@@ -29,6 +29,14 @@ struct NocConfig
     int routerStages = 4;   //!< router pipeline depth (cycles)
 
     /**
+     * Worker threads ticking each physical network (spatial-domain
+     * parallel engine, DESIGN.md §11). Schedules and statistics are
+     * bit-identical for every value by construction. 0 = auto: take
+     * DR_NOC_THREADS from the environment, else single-threaded.
+     */
+    int threads = 0;
+
+    /**
      * AVCP mode: a single physical network whose aggregate bandwidth
      * matches the two baseline networks; request and reply traffic are
      * segregated onto disjoint VC sets.

@@ -183,6 +183,7 @@ applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
          [&] { cfg.noc.vcDepthFlits = parseInt(key, value); }},
         {"noc.routerStages",
          [&] { cfg.noc.routerStages = parseInt(key, value); }},
+        {"noc.threads", [&] { cfg.noc.threads = parseInt(key, value); }},
         {"noc.sharedPhysical",
          [&] { cfg.noc.sharedPhysical = parseBool(key, value); }},
         {"noc.sharedReqVcs",
@@ -339,6 +340,7 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
     out << "noc.vcsPerNet = " << cfg.noc.vcsPerNet << "\n";
     out << "noc.vcDepthFlits = " << cfg.noc.vcDepthFlits << "\n";
     out << "noc.routerStages = " << cfg.noc.routerStages << "\n";
+    out << "noc.threads = " << cfg.noc.threads << "\n";
     out << "noc.sharedPhysical = "
         << (cfg.noc.sharedPhysical ? "true" : "false") << "\n";
     out << "noc.sharedReqVcs = " << cfg.noc.sharedReqVcs << "\n";

@@ -75,6 +75,15 @@ benchConfig(Mechanism mechanism)
     cfg.simCycles = benchCycles(30000);
     // The LLC needs to warm before the clogging regime is reached.
     cfg.warmupCycles = cfg.simCycles / 2;
+    // DR_BENCH_THREADS pins the NoC tick engine's thread count for a
+    // whole bench sweep (results are bit-identical for every value;
+    // only wall-clock changes). Leaving it unset keeps the network's
+    // own auto default (DR_NOC_THREADS, else 1).
+    if (const char *env = std::getenv("DR_BENCH_THREADS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            cfg.noc.threads = parsed;
+    }
     return cfg;
 }
 

@@ -26,6 +26,8 @@ namespace dr
 class ActiveSet
 {
   public:
+    ActiveSet() = default;
+
     explicit ActiveSet(int count)
         : words_(static_cast<std::size_t>(count + 63) / 64, 0)
     {
@@ -44,6 +46,17 @@ class ActiveSet
     {
         return (words_[static_cast<std::size_t>(idx) >> 6] >>
                 (idx & 63)) & 1;
+    }
+
+    /** True when no entity is registered (quiescence vote input). */
+    bool
+    empty() const
+    {
+        for (const std::uint64_t w : words_) {
+            if (w)
+                return false;
+        }
+        return true;
     }
 
     std::size_t

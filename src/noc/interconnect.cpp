@@ -50,6 +50,7 @@ Interconnect::Interconnect(const SystemConfig &cfg,
     params.vcDepthFlits = cfg.noc.vcDepthFlits;
     params.routerStages = cfg.noc.routerStages;
     params.vnPriority = cfg.noc.vnets;
+    params.threads = cfg.noc.threads;
     // The ejection buffer must be able to complete one maximum-size
     // packet per VC: wormhole reassembly holds partial packets in the
     // buffer, and two interleaved replies that together exceed the

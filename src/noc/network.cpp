@@ -1,6 +1,7 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <ostream>
 
 #include "common/invariant.hpp"
@@ -9,11 +10,29 @@
 namespace dr
 {
 
+namespace
+{
+
+/** Resolve a params.threads value: 0 = auto (DR_NOC_THREADS or 1). */
+int
+resolveThreads(int configured)
+{
+    if (configured > 0)
+        return configured;
+    if (const char *env = std::getenv("DR_NOC_THREADS")) {
+        const int parsed = std::atoi(env);
+        if (parsed > 0)
+            return parsed;
+    }
+    return 1;
+}
+
+} // namespace
+
 Network::Network(const NetworkParams &params, const Topology &topo)
     : topo_(topo), params_(params),
       routing_(params.routing, topo, params.numVcs, params.seed,
-               params.layout),
-      activeNis_(topo.nodes()), activeRouters_(topo.routers())
+               params.layout)
 {
     if (static_cast<int>(params_.injBufferFlits.size()) != topo_.nodes())
         fatal("network ", params_.name, ": injBufferFlits must have one "
@@ -58,9 +77,65 @@ Network::Network(const NetworkParams &params, const Topology &topo)
         ni.queue[0].reserve(static_cast<std::size_t>(ni.capacity));
         ni.queue[1].reserve(static_cast<std::size_t>(ni.capacity));
     }
+
+    // --- spatial-domain partition (DESIGN.md §11) ----------------------
+    // Contiguous, balanced router ranges; a node lives in its attach
+    // router's domain, so every NI<->router attach link and every
+    // router<->ejection interaction stays domain-local. Node attach
+    // order is monotone in every built-in topology, which makes the
+    // node ranges contiguous too — the serial merge depends on that to
+    // replay delivery events in global NI order. If a future topology
+    // breaks monotonicity we fall back to one domain rather than give
+    // up bit-equality.
+    numDomains_ = std::min(resolveThreads(params_.threads),
+                           topo_.routers());
+    routerDomain_.resize(static_cast<std::size_t>(topo_.routers()));
+    for (int r = 0; r < topo_.routers(); ++r) {
+        routerDomain_[r] = static_cast<std::int16_t>(
+            (static_cast<long>(r) * numDomains_) / topo_.routers());
+    }
+    nodeDomain_.resize(static_cast<std::size_t>(topo_.nodes()));
+    bool monotone = true;
+    for (NodeId n = 0; n < topo_.nodes(); ++n) {
+        nodeDomain_[n] = routerDomain_[topo_.attachRouter(n)];
+        if (n > 0 && nodeDomain_[n] < nodeDomain_[n - 1])
+            monotone = false;
+    }
+    if (!monotone) {
+        numDomains_ = 1;
+        std::fill(routerDomain_.begin(), routerDomain_.end(),
+                  std::int16_t{0});
+        std::fill(nodeDomain_.begin(), nodeDomain_.end(), std::int16_t{0});
+    }
+
+    domains_.resize(static_cast<std::size_t>(numDomains_));
+    for (Domain &d : domains_) {
+        d.activeNis = ActiveSet(topo_.nodes());
+        d.activeRouters = ActiveSet(topo_.routers());
+    }
+    stagedFlits_.resize(
+        static_cast<std::size_t>(numDomains_) * numDomains_);
+    stagedCredits_.resize(
+        static_cast<std::size_t>(numDomains_) * numDomains_);
+
+    barrier_.reset(numDomains_);
+    workers_.reserve(static_cast<std::size_t>(numDomains_ - 1));
+    for (int d = 1; d < numDomains_; ++d)
+        workers_.emplace_back(&Network::workerLoop, this, d);
 }
 
-Network::~Network() = default;
+Network::~Network()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(epochMutex_);
+            stop_.store(true, std::memory_order_release);
+        }
+        epochCv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+}
 
 int
 Network::injectFree(NodeId node) const
@@ -129,7 +204,7 @@ Network::inject(const Message &msg, int flits, Cycle now, VirtualNet vn)
         panic("network ", params_.name, ": inject() without canInject()");
     ni.queuedFlits += flits;
     ni.queue[clsIdx].push_back(handle);
-    activeNis_.add(msg.src);
+    domains_[nodeDomain_[msg.src]].activeNis.add(msg.src);
 }
 
 bool
@@ -164,7 +239,7 @@ Network::popMessage(NodeId node, NetKind kind)
 }
 
 void
-Network::niInject(Ni &ni, NodeId node, Cycle now)
+Network::niInject(Domain &d, Ni &ni, NodeId node, Cycle now)
 {
     while (!ni.creditArrivals.empty() &&
            ni.creditArrivals.front().when <= now) {
@@ -234,7 +309,7 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
             if (!assigned) {
                 // Head-of-line packet found no free, credited VC in its
                 // virtual network's range this cycle.
-                ++stats_.vnInjectionStalls[static_cast<int>(pkt.vnet)];
+                ++d.vnInjectionStalls[static_cast<int>(pkt.vnet)];
             }
             if (assigned)
                 break;
@@ -264,20 +339,22 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
         pkt.injectedAt = now;
     DR_INVARIANT(ni.credits[sendVc] > 0, "network ", params_.name,
                  ": NI injection without a credit on VC ", sendVc);
+    // Per-VN occupancy moves through domain-local (delta, max-prefix)
+    // scratch; mergeTick() composes the domains in ascending order,
+    // which reconstructs the exact sequential running occupancy and its
+    // peak. Only increments can set a new peak, so tracking the max on
+    // the increment side alone is exact.
     const int vnIdx = static_cast<int>(pkt.vnet);
-    if (++vnInFabric_[vnIdx] >
-        static_cast<int>(stats_.vnPeakFlits[vnIdx])) {
-        stats_.vnPeakFlits[vnIdx] =
-            static_cast<std::uint64_t>(vnInFabric_[vnIdx]);
-    }
+    if (++d.vnDelta[vnIdx] > d.vnMaxPrefix[vnIdx])
+        d.vnMaxPrefix[vnIdx] = d.vnDelta[vnIdx];
     routers_[attachRouter]->acceptFlit(attachPort, flit, now + 1);
-    activeRouters_.add(attachRouter);
+    d.activeRouters.add(attachRouter);
     --ni.credits[sendVc];
     --ni.queuedFlits;
     DR_ASSERT(ni.queuedFlits >= 0);
     ++ni.flitsInjected;
     ++ni.vcFlitsSent[sendVc];
-    ++conservInjected_;
+    ++d.conservInjected;
     ++ss.sent;
     if (flit.tail)
         ss.busy = false;
@@ -285,18 +362,17 @@ Network::niInject(Ni &ni, NodeId node, Cycle now)
 }
 
 void
-Network::niEject(Ni &ni, NodeId node, Cycle now)
+Network::niEject(Domain &d, Ni &ni, NodeId node, Cycle now)
 {
     (void)node;
     while (!ni.ejArrivals.empty() && ni.ejArrivals.front().when <= now) {
         const Flit flit = ni.ejArrivals.front().flit;
         ni.ejArrivals.pop_front();
         ++ni.flitsEjected;
-        ++conservEjected_;
-        ++stats_.flitsDelivered;
-        ++stats_.vnFlitsDelivered[static_cast<int>(flit.vnet)];
-        --vnInFabric_[static_cast<int>(flit.vnet)];
-        DR_ASSERT(vnInFabric_[static_cast<int>(flit.vnet)] >= 0);
+        ++d.conservEjected;
+        ++d.flitsDelivered;
+        ++d.vnFlitsDelivered[static_cast<int>(flit.vnet)];
+        --d.vnDelta[static_cast<int>(flit.vnet)];
 
         const int v = flit.vc;
         if (flit.head) {
@@ -317,32 +393,25 @@ Network::niEject(Ni &ni, NodeId node, Cycle now)
             panic("network ", params_.name, ": flit count mismatch at "
                   "reassembly");
 
+        // The order-sensitive completion effects — floating-point
+        // latency sampling, the HARE history update, the packet-pool
+        // release (free-list order decides future handle reuse) — are
+        // recorded here and replayed serially by mergeTick() in global
+        // NI order, so they happen in exactly the sequential schedule's
+        // order no matter which worker ran this NI. A packet queued
+        // before the warmup/measurement boundary straddles both phases;
+        // its latency is dropped from the averages at merge time and
+        // counted in warmupStraddlers instead.
         const Cycle latency = now - pkt.queuedAt;
-        if (pkt.queuedAt < statsResetAt_) {
-            // The packet was queued before the warmup/measurement
-            // boundary: its latency spans both phases and would
-            // contaminate the measured averages. Drop the sample but
-            // count the drop so throughput accounting stays explicit.
-            ++stats_.warmupStraddlers;
-        } else {
-            stats_.packetLatency.sample(static_cast<double>(latency));
-            if (pkt.cls == TrafficClass::Cpu)
-                stats_.cpuPacketLatency.sample(
-                    static_cast<double>(latency));
-            else
-                stats_.gpuPacketLatency.sample(
-                    static_cast<double>(latency));
-        }
-        routing_.onDelivered(pkt.srcRouter, pkt.destRouter, pkt.order,
-                             latency);
-        ++stats_.packetsDelivered;
+        d.delivered.push_back({flit.slot, pkt.srcRouter, pkt.destRouter,
+                               pkt.order, pkt.cls,
+                               pkt.queuedAt < statsResetAt_, latency});
 
         const int kindIdx = onRequestNetwork(pkt.msg.type) ? 0 : 1;
         ni.ready[kindIdx].push_back({pkt.msg, pkt.flits});
         // The completed packet's ejection slots are now accounted
         // against the ready-queue entry (returned by popMessage).
         ni.assembledFlits[v] = 0;
-        pool_.release(flit.slot);
     }
 }
 
@@ -350,22 +419,185 @@ void
 Network::tick(Cycle now)
 {
     now_ = now;
+
+    // Two-phase compute/commit cycle (DESIGN.md §11). Phase 1 ticks
+    // every domain's NIs and routers in parallel: all inter-entity
+    // effects are future-timestamped, so phase 1 reads only
+    // previous-cycle state, and cross-domain flits/credits are staged
+    // in SPSC buffers instead of delivered. Phase 2 — after a barrier —
+    // commits the staged movements into the receiving domains' arrival
+    // queues. A final serial merge replays the order-sensitive
+    // completion effects so the result is bit-identical to
+    // noc.threads=1 by construction.
+    if (numDomains_ == 1) {
+        Domain &d = domains_[0];
+        if (!d.hasWork())
+            return;
+        tickDomain(d, now);
+        mergeTick();
+        return;
+    }
+
+    // Quiescence vote: with every domain's active sets empty, nothing
+    // in the network can change this cycle — skip the whole round
+    // (including the barriers) instead of waking the workers.
+    bool anyWork = false;
+    for (const Domain &d : domains_) {
+        if (d.hasWork()) {
+            anyWork = true;
+            break;
+        }
+    }
+    if (!anyWork)
+        return;
+
+    {
+        std::lock_guard<std::mutex> lk(epochMutex_);
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    epochCv_.notify_all();
+    tickDomain(domains_[0], now);
+    barrier_.arriveAndWait();  // compute -> commit
+    commitStaged(0);
+    barrier_.arriveAndWait();  // commit -> merge
+    mergeTick();
+}
+
+void
+Network::tickDomain(Domain &d, Cycle now)
+{
     // Active-set scheduling: only NIs and routers holding work are
     // visited; everything else is skipped outright. Members re-register
     // through the flit/credit delivery hooks, and sweep order is
     // ascending-index — identical to the old tick-everything loop, on
     // which the skipped entities were no-ops.
-    activeNis_.sweep([&](int n) {
+    d.activeNis.sweep([&](int n) {
         Ni &ni = nis_[n];
         const NodeId node = static_cast<NodeId>(n);
-        niEject(ni, node, now);
-        niInject(ni, node, now);
+        niEject(d, ni, node, now);
+        niInject(d, ni, node, now);
         return ni.busy();
     });
-    activeRouters_.sweep([&](int r) {
+    d.activeRouters.sweep([&](int r) {
         routers_[r]->tick(now);
         return !routers_[r]->idle();
     });
+}
+
+void
+Network::commitStaged(int consumer)
+{
+    // Drain producers in ascending order. Every router arrival queue
+    // has exactly one feeder (the upstream router of that link), so the
+    // relative order across queues is irrelevant and the order within a
+    // queue equals the producer's deterministic push order — the same
+    // sequence the sequential engine builds.
+    Domain &d = domains_[consumer];
+    for (int p = 0; p < numDomains_; ++p) {
+        auto &flits = stagedFlits_[static_cast<std::size_t>(p) *
+                                       numDomains_ + consumer];
+        for (const StagedFlit &s : flits) {
+            routers_[s.router]->acceptFlit(s.port, s.flit, s.when);
+            d.activeRouters.add(s.router);
+        }
+        flits.clear();
+        auto &credits = stagedCredits_[static_cast<std::size_t>(p) *
+                                           numDomains_ + consumer];
+        for (const StagedCredit &s : credits) {
+            routers_[s.router]->acceptCredit(s.port, s.vc, s.when);
+            d.activeRouters.add(s.router);
+        }
+        credits.clear();
+    }
+}
+
+void
+Network::mergeTick()
+{
+    // Ascending domain order == ascending NI order (contiguous node
+    // ranges), so the replay below is the exact sequential event order.
+    for (Domain &d : domains_) {
+        linkTraversals_ += d.linkTraversals;
+        d.linkTraversals = 0;
+        conservInjected_ += d.conservInjected;
+        d.conservInjected = 0;
+        conservEjected_ += d.conservEjected;
+        d.conservEjected = 0;
+        stats_.flitsDelivered += d.flitsDelivered;
+        d.flitsDelivered = 0;
+        for (int vn = 0; vn < numVnets; ++vn) {
+            stats_.vnFlitsDelivered[vn] += d.vnFlitsDelivered[vn];
+            d.vnFlitsDelivered[vn] = 0;
+            stats_.vnInjectionStalls[vn] += d.vnInjectionStalls[vn];
+            d.vnInjectionStalls[vn] = 0;
+            // Parallel prefix-max: the peak within this domain's event
+            // block is the running occupancy entering the block plus
+            // the block's max prefix delta.
+            if (d.vnMaxPrefix[vn] > 0) {
+                const auto candidate = static_cast<std::uint64_t>(
+                    vnInFabric_[vn] + d.vnMaxPrefix[vn]);
+                if (candidate > stats_.vnPeakFlits[vn])
+                    stats_.vnPeakFlits[vn] = candidate;
+            }
+            vnInFabric_[vn] += d.vnDelta[vn];
+            d.vnDelta[vn] = 0;
+            d.vnMaxPrefix[vn] = 0;
+            DR_ASSERT(vnInFabric_[vn] >= 0);
+        }
+        for (const DeliveredRecord &rec : d.delivered) {
+            if (rec.straddler) {
+                ++stats_.warmupStraddlers;
+            } else {
+                stats_.packetLatency.sample(
+                    static_cast<double>(rec.latency));
+                if (rec.cls == TrafficClass::Cpu)
+                    stats_.cpuPacketLatency.sample(
+                        static_cast<double>(rec.latency));
+                else
+                    stats_.gpuPacketLatency.sample(
+                        static_cast<double>(rec.latency));
+            }
+            routing_.onDelivered(rec.srcRouter, rec.destRouter, rec.order,
+                                 rec.latency);
+            ++stats_.packetsDelivered;
+            pool_.release(rec.slot);
+        }
+        d.delivered.clear();
+    }
+}
+
+void
+Network::workerLoop(int domainIdx)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Wait for the next tick's start signal: spin briefly (the next
+        // tick usually follows immediately under load), then sleep on
+        // the condition variable so idle stretches don't burn a core.
+        int spins = 0;
+        while (epoch_.load(std::memory_order_acquire) == seen) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            if (spins < 1024) {
+                cpuRelax(spins);
+            } else {
+                std::unique_lock<std::mutex> lk(epochMutex_);
+                epochCv_.wait(lk, [&] {
+                    return epoch_.load(std::memory_order_relaxed) !=
+                               seen ||
+                           stop_.load(std::memory_order_relaxed);
+                });
+            }
+        }
+        // Lockstep: the main thread cannot start another tick until
+        // every domain passes both barriers, so the epoch advances by
+        // exactly one per observed change.
+        ++seen;
+        tickDomain(domains_[domainIdx], now_);
+        barrier_.arriveAndWait();  // compute -> commit
+        commitStaged(domainIdx);
+        barrier_.arriveAndWait();  // commit -> merge
+    }
 }
 
 int
@@ -386,18 +618,35 @@ Network::vcMaskForOutput(int router, int port, const Flit &flit) const
 void
 Network::deliverToRouter(int router, int port, const Flit &flit, Cycle when)
 {
+    // Called from phase 1 on the sending router's worker. Same-domain
+    // hops commit directly (the arrival is future-timestamped, so the
+    // receiver cannot consume it this cycle either way); cross-domain
+    // hops are staged and committed after the barrier.
     const auto &conn = topo_.port(router, port);
-    routers_[conn.peerRouter]->acceptFlit(conn.peerPort, flit, when);
-    activeRouters_.add(conn.peerRouter);
-    ++linkTraversals_;
+    const int producer = routerDomain_[router];
+    ++domains_[producer].linkTraversals;
+    const int consumer = routerDomain_[conn.peerRouter];
+    if (producer == consumer) {
+        routers_[conn.peerRouter]->acceptFlit(conn.peerPort, flit, when);
+        domains_[consumer].activeRouters.add(conn.peerRouter);
+    } else {
+        stagedFlits_[static_cast<std::size_t>(producer) * numDomains_ +
+                     consumer]
+            .push_back({static_cast<std::int16_t>(conn.peerRouter),
+                        static_cast<std::int16_t>(conn.peerPort), when,
+                        flit});
+    }
 }
 
 void
 Network::deliverToNode(NodeId node, const Flit &flit, Cycle when)
 {
+    // An NI shares its attach router's domain, so ejection never
+    // crosses a domain boundary.
+    Domain &d = domains_[nodeDomain_[node]];
     nis_[node].ejArrivals.push_back({when, flit});
-    activeNis_.add(node);
-    ++linkTraversals_;
+    d.activeNis.add(node);
+    ++d.linkTraversals;
 }
 
 int
@@ -420,12 +669,25 @@ Network::creditToFeeder(int router, int inputPort, int vc, Cycle when)
 {
     const auto &conn = topo_.port(router, inputPort);
     if (conn.kind == PortConn::Kind::Link) {
-        routers_[conn.peerRouter]->acceptCredit(conn.peerPort, vc, when);
-        activeRouters_.add(conn.peerRouter);
+        const int producer = routerDomain_[router];
+        const int consumer = routerDomain_[conn.peerRouter];
+        if (producer == consumer) {
+            routers_[conn.peerRouter]->acceptCredit(conn.peerPort, vc,
+                                                    when);
+            domains_[consumer].activeRouters.add(conn.peerRouter);
+        } else {
+            stagedCredits_[static_cast<std::size_t>(producer) *
+                               numDomains_ +
+                           consumer]
+                .push_back({static_cast<std::int16_t>(conn.peerRouter),
+                            static_cast<std::int16_t>(conn.peerPort),
+                            static_cast<std::uint8_t>(vc), when});
+        }
     } else if (conn.kind == PortConn::Kind::Node) {
+        // Attach links are domain-local by construction.
         nis_[conn.node].creditArrivals.push_back(
             {when, static_cast<std::uint8_t>(vc)});
-        activeNis_.add(conn.node);
+        domains_[nodeDomain_[conn.node]].activeNis.add(conn.node);
     } else {
         panic("credit to unconnected port");
     }

@@ -11,10 +11,14 @@
  */
 
 #include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/config.hpp"
@@ -23,6 +27,7 @@
 #include "noc/active_set.hpp"
 #include "noc/flit.hpp"
 #include "noc/packet_pool.hpp"
+#include "noc/parallel.hpp"
 #include "noc/ring_buffer.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
@@ -50,6 +55,14 @@ struct NetworkParams
     VnetLayout layout{};
     /** Arbitrate by (class, VN) rank instead of class alone. */
     bool vnPriority = false;
+    /**
+     * Worker threads for the parallel tick engine: routers and NIs are
+     * partitioned into that many contiguous spatial domains, one thread
+     * per domain (DESIGN.md §11). Schedules and statistics are
+     * bit-identical for every value by construction. 0 = auto: take
+     * DR_NOC_THREADS from the environment, else run single-threaded.
+     */
+    int threads = 0;
 };
 
 /** Aggregate network statistics. */
@@ -289,8 +302,82 @@ class Network : public RouterEnv, public CongestionProbe
         }
     };
 
-    void niInject(Ni &ni, NodeId node, Cycle now);
-    void niEject(Ni &ni, NodeId node, Cycle now);
+    // --- deterministic parallel tick engine (DESIGN.md §11) -----------
+
+    /**
+     * Tail-flit delivery recorded during the parallel phase and
+     * replayed serially, in global NI order, by mergeTick(). Keeps the
+     * order-sensitive effects — floating-point latency sums, the HARE
+     * history EWMA, packet-pool free-list order — bit-identical to the
+     * single-threaded schedule.
+     */
+    struct DeliveredRecord
+    {
+        PacketHandle slot;
+        std::int16_t srcRouter;
+        std::int16_t destRouter;
+        DimOrder order;
+        TrafficClass cls;
+        bool straddler;  //!< queued before the last resetStats()
+        Cycle latency;
+    };
+
+    /** Cross-domain flit hop staged for the commit phase. */
+    struct StagedFlit
+    {
+        std::int16_t router;  //!< receiving router (global index)
+        std::int16_t port;
+        Cycle when;
+        Flit flit;
+    };
+
+    /** Cross-domain credit return staged for the commit phase. */
+    struct StagedCredit
+    {
+        std::int16_t router;
+        std::int16_t port;
+        std::uint8_t vc;
+        Cycle when;
+    };
+
+    /**
+     * One spatial domain: a contiguous range of routers plus the NIs
+     * attached to them, ticked by one worker. Everything here is
+     * written only by the owning worker during a tick; the scratch
+     * counters and delivery records are drained serially, in ascending
+     * domain order, by mergeTick() on the main thread.
+     */
+    struct alignas(64) Domain
+    {
+        ActiveSet activeNis;      //!< NIs with pending work (own nodes)
+        ActiveSet activeRouters;  //!< routers with pending work (own)
+        std::vector<DeliveredRecord> delivered;
+        std::uint64_t linkTraversals = 0;
+        std::uint64_t conservInjected = 0;
+        std::uint64_t conservEjected = 0;
+        std::uint64_t flitsDelivered = 0;
+        std::array<std::uint64_t, numVnets> vnFlitsDelivered{};
+        std::array<std::uint64_t, numVnets> vnInjectionStalls{};
+        /** This tick's running VN-occupancy delta and its max prefix. */
+        std::array<int, numVnets> vnDelta{};
+        std::array<int, numVnets> vnMaxPrefix{};
+
+        bool
+        hasWork() const
+        {
+            return !activeNis.empty() || !activeRouters.empty();
+        }
+    };
+
+    void niInject(Domain &d, Ni &ni, NodeId node, Cycle now);
+    void niEject(Domain &d, Ni &ni, NodeId node, Cycle now);
+    /** Phase 1: sweep one domain's NIs and routers (parallel). */
+    void tickDomain(Domain &d, Cycle now);
+    /** Phase 2: commit flits/credits staged for this domain (parallel). */
+    void commitStaged(int consumer);
+    /** Merge per-domain scratch into global stats (main thread only). */
+    void mergeTick();
+    void workerLoop(int domainIdx);
 
     const Topology &topo_;
     NetworkParams params_;
@@ -298,8 +385,6 @@ class Network : public RouterEnv, public CongestionProbe
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<Ni> nis_;
     PacketPool pool_;                    //!< slab of in-flight packets
-    ActiveSet activeNis_;                //!< NIs with pending work
-    ActiveSet activeRouters_;            //!< routers with pending work
     PacketId nextPktId_ = 1;
     NetworkStats stats_;
     /** Live per-VN flit occupancy of the fabric (survives resetStats). */
@@ -309,6 +394,23 @@ class Network : public RouterEnv, public CongestionProbe
     std::uint64_t conservEjected_ = 0;   //!< flits NIs drained from routers
     Cycle now_ = 0;
     Cycle statsResetAt_ = 0;  //!< cycle of the last resetStats()
+
+    // --- parallel tick engine state -----------------------------------
+    int numDomains_ = 1;
+    std::vector<Domain> domains_;
+    std::vector<std::int16_t> routerDomain_;  //!< router index -> domain
+    std::vector<std::int16_t> nodeDomain_;    //!< node index -> domain
+    /** SPSC staging buffers, indexed [producer * numDomains_ + consumer].
+     *  The producer appends during phase 1, the consumer drains during
+     *  phase 2; the barrier between the phases is the synchronization. */
+    std::vector<std::vector<StagedFlit>> stagedFlits_;
+    std::vector<std::vector<StagedCredit>> stagedCredits_;
+    SpinBarrier barrier_;
+    std::atomic<std::uint64_t> epoch_{0};  //!< tick-start signal
+    std::atomic<bool> stop_{false};
+    std::mutex epochMutex_;
+    std::condition_variable epochCv_;
+    std::vector<std::thread> workers_;  //!< one per domain beyond the first
 };
 
 } // namespace dr

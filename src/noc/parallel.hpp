@@ -1,0 +1,86 @@
+#ifndef DR_NOC_PARALLEL_HPP
+#define DR_NOC_PARALLEL_HPP
+
+/**
+ * @file
+ * Threading primitives for the deterministic parallel tick engine
+ * (DESIGN.md §11). The barrier is a counter + generation pair: every
+ * arrival is one atomic RMW, the last arrival resets the counter and
+ * bumps the generation, releasing the spinners. Waiters spin with a
+ * CPU-relax hint and escalate to yield; there is no futex sleep
+ * because a barrier wait spans at most one domain's worth of tick
+ * work. The release/acquire pair on the generation (and the RMW chain
+ * on the arrival counter) makes every write before any party's arrival
+ * visible to every party after the barrier — which is the whole
+ * correctness contract between the compute and commit phases.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace dr
+{
+
+/**
+ * One bounded-spin step: CPU-relax while `spins` climbs toward the
+ * saturation point, then yield on every further call. The counter
+ * saturates (no overflow), so callers can also use `spins >= 1024` as
+ * an "escalate further" signal.
+ */
+inline void
+cpuRelax(int &spins)
+{
+    if (spins < 1024) {
+        ++spins;
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        asm volatile("yield" ::: "memory");
+#endif
+    } else {
+        std::this_thread::yield();
+    }
+}
+
+/** Reusable generation barrier for a fixed set of parties. */
+class SpinBarrier
+{
+  public:
+    explicit SpinBarrier(int parties = 1) : parties_(parties) {}
+
+    /** Set the party count. Only valid while no thread is waiting. */
+    void
+    reset(int parties)
+    {
+        parties_ = parties;
+    }
+
+    void
+    arriveAndWait()
+    {
+        // Reading the generation before arriving is race-free: no new
+        // round can complete until this party arrives too.
+        const std::uint64_t gen = gen_.load(std::memory_order_acquire);
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            parties_) {
+            // Reset before the release bump so re-arrivals of the next
+            // round (which synchronize on the bump) see a zero counter.
+            arrived_.store(0, std::memory_order_relaxed);
+            gen_.fetch_add(1, std::memory_order_release);
+        } else {
+            int spins = 0;
+            while (gen_.load(std::memory_order_acquire) == gen)
+                cpuRelax(spins);
+        }
+    }
+
+  private:
+    int parties_;
+    std::atomic<int> arrived_{0};
+    std::atomic<std::uint64_t> gen_{0};
+};
+
+} // namespace dr
+
+#endif // DR_NOC_PARALLEL_HPP

@@ -37,6 +37,17 @@ TEST(ConfigIo, AppliesEnumOptions)
     EXPECT_EQ(cfg.gpu.ctaSchedule, CtaSchedule::Distributed);
 }
 
+TEST(ConfigIo, AppliesNocThreads)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    EXPECT_EQ(cfg.noc.threads, 0);  // auto (DR_NOC_THREADS or 1)
+    applyConfigOption(cfg, "noc.threads", "4");
+    EXPECT_EQ(cfg.noc.threads, 4);
+    cfg.validate();
+    cfg.noc.threads = -1;
+    EXPECT_DEATH(cfg.validate(), "noc.threads");
+}
+
 TEST(ConfigIo, AppliesBooleans)
 {
     SystemConfig cfg = SystemConfig::makePaper();

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Determinism proofs for the parallel tick engine (DESIGN.md §11):
+ * the spatial-domain partition must be unobservable. Every test runs
+ * the same seeded workload under noc.threads = 1 and under a
+ * multi-domain partition and requires the full statistics fingerprint
+ * — including floating-point latency sums, whose addition order the
+ * serial merge must reproduce exactly — to be bit-identical across
+ * all four topologies, with virtual networks off and on, and for an
+ * end-to-end Delegated Replies protocol run (delegation + DNF).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/experiment.hpp"
+#include "core/hetero_system.hpp"
+#include "noc/network.hpp"
+#include "noc/synthetic_traffic.hpp"
+
+namespace dr
+{
+namespace
+{
+
+Message
+makeMsg(NodeId src, NodeId dst, MsgType type, TrafficClass cls,
+        std::uint64_t id)
+{
+    Message m;
+    m.type = type;
+    m.cls = cls;
+    m.src = src;
+    m.dst = dst;
+    m.requester = src;
+    m.id = id;
+    return m;
+}
+
+void
+drainReady(Network &net)
+{
+    for (NodeId n = 0; n < net.topology().nodes(); ++n) {
+        while (net.hasMessage(n, NetKind::Request))
+            net.popMessage(n, NetKind::Request);
+        while (net.hasMessage(n, NetKind::Reply))
+            net.popMessage(n, NetKind::Reply);
+    }
+}
+
+Topology
+topoFor(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::Mesh:
+        return Topology::makeMesh(4, 4);
+      case TopologyKind::Crossbar:
+        return Topology::makeCrossbar(16);
+      case TopologyKind::FlattenedButterfly:
+        return Topology::makeFlattenedButterfly(16, 4);
+      case TopologyKind::Dragonfly:
+        return Topology::makeDragonfly(64, 4, 4);
+    }
+    panic("unknown topology kind");
+}
+
+/**
+ * One fixed synthetic run on `kind` with the given thread count;
+ * returns every aggregate statistic, formatted for exact comparison.
+ * With `vnets` set the VCs are partitioned one-per-VN (two-per-VN on
+ * Dragonfly, which needs 2 VCs per VN for phase escalation) and
+ * traffic is spread across all four virtual networks.
+ */
+std::string
+fingerprint(TopologyKind kind, int threads, bool vnets,
+            std::uint64_t seed)
+{
+    const Topology topo = topoFor(kind);
+    const int nodes = topo.nodes();
+
+    NetworkParams params;
+    params.seed = seed;
+    params.vcDepthFlits = 4;
+    params.routerStages = 4;
+    params.ejBufferFlits = 20;
+    params.injBufferFlits.assign(nodes, 36);
+    params.routing = kind == TopologyKind::Mesh
+                         ? RoutingKind::DimOrderXY
+                         : RoutingKind::TableMinimal;
+    params.threads = threads;
+    const int vcsPerVn = kind == TopologyKind::Dragonfly ? 2 : 1;
+    if (vnets) {
+        params.numVcs = numVnets * vcsPerVn;
+        params.vnPriority = true;
+        params.layout.numVcs = params.numVcs;
+        for (int vn = 0; vn < numVnets; ++vn) {
+            params.layout.range[vn] = {
+                static_cast<std::uint8_t>(vn * vcsPerVn),
+                static_cast<std::uint8_t>(vcsPerVn)};
+        }
+    } else {
+        params.numVcs = 2;
+    }
+    Network net(params, topo);
+
+    SyntheticTraffic traffic(TrafficPattern::UniformRandom, nodes, 4, {});
+    Rng rng(seed * 17 + 3);
+    std::uint64_t id = 1;
+    const Cycle horizon = 2000;
+    for (Cycle now = 0; now < horizon; ++now) {
+        for (NodeId src = 0; src < nodes; ++src) {
+            if (!rng.chance(0.08) || !net.canInject(src, 5))
+                continue;
+            const VirtualNet vn =
+                vnets ? static_cast<VirtualNet>(rng.next() % numVnets)
+                      : VirtualNet::Reply;
+            const bool reqSide = vn == VirtualNet::Request ||
+                                 vn == VirtualNet::ForwardedRequest;
+            Message m =
+                makeMsg(src, traffic.dest(src, rng),
+                        reqSide ? MsgType::ReadReq : MsgType::ReadReply,
+                        (src % 3) ? TrafficClass::Gpu : TrafficClass::Cpu,
+                        id);
+            m.id = id++;
+            net.inject(m, reqSide ? 1 : 5, now, vn);
+        }
+        // Mid-run stats reset: the warmup-straddler bookkeeping must
+        // also be partition-independent.
+        if (now == horizon / 4)
+            net.resetStats();
+        net.tick(now);
+        drainReady(net);
+    }
+    net.checkAllInvariants();
+
+    const NetworkStats &s = net.stats();
+    std::ostringstream os;
+    os << s.packetsInjected.value() << ' ' << s.packetsDelivered.value()
+       << ' ' << s.flitsDelivered.value() << ' ' << s.packetLatency.sum()
+       << ' ' << s.packetLatency.count() << ' '
+       << s.cpuPacketLatency.sum() << ' ' << s.gpuPacketLatency.sum()
+       << ' ' << s.warmupStraddlers.value() << ' '
+       << s.localDeliveries.value() << ' ' << net.totalLinkTraversals()
+       << ' ' << net.totalSwitchTraversals() << ' '
+       << net.totalBufferWrites() << ' ' << net.flitsInFlight();
+    for (int vn = 0; vn < numVnets; ++vn) {
+        os << ' ' << s.vnPacketsInjected[vn].value() << ' '
+           << s.vnFlitsDelivered[vn].value() << ' '
+           << s.vnInjectionStalls[vn].value() << ' ' << s.vnPeakFlits[vn];
+    }
+    return os.str();
+}
+
+struct PartitionCase
+{
+    TopologyKind kind;
+    bool vnets;
+};
+
+class PartitionIndependence
+    : public ::testing::TestWithParam<PartitionCase>
+{
+};
+
+TEST_P(PartitionIndependence, FourThreadsMatchOneThread)
+{
+    const PartitionCase c = GetParam();
+    const std::string serial = fingerprint(c.kind, 1, c.vnets, 42);
+    EXPECT_NE(serial.find(' '), std::string::npos);
+    EXPECT_EQ(serial, fingerprint(c.kind, 4, c.vnets, 42));
+    // An uneven partition (3 domains over the router range) must be
+    // just as unobservable as the even one.
+    EXPECT_EQ(serial, fingerprint(c.kind, 3, c.vnets, 42));
+    EXPECT_NE(serial, fingerprint(c.kind, 4, c.vnets, 43))
+        << "different seeds should not collide on every statistic";
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<PartitionCase> &info)
+{
+    std::string name;
+    switch (info.param.kind) {
+      case TopologyKind::Mesh: name = "Mesh"; break;
+      case TopologyKind::Crossbar: name = "Crossbar"; break;
+      case TopologyKind::FlattenedButterfly: name = "Fbfly"; break;
+      case TopologyKind::Dragonfly: name = "Dragonfly"; break;
+    }
+    return name + (info.param.vnets ? "Vnets" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTopologies, PartitionIndependence,
+    ::testing::Values(
+        PartitionCase{TopologyKind::Mesh, false},
+        PartitionCase{TopologyKind::Mesh, true},
+        PartitionCase{TopologyKind::Crossbar, false},
+        PartitionCase{TopologyKind::Crossbar, true},
+        PartitionCase{TopologyKind::FlattenedButterfly, false},
+        PartitionCase{TopologyKind::FlattenedButterfly, true},
+        PartitionCase{TopologyKind::Dragonfly, false},
+        PartitionCase{TopologyKind::Dragonfly, true}),
+    caseName);
+
+/**
+ * End-to-end Delegated Replies run (delegation + delegate-not-found
+ * path active) through the full protocol stack: the threaded engine
+ * must reproduce the single-threaded golden exactly, down to the
+ * floating-point metrics.
+ */
+TEST(ParallelEngine, DrProtocolEndToEndMatchesSerialGolden)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.warmupCycles = 4000;
+    cfg.simCycles = 8000;
+
+    cfg.noc.threads = 1;
+    const RunResults serial = runWorkload(cfg, "HS", "blackscholes");
+    cfg.noc.threads = 4;
+    const RunResults parallel = runWorkload(cfg, "HS", "blackscholes");
+
+    // The run must actually exercise the DR machinery.
+    EXPECT_GT(serial.delegations, 0u);
+    EXPECT_GT(serial.l1Misses, 100u);
+
+    EXPECT_EQ(serial.cycles, parallel.cycles);
+    EXPECT_DOUBLE_EQ(serial.gpuIpc, parallel.gpuIpc);
+    EXPECT_DOUBLE_EQ(serial.cpuIpc, parallel.cpuIpc);
+    EXPECT_DOUBLE_EQ(serial.cpuLatency, parallel.cpuLatency);
+    EXPECT_DOUBLE_EQ(serial.gpuDataRate, parallel.gpuDataRate);
+    EXPECT_DOUBLE_EQ(serial.memBlockingRate, parallel.memBlockingRate);
+    EXPECT_EQ(serial.l1Misses, parallel.l1Misses);
+    EXPECT_EQ(serial.missesWithRemoteCopy, parallel.missesWithRemoteCopy);
+    EXPECT_EQ(serial.delegations, parallel.delegations);
+    EXPECT_EQ(serial.frqRemoteHits, parallel.frqRemoteHits);
+    EXPECT_EQ(serial.frqDelayedHits, parallel.frqDelayedHits);
+    EXPECT_EQ(serial.frqRemoteMisses, parallel.frqRemoteMisses);
+    EXPECT_EQ(serial.requestsInjected, parallel.requestsInjected);
+    EXPECT_EQ(serial.switchTraversals, parallel.switchTraversals);
+    EXPECT_EQ(serial.bufferWrites, parallel.bufferWrites);
+    EXPECT_EQ(serial.linkTraversals, parallel.linkTraversals);
+    EXPECT_DOUBLE_EQ(serial.gpuL1MissRate, parallel.gpuL1MissRate);
+    EXPECT_DOUBLE_EQ(serial.llcHitRate, parallel.llcHitRate);
+}
+
+} // namespace
+} // namespace dr

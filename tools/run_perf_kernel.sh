@@ -7,8 +7,15 @@
 #   BUILD_DIR      build tree containing bench/perf_kernel (default: build)
 #   OUTPUT_JSON    where to write the result (default: BENCH_noc_kernel.json)
 #   BASELINE_JSON  optional committed baseline; when given, exit non-zero
-#                  if uniform cycles/sec regressed by more than
+#                  if any gated cycles/sec summary (uniform, hotspot and
+#                  the vnet workloads) regressed by more than
 #                  DR_PERF_REGRESSION_PCT percent (default 20).
+#
+# The emitted JSON is annotated with host provenance (core count, 1-min
+# loadavg, DR_NOC_THREADS) so committed baselines stay comparable across
+# machines. Writing a *baseline* (an output named like the committed
+# BENCH_noc_kernel.json) on a visibly loaded machine — 1-min loadavg
+# above cores/2 — is refused; set DR_BENCH_FORCE=1 to override.
 #
 # DR_BENCH_CYCLES scales the measured horizon as for every bench binary.
 set -eu
@@ -23,8 +30,45 @@ if [ ! -x "$BIN" ]; then
     exit 2
 fi
 
-"$BIN" > "$OUTPUT"
-echo "run_perf_kernel: wrote $OUTPUT"
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+LOADAVG="$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)"
+
+# A baseline measured while the machine was busy undercuts every future
+# comparison against it. Refuse unless explicitly forced.
+case "$OUTPUT" in
+*BENCH_noc_kernel.json)
+    if [ "${DR_BENCH_FORCE:-0}" != "1" ] &&
+       awk -v l="$LOADAVG" -v c="$CORES" 'BEGIN { exit !(l > c / 2) }'; then
+        echo "run_perf_kernel: refusing to write baseline $OUTPUT:" \
+             "1-min loadavg $LOADAVG exceeds half the $CORES host cores;" \
+             "measure on an idle machine or set DR_BENCH_FORCE=1" >&2
+        exit 3
+    fi
+    ;;
+esac
+
+"$BIN" > "$OUTPUT.tmp"
+
+# Annotate with host provenance so the numbers can be judged later.
+python3 - "$OUTPUT.tmp" "$OUTPUT" "$CORES" "$LOADAVG" <<'EOF'
+import json
+import os
+import sys
+
+tmp_path, out_path, cores, loadavg = sys.argv[1:5]
+with open(tmp_path) as f:
+    result = json.load(f)
+result["host"] = {
+    "cores": int(cores),
+    "loadavg_1min": float(loadavg),
+    "noc_threads_env": os.environ.get("DR_NOC_THREADS", ""),
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+EOF
+rm -f "$OUTPUT.tmp"
+echo "run_perf_kernel: wrote $OUTPUT (host: $CORES cores, loadavg $LOADAVG)"
 
 if [ -z "$BASELINE" ]; then
     exit 0
@@ -49,14 +93,32 @@ with open(baseline_path) as f:
 # The committed baseline stores an "after" section (see EXPERIMENTS.md);
 # a raw perf_kernel emission stores "summary" only.
 base_summary = baseline.get("after", baseline)["summary"]
-cur = current["summary"]["uniform_cycles_per_sec"]
-base = base_summary["uniform_cycles_per_sec"]
+cur_summary = current["summary"]
 
-delta_pct = 100.0 * (cur - base) / base
-print(f"run_perf_kernel: uniform cycles/sec {cur:.0f} vs baseline "
-      f"{base:.0f} ({delta_pct:+.1f}%)")
-if cur < base * (1.0 - threshold / 100.0):
-    print(f"run_perf_kernel: REGRESSION beyond {threshold:.0f}% threshold",
-          file=sys.stderr)
+# Gate every throughput summary both sides know about — the legacy
+# uniform/hotspot metrics and the vnet workloads alike. Thread-scaling
+# columns are machine-dependent (core count), so they are reported in
+# the JSON but not gated.
+gated = [
+    "uniform_cycles_per_sec",
+    "hotspot_cycles_per_sec",
+    "vnet_uniform_cycles_per_sec",
+    "vnet_hotspot_cycles_per_sec",
+]
+failed = False
+for key in gated:
+    if key not in base_summary or key not in cur_summary:
+        print(f"run_perf_kernel: {key}: not in both summaries, skipped")
+        continue
+    cur = cur_summary[key]
+    base = base_summary[key]
+    delta_pct = 100.0 * (cur - base) / base
+    print(f"run_perf_kernel: {key} {cur:.0f} vs baseline "
+          f"{base:.0f} ({delta_pct:+.1f}%)")
+    if cur < base * (1.0 - threshold / 100.0):
+        print(f"run_perf_kernel: {key}: REGRESSION beyond "
+              f"{threshold:.0f}% threshold", file=sys.stderr)
+        failed = True
+if failed:
     sys.exit(1)
 EOF
