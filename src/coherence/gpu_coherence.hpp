@@ -19,22 +19,33 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
 namespace dr
 {
 
-/** Chip-wide software-coherence state for the GPU domain. */
+/**
+ * Chip-wide software-coherence state for the GPU domain.
+ *
+ * Pre-classified for the ROADMAP's endpoint partitioning (DESIGN.md
+ * §12): the epoch table is shared by every SM core and memory node, so
+ * it is DR_SERIAL_ONLY — mutations (flush) may only run in serial
+ * sections; the parallel phases may read it (frozen while workers run).
+ */
 class GpuCoherence
 {
   public:
     explicit GpuCoherence(int numGpuCores);
 
-    int numCores() const { return static_cast<int>(epochs_.size()); }
+    int numCores() const DR_PHASE_READ
+    {
+        return static_cast<int>(epochs_.size());
+    }
 
     /** Current flush epoch of a core. */
-    std::uint32_t epochOf(int gpuCoreIdx) const
+    std::uint32_t epochOf(int gpuCoreIdx) const DR_PHASE_READ
     {
         return epochs_[gpuCoreIdx];
     }
@@ -43,20 +54,20 @@ class GpuCoherence
      * Record an L1 flush (kernel boundary). All core pointers naming
      * this core become stale instantly.
      */
-    void flush(int gpuCoreIdx);
+    void flush(int gpuCoreIdx) DR_COMMIT_PHASE;
 
     /** Whether a pointer written at `epoch` for this core is current. */
     bool
-    pointerValid(int gpuCoreIdx, std::uint32_t epoch) const
+    pointerValid(int gpuCoreIdx, std::uint32_t epoch) const DR_PHASE_READ
     {
         return epochs_[gpuCoreIdx] == epoch;
     }
 
-    const Counter &flushes() const { return flushes_; }
+    const Counter &flushes() const DR_PHASE_READ { return flushes_; }
 
   private:
-    std::vector<std::uint32_t> epochs_;
-    Counter flushes_;
+    std::vector<std::uint32_t> epochs_ DR_SERIAL_ONLY;
+    Counter flushes_ DR_SERIAL_ONLY;
 };
 
 } // namespace dr

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -43,6 +44,11 @@ struct MesiStats
 
 /**
  * Directory-side MESI protocol for up to 64 CPU cores.
+ *
+ * Pre-classified for the ROADMAP's memory-node partitioning (DESIGN.md
+ * §12): one directory is shared by every memory node, so its mutable
+ * state is DR_SERIAL_ONLY — access()/evict() may only run in serial
+ * sections until the directory itself is sliced per domain.
  */
 class MesiDirectory
 {
@@ -60,24 +66,24 @@ class MesiDirectory
      * @param write true for stores
      * @return extra latency cycles due to invalidations/downgrades
      */
-    Cycle access(int core, Addr lineAddr, bool write);
+    Cycle access(int core, Addr lineAddr, bool write) DR_COMMIT_PHASE;
 
     /** Evict a line from a core's cache (silent for S, writeback for M). */
-    void evict(int core, Addr lineAddr);
+    void evict(int core, Addr lineAddr) DR_COMMIT_PHASE;
 
     /** Directory state of a line (Invalid if untracked). */
-    MesiState stateOf(Addr lineAddr) const;
+    MesiState stateOf(Addr lineAddr) const DR_PHASE_READ;
 
     /** Number of sharers of a line. */
-    int sharerCount(Addr lineAddr) const;
+    int sharerCount(Addr lineAddr) const DR_PHASE_READ;
 
     /** Whether a given core holds the line. */
-    bool isSharer(int core, Addr lineAddr) const;
+    bool isSharer(int core, Addr lineAddr) const DR_PHASE_READ;
 
-    const MesiStats &stats() const { return stats_; }
+    const MesiStats &stats() const DR_PHASE_READ { return stats_; }
 
     /** Tracked (non-invalid) lines. */
-    std::size_t trackedLines() const { return dir_.size(); }
+    std::size_t trackedLines() const DR_PHASE_READ { return dir_.size(); }
 
   private:
     struct Entry
@@ -86,12 +92,12 @@ class MesiDirectory
         std::uint64_t sharers = 0;
     };
 
-    int numCores_;
-    Cycle invalidationPenalty_;
+    int numCores_ DR_SERIAL_ONLY;
+    Cycle invalidationPenalty_ DR_SERIAL_ONLY;
     // drlint-allow(unordered-container): lookup by line address
     // only; the directory is never iterated.
-    std::unordered_map<Addr, Entry> dir_;
-    MesiStats stats_;
+    std::unordered_map<Addr, Entry> dir_ DR_SERIAL_ONLY;
+    MesiStats stats_ DR_SERIAL_ONLY;
 };
 
 } // namespace dr

@@ -72,6 +72,25 @@ benchConfig(Mechanism mechanism)
 {
     SystemConfig cfg = SystemConfig::makePaper();
     cfg.mechanism = mechanism;
+    // Delegated Replies runs on the first-class 4-VN layout (reserved
+    // per-message-class VC ranges, noc/vnet.hpp): delegated forwards
+    // and core-to-core replies get their own virtual networks, as in
+    // the paper's design. The ordinary request/reply classes keep the
+    // legacy Table I capacity (2 VCs each) and the two DR-only VNs add
+    // one reserved VC per side — starving replies down to 1 VC to fit
+    // vcsPerNet=2 inverts the headline (replies are the clogging
+    // traffic). The extra VC per port is DR hardware, priced by the
+    // area model. The legacy two-class VC split remains available as
+    // an ablation row (bench/ablation_dr.cpp) and for sweeps that flip
+    // cfg.mechanism on a fixed fabric.
+    if (mechanism == Mechanism::DelegatedReplies) {
+        cfg.noc.vnets = true;
+        cfg.noc.vcsPerNet = 3;
+        cfg.noc.vnetRequestVcs = 2;
+        cfg.noc.vnetForwardVcs = 1;
+        cfg.noc.vnetReplyVcs = 2;
+        cfg.noc.vnetDelegatedVcs = 1;
+    }
     cfg.simCycles = benchCycles(30000);
     // The LLC needs to warm before the clogging regime is reached.
     cfg.warmupCycles = cfg.simCycles / 2;

@@ -110,6 +110,7 @@ CpuNode::maybeAccess(Cycle now)
 void
 CpuNode::tick(Cycle now)
 {
+    DR_PHASE_ASSERT_COMMIT();
     receive(now);
     if (blocked_) {
         ++stats_.blockedCycles;

@@ -14,6 +14,7 @@
 #include <unordered_map>
 
 #include "common/config.hpp"
+#include "common/ownership.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -37,8 +38,14 @@ struct CpuNodeStats
     Average requestLatency;   //!< inject to reply (network + memory)
 };
 
-/** One CPU core endpoint. */
-class CpuNode
+/**
+ * One CPU core endpoint.
+ *
+ * Pre-classified for the ROADMAP's endpoint partitioning (DESIGN.md
+ * §12): all mutable state belongs to this one core, so the object is
+ * DR_DOMAIN_OWNED. Today tick() still runs serially.
+ */
+class DR_DOMAIN_OWNED CpuNode
 {
   public:
     CpuNode(NodeId nodeId, int coreIdx, const SystemConfig &cfg,
@@ -73,21 +80,21 @@ class CpuNode
     CpuProfile profile_;
     Interconnect &ic_;
     const AddressMap &map_;
-    Rng rng_;
+    Rng rng_ DR_DOMAIN_OWNED;
 
     struct NoMeta
     {};
-    SetAssocCache<NoMeta> l1_;
+    SetAssocCache<NoMeta> l1_ DR_DOMAIN_OWNED;
 
     // drlint-allow(unordered-container): lookup by request id
     // only; completion order comes from reply arrival.
-    std::unordered_map<std::uint64_t, InFlightReq> inFlight_;
-    std::uint64_t nextReqId_;
-    bool blocked_ = false;
-    std::uint64_t blockingReq_ = 0;
-    Addr seqCursor_ = 0;
+    std::unordered_map<std::uint64_t, InFlightReq> inFlight_ DR_DOMAIN_OWNED;
+    std::uint64_t nextReqId_ DR_DOMAIN_OWNED;
+    bool blocked_ DR_DOMAIN_OWNED = false;
+    std::uint64_t blockingReq_ DR_DOMAIN_OWNED = 0;
+    Addr seqCursor_ DR_DOMAIN_OWNED = 0;
 
-    CpuNodeStats stats_;
+    CpuNodeStats stats_ DR_DOMAIN_OWNED;
 };
 
 } // namespace dr

@@ -93,9 +93,14 @@ ProgressWatchdog::dumpBlockedChain(const Network &net,
             if (head.buffered > pick->buffered)
                 pick = &head;
         }
-        os << "    R" << router << " in[" << pick->inPort << "]["
-           << pick->inVc << "] pkt=" << pick->pkt << " ("
-           << pick->buffered << " flits) -> ";
+        // The producing domain id localizes a stuck chain to a tick
+        // worker: a wait-for edge that crosses domains goes through the
+        // SPSC staging, one that stays inside a domain commits directly
+        // (DESIGN.md §12).
+        os << "    R" << router << "/d" << net.domainOfRouter(router)
+           << " in[" << pick->inPort << "][" << pick->inVc
+           << "] pkt=" << pick->pkt << " (" << pick->buffered
+           << " flits) -> ";
         if (pick->outPort < 0) {
             os << "unrouted\n";
             return;
@@ -110,8 +115,9 @@ ProgressWatchdog::dumpBlockedChain(const Network &net,
             os << "unconnected port " << pick->outPort << "\n";
             return;
         }
-        os << "R" << conn.peerRouter << " port " << conn.peerPort
-           << " vc " << pick->outVc << "\n";
+        os << "R" << conn.peerRouter << "/d"
+           << net.domainOfRouter(conn.peerRouter) << " port "
+           << conn.peerPort << " vc " << pick->outVc << "\n";
         if (!visited.insert(router).second) {
             os << "    cycle closed at R" << router
                << " — wait-for loop (credit leak or protocol deadlock)\n";

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 
 namespace dr
@@ -27,30 +28,37 @@ struct CtaAssignment
     std::uint32_t kernelInstance = 0;
 };
 
-/** Grid-wide CTA scheduler shared by all SM cores. */
+/**
+ * Grid-wide CTA scheduler shared by all SM cores.
+ *
+ * Pre-classified for the ROADMAP's endpoint partitioning (DESIGN.md
+ * §12): one scheduler is shared by every SM core, so its cursors are
+ * DR_SERIAL_ONLY — next() may only run in serial sections until CTA
+ * hand-out is staged per domain.
+ */
 class CtaScheduler
 {
   public:
     CtaScheduler(CtaSchedule policy, int ctaCount, int numCores);
 
     /** Next CTA for `core`; kernels relaunch indefinitely. */
-    CtaAssignment next(int core);
+    CtaAssignment next(int core) DR_COMMIT_PHASE;
 
-    CtaSchedule policy() const { return policy_; }
-    std::uint32_t launches() const { return globalInstance_; }
+    CtaSchedule policy() const DR_PHASE_READ { return policy_; }
+    std::uint32_t launches() const DR_PHASE_READ { return globalInstance_; }
 
   private:
-    CtaSchedule policy_;
-    int ctaCount_;
-    int numCores_;
+    CtaSchedule policy_ DR_SERIAL_ONLY;
+    int ctaCount_ DR_SERIAL_ONLY;
+    int numCores_ DR_SERIAL_ONLY;
 
     // Round-robin state.
-    int rrNext_ = 0;
-    std::uint32_t globalInstance_ = 0;
+    int rrNext_ DR_SERIAL_ONLY = 0;
+    std::uint32_t globalInstance_ DR_SERIAL_ONLY = 0;
 
     // Distributed state: per-core cursor and instance.
-    std::vector<int> cursor_;
-    std::vector<std::uint32_t> instance_;
+    std::vector<int> cursor_ DR_SERIAL_ONLY;
+    std::vector<std::uint32_t> instance_ DR_SERIAL_ONLY;
 };
 
 } // namespace dr

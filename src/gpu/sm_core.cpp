@@ -57,6 +57,7 @@ SmCore::makeRequest(MsgType type, Addr line, Cycle now) const
 void
 SmCore::tick(Cycle now)
 {
+    DR_PHASE_ASSERT_COMMIT();
     DR_CHECKED_ONLY(frqServicedThisTick_ = false);
     receiveReplies(now);
     receiveRequests(now);

@@ -21,6 +21,7 @@
 
 #include "coherence/gpu_coherence.hpp"
 #include "common/config.hpp"
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "gpu/cta_scheduler.hpp"
@@ -75,8 +76,14 @@ struct SmCoreStats
 
 /**
  * One SM core endpoint. Ticked once per cycle by the HeteroSystem.
+ *
+ * Pre-classified for the ROADMAP's endpoint partitioning (DESIGN.md
+ * §12): every mutable member below is state of this one core, so the
+ * whole object is DR_DOMAIN_OWNED — once SM cores join the parallel
+ * tick engine's spatial domains, only the owning domain's worker may
+ * call the mutating entry points. Today tick() still runs serially.
  */
-class SmCore
+class DR_DOMAIN_OWNED SmCore
 {
   public:
     SmCore(NodeId nodeId, int coreIdx, const SystemConfig &cfg,
@@ -181,27 +188,29 @@ class SmCore
     L1Organizer &l1_;
     const std::vector<NodeId> &gpuCoreIds_;
 
-    std::vector<Warp> warps_;
-    std::vector<CtaSlot> ctaSlots_;
+    std::vector<Warp> warps_ DR_DOMAIN_OWNED;
+    std::vector<CtaSlot> ctaSlots_ DR_DOMAIN_OWNED;
     std::uint32_t coreInstance_ = 0;
     int greedyWarp_ = 0;
 
-    MshrFile mshrs_;
-    std::deque<Message> frq_;              //!< Forwarded Request Queue
-    std::deque<Message> probeQueue_;       //!< incoming RP probes
-    std::deque<Message> outboundReplies_;  //!< core-to-core data replies
+    MshrFile mshrs_ DR_DOMAIN_OWNED;
+    std::deque<Message> frq_ DR_DOMAIN_OWNED;   //!< Forwarded Request Queue
+    std::deque<Message> probeQueue_ DR_DOMAIN_OWNED;  //!< incoming RP probes
+    //!< core-to-core data replies
+    std::deque<Message> outboundReplies_ DR_DOMAIN_OWNED;
     // drlint-allow(unordered-container): lookup by line only;
     // probe completion is driven by message arrival order.
-    std::unordered_map<Addr, ProbeState> probes_;
-    std::deque<Addr> probeFallbacks_;      //!< lines awaiting LLC re-send
-    SharingPredictor predictor_;
+    std::unordered_map<Addr, ProbeState> probes_ DR_DOMAIN_OWNED;
+    //!< lines awaiting LLC re-send
+    std::deque<Addr> probeFallbacks_ DR_DOMAIN_OWNED;
+    SharingPredictor predictor_ DR_DOMAIN_OWNED;
 
-    int outstandingWrites_ = 0;
-    bool frqServicedThisTick_ = false;  //!< DR_CHECKED ordering witness
-    std::uint64_t nextReqId_;
+    int outstandingWrites_ DR_DOMAIN_OWNED = 0;
+    bool frqServicedThisTick_ DR_DOMAIN_OWNED = false;
+    std::uint64_t nextReqId_ DR_DOMAIN_OWNED;
     std::function<bool(int, Addr)> localityOracle_;
 
-    SmCoreStats stats_;
+    SmCoreStats stats_ DR_DOMAIN_OWNED;
 
     static constexpr int maxOutboundReplies_ = 8;
     static constexpr int maxOutstandingWrites_ = 16;

@@ -21,6 +21,7 @@ MemNode::MemNode(NodeId nodeId, const SystemConfig &cfg, Interconnect &ic,
 void
 MemNode::tick(Cycle now)
 {
+    DR_PHASE_ASSERT_COMMIT();
     ++stats_.activeCycles;
     dram_.tick(now);
     llc_.tick(now);

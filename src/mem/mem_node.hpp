@@ -12,6 +12,7 @@
 
 #include "coherence/mesi.hpp"
 #include "common/config.hpp"
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/dram.hpp"
@@ -35,8 +36,13 @@ struct MemNodeStats
 /**
  * One memory node endpoint. The HeteroSystem ticks every memory node
  * each cycle after the interconnect.
+ *
+ * Pre-classified for the ROADMAP's memory-node partitioning (DESIGN.md
+ * §12): the DRAM channel, LLC slice, and stats are private to this
+ * node, so the object is DR_DOMAIN_OWNED. The MesiDirectory reference
+ * is shared across nodes and stays DR_SERIAL_ONLY at its definition.
  */
-class MemNode
+class DR_DOMAIN_OWNED MemNode
 {
   public:
     MemNode(NodeId nodeId, const SystemConfig &cfg, Interconnect &ic,
@@ -67,10 +73,10 @@ class MemNode
     const SystemConfig &cfg_;
     Interconnect &ic_;
     MesiDirectory &mesi_;
-    DramChannel dram_;
-    LlcSlice llc_;
+    DramChannel dram_ DR_DOMAIN_OWNED;
+    LlcSlice llc_ DR_DOMAIN_OWNED;
     std::vector<int> cpuIndexOfNode_;
-    MemNodeStats stats_;
+    MemNodeStats stats_ DR_DOMAIN_OWNED;
 };
 
 } // namespace dr

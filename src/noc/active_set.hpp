@@ -14,16 +14,23 @@
  * order — exactly the order the old tick-everything loop used, and the
  * skipped entities were no-ops there, so schedules are bit-identical.
  * Registration is a single OR; no allocation, no sorting.
+ *
+ * Ownership (DESIGN.md §12): each ActiveSet instance lives inside one
+ * spatial domain (Network::Domain holds per-domain router/NI sets), so
+ * the whole structure is DR_DOMAIN_OWNED through its container — only
+ * the owning domain's worker adds/sweeps it during a parallel phase.
  */
 
 #include <bit>
 #include <cstdint>
 #include <vector>
 
+#include "common/ownership.hpp"
+
 namespace dr
 {
 
-class ActiveSet
+class DR_DOMAIN_OWNED ActiveSet
 {
   public:
     ActiveSet() = default;
@@ -101,7 +108,7 @@ class ActiveSet
     }
 
   private:
-    std::vector<std::uint64_t> words_;
+    std::vector<std::uint64_t> words_ DR_DOMAIN_OWNED;
 };
 
 } // namespace dr

@@ -118,6 +118,15 @@ Network::Network(const NetworkParams &params, const Topology &topo)
     stagedCredits_.resize(
         static_cast<std::size_t>(numDomains_) * numDomains_);
 
+    // Writer-domain stamps: record each structure's owning domain so the
+    // DR_CHECKED phase checks can validate every compute-phase write.
+    for (int r = 0; r < topo_.routers(); ++r)
+        routers_[r]->setDomain(routerDomain_[r]);
+    for (NodeId n = 0; n < topo_.nodes(); ++n)
+        DR_STAMP_SET_OWNER(nis_[n], nodeDomain_[n]);
+    for (int d = 0; d < numDomains_; ++d)
+        DR_STAMP_SET_OWNER(domains_[d], d);
+
     barrier_.reset(numDomains_);
     workers_.reserve(static_cast<std::size_t>(numDomains_ - 1));
     for (int d = 1; d < numDomains_; ++d)
@@ -153,6 +162,7 @@ Network::canInject(NodeId node, int flits) const
 void
 Network::inject(const Message &msg, int flits, Cycle now, VirtualNet vn)
 {
+    DR_PHASE_ASSERT_COMMIT();
     const int clsIdx = msg.cls == TrafficClass::Cpu ? 0 : 1;
     const int vnIdx = static_cast<int>(vn);
     ++stats_.packetsInjected;
@@ -222,6 +232,7 @@ Network::peekMessage(NodeId node, NetKind kind) const
 Message
 Network::popMessage(NodeId node, NetKind kind)
 {
+    DR_PHASE_ASSERT_COMMIT();
     Ni &ni = nis_[node];
     auto &queue = ni.ready[static_cast<int>(kind)];
     if (queue.empty())
@@ -241,6 +252,7 @@ Network::popMessage(NodeId node, NetKind kind)
 void
 Network::niInject(Domain &d, Ni &ni, NodeId node, Cycle now)
 {
+    DR_STAMP_WRITE(ni);
     while (!ni.creditArrivals.empty() &&
            ni.creditArrivals.front().when <= now) {
         ++ni.credits[ni.creditArrivals.front().vc];
@@ -365,6 +377,7 @@ void
 Network::niEject(Domain &d, Ni &ni, NodeId node, Cycle now)
 {
     (void)node;
+    DR_STAMP_WRITE(ni);
     while (!ni.ejArrivals.empty() && ni.ejArrivals.front().when <= now) {
         const Flit flit = ni.ejArrivals.front().flit;
         ni.ejArrivals.pop_front();
@@ -418,6 +431,7 @@ Network::niEject(Domain &d, Ni &ni, NodeId node, Cycle now)
 void
 Network::tick(Cycle now)
 {
+    DR_PHASE_ASSERT_COMMIT();
     now_ = now;
 
     // Two-phase compute/commit cycle (DESIGN.md §11). Phase 1 ticks
@@ -433,7 +447,11 @@ Network::tick(Cycle now)
         Domain &d = domains_[0];
         if (!d.hasWork())
             return;
-        tickDomain(d, now);
+        {
+            phase::ComputeScope cs(0);
+            DR_PHASE_ASSERT_COMPUTE();
+            tickDomain(d, now);
+        }
         mergeTick();
         return;
     }
@@ -456,9 +474,15 @@ Network::tick(Cycle now)
         epoch_.fetch_add(1, std::memory_order_release);
     }
     epochCv_.notify_all();
-    tickDomain(domains_[0], now);
-    barrier_.arriveAndWait();  // compute -> commit
-    commitStaged(0);
+    {
+        // The main thread acts as domain 0's worker for the two
+        // parallel phases, then drops back to serial for the merge.
+        phase::ComputeScope cs(0);
+        DR_PHASE_ASSERT_COMPUTE();
+        tickDomain(domains_[0], now);
+        barrier_.arriveAndWait();  // compute -> commit
+        commitStaged(0);
+    }
     barrier_.arriveAndWait();  // commit -> merge
     mergeTick();
 }
@@ -466,6 +490,11 @@ Network::tick(Cycle now)
 void
 Network::tickDomain(Domain &d, Cycle now)
 {
+    DR_STAMP_WRITE(d);
+#ifdef DR_CHECKED
+    if (debugPhaseMutant_ != PhaseMutant::None)
+        applyPhaseMutant(d, now);
+#endif
     // Active-set scheduling: only NIs and routers holding work are
     // visited; everything else is skipped outright. Members re-register
     // through the flit/credit delivery hooks, and sweep order is
@@ -493,7 +522,26 @@ Network::commitStaged(int consumer)
     // queue equals the producer's deterministic push order — the same
     // sequence the sequential engine builds.
     Domain &d = domains_[consumer];
-    for (int p = 0; p < numDomains_; ++p) {
+    DR_STAMP_WRITE(d);
+#ifdef DR_CHECKED
+    int lastDrained = -1;
+#endif
+    for (int i = 0; i < numDomains_; ++i) {
+        int p = i;
+#ifdef DR_CHECKED
+        if (debugPhaseMutant_ == PhaseMutant::SpscOutOfOrder)
+            // drphase-allow(spsc-drain-order): seeded mutant — the
+            // ascending-order assertion below must trap this at runtime.
+            p = numDomains_ - 1 - i;
+        // Ascending producer order is part of the determinism contract:
+        // it equals the order the sequential engine applies these
+        // arrivals in, so a reordering bug shows up here, not as a
+        // mysteriously different fingerprint.
+        DR_ASSERT_MSG(p > lastDrained, "network ", params_.name,
+                      ": SPSC staging drained out of order (producer ",
+                      p, " after ", lastDrained, ")");
+        lastDrained = p;
+#endif
         auto &flits = stagedFlits_[static_cast<std::size_t>(p) *
                                        numDomains_ + consumer];
         for (const StagedFlit &s : flits) {
@@ -514,6 +562,7 @@ Network::commitStaged(int consumer)
 void
 Network::mergeTick()
 {
+    DR_PHASE_ASSERT_COMMIT();
     // Ascending domain order == ascending NI order (contiguous node
     // ranges), so the replay below is the exact sequential event order.
     for (Domain &d : domains_) {
@@ -593,9 +642,13 @@ Network::workerLoop(int domainIdx)
         // every domain passes both barriers, so the epoch advances by
         // exactly one per observed change.
         ++seen;
-        tickDomain(domains_[domainIdx], now_);
-        barrier_.arriveAndWait();  // compute -> commit
-        commitStaged(domainIdx);
+        {
+            phase::ComputeScope cs(domainIdx);
+            DR_PHASE_ASSERT_COMPUTE();
+            tickDomain(domains_[domainIdx], now_);
+            barrier_.arriveAndWait();  // compute -> commit
+            commitStaged(domainIdx);
+        }
         barrier_.arriveAndWait();  // commit -> merge
     }
 }
@@ -630,6 +683,17 @@ Network::deliverToRouter(int router, int port, const Flit &flit, Cycle when)
         routers_[conn.peerRouter]->acceptFlit(conn.peerPort, flit, when);
         domains_[consumer].activeRouters.add(conn.peerRouter);
     } else {
+#ifdef DR_CHECKED
+        if (debugPhaseMutant_ == PhaseMutant::UnstagedCross) {
+            // Seeded mutant: commit the cross-domain hop directly from
+            // the producer's worker instead of staging it. The receiving
+            // router's stamp check must trap this.
+            routers_[conn.peerRouter]->acceptFlit(conn.peerPort, flit,
+                                                  when);
+            domains_[consumer].activeRouters.add(conn.peerRouter);
+            return;
+        }
+#endif
         stagedFlits_[static_cast<std::size_t>(producer) * numDomains_ +
                      consumer]
             .push_back({static_cast<std::int16_t>(conn.peerRouter),
@@ -644,7 +708,9 @@ Network::deliverToNode(NodeId node, const Flit &flit, Cycle when)
     // An NI shares its attach router's domain, so ejection never
     // crosses a domain boundary.
     Domain &d = domains_[nodeDomain_[node]];
-    nis_[node].ejArrivals.push_back({when, flit});
+    Ni &ni = nis_[node];
+    DR_STAMP_WRITE(ni);
+    ni.ejArrivals.push_back({when, flit});
     d.activeNis.add(node);
     ++d.linkTraversals;
 }
@@ -659,6 +725,7 @@ void
 Network::nodeEjectReserve(NodeId node)
 {
     Ni &ni = nis_[node];
+    DR_STAMP_WRITE(ni);
     if (ni.ejFree <= 0)
         panic("ejection reservation without space");
     --ni.ejFree;
@@ -685,7 +752,9 @@ Network::creditToFeeder(int router, int inputPort, int vc, Cycle when)
         }
     } else if (conn.kind == PortConn::Kind::Node) {
         // Attach links are domain-local by construction.
-        nis_[conn.node].creditArrivals.push_back(
+        Ni &ni = nis_[conn.node];
+        DR_STAMP_WRITE(ni);
+        ni.creditArrivals.push_back(
             {when, static_cast<std::uint8_t>(vc)});
         domains_[nodeDomain_[conn.node]].activeNis.add(conn.node);
     } else {
@@ -724,8 +793,56 @@ Network::flitsEjectedAt(NodeId node) const
 }
 
 void
+Network::applyPhaseMutant(Domain &d, Cycle now)
+{
+#ifdef DR_CHECKED
+    // Mutants needing a foreign domain fire from domain 0's worker
+    // against the last domain's state; they are inert on the serial
+    // engine (numDomains_ == 1), where no ownership boundary exists.
+    if (numDomains_ < 2 || &d != &domains_[0])
+        return;
+    const NodeId victim = static_cast<NodeId>(topo_.nodes() - 1);
+    switch (debugPhaseMutant_) {
+    case PhaseMutant::CrossDomainWrite:
+        // drphase-allow(cross-domain-commit): seeded mutant — the NI
+        // stamp check inside niEject must trap this foreign-domain call.
+        niEject(d, nis_[victim], victim, now);
+        break;
+    case PhaseMutant::SerialInCompute:
+        // drphase-allow(compute-calls-commit): seeded mutant — the
+        // pool's commit-phase assertion must trap this.
+        pool_.release(pool_.alloc());
+        break;
+    case PhaseMutant::StampBypass:
+        // A write path that updates state without passing a checked
+        // entry point leaves a writer record the audit rejects.
+        nis_[victim].drStamp_.writer =
+            static_cast<std::int16_t>(nodeDomain_[victim] + 1);
+        break;
+    default:
+        break;
+    }
+#else
+    (void)d;
+    (void)now;
+#endif
+}
+
+void
+Network::checkPhaseStamps() const
+{
+    for (const Ni &ni : nis_)
+        DR_STAMP_AUDIT(ni);
+    for (const Domain &d : domains_)
+        DR_STAMP_AUDIT(d);
+    for (const auto &router : routers_)
+        phase::auditStamp(router->domainStamp(), "router");
+}
+
+void
 Network::resetStats()
 {
+    DR_PHASE_ASSERT_COMMIT();
     stats_ = NetworkStats{};
     // Peak per-VN occupancy restarts from the live occupancy, not from
     // zero — flits already in flight still occupy their VN's buffers.
@@ -747,6 +864,7 @@ Network::resetStats()
 void
 Network::debugDump(std::ostream &os) const
 {
+    DR_PHASE_ASSERT_COMMIT();
     for (const auto &router : routers_) {
         if (router->bufferedFlits() > 0)
             router->debugDump(os);
@@ -794,6 +912,7 @@ Network::totalBufferWrites() const
 std::uint64_t
 Network::totalLinkTraversals() const
 {
+    DR_PHASE_ASSERT_COMMIT();
     return linkTraversals_;
 }
 
@@ -811,6 +930,7 @@ Network::flitsInFlight() const
 void
 Network::checkFlitConservation() const
 {
+    DR_PHASE_ASSERT_COMMIT();
     const std::uint64_t inFlight =
         static_cast<std::uint64_t>(flitsInFlight());
     if (conservInjected_ != conservEjected_ + inFlight) {
@@ -823,6 +943,7 @@ Network::checkFlitConservation() const
 void
 Network::checkCreditConservation() const
 {
+    DR_PHASE_ASSERT_COMMIT();
     const int depth = params_.vcDepthFlits;
 
     // Router-to-router links: credits held upstream + flits occupying
@@ -898,6 +1019,7 @@ Network::checkAllInvariants() const
 {
     checkFlitConservation();
     checkCreditConservation();
+    checkPhaseStamps();
 }
 
 } // namespace dr

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "noc/active_set.hpp"
@@ -140,31 +141,55 @@ class Network : public RouterEnv, public CongestionProbe
     /** Advance one cycle. */
     void tick(Cycle now);
 
-    // RouterEnv interface
-    int routeOutput(int router, const Flit &flit) const override;
+    // RouterEnv interface. These run on a worker inside the parallel
+    // phases (routers call back into their Network), hence the
+    // compute-phase classification.
+    int routeOutput(int router, const Flit &flit) const override
+        DR_COMPUTE_PHASE;
     std::uint8_t vcMaskForOutput(int router, int port,
-                                 const Flit &flit) const override;
+                                 const Flit &flit) const override
+        DR_COMPUTE_PHASE;
     void deliverToRouter(int router, int port, const Flit &flit,
-                         Cycle when) override;
-    void deliverToNode(NodeId node, const Flit &flit, Cycle when) override;
-    int nodeEjectFree(NodeId node) const override;
-    void nodeEjectReserve(NodeId node) override;
+                         Cycle when) override DR_COMPUTE_PHASE;
+    void deliverToNode(NodeId node, const Flit &flit, Cycle when) override
+        DR_COMPUTE_PHASE;
+    int nodeEjectFree(NodeId node) const override DR_COMPUTE_PHASE;
+    void nodeEjectReserve(NodeId node) override DR_COMPUTE_PHASE;
     void creditToFeeder(int router, int inputPort, int vc,
-                        Cycle when) override;
+                        Cycle when) override DR_COMPUTE_PHASE;
 
     // CongestionProbe interface
     int freeCredits(int router, int port) const override;
 
-    const NetworkStats &stats() const { return stats_; }
+    const NetworkStats &
+    stats() const
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        return stats_;
+    }
+
     const Topology &topology() const { return topo_; }
-    RoutingPolicy &routing() { return routing_; }
+
+    RoutingPolicy &
+    routing()
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        return routing_;
+    }
 
     /** The VC partition this network runs with (uniform if VNs off). */
-    const VnetLayout &vnetLayout() const { return routing_.layout(); }
+    const VnetLayout &
+    vnetLayout() const
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        return routing_.layout();
+    }
 
     /** Flits of one VN currently inside the fabric. */
-    int vnFlitsInFabric(VirtualNet vn) const
+    int
+    vnFlitsInFabric(VirtualNet vn) const
     {
+        DR_PHASE_ASSERT_COMMIT();
         return vnInFabric_[static_cast<int>(vn)];
     }
 
@@ -211,8 +236,19 @@ class Network : public RouterEnv, public CongestionProbe
 
     /** Flits injected into / ejected from routers since construction
      *  (unaffected by resetStats — these feed the conservation law). */
-    std::uint64_t conservedFlitsInjected() const { return conservInjected_; }
-    std::uint64_t conservedFlitsEjected() const { return conservEjected_; }
+    std::uint64_t
+    conservedFlitsInjected() const
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        return conservInjected_;
+    }
+
+    std::uint64_t
+    conservedFlitsEjected() const
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        return conservEjected_;
+    }
 
     /** Flits currently inside the network fabric. */
     int flitsInFlight() const;
@@ -229,7 +265,48 @@ class Network : public RouterEnv, public CongestionProbe
         routers_[router]->debugLeakCredit(port, vc);
     }
 
-    const std::string &name() const { return params_.name; }
+    /** Spatial domain that owns a router (watchdog attribution). */
+    int domainOfRouter(int router) const { return routerDomain_[router]; }
+
+    /** Spatial domain that owns a node's NI. */
+    int domainOfNode(NodeId node) const { return nodeDomain_[node]; }
+
+    /** Worker domains the engine runs with (1 = serial engine). */
+    int numDomains() const { return numDomains_; }
+
+    /**
+     * Seeded phase-discipline violations (tests only; see DESIGN.md
+     * §12). Each mutant makes the engine break one ownership rule so
+     * the DR_CHECKED stamp/phase checks can prove they catch it. The
+     * hooks compile away outside DR_CHECKED builds — tests gate on
+     * checkedBuild().
+     */
+    enum class PhaseMutant
+    {
+        None,
+        CrossDomainWrite,   //!< compute-phase write to a foreign NI
+        UnstagedCross,      //!< cross-domain flit skips the SPSC staging
+        SerialInCompute,    //!< serial-only pool mutated in compute phase
+        SpscOutOfOrder,     //!< staging drained in descending order
+        StampBypass,        //!< write path dodging the stamp checks
+    };
+
+    void
+    debugInjectPhaseMutant(PhaseMutant m)
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        debugPhaseMutant_ = m;
+    }
+
+    /** Audit every writer-domain stamp (DR_CHECKED; no-op otherwise). */
+    void checkPhaseStamps() const;
+
+    const std::string &
+    name() const
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        return params_.name;
+    }
 
     /** Per-router statistics (switch/port counters). */
     const RouterStats &routerStats(int router) const
@@ -265,8 +342,17 @@ class Network : public RouterEnv, public CongestionProbe
         Flit flit;
     };
 
-    struct Ni
+    /**
+     * Per-node network interface. The whole structure is owned by the
+     * spatial domain of the node's attach router: the parallel phases
+     * only touch it from that domain's worker (validated by the
+     * DR_CHECKED stamp below), and serial code (inject/popMessage,
+     * between ticks) has exclusive access by construction.
+     */
+    struct DR_DOMAIN_OWNED Ni
     {
+        DR_DOMAIN_STAMP;
+
         // --- injection side ---
         RingBuffer<PacketHandle> queue[2]; //!< per traffic class (Cpu, Gpu)
         int queuedFlits = 0;
@@ -347,8 +433,10 @@ class Network : public RouterEnv, public CongestionProbe
      * counters and delivery records are drained serially, in ascending
      * domain order, by mergeTick() on the main thread.
      */
-    struct alignas(64) Domain
+    struct DR_DOMAIN_OWNED alignas(64) Domain
     {
+        DR_DOMAIN_STAMP;
+
         ActiveSet activeNis;      //!< NIs with pending work (own nodes)
         ActiveSet activeRouters;  //!< routers with pending work (own)
         std::vector<DeliveredRecord> delivered;
@@ -369,42 +457,58 @@ class Network : public RouterEnv, public CongestionProbe
         }
     };
 
-    void niInject(Domain &d, Ni &ni, NodeId node, Cycle now);
-    void niEject(Domain &d, Ni &ni, NodeId node, Cycle now);
+    void niInject(Domain &d, Ni &ni, NodeId node, Cycle now)
+        DR_COMPUTE_PHASE;
+    void niEject(Domain &d, Ni &ni, NodeId node, Cycle now)
+        DR_COMPUTE_PHASE;
     /** Phase 1: sweep one domain's NIs and routers (parallel). */
-    void tickDomain(Domain &d, Cycle now);
+    void tickDomain(Domain &d, Cycle now) DR_COMPUTE_PHASE;
     /** Phase 2: commit flits/credits staged for this domain (parallel). */
-    void commitStaged(int consumer);
+    void commitStaged(int consumer) DR_COMPUTE_PHASE;
     /** Merge per-domain scratch into global stats (main thread only). */
-    void mergeTick();
+    void mergeTick() DR_COMMIT_PHASE;
     void workerLoop(int domainIdx);
+    /** Apply the seeded phase-discipline mutant, if armed (DR_CHECKED
+     *  tests; deliberately violates the rules the checks enforce). */
+    void applyPhaseMutant(Domain &d, Cycle now)
+        DR_COMPUTE_PHASE DR_PHASE_UNCHECKED;
 
     const Topology &topo_;
-    NetworkParams params_;
-    RoutingPolicy routing_;
-    std::vector<std::unique_ptr<Router>> routers_;
-    std::vector<Ni> nis_;
-    PacketPool pool_;                    //!< slab of in-flight packets
-    PacketId nextPktId_ = 1;
-    NetworkStats stats_;
+    NetworkParams params_ DR_SERIAL_ONLY;
+    RoutingPolicy routing_ DR_SERIAL_ONLY;  //!< HARE EWMA mutates at merge
+    std::vector<std::unique_ptr<Router>> routers_ DR_DOMAIN_OWNED;
+    std::vector<Ni> nis_ DR_DOMAIN_OWNED;
+    /** Slab of in-flight packets. Slot-granular ownership: a live slot
+     *  belongs to the domain its packet's flits occupy (head-of-packet
+     *  fields are written there); structural mutation — alloc/release,
+     *  the free list — is commit-phase only (methods so annotated). */
+    PacketPool pool_ DR_DOMAIN_OWNED;
+    PacketId nextPktId_ DR_SERIAL_ONLY = 1;
+    NetworkStats stats_ DR_SERIAL_ONLY;
     /** Live per-VN flit occupancy of the fabric (survives resetStats). */
-    std::array<int, numVnets> vnInFabric_{};
-    std::uint64_t linkTraversals_ = 0;
-    std::uint64_t conservInjected_ = 0;  //!< flits NIs handed to routers
-    std::uint64_t conservEjected_ = 0;   //!< flits NIs drained from routers
-    Cycle now_ = 0;
-    Cycle statsResetAt_ = 0;  //!< cycle of the last resetStats()
+    std::array<int, numVnets> vnInFabric_ DR_SERIAL_ONLY{};
+    std::uint64_t linkTraversals_ DR_SERIAL_ONLY = 0;
+    //! flits NIs handed to routers
+    std::uint64_t conservInjected_ DR_SERIAL_ONLY = 0;
+    //! flits NIs drained from routers
+    std::uint64_t conservEjected_ DR_SERIAL_ONLY = 0;
+    Cycle now_ DR_SERIAL_ONLY = 0;
+    //! cycle of the last resetStats()
+    Cycle statsResetAt_ DR_SERIAL_ONLY = 0;
 
     // --- parallel tick engine state -----------------------------------
-    int numDomains_ = 1;
-    std::vector<Domain> domains_;
-    std::vector<std::int16_t> routerDomain_;  //!< router index -> domain
-    std::vector<std::int16_t> nodeDomain_;    //!< node index -> domain
+    int numDomains_ DR_SERIAL_ONLY = 1;
+    std::vector<Domain> domains_ DR_DOMAIN_OWNED;
+    //! router index -> domain (fixed at construction)
+    std::vector<std::int16_t> routerDomain_ DR_SERIAL_ONLY;
+    //! node index -> domain (fixed at construction)
+    std::vector<std::int16_t> nodeDomain_ DR_SERIAL_ONLY;
     /** SPSC staging buffers, indexed [producer * numDomains_ + consumer].
      *  The producer appends during phase 1, the consumer drains during
      *  phase 2; the barrier between the phases is the synchronization. */
-    std::vector<std::vector<StagedFlit>> stagedFlits_;
-    std::vector<std::vector<StagedCredit>> stagedCredits_;
+    std::vector<std::vector<StagedFlit>> stagedFlits_ DR_SHARED_SPSC;
+    std::vector<std::vector<StagedCredit>> stagedCredits_ DR_SHARED_SPSC;
+    PhaseMutant debugPhaseMutant_ DR_SERIAL_ONLY = PhaseMutant::None;
     SpinBarrier barrier_;
     std::atomic<std::uint64_t> epoch_{0};  //!< tick-start signal
     std::atomic<bool> stop_{false};

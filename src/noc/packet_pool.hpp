@@ -10,12 +10,21 @@
  * that flits carry alongside the (debug-facing) PacketId. Released
  * slots go onto a free list and are reused, so steady-state traffic
  * allocates nothing.
+ *
+ * Ownership under the parallel tick engine (DESIGN.md §12): the pool's
+ * *structure* (slab, free list, live map) is serial-only — slots are
+ * claimed and released exclusively by serial code (NI injection runs in
+ * the serial pre-tick, release in the serial merge). The *contents* of
+ * an allocated slot are owned by whichever domain currently holds the
+ * packet's flits, which is why slots_ is DR_DOMAIN_OWNED at slot
+ * granularity while the bookkeeping is DR_SERIAL_ONLY.
  */
 
 #include <cstddef>
 #include <vector>
 
 #include "common/invariant.hpp"
+#include "common/ownership.hpp"
 #include "noc/flit.hpp"
 
 namespace dr
@@ -27,8 +36,9 @@ class PacketPool
     /** Claim a slot. The returned packet holds stale contents; the
      *  caller overwrites every field. */
     PacketHandle
-    alloc()
+    alloc() DR_COMMIT_PHASE
     {
+        DR_PHASE_ASSERT_COMMIT();
         PacketHandle h;
         if (!free_.empty()) {
             h = free_.back();
@@ -44,21 +54,22 @@ class PacketPool
     }
 
     void
-    release(PacketHandle h)
+    release(PacketHandle h) DR_COMMIT_PHASE
     {
+        DR_PHASE_ASSERT_COMMIT();
         DR_ASSERT(isLive(h));
         live_[static_cast<std::size_t>(h)] = 0;
         --liveCount_;
         free_.push_back(h);
     }
 
-    Packet &operator[](PacketHandle h)
+    Packet &operator[](PacketHandle h) DR_PHASE_READ
     {
         DR_ASSERT(isLive(h));
         return slots_[static_cast<std::size_t>(h)];
     }
 
-    const Packet &operator[](PacketHandle h) const
+    const Packet &operator[](PacketHandle h) const DR_PHASE_READ
     {
         DR_ASSERT(isLive(h));
         return slots_[static_cast<std::size_t>(h)];
@@ -66,23 +77,23 @@ class PacketPool
 
     /** Whether `h` names an allocated slot (cheap; any build type). */
     bool
-    isLive(PacketHandle h) const
+    isLive(PacketHandle h) const DR_PHASE_READ
     {
         return h >= 0 && static_cast<std::size_t>(h) < live_.size() &&
                live_[static_cast<std::size_t>(h)];
     }
 
     /** Packets currently allocated. */
-    std::size_t liveCount() const { return liveCount_; }
+    std::size_t liveCount() const DR_PHASE_READ { return liveCount_; }
 
     /** Slab capacity high-water mark (diagnostics). */
     std::size_t slotCount() const { return slots_.size(); }
 
   private:
-    std::vector<Packet> slots_;
-    std::vector<std::uint8_t> live_;
-    std::vector<PacketHandle> free_;
-    std::size_t liveCount_ = 0;
+    std::vector<Packet> slots_ DR_DOMAIN_OWNED;  //!< slot-granular (see @file)
+    std::vector<std::uint8_t> live_ DR_SERIAL_ONLY;
+    std::vector<PacketHandle> free_ DR_SERIAL_ONLY;
+    std::size_t liveCount_ DR_SERIAL_ONLY = 0;
 };
 
 } // namespace dr

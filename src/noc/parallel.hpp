@@ -13,11 +13,17 @@
  * on the arrival counter) makes every write before any party's arrival
  * visible to every party after the barrier — which is the whole
  * correctness contract between the compute and commit phases.
+ *
+ * Ownership (DESIGN.md §12): the atomics are their own synchronization
+ * and carry no phase annotation; parties_ is plain data reconfigured
+ * only between ticks, hence DR_SERIAL_ONLY.
  */
 
 #include <atomic>
 #include <cstdint>
 #include <thread>
+
+#include "common/ownership.hpp"
 
 namespace dr
 {
@@ -51,13 +57,15 @@ class SpinBarrier
 
     /** Set the party count. Only valid while no thread is waiting. */
     void
-    reset(int parties)
+    reset(int parties) DR_COMMIT_PHASE
     {
         parties_ = parties;
     }
 
+    // The barrier *is* the synchronization between phases, so it sits
+    // outside the phase model clang is asked to check.
     void
-    arriveAndWait()
+    arriveAndWait() DR_PHASE_UNCHECKED
     {
         // Reading the generation before arriving is race-free: no new
         // round can complete until this party arrives too.
@@ -76,7 +84,7 @@ class SpinBarrier
     }
 
   private:
-    int parties_;
+    int parties_ DR_SERIAL_ONLY;
     std::atomic<int> arrived_{0};
     std::atomic<std::uint64_t> gen_{0};
 };

@@ -11,6 +11,12 @@
  * one flat array never reallocates in steady state. Growth is kept as
  * a safety valve: if a queue exceeds its reserved capacity the ring
  * doubles, preserving FIFO order.
+ *
+ * Ownership (DESIGN.md §12): a RingBuffer carries no annotation of its
+ * own — every instance is embedded in an annotated structure (router
+ * input VCs and arrival queues inside DR_DOMAIN_OWNED Router, NI queues
+ * inside DR_DOMAIN_OWNED Ni) and inherits that structure's phase/domain
+ * classification.
  */
 
 #include <cstddef>

@@ -46,6 +46,7 @@ Router::Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
 void
 Router::acceptFlit(int port, const Flit &flit, Cycle when)
 {
+    DR_STAMP_WRITE(*this);
     arrivals_[port].push_back({when, flit});
     ++pendingArrivals_;
     if (when < nextApplyCycle_)
@@ -55,6 +56,7 @@ Router::acceptFlit(int port, const Flit &flit, Cycle when)
 void
 Router::acceptCredit(int port, int vc, Cycle when)
 {
+    DR_STAMP_WRITE(*this);
     creditArrivals_[port].push_back({when, static_cast<std::uint8_t>(vc)});
     ++pendingCredits_;
     if (when < nextApplyCycle_)
@@ -404,6 +406,7 @@ Router::grantTraversal(int key, int outPort, Cycle now)
 void
 Router::tick(Cycle now)
 {
+    DR_STAMP_WRITE(*this);
     // Idle fast path: nothing buffered and nothing arriving.
     if (idle())
         return;

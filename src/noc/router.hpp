@@ -15,6 +15,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "common/ownership.hpp"
 #include "common/types.hpp"
 #include "noc/flit.hpp"
 #include "noc/ring_buffer.hpp"
@@ -32,23 +33,25 @@ class RouterEnv
     virtual ~RouterEnv() = default;
 
     /** Output port for the flit's next hop at this router. */
-    virtual int routeOutput(int router, const Flit &flit) const = 0;
+    virtual int routeOutput(int router, const Flit &flit) const
+        DR_COMPUTE_PHASE = 0;
     /** VC mask allowed on the channel leaving `router` via `port`. */
     virtual std::uint8_t vcMaskForOutput(int router, int port,
-                                         const Flit &flit) const = 0;
+                                         const Flit &flit) const
+        DR_COMPUTE_PHASE = 0;
     /** Deliver a flit into a peer router's input port at `when`. */
     virtual void deliverToRouter(int router, int port, const Flit &flit,
-                                 Cycle when) = 0;
+                                 Cycle when) DR_COMPUTE_PHASE = 0;
     /** Deliver a flit into a node's ejection buffer at `when`. */
     virtual void deliverToNode(NodeId node, const Flit &flit,
-                               Cycle when) = 0;
+                               Cycle when) DR_COMPUTE_PHASE = 0;
     /** Free flit slots in a node's ejection buffer. */
-    virtual int nodeEjectFree(NodeId node) const = 0;
+    virtual int nodeEjectFree(NodeId node) const DR_COMPUTE_PHASE = 0;
     /** Reserve one ejection slot (called at switch traversal). */
-    virtual void nodeEjectReserve(NodeId node) = 0;
+    virtual void nodeEjectReserve(NodeId node) DR_COMPUTE_PHASE = 0;
     /** Return one credit to the feeder of (router, inputPort, vc). */
     virtual void creditToFeeder(int router, int inputPort, int vc,
-                                Cycle when) = 0;
+                                Cycle when) DR_COMPUTE_PHASE = 0;
 };
 
 /** Per-router statistics (drive link-utilization and energy figures). */
@@ -78,8 +81,14 @@ struct BlockedHead
 /**
  * A single router. The enclosing Network calls tick() once per cycle
  * after scheduling all arrivals for that cycle.
+ *
+ * The whole object is owned by one spatial domain of the parallel tick
+ * engine (DESIGN.md §12): during the parallel phases only that domain's
+ * worker may call the mutating entry points (validated by the
+ * DR_CHECKED stamp), while serial code between barriers has exclusive
+ * access by construction.
  */
-class Router
+class DR_DOMAIN_OWNED Router
 {
   public:
     /**
@@ -93,13 +102,23 @@ class Router
            const std::vector<NodeId> &portNode, bool vnPriority = false);
 
     /** Queue a flit arriving at an input port (takes effect at `when`). */
-    void acceptFlit(int port, const Flit &flit, Cycle when);
+    void acceptFlit(int port, const Flit &flit, Cycle when)
+        DR_COMPUTE_PHASE;
 
     /** Queue a credit for an output VC (takes effect at `when`). */
-    void acceptCredit(int port, int vc, Cycle when);
+    void acceptCredit(int port, int vc, Cycle when) DR_COMPUTE_PHASE;
 
     /** One simulation cycle: route computation, VC and switch alloc. */
-    void tick(Cycle now);
+    void tick(Cycle now) DR_COMPUTE_PHASE;
+
+    /** Record the owning spatial domain (partition time). */
+    void setDomain(int domain) { DR_STAMP_SET_OWNER(*this, domain); }
+
+    /** Owning domain id (watchdog attribution; -1 before partition). */
+    int domain() const { return drStamp_.owner; }
+
+    /** Writer-domain stamp (phase-discipline audits). */
+    const DomainStamp &domainStamp() const { return drStamp_; }
 
     /**
      * External wake: ejection space at an attached node grew (the
@@ -192,21 +211,28 @@ class Router
         int ownerIn = -1;  //!< encoded input (port * numVcs + vc) or -1
     };
 
-    bool applyArrivals(Cycle now);   //!< returns whether anything applied
-    bool routeCompute();             //!< returns whether any head routed
-    bool vcAllocate();               //!< returns whether any VC allocated
-    bool switchAllocate(Cycle now);  //!< returns whether any flit granted
-    bool outVcHasSpace(int port, int vc, NodeId node) const;
+    //!< returns whether anything applied
+    bool applyArrivals(Cycle now) DR_COMPUTE_PHASE;
+    //!< returns whether any head routed
+    bool routeCompute() DR_COMPUTE_PHASE;
+    //!< returns whether any VC allocated
+    bool vcAllocate() DR_COMPUTE_PHASE;
+    //!< returns whether any flit granted
+    bool switchAllocate(Cycle now) DR_COMPUTE_PHASE;
+    bool outVcHasSpace(int port, int vc, NodeId node) const
+        DR_COMPUTE_PHASE;
 
     // Fallbacks for routers with more than 64 input VCs (e.g. a full
     // crossbar), where the occupancy bitmasks don't fit one word: the
     // allocation passes scan every VC as the original kernel did.
-    bool routeComputeWide();
-    bool vcAllocateWide();
-    bool switchAllocateWide(Cycle now);
+    bool routeComputeWide() DR_COMPUTE_PHASE;
+    bool vcAllocateWide() DR_COMPUTE_PHASE;
+    bool switchAllocateWide(Cycle now) DR_COMPUTE_PHASE;
 
     /** Grant one switch traversal to input VC `key` toward `outPort`. */
-    void grantTraversal(int key, int outPort, Cycle now);
+    void grantTraversal(int key, int outPort, Cycle now) DR_COMPUTE_PHASE;
+
+    DR_DOMAIN_STAMP;
 
     int id_;
     int numPorts_;

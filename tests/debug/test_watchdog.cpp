@@ -100,6 +100,42 @@ TEST_F(WatchdogTest, ExtraDumpIsAppendedToReport)
               std::string::npos);
 }
 
+TEST_F(WatchdogTest, BlockedChainDumpNamesProducingDomain)
+{
+    // Clog the request network: flood one destination and never pop,
+    // so its ejection buffer fills and upstream heads block. The chain
+    // dump must tag every router with its producing tick domain
+    // (R<id>/d<domain>), localizing a stuck chain to a worker.
+    const int nodes = ic_.topology().nodes();
+    std::uint64_t id = 1;
+    for (Cycle c = 0; c < 200; ++c) {
+        for (NodeId src = 0; src < nodes - 1; ++src) {
+            Message m;
+            m.type = MsgType::ReadReq;
+            m.cls = TrafficClass::Gpu;
+            m.src = src;
+            m.dst = nodes - 1;
+            m.requester = src;
+            m.id = id++;
+            if (ic_.canSend(m))
+                ic_.send(m, c);
+        }
+        ic_.tick(c);
+    }
+
+    WatchdogParams wp;
+    wp.stallCycles = 50;
+    wp.abortOnStall = false;
+    ProgressWatchdog dog(ic_, wp);
+    ::testing::internal::CaptureStderr();
+    dog.observe(0, 1);
+    EXPECT_TRUE(dog.observe(64, 1));
+    const std::string dump = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(dump.find("blocked-flit dependency chain"),
+              std::string::npos);
+    EXPECT_NE(dump.find("/d0"), std::string::npos) << dump;
+}
+
 TEST_F(WatchdogTest, AbortModePanics)
 {
     WatchdogParams wp;

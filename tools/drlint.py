@@ -56,6 +56,10 @@ RULES = {
         "wall-clock/time source in simulation code",
     "pointer-keyed-container":
         "ordered/hashed container keyed on a raw pointer",
+    "atomic-rmw-order":
+        "atomic RMW in src/noc/ without an explicit memory_order (the "
+        "default seq_cst hides the intended ordering contract of the "
+        "parallel tick engine's handoffs)",
 }
 
 # Files whose whole purpose exempts them from one rule.
@@ -85,6 +89,13 @@ WALL_CLOCK_RE = re.compile(
 POINTER_KEY_RE = re.compile(
     r"\bstd\s*::\s*(?:unordered_)?(?:map|set|multimap|multiset)\s*<"
     r"\s*(?:const\s+)?[A-Za-z_]\w*(?:\s*::\s*\w+)*\s*\*")
+# Atomic read-modify-write entry points. std::atomic's ++/--/+= sugar
+# is also seq_cst-only, so the operators count as RMWs too when applied
+# to a member the file declares atomic; the explicit calls below are
+# the primary surface.
+ATOMIC_RMW_RE = re.compile(
+    r"\.\s*(fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|"
+    r"exchange|compare_exchange_weak|compare_exchange_strong)\s*\(")
 
 BLOCK_COMMENT_START_RE = re.compile(r"/\*")
 
@@ -211,6 +222,30 @@ def sibling_unordered_names(path: str) -> set[str]:
     return set()
 
 
+def rmw_has_order(code: list[str], line_idx: int, open_idx: int) -> bool:
+    """Whether the call whose '(' is at code[line_idx][open_idx] names a
+    memory_order in its argument list (scans across wrapped lines)."""
+    depth = 0
+    idx, pos = line_idx, open_idx
+    args = []
+    while idx < len(code):
+        line = code[idx]
+        while pos < len(line):
+            ch = line[pos]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    return "memory_order" in "".join(args)
+            args.append(ch)
+            pos += 1
+        args.append(" ")
+        idx += 1
+        pos = 0
+    return "memory_order" in "".join(args)
+
+
 def lint_file(path: str, rel: str) -> list[Finding]:
     with open(path, encoding="utf-8", errors="replace") as fh:
         lines = fh.read().splitlines()
@@ -253,6 +288,10 @@ def lint_file(path: str, rel: str) -> list[Finding]:
             add(lineno, "wall-clock")
         if POINTER_KEY_RE.search(line):
             add(lineno, "pointer-keyed-container")
+        if rel.startswith(os.path.join("src", "noc")):
+            for match in ATOMIC_RMW_RE.finditer(line):
+                if not rmw_has_order(code, lineno - 1, match.end() - 1):
+                    add(lineno, "atomic-rmw-order")
     return findings
 
 

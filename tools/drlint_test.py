@@ -119,6 +119,34 @@ class RuleTest(unittest.TestCase):
         }) as findings:
             self.assertEqual(findings, [])
 
+    def test_default_seqcst_rmw_in_noc_flagged(self):
+        with LintDirectory({
+            "src/noc/a.cpp": "epoch_.fetch_add(1);\n",
+        }) as findings:
+            self.assertEqual(rules_in(findings), ["atomic-rmw-order"])
+
+    def test_explicit_order_rmw_passes(self):
+        with LintDirectory({
+            "src/noc/a.cpp":
+                "epoch_.fetch_add(1, std::memory_order_release);\n"
+                "ok_.compare_exchange_strong(\n"
+                "    e, d, std::memory_order_acq_rel,\n"
+                "    std::memory_order_acquire);\n",
+        }) as findings:
+            self.assertEqual(findings, [])
+
+    def test_wrapped_rmw_arguments_scanned_across_lines(self):
+        with LintDirectory({
+            "src/noc/a.cpp": "gen_.exchange(\n    next);\n",
+        }) as findings:
+            self.assertEqual(rules_in(findings), ["atomic-rmw-order"])
+
+    def test_rmw_rule_scoped_to_noc(self):
+        with LintDirectory({
+            "src/mem/a.cpp": "epoch_.fetch_add(1);\n",
+        }) as findings:
+            self.assertEqual(findings, [])
+
 
 class SuppressionTest(unittest.TestCase):
     def test_same_line_allow(self):

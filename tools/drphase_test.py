@@ -1,0 +1,302 @@
+#!/usr/bin/env python3
+"""Self-test for drphase.py (stdlib unittest; wired into ctest).
+
+The heart of this test is the seeded-mutant matrix: each mutant copies
+the *real* annotated sources into a temp root, applies one phase/
+ownership violation as a textual patch, and asserts drphase reports the
+expected rule. Together with tests/noc/test_phase_ownership.cpp (which
+injects the runtime counterparts into a DR_CHECKED build) this pins the
+checking from both sides: the static pass and the stamp machinery must
+each catch their half of the matrix.
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import drphase  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# Directories copied into each mutant's temp root. src/noc carries every
+# class the patched rules touch; src/common carries ownership.hpp.
+COPY_DIRS = ("src/noc", "src/common")
+
+
+def rules_in(findings):
+    return sorted({f.rule for f in findings})
+
+
+def make_tree(tmp):
+    for rel in COPY_DIRS:
+        shutil.copytree(os.path.join(REPO, rel), os.path.join(tmp, rel))
+
+
+class StripCodeTest(unittest.TestCase):
+    def test_line_comment_removed(self):
+        self.assertEqual(drphase.strip_code(["int x; // w = 1"]),
+                         ["int x; "])
+
+    def test_string_literal_blanked(self):
+        self.assertEqual(drphase.strip_code(['panic("x = ");']),
+                         ['panic("");'])
+
+
+class WriteScanTest(unittest.TestCase):
+    def test_assignment(self):
+        self.assertTrue(drphase.scan_writes("stats_.x = 1;", "stats_"))
+
+    def test_pre_increment_on_field(self):
+        self.assertTrue(drphase.scan_writes("++stats_.pkts;", "stats_"))
+
+    def test_compound_assignment(self):
+        self.assertTrue(drphase.scan_writes("now_ += 2;", "now_"))
+
+    def test_comparison_is_not_a_write(self):
+        self.assertFalse(drphase.scan_writes("if (now_ == 2)", "now_"))
+        self.assertFalse(drphase.scan_writes("a = now_;", "now_"))
+
+    def test_field_of_other_object_ignored(self):
+        self.assertFalse(drphase.scan_writes("d.stats_ = 1;", "stats_"))
+
+    def test_mutating_call(self):
+        self.assertTrue(
+            drphase.scan_mutating_call("free_.push_back(h);", "free_"))
+        self.assertFalse(
+            drphase.scan_mutating_call("free_.empty();", "free_"))
+
+
+class ModelTest(unittest.TestCase):
+    """The parser recovers the real tree's ownership model."""
+
+    @classmethod
+    def setUpClass(cls):
+        cls.models = {}
+        for fpath, rel in drphase.list_sources(REPO, ["src"]):
+            with open(fpath, encoding="utf-8") as fh:
+                code = drphase.strip_code(fh.read().splitlines())
+            drphase.parse_classes(code, rel, cls.models)
+
+    def test_network_members_classified(self):
+        net = self.models["Network"]
+        self.assertEqual(net.classification("stats_"), "serial")
+        self.assertEqual(net.classification("nis_"), "domain")
+        self.assertEqual(net.classification("stagedFlits_"), "spsc")
+        self.assertIsNone(net.classification("barrier_"))  # type-exempt
+
+    def test_class_level_annotation_covers_members(self):
+        router = self.models["Router"]
+        self.assertEqual(router.class_annotation, "domain")
+        self.assertEqual(router.classification("occ_"), "domain")
+
+    def test_method_phases(self):
+        net = self.models["Network"]
+        self.assertEqual(net.methods["niInject"], "compute")
+        self.assertEqual(net.methods["mergeTick"], "commit")
+        self.assertEqual(net.methods["applyPhaseMutant"], "unchecked")
+        pool = self.models["PacketPool"]
+        self.assertEqual(pool.methods["alloc"], "commit")
+
+    def test_stamped_structures_detected(self):
+        for name in ("Ni", "Domain", "Router"):
+            self.assertTrue(self.models[name].has_stamp, name)
+
+
+class CleanTreeTest(unittest.TestCase):
+    def test_annotated_tree_has_zero_findings(self):
+        self.assertEqual(drphase.scan(REPO, ["src"]), [])
+
+    def test_baseline_is_zero_violation(self):
+        with open(os.path.join(REPO, "tools",
+                               "drphase_baseline.json")) as fh:
+            self.assertEqual(json.load(fh), {})
+
+
+class MutantTest(unittest.TestCase):
+    """Each seeded static mutant must be caught by its rule."""
+
+    def scan_mutated(self, rel, old, new):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            path = os.path.join(tmp, rel)
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            self.assertIn(old, text,
+                          "mutant anchor drifted out of %s" % rel)
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text.replace(old, new, 1))
+            return drphase.scan(tmp, ["src"])
+
+    def assert_rule(self, findings, rule, path):
+        hits = [f for f in findings if f.rule == rule]
+        self.assertTrue(hits, "expected [%s], got %s"
+                        % (rule, [str(f) for f in findings]))
+        self.assertTrue(any(f.path == path for f in hits),
+                        "rule [%s] not anchored in %s" % (rule, path))
+
+    def test_mutant_wrong_phase_write(self):
+        # niEject (compute) bumps a DR_SERIAL_ONLY global counter.
+        findings = self.scan_mutated(
+            "src/noc/network.cpp",
+            "    (void)node;\n    DR_STAMP_WRITE(ni);",
+            "    (void)node;\n    DR_STAMP_WRITE(ni);\n"
+            "    ++stats_.packetsDelivered;")
+        self.assert_rule(findings, "compute-writes-serial",
+                         "src/noc/network.cpp")
+
+    def test_mutant_unstaged_cross_domain(self):
+        # deliverToRouter commits the cross-domain hop directly instead
+        # of staging it through the SPSC buffer.
+        findings = self.scan_mutated(
+            "src/noc/network.cpp",
+            "        stagedFlits_[static_cast<std::size_t>(producer) *"
+            " numDomains_ +\n"
+            "                     consumer]\n"
+            "            .push_back({static_cast<std::int16_t>"
+            "(conn.peerRouter),\n"
+            "                        static_cast<std::int16_t>"
+            "(conn.peerPort), when,\n"
+            "                        flit});",
+            "        routers_[conn.peerRouter]->acceptFlit("
+            "conn.peerPort, flit, when);\n"
+            "        domains_[consumer].activeRouters.add("
+            "conn.peerRouter);")
+        self.assert_rule(findings, "cross-domain-commit",
+                         "src/noc/network.cpp")
+
+    def test_mutant_missing_annotation(self):
+        # A tick-reachable Network member loses its classification.
+        findings = self.scan_mutated(
+            "src/noc/network.hpp",
+            "    std::vector<Ni> nis_ DR_DOMAIN_OWNED;",
+            "    std::vector<Ni> nis_;")
+        self.assert_rule(findings, "unannotated-state",
+                         "src/noc/network.hpp")
+
+    def test_mutant_commit_call_in_compute(self):
+        # niInject (compute) churns the serial packet pool free list.
+        findings = self.scan_mutated(
+            "src/noc/network.cpp",
+            "Network::niInject(Domain &d, Ni &ni, NodeId node, "
+            "Cycle now)\n{\n    DR_STAMP_WRITE(ni);",
+            "Network::niInject(Domain &d, Ni &ni, NodeId node, "
+            "Cycle now)\n{\n    DR_STAMP_WRITE(ni);\n"
+            "    pool_.release(pool_.alloc());")
+        self.assert_rule(findings, "compute-calls-commit",
+                         "src/noc/network.cpp")
+
+    def test_mutant_spsc_drained_descending(self):
+        # commitStaged walks producers backwards.
+        findings = self.scan_mutated(
+            "src/noc/network.cpp",
+            "    for (int i = 0; i < numDomains_; ++i) {\n"
+            "        int p = i;",
+            "    for (int i = numDomains_ - 1; i >= 0; --i) {\n"
+            "        int p = i;")
+        self.assert_rule(findings, "spsc-drain-order",
+                         "src/noc/network.cpp")
+
+    def test_mutant_stamp_bypass(self):
+        # niInject drops its writer stamp while still mutating the NI.
+        findings = self.scan_mutated(
+            "src/noc/network.cpp",
+            "Cycle now)\n{\n    DR_STAMP_WRITE(ni);\n"
+            "    while (!ni.creditArrivals.empty() &&",
+            "Cycle now)\n{\n"
+            "    while (!ni.creditArrivals.empty() &&")
+        self.assert_rule(findings, "missing-stamp-check",
+                         "src/noc/network.cpp")
+
+
+class SuppressionTest(unittest.TestCase):
+    def lint_with_edit(self, rel, old, new):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            path = os.path.join(tmp, rel)
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+            assert old in text
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(text.replace(old, new, 1))
+            return drphase.scan(tmp, ["src"])
+
+    def test_allow_comment_suppresses(self):
+        findings = self.lint_with_edit(
+            "src/noc/network.cpp",
+            "    (void)node;\n    DR_STAMP_WRITE(ni);",
+            "    (void)node;\n    DR_STAMP_WRITE(ni);\n"
+            "    // drphase-allow(compute-writes-serial): test\n"
+            "    ++stats_.packetsDelivered;")
+        self.assertNotIn("compute-writes-serial", rules_in(findings))
+
+    def test_wrong_rule_does_not_suppress(self):
+        findings = self.lint_with_edit(
+            "src/noc/network.cpp",
+            "    (void)node;\n    DR_STAMP_WRITE(ni);",
+            "    (void)node;\n    DR_STAMP_WRITE(ni);\n"
+            "    // drphase-allow(unannotated-state): wrong rule\n"
+            "    ++stats_.packetsDelivered;")
+        self.assertIn("compute-writes-serial", rules_in(findings))
+
+
+class BaselineTest(unittest.TestCase):
+    def run_main(self, mutate, args):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            if mutate:
+                path = os.path.join(tmp, "src/noc/network.cpp")
+                with open(path, encoding="utf-8") as fh:
+                    text = fh.read()
+                old = "    (void)node;\n    DR_STAMP_WRITE(ni);"
+                assert old in text
+                with open(path, "w", encoding="utf-8") as fh:
+                    fh.write(text.replace(
+                        old, old + "\n    ++stats_.packetsDelivered;", 1))
+            os.makedirs(os.path.join(tmp, "tools"), exist_ok=True)
+            return drphase.main(["--root", tmp] + args)
+
+    def test_clean_tree_passes_without_baseline(self):
+        self.assertEqual(self.run_main(False, []), 0)
+
+    def test_new_finding_fails(self):
+        self.assertEqual(self.run_main(True, []), 1)
+
+    def test_baselined_finding_passes(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            with open(baseline, "w", encoding="utf-8") as fh:
+                json.dump({"src/noc/network.cpp:compute-writes-serial": 1},
+                          fh)
+            self.assertEqual(
+                self.run_main(True, ["--baseline", baseline]), 0)
+
+    def test_update_baseline_roundtrip(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            baseline = os.path.join(tmp, "baseline.json")
+            self.assertEqual(
+                self.run_main(True, ["--baseline", baseline,
+                                     "--update-baseline"]), 0)
+            with open(baseline, encoding="utf-8") as fh:
+                counts = json.load(fh)
+            self.assertEqual(
+                counts, {"src/noc/network.cpp:compute-writes-serial": 1})
+
+    def test_list_rules(self):
+        self.assertEqual(drphase.main(["--list-rules"]), 0)
+
+    def test_missing_compile_commands_degrades(self):
+        # Without importable clang bindings the AST pass must degrade to
+        # token results, not crash.
+        self.assertEqual(
+            self.run_main(False, ["--compile-commands",
+                                  "/nonexistent/compile_commands.json"]),
+            0)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -48,7 +48,7 @@ def discover(build_dir):
     return names
 
 
-def main():
+def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Run bench binaries concurrently with a bounded pool")
     parser.add_argument("-j", "--jobs", type=int,
@@ -61,7 +61,7 @@ def main():
     parser.add_argument("benches", nargs="*",
                         help="bench names to run (default: all but "
                              + ", ".join(sorted(EXCLUDED_BY_DEFAULT)))
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
