@@ -15,6 +15,7 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -140,6 +141,43 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
     return r;
 }
 
+/**
+ * One timed end-to-end run of the full heterogeneous system (SM cores,
+ * CPU cores, memory nodes, coherence — not just the NoC kernel) under
+ * the paper configuration. `threads` drives both the NoC domain
+ * workers and the endpoint compute phase (DESIGN.md §13); results are
+ * bit-identical across values, so the threads1/threads4 column pair
+ * measures parallel-engine scaling over the whole simulator.
+ */
+WorkloadResult
+timeE2eHetero(int threads, Cycle cycles)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.noc.threads = threads;
+    cfg.warmupCycles = cycles / 10;
+    cfg.simCycles = cycles;
+
+    const auto start = std::chrono::steady_clock::now();
+    const RunResults res = runWorkload(cfg, "HS", "blackscholes");
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(stop - start).count();
+    const Cycle total = cfg.warmupCycles + cfg.simCycles;
+
+    WorkloadResult r;
+    r.pattern = "e2e_hetero";
+    r.rate = 0.0;
+    r.threads = threads;
+    r.cycles = total;
+    r.wallSeconds = wall;
+    r.cyclesPerSec = wall > 0.0 ? static_cast<double>(total) / wall : 0.0;
+    r.flitHopsPerSec =
+        wall > 0.0 ? static_cast<double>(res.linkTraversals) / wall : 0.0;
+    r.packetsDelivered = res.requestsInjected;
+    return r;
+}
+
 long
 peakRssKb()
 {
@@ -193,6 +231,14 @@ main()
     results.push_back(timeWorkload(TrafficPattern::UniformRandom, 0.10,
                                    cycles, 1, /*vnets=*/false,
                                    /*threads=*/4));
+    // End-to-end scaling over the whole simulator (endpoint compute
+    // phase + NoC domains). A shorter horizon than the raw kernel: the
+    // full system simulates far fewer cycles per second.
+    const Cycle e2eCycles = std::max<Cycle>(cycles / 10, 5000);
+    const std::size_t e2eThreads1Idx = results.size();
+    results.push_back(timeE2eHetero(/*threads=*/1, e2eCycles));
+    const std::size_t e2eThreads4Idx = results.size();
+    results.push_back(timeE2eHetero(/*threads=*/4, e2eCycles));
 
     std::vector<double> uniformCps;
     std::vector<double> hotspotCps;
@@ -201,6 +247,8 @@ main()
     for (const WorkloadResult &r : results) {
         if (r.threads != 1)
             continue;  // summary geomeans stay a single-thread metric
+        if (r.pattern == std::string("e2e_hetero"))
+            continue;  // reported via its own summary columns below
         if (r.pattern == std::string("uniform"))
             uniformCps.push_back(r.cyclesPerSec);
         else if (r.pattern == std::string("vnet_uniform"))
@@ -247,6 +295,10 @@ main()
                 results[threads2Idx].cyclesPerSec);
     std::printf("    \"uniform_r10_threads4_cycles_per_sec\": %.0f,\n",
                 results[threads4Idx].cyclesPerSec);
+    std::printf("    \"e2e_hetero_threads1_cycles_per_sec\": %.0f,\n",
+                results[e2eThreads1Idx].cyclesPerSec);
+    std::printf("    \"e2e_hetero_threads4_cycles_per_sec\": %.0f,\n",
+                results[e2eThreads4Idx].cyclesPerSec);
     std::printf("    \"peak_rss_kb\": %ld\n", peakRssKb());
     std::printf("  }\n");
     std::printf("}\n");

@@ -45,12 +45,14 @@ struct MesiStats
 /**
  * Directory-side MESI protocol for up to 64 CPU cores.
  *
- * Pre-classified for the ROADMAP's memory-node partitioning (DESIGN.md
- * §12): one directory is shared by every memory node, so its mutable
- * state is DR_SERIAL_ONLY — access()/evict() may only run in serial
- * sections until the directory itself is sliced per domain.
+ * Banked per memory node (DESIGN.md §13): CPU requests are issued
+ * CPU-line-aligned, so every line has exactly one home memory node and
+ * the per-node banks partition the directory exactly — no bank ever
+ * sees another bank's lines. Each bank is therefore DR_DOMAIN_OWNED by
+ * its memory node's endpoint domain and access()/evict() run in the
+ * endpoint compute phase; HeteroSystem aggregates stats across banks.
  */
-class MesiDirectory
+class DR_DOMAIN_OWNED MesiDirectory
 {
   public:
     /**
@@ -66,10 +68,10 @@ class MesiDirectory
      * @param write true for stores
      * @return extra latency cycles due to invalidations/downgrades
      */
-    Cycle access(int core, Addr lineAddr, bool write) DR_COMMIT_PHASE;
+    Cycle access(int core, Addr lineAddr, bool write) DR_ENDPOINT_PHASE;
 
     /** Evict a line from a core's cache (silent for S, writeback for M). */
-    void evict(int core, Addr lineAddr) DR_COMMIT_PHASE;
+    void evict(int core, Addr lineAddr) DR_ENDPOINT_PHASE;
 
     /** Directory state of a line (Invalid if untracked). */
     MesiState stateOf(Addr lineAddr) const DR_PHASE_READ;
@@ -92,12 +94,12 @@ class MesiDirectory
         std::uint64_t sharers = 0;
     };
 
-    int numCores_ DR_SERIAL_ONLY;
-    Cycle invalidationPenalty_ DR_SERIAL_ONLY;
+    int numCores_ DR_DOMAIN_OWNED;
+    Cycle invalidationPenalty_ DR_DOMAIN_OWNED;
     // drlint-allow(unordered-container): lookup by line address
     // only; the directory is never iterated.
-    std::unordered_map<Addr, Entry> dir_ DR_SERIAL_ONLY;
-    MesiStats stats_ DR_SERIAL_ONLY;
+    std::unordered_map<Addr, Entry> dir_ DR_DOMAIN_OWNED;
+    MesiStats stats_ DR_DOMAIN_OWNED;
 };
 
 } // namespace dr

@@ -195,6 +195,16 @@ struct SystemConfig
     Cycle warmupCycles = 5000;
     Cycle simCycles = 50000;  //!< measured cycles after warmup
 
+    /**
+     * Event-driven idle skipping (DESIGN.md §13): when every network
+     * domain is quiescent and every endpoint's next-event watermark
+     * lies in the future, HeteroSystem::advance() jumps now_ to the
+     * earliest watermark instead of ticking dead cycles. Results are
+     * bit-identical either way; the flag exists so the equivalence
+     * stays testable.
+     */
+    bool idleSkip = true;
+
     /** Total tile count. */
     int nodeCount() const { return noc.meshWidth * noc.meshHeight; }
 

@@ -172,6 +172,29 @@ assertComputePhase(const char *what)
 #endif
 }
 
+/**
+ * Entry assert for endpoint tick paths (DESIGN.md §13): legal from
+ * serial code (which holds exclusive access between barriers) or from
+ * the compute worker that owns `domain`; panics on a compute-phase
+ * call from any other domain. `domain < 0` means "not partitioned"
+ * (unit tests driving an endpoint directly) and accepts any caller.
+ */
+inline void
+assertPhaseDomain(int domain, const char *what)
+    DR_TS_ATTR(assert_shared_capability(::dr::serialPhaseCap))
+{
+#ifdef DR_CHECKED
+    const State &t = tls();
+    if (t.kind == Kind::Compute && domain >= 0 && t.domain != domain) {
+        panic("phase violation: ", what, " owned by endpoint domain ",
+              domain, " entered from compute domain ", t.domain);
+    }
+#else
+    (void)domain;
+    (void)what;
+#endif
+}
+
 } // namespace phase
 
 /**
@@ -256,12 +279,26 @@ auditStamp(const DomainStamp &stamp, const char *what)
 /** Opt a function out of clang's analysis (mutant-injection hooks). */
 #define DR_PHASE_UNCHECKED DR_TS_ATTR(no_thread_safety_analysis)
 
+/**
+ * Endpoint tick path (DESIGN.md §13): runs inside the endpoint compute
+ * phase when the system-level engine is active, confined to the
+ * endpoint's domain, or from plain serial code (unit tests drive
+ * endpoints directly; serial code holds exclusive access). drphase
+ * checks these bodies under the same rules as DR_COMPUTE_PHASE ones;
+ * clang's analysis treats them as shared readers of frozen serial
+ * state. Entry points open with DR_PHASE_ASSERT_DOMAIN(domain_).
+ */
+#define DR_ENDPOINT_PHASE                                                  \
+    DR_TS_ATTR(requires_shared_capability(::dr::serialPhaseCap))
+
 // --- phase assertions at API boundaries -----------------------------------
 
 #define DR_PHASE_ASSERT_COMMIT()                                           \
     ::dr::phase::assertCommitPhase(__func__)
 #define DR_PHASE_ASSERT_COMPUTE()                                          \
     ::dr::phase::assertComputePhase(__func__)
+#define DR_PHASE_ASSERT_DOMAIN(dom)                                        \
+    ::dr::phase::assertPhaseDomain((dom), __func__)
 
 // --- writer-domain stamping (dynamic truth-checking) ----------------------
 

@@ -20,6 +20,13 @@ using Cycle = std::uint64_t;
 /** Physical byte address (48-bit address space per the paper). */
 using Addr = std::uint64_t;
 
+/**
+ * Sentinel for "no scheduled event": an endpoint whose next-event
+ * watermark (DESIGN.md §13) is kNeverCycle generates no effect on any
+ * future cycle without new input arriving first.
+ */
+constexpr Cycle kNeverCycle = ~static_cast<Cycle>(0);
+
 /** Flat node identifier within the chip (0 .. nodeCount-1). */
 using NodeId = std::int16_t;
 

@@ -171,6 +171,7 @@ applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
         {"seed", [&] { cfg.seed = parseInt(key, value); }},
         {"sim.cycles", [&] { cfg.simCycles = parseCycles(key, value); }},
         {"sim.warmup", [&] { cfg.warmupCycles = parseCycles(key, value); }},
+        {"sim.idleSkip", [&] { cfg.idleSkip = parseBool(key, value); }},
 
         {"noc.topology", [&] { cfg.noc.topology = parseTopology(value); }},
         {"noc.meshWidth", [&] { cfg.noc.meshWidth = parseInt(key, value); }},
@@ -333,6 +334,7 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
     out << "seed = " << cfg.seed << "\n";
     out << "sim.cycles = " << cfg.simCycles << "\n";
     out << "sim.warmup = " << cfg.warmupCycles << "\n";
+    out << "sim.idleSkip = " << (cfg.idleSkip ? "true" : "false") << "\n";
     out << "noc.topology = " << topo << "\n";
     out << "noc.meshWidth = " << cfg.noc.meshWidth << "\n";
     out << "noc.meshHeight = " << cfg.noc.meshHeight << "\n";

@@ -1,0 +1,135 @@
+#include "core/endpoint_engine.hpp"
+
+#include "cpu/cpu_node.hpp"
+#include "gpu/sm_core.hpp"
+#include "mem/mem_node.hpp"
+#include "noc/network.hpp"
+
+namespace dr
+{
+
+EndpointEngine::EndpointEngine(const Network &net, bool concurrentSafe,
+                               const std::vector<MemNode *> &mems,
+                               const std::vector<SmCore *> &gpus,
+                               const std::vector<CpuNode *> &cpus)
+{
+    numDomains_ = concurrentSafe ? net.numDomains() : 1;
+    domains_.resize(static_cast<std::size_t>(numDomains_));
+    const auto domainOf = [&](NodeId node) {
+        return numDomains_ > 1 ? net.domainOfNode(node) : 0;
+    };
+    for (MemNode *m : mems) {
+        const int d = domainOf(m->nodeId());
+        m->setDomain(d);
+        domains_[d].mems.push_back(m);
+    }
+    for (SmCore *g : gpus) {
+        const int d = domainOf(g->nodeId());
+        g->setDomain(d);
+        domains_[d].gpus.push_back(g);
+    }
+    for (CpuNode *c : cpus) {
+        const int d = domainOf(c->nodeId());
+        c->setDomain(d);
+        domains_[d].cpus.push_back(c);
+    }
+
+    if (numDomains_ > 1) {
+        barrier_.reset(numDomains_);
+        workers_.reserve(static_cast<std::size_t>(numDomains_ - 1));
+        for (int d = 1; d < numDomains_; ++d)
+            workers_.emplace_back(&EndpointEngine::workerLoop, this, d);
+    }
+}
+
+EndpointEngine::~EndpointEngine()
+{
+    if (!workers_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(epochMutex_);
+            stop_.store(true, std::memory_order_release);
+        }
+        epochCv_.notify_all();
+        for (std::thread &t : workers_)
+            t.join();
+    }
+}
+
+void
+EndpointEngine::tickDomain(int domainIdx, Cycle now)
+{
+    // Canonical order within a domain mirrors the serial schedule
+    // (memory nodes, then GPU cores, then CPU nodes); endpoints in one
+    // domain are mutually independent during the compute phase, but
+    // keeping the order makes serial and parallel traces line up.
+    Partition &p = domains_[domainIdx];
+    for (MemNode *m : p.mems)
+        m->tick(now);
+    for (SmCore *g : p.gpus)
+        g->tick(now);
+    for (CpuNode *c : p.cpus)
+        c->tick(now);
+}
+
+void
+EndpointEngine::tick(Cycle now)
+{
+    DR_PHASE_ASSERT_COMMIT();
+    if (numDomains_ == 1) {
+        // Serial mode (noc.threads == 1 or a non-concurrency-safe L1
+        // organization): same staging and merge, no compute scope, so
+        // unit tests and shared-L1 configs keep plain serial
+        // semantics.
+        tickDomain(0, now);
+        return;
+    }
+
+    now_ = now;
+    {
+        std::lock_guard<std::mutex> lk(epochMutex_);
+        epoch_.fetch_add(1, std::memory_order_release);
+    }
+    epochCv_.notify_all();
+    {
+        // The main thread acts as domain 0's worker.
+        phase::ComputeScope cs(0);
+        DR_PHASE_ASSERT_COMPUTE();
+        tickDomain(0, now);
+    }
+    barrier_.arriveAndWait();  // endpoint compute -> serial merge
+}
+
+void
+EndpointEngine::workerLoop(int domainIdx)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        // Spin briefly for the next tick (it usually follows
+        // immediately), then sleep on the condition variable so idle
+        // stretches don't burn a core.
+        int spins = 0;
+        while (epoch_.load(std::memory_order_acquire) == seen) {
+            if (stop_.load(std::memory_order_acquire))
+                return;
+            if (spins < 1024) {
+                cpuRelax(spins);
+            } else {
+                std::unique_lock<std::mutex> lk(epochMutex_);
+                epochCv_.wait(lk, [&] {
+                    return epoch_.load(std::memory_order_relaxed) !=
+                               seen ||
+                           stop_.load(std::memory_order_relaxed);
+                });
+            }
+        }
+        ++seen;
+        {
+            phase::ComputeScope cs(domainIdx);
+            DR_PHASE_ASSERT_COMPUTE();
+            tickDomain(domainIdx, now_);
+        }
+        barrier_.arriveAndWait();  // endpoint compute -> serial merge
+    }
+}
+
+} // namespace dr

@@ -1,5 +1,6 @@
 #include "core/hetero_system.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "common/invariant.hpp"
@@ -51,8 +52,6 @@ HeteroSystem::HeteroSystem(const SystemConfig &cfg,
     cfg_.validate();
     ic_ = std::make_unique<Interconnect>(cfg_, layout_.types);
     coherence_ = std::make_unique<GpuCoherence>(cfg_.gpu.numCores);
-    // 20-cycle invalidation round trips in the CPU coherence domain.
-    mesi_ = std::make_unique<MesiDirectory>(cfg_.cpu.numCores, 20);
     map_ = std::make_unique<AddressMap>(cfg_.mem.numNodes,
                                         cfg_.mem.lineBytes,
                                         layout_.memNodes, cfg_.mem.mapSeed);
@@ -84,9 +83,31 @@ HeteroSystem::HeteroSystem(const SystemConfig &cfg,
     memNodes_.reserve(layout_.memNodes.size());
     for (const NodeId node : layout_.memNodes) {
         memNodes_.push_back(std::make_unique<MemNode>(
-            node, cfg_, *ic_, *coherence_, *mesi_, layout_.gpuCores,
+            node, cfg_, *ic_, *coherence_, layout_.gpuCores,
             layout_.cpuCores));
     }
+
+    // Endpoint tick engine (DESIGN.md §13): partition the endpoints
+    // over the request network's spatial domains. Shared L1
+    // organizations mutate cross-core state on every lookup, so they
+    // force the single-domain serial mode (same staging and merge).
+    {
+        std::vector<MemNode *> mems;
+        std::vector<SmCore *> gpus;
+        std::vector<CpuNode *> cpus;
+        for (auto &m : memNodes_)
+            mems.push_back(m.get());
+        for (auto &g : gpuCores_)
+            gpus.push_back(g.get());
+        for (auto &c : cpuNodes_)
+            cpus.push_back(c.get());
+        engine_ = std::make_unique<EndpointEngine>(
+            ic_->net(NetKind::Request), l1Org_->concurrentSafe(), mems,
+            gpus, cpus);
+    }
+
+    if (cfg_.debug.sweepCycles > 0)
+        sweepDue_ = cfg_.debug.sweepCycles;
 
     if (cfg_.debug.watchdogCycles > 0) {
         WatchdogParams wp;
@@ -115,6 +136,11 @@ HeteroSystem::~HeteroSystem() = default;
 bool
 HeteroSystem::anyRemoteL1Has(int coreIdx, Addr line) const
 {
+    // Reads every other core's L1 tags, which are mid-mutation during
+    // the endpoint compute phase — legal only from the serial merge.
+    // SmCore stages its miss lines and resolves them through here via
+    // resolveOracleQueries() (DESIGN.md §13).
+    DR_PHASE_ASSERT_COMMIT();
     for (int c = 0; c < static_cast<int>(gpuCores_.size()); ++c) {
         if (c != coreIdx && l1Org_->contains(c, line))
             return true;
@@ -125,32 +151,126 @@ HeteroSystem::anyRemoteL1Has(int coreIdx, Addr line) const
 void
 HeteroSystem::advance(Cycle cycles)
 {
-    // Watchdog observation interval: fine enough to bound detection
-    // latency, coarse enough to keep the signature walk off the
-    // per-cycle path.
-    constexpr Cycle kObserveEvery = 64;
-
     const Cycle end = now_ + cycles;
-    for (; now_ < end; ++now_) {
-        ic_->tick(now_);
-        l1Org_->tick(now_);
-        for (auto &mem : memNodes_)
-            mem->tick(now_);
-        for (auto &gpu : gpuCores_)
-            gpu->tick(now_);
-        for (auto &cpu : cpuNodes_)
-            cpu->tick(now_);
+    while (now_ < end) {
+        stepCycle();
 
-        if (watchdog_ && now_ % kObserveEvery == 0)
-            watchdog_->observe(now_, progressSignature());
-
-        if constexpr (checkedBuild()) {
-            if (cfg_.debug.sweepCycles > 0 &&
-                now_ % cfg_.debug.sweepCycles == 0 && now_ > 0) {
-                checkInvariants();
+        // Hybrid event-driven fast path (DESIGN.md §13): after the
+        // cycle's merge, if the networks are quiescent and every
+        // endpoint watermark proves the next stretch of ticks dead,
+        // jump straight to the earliest future event. The jump clamps
+        // to the next due watchdog observation and invariant sweep, so
+        // both keep their exact historical schedule; onSkip()
+        // compensates the per-cycle counters an idle tick would have
+        // bumped, keeping skip on/off bit-identical.
+        Cycle next = now_ + 1;
+        if (cfg_.idleSkip) {
+            const Cycle target = idleSkipTarget(end);
+            if (target > next) {
+                const Cycle skipped = target - next;
+                for (auto &mem : memNodes_)
+                    mem->onSkip(skipped);
+                for (auto &gpu : gpuCores_)
+                    gpu->onSkip(skipped);
+                for (auto &cpu : cpuNodes_)
+                    cpu->onSkip(skipped);
+                skippedCycles_ += skipped;
+                next = target;
             }
         }
+        now_ = next;
     }
+}
+
+void
+HeteroSystem::stepCycle()
+{
+    ic_->tick(now_);
+    l1Org_->tick(now_);
+
+    // Endpoint compute phase: every send is staged in the per-node
+    // outboxes; the serial merge below drains them in the canonical
+    // order (memory nodes, GPU cores, CPU nodes — the historical
+    // serial tick order), so pool slots, packet ids and routing RNG
+    // draws replay the exact serial sequence at any thread count.
+    ic_->beginStaging();
+    engine_->tick(now_);
+    commitEndpoints();
+
+    if (watchdog_ && now_ >= watchdogDue_) {
+        watchdog_->observe(now_, progressSignature());
+        while (watchdogDue_ <= now_)
+            watchdogDue_ += kObserveEvery;
+    }
+
+    if constexpr (checkedBuild()) {
+        if (cfg_.debug.sweepCycles > 0 && now_ >= sweepDue_) {
+            checkInvariants();
+            while (sweepDue_ <= now_)
+                sweepDue_ += cfg_.debug.sweepCycles;
+        }
+    }
+}
+
+void
+HeteroSystem::commitEndpoints()
+{
+    for (auto &mem : memNodes_)
+        ic_->drainOutbox(mem->nodeId(), now_);
+    for (auto &gpu : gpuCores_)
+        ic_->drainOutbox(gpu->nodeId(), now_);
+    for (auto &cpu : cpuNodes_)
+        ic_->drainOutbox(cpu->nodeId(), now_);
+    ic_->endStaging();
+
+    // Staged cross-endpoint effects, in a fixed order: the locality-
+    // oracle queries read every core's L1 before the CTA refills flush
+    // any of them, and the refills advance the shared scheduler cursor
+    // in core order — the same order the serial schedule used.
+    for (auto &gpu : gpuCores_)
+        gpu->resolveOracleQueries(now_);
+    for (auto &gpu : gpuCores_)
+        gpu->refillCtas(now_);
+}
+
+Cycle
+HeteroSystem::idleSkipTarget(Cycle end) const
+{
+    // Quiescence vote: no flit, credit or unassembled packet anywhere
+    // in either network. Anything still queued *at* an endpoint (NI
+    // ready queues included) is covered by that endpoint's watermark.
+    if (!ic_->quiescent())
+        return now_;
+
+    Cycle target = end;
+    if (watchdog_)
+        target = std::min(target, watchdogDue_);
+    if constexpr (checkedBuild()) {
+        target = std::min(target, sweepDue_);
+    }
+    target = std::min(target, l1Org_->nextEventCycle(now_));
+    for (const auto &mem : memNodes_)
+        target = std::min(target, mem->nextEventCycle(now_));
+    for (const auto &gpu : gpuCores_)
+        target = std::min(target, gpu->nextEventCycle(now_));
+    for (const auto &cpu : cpuNodes_)
+        target = std::min(target, cpu->nextEventCycle(now_));
+    return std::max(target, now_);
+}
+
+MesiStats
+HeteroSystem::mesiStats() const
+{
+    MesiStats agg;
+    for (const auto &mem : memNodes_) {
+        const MesiStats &s = mem->mesi().stats();
+        agg.reads += s.reads.value();
+        agg.writes += s.writes.value();
+        agg.invalidations += s.invalidations.value();
+        agg.downgrades += s.downgrades.value();
+        agg.writebacks += s.writebacks.value();
+    }
+    return agg;
 }
 
 std::uint64_t

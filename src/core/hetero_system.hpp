@@ -17,6 +17,7 @@
 #include "coherence/gpu_coherence.hpp"
 #include "coherence/mesi.hpp"
 #include "common/config.hpp"
+#include "core/endpoint_engine.hpp"
 #include "core/layout.hpp"
 #include "cpu/cpu_node.hpp"
 #include "debug/progress_watchdog.hpp"
@@ -119,7 +120,20 @@ class HeteroSystem
     const SystemConfig &config() const { return cfg_; }
     Cycle now() const { return now_; }
     GpuCoherence &coherence() { return *coherence_; }
-    MesiDirectory &mesi() { return *mesi_; }
+
+    /**
+     * Aggregate MESI directory statistics across the per-memory-node
+     * banks (DESIGN.md §13: the directory is banked by home node, one
+     * DR_DOMAIN_OWNED bank per MemNode — see MemNode::mesi() for the
+     * per-bank view).
+     */
+    MesiStats mesiStats() const;
+
+    /** Endpoint tick domains in use (1 = serial endpoint phase). */
+    int endpointDomains() const { return engine_->numDomains(); }
+
+    /** Cycles elided by the idle-skip fast path since construction. */
+    Cycle idleSkippedCycles() const { return skippedCycles_; }
 
     /**
      * Monotone progress signature: advances whenever any network moves
@@ -140,13 +154,21 @@ class HeteroSystem
     void checkInvariants() const;
 
   private:
+    /** Watchdog observation interval: fine enough to bound detection
+     *  latency, coarse enough to keep the signature walk off the
+     *  per-cycle path. The idle-skip fast path clamps to the next due
+     *  observation so skipping never changes watchdog behaviour. */
+    static constexpr Cycle kObserveEvery = 64;
+
     bool anyRemoteL1Has(int coreIdx, Addr line) const;
+    void stepCycle();
+    void commitEndpoints();
+    Cycle idleSkipTarget(Cycle end) const;
 
     SystemConfig cfg_;
     LayoutMap layout_;
     std::unique_ptr<Interconnect> ic_;
     std::unique_ptr<GpuCoherence> coherence_;
-    std::unique_ptr<MesiDirectory> mesi_;
     std::unique_ptr<AddressMap> map_;
     std::unique_ptr<KernelAccessPattern> kernel_;
     std::unique_ptr<CtaScheduler> ctaSched_;
@@ -154,8 +176,15 @@ class HeteroSystem
     std::vector<std::unique_ptr<SmCore>> gpuCores_;
     std::vector<std::unique_ptr<CpuNode>> cpuNodes_;
     std::vector<std::unique_ptr<MemNode>> memNodes_;
+    std::unique_ptr<EndpointEngine> engine_;
     std::unique_ptr<ProgressWatchdog> watchdog_;
     Cycle now_ = 0;
+    Cycle skippedCycles_ = 0;
+    /** Next cycle a watchdog observation is due (multiples of
+     *  kObserveEvery, matching the historical modulo schedule). */
+    Cycle watchdogDue_ = 0;
+    /** Next cycle a checked-build invariant sweep is due. */
+    Cycle sweepDue_ = kNeverCycle;
 };
 
 } // namespace dr

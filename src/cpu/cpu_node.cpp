@@ -110,7 +110,7 @@ CpuNode::maybeAccess(Cycle now)
 void
 CpuNode::tick(Cycle now)
 {
-    DR_PHASE_ASSERT_COMMIT();
+    DR_PHASE_ASSERT_DOMAIN(domain_);
     receive(now);
     if (blocked_) {
         ++stats_.blockedCycles;

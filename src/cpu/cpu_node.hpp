@@ -41,9 +41,9 @@ struct CpuNodeStats
 /**
  * One CPU core endpoint.
  *
- * Pre-classified for the ROADMAP's endpoint partitioning (DESIGN.md
- * §12): all mutable state belongs to this one core, so the object is
- * DR_DOMAIN_OWNED. Today tick() still runs serially.
+ * All mutable state belongs to this one core, so the object is
+ * DR_DOMAIN_OWNED; tick() runs in the endpoint compute phase, pinned
+ * to the domain of the node's attach router (DESIGN.md §13).
  */
 class DR_DOMAIN_OWNED CpuNode
 {
@@ -52,7 +52,36 @@ class DR_DOMAIN_OWNED CpuNode
             const CpuProfile &profile, Interconnect &ic,
             const AddressMap &map);
 
-    void tick(Cycle now);
+    void tick(Cycle now) DR_ENDPOINT_PHASE;
+
+    /** Endpoint compute domain (engine partition time; -1 = any). */
+    void setDomain(int domain) { domain_ = domain; }
+
+    /**
+     * Earliest future cycle at which ticking this core could have any
+     * effect, assuming no new reply arrives (idle-skip watermark,
+     * DESIGN.md §13). An unblocked core retires every cycle, so it is
+     * never skippable; a blocked core only wakes on a reply, which the
+     * network quiescence vote plus the NI ready-queue check cover.
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        if (ic_.hasMessage(nodeId_, NetKind::Reply))
+            return now + 1;
+        return blocked_ ? kNeverCycle : now + 1;
+    }
+
+    /**
+     * Account for `cycles` skipped idle cycles. Only a blocked core is
+     * ever skipped, and a blocked tick's sole effect is the
+     * blockedCycles counter — compensate it to keep skip on/off
+     * bit-identical.
+     */
+    void onSkip(Cycle cycles)
+    {
+        if (blocked_)
+            stats_.blockedCycles += cycles;
+    }
 
     NodeId nodeId() const { return nodeId_; }
     const CpuNodeStats &stats() const { return stats_; }
@@ -71,8 +100,8 @@ class DR_DOMAIN_OWNED CpuNode
     };
 
     Addr genAddress();
-    void receive(Cycle now);
-    void maybeAccess(Cycle now);
+    void receive(Cycle now) DR_ENDPOINT_PHASE;
+    void maybeAccess(Cycle now) DR_ENDPOINT_PHASE;
 
     NodeId nodeId_;
     int coreIdx_;
@@ -95,6 +124,7 @@ class DR_DOMAIN_OWNED CpuNode
     Addr seqCursor_ DR_DOMAIN_OWNED = 0;
 
     CpuNodeStats stats_ DR_DOMAIN_OWNED;
+    int domain_ = -1;
 };
 
 } // namespace dr

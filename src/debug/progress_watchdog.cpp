@@ -29,6 +29,7 @@ ProgressWatchdog::setExtraDump(std::function<void(std::ostream &)> dump)
 bool
 ProgressWatchdog::observe(Cycle now, std::uint64_t signature)
 {
+    ++observations_;
     if (!seeded_ || signature != lastSignature_) {
         seeded_ = true;
         lastSignature_ = signature;

@@ -63,6 +63,13 @@ class ProgressWatchdog
     /** Stalls detected so far (keep-going mode). */
     int stallsDetected() const { return stalls_; }
 
+    /**
+     * observe() calls made so far. Regression hook for the idle-skip
+     * fast path: skipping must clamp to the next due observation, so
+     * the count matches the no-skip schedule exactly.
+     */
+    std::uint64_t observations() const { return observations_; }
+
   private:
     void dumpNetwork(const Network &net, std::ostream &os) const;
     void dumpBlockedChain(const Network &net, std::ostream &os) const;
@@ -74,6 +81,7 @@ class ProgressWatchdog
     bool seeded_ = false;
     Cycle lastProgress_ = 0;
     int stalls_ = 0;
+    std::uint64_t observations_ = 0;
 };
 
 } // namespace dr

@@ -13,15 +13,16 @@ PrivateL1::PrivateL1(const GpuConfig &cfg) : cfg_(cfg)
     tags_.reserve(cfg.numCores);
     for (int c = 0; c < cfg.numCores; ++c)
         tags_.emplace_back(params);
+    coreStats_.resize(static_cast<std::size_t>(cfg.numCores));
 }
 
 L1Result
 PrivateL1::load(int core, Addr lineAddr, Cycle now)
 {
     (void)now;
-    ++stats_.loads;
+    ++coreStats_[core].loads;
     if (tags_[core].access(lineAddr)) {
-        ++stats_.loadHits;
+        ++coreStats_[core].loadHits;
         return L1Result::Hit;
     }
     return L1Result::Miss;
@@ -37,11 +38,11 @@ void
 PrivateL1::write(int core, Addr lineAddr, Cycle now)
 {
     (void)now;
-    ++stats_.writes;
+    ++coreStats_[core].writes;
     // Write-through, no-allocate: the line stays valid if present (it
     // now holds the latest data) and is not installed on a write miss.
     if (tags_[core].access(lineAddr))
-        ++stats_.writeHits;
+        ++coreStats_[core].writeHits;
 }
 
 bool
@@ -53,8 +54,23 @@ PrivateL1::fill(int core, Addr lineAddr)
 void
 PrivateL1::flush(int core)
 {
-    ++stats_.flushes;
+    ++coreStats_[core].flushes;
     tags_[core].flushAll();
+}
+
+const L1OrgStats &
+PrivateL1::stats() const
+{
+    aggregate_ = L1OrgStats{};
+    for (const L1OrgStats &s : coreStats_) {
+        aggregate_.loads += s.loads.value();
+        aggregate_.loadHits += s.loadHits.value();
+        aggregate_.writes += s.writes.value();
+        aggregate_.writeHits += s.writeHits.value();
+        aggregate_.portConflicts += s.portConflicts.value();
+        aggregate_.flushes += s.flushes.value();
+    }
+    return aggregate_;
 }
 
 int

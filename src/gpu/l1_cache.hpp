@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "mem/cache.hpp"
@@ -72,6 +73,27 @@ class L1Organizer
 
     /** Advance per-cycle port bookkeeping. */
     virtual void tick(Cycle now) = 0;
+
+    /**
+     * Earliest future cycle at which ticking the organization could
+     * change its state without any new lookup arriving (idle-skip
+     * watermark, DESIGN.md §13). Stateless-per-cycle organizations
+     * never self-advance; DynEB's probe-phase clock does.
+     */
+    virtual Cycle nextEventCycle(Cycle now) const
+    {
+        (void)now;
+        return kNeverCycle;
+    }
+
+    /**
+     * Whether the per-core entry points above touch only state of the
+     * named core (tags and stats alike), so distinct cores may be
+     * ticked concurrently from different endpoint domains (DESIGN.md
+     * §13). Shared organizations mutate cross-core slice/port state on
+     * every lookup and must keep the endpoint phase serial.
+     */
+    virtual bool concurrentSafe() const { return false; }
 };
 
 /** The baseline private L1 per SM. */
@@ -86,8 +108,9 @@ class PrivateL1 : public L1Organizer
     bool fill(int core, Addr lineAddr) override;
     void flush(int core) override;
     int hitLatency() const override;
-    const L1OrgStats &stats() const override { return stats_; }
+    const L1OrgStats &stats() const override;
     void tick(Cycle now) override;
+    bool concurrentSafe() const override { return true; }
 
   private:
     struct NoMeta
@@ -95,7 +118,13 @@ class PrivateL1 : public L1Organizer
 
     GpuConfig cfg_;
     std::vector<SetAssocCache<NoMeta>> tags_;
-    L1OrgStats stats_;
+    /**
+     * Stats are banked per core so concurrent same-cycle lookups from
+     * different endpoint domains never share a counter; stats() sums
+     * the banks (serial reporting path only).
+     */
+    std::vector<L1OrgStats> coreStats_;
+    mutable L1OrgStats aggregate_ DR_SERIAL_ONLY;
 };
 
 /** Factory for the configured organization. */

@@ -18,6 +18,7 @@
  * kernel launch.
  */
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -75,6 +76,22 @@ class DynEbL1 : public L1Organizer
     int hitLatency() const override;
     const L1OrgStats &stats() const override;
     void tick(Cycle now) override;
+
+    /**
+     * DynEB's probe-phase clock advances with wall cycles, so an idle
+     * skip must not jump a phase boundary: a fresh phase re-bases its
+     * window on the next tick, and a probe phase scores itself at
+     * phaseStart_ + probeLen_. Committed phases only change at kernel
+     * boundaries (flush), which the endpoint watermarks cover.
+     */
+    Cycle nextEventCycle(Cycle now) const override
+    {
+        if (phaseFresh_)
+            return now + 1;
+        if (phase_ == Phase::CommitShared || phase_ == Phase::CommitPrivate)
+            return kNeverCycle;
+        return std::max(phaseStart_ + probeLen_, now + 1);
+    }
 
     /** Whether the shared organization is currently active. */
     bool sharedActive() const { return phase_ != Phase::CommitPrivate; }

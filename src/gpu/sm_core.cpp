@@ -57,7 +57,7 @@ SmCore::makeRequest(MsgType type, Addr line, Cycle now) const
 void
 SmCore::tick(Cycle now)
 {
-    DR_PHASE_ASSERT_COMMIT();
+    DR_PHASE_ASSERT_DOMAIN(domain_);
     DR_CHECKED_ONLY(frqServicedThisTick_ = false);
     receiveReplies(now);
     receiveRequests(now);
@@ -382,8 +382,8 @@ SmCore::executeMemAccess(Warp &warp, int warpId, Cycle now)
             ++stats_.loads;
             ++stats_.l1Misses;
             ++stats_.mshrMerges;
-            if (localityOracle_ && localityOracle_(coreIdx_, line))
-                ++stats_.missesWithRemoteCopy;
+            if (localityOracle_)
+                oracleQueries_.push_back(line);
             warp.state = Warp::State::WaitMem;
             warp.issueCycle = now;
             return true;
@@ -438,8 +438,8 @@ SmCore::startMiss(Warp &warp, int warpId, Addr line, Cycle now)
         }
         ++stats_.loads;
         ++stats_.l1Misses;
-        if (localityOracle_ && localityOracle_(coreIdx_, line))
-            ++stats_.missesWithRemoteCopy;
+        if (localityOracle_)
+            oracleQueries_.push_back(line);
         mshrs_.allocate(line, {static_cast<std::uint64_t>(warpId), nodeId_,
                                TrafficClass::Gpu, false, false},
                         now);
@@ -468,8 +468,8 @@ SmCore::startMiss(Warp &warp, int warpId, Addr line, Cycle now)
     }
     ++stats_.loads;
     ++stats_.l1Misses;
-    if (localityOracle_ && localityOracle_(coreIdx_, line))
-        ++stats_.missesWithRemoteCopy;
+    if (localityOracle_)
+        oracleQueries_.push_back(line);
     mshrs_.allocate(line, {static_cast<std::uint64_t>(warpId), nodeId_,
                            TrafficClass::Gpu, false, false},
                     now);
@@ -514,12 +514,69 @@ SmCore::wakeTargets(Addr line, Cycle now)
 void
 SmCore::finishWarp(Warp &warp, Cycle now)
 {
+    (void)now;
     warp.state = Warp::State::NeedWork;
     CtaSlot &slot = ctaSlots_[warp.slot];
     if (--slot.warpsLeft <= 0) {
         ++stats_.ctasCompleted;
-        assignCta(slot, now);
+        // CTA refill pulls from the *shared* scheduler cursor and may
+        // flush L1/coherence state at a kernel boundary — cross-core
+        // effects, so it runs in the serial merge (refillCtas). The
+        // refilled warps only become ready at now + 1 either way.
+        pendingCtaRefills_.push_back(warp.slot);
     }
+}
+
+void
+SmCore::resolveOracleQueries(Cycle now)
+{
+    (void)now;
+    DR_PHASE_ASSERT_COMMIT();
+    if (localityOracle_) {
+        for (const Addr line : oracleQueries_)
+            if (localityOracle_(coreIdx_, line))
+                ++stats_.missesWithRemoteCopy;
+    }
+    oracleQueries_.clear();
+}
+
+void
+SmCore::refillCtas(Cycle now)
+{
+    DR_PHASE_ASSERT_COMMIT();
+    for (const int s : pendingCtaRefills_)
+        assignCta(ctaSlots_[s], now);
+    pendingCtaRefills_.clear();
+}
+
+Cycle
+SmCore::nextEventCycle(Cycle now) const
+{
+    // Anything queued — incoming messages, forwarded requests, probes,
+    // outbound replies, fallback re-sends, pending CTA refills — can
+    // make progress next cycle. (Retry loops deliberately report
+    // now + 1 rather than modelling when the retry will succeed, so a
+    // stuck send is re-attempted every cycle and deadlock is never
+    // concealed by the idle-skip fast path.)
+    if (ic_.hasMessage(nodeId_, NetKind::Reply) ||
+        ic_.hasMessage(nodeId_, NetKind::Request) || !frq_.empty() ||
+        !probeQueue_.empty() || !outboundReplies_.empty() ||
+        !probeFallbacks_.empty() || !pendingCtaRefills_.empty())
+        return now + 1;
+    Cycle next = kNeverCycle;
+    for (const Warp &warp : warps_) {
+        switch (warp.state) {
+          case Warp::State::NeedWork:  // waits on a CTA refill
+          case Warp::State::WaitMem:   // waits on a reply arrival
+            break;
+          case Warp::State::Ready:
+            next = std::min(next, std::max(warp.readyAt, now + 1));
+            break;
+          case Warp::State::Stalled:   // structural retry every cycle
+            return now + 1;
+        }
+    }
+    return next;
 }
 
 void

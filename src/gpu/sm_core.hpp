@@ -77,11 +77,14 @@ struct SmCoreStats
 /**
  * One SM core endpoint. Ticked once per cycle by the HeteroSystem.
  *
- * Pre-classified for the ROADMAP's endpoint partitioning (DESIGN.md
- * §12): every mutable member below is state of this one core, so the
- * whole object is DR_DOMAIN_OWNED — once SM cores join the parallel
- * tick engine's spatial domains, only the owning domain's worker may
- * call the mutating entry points. Today tick() still runs serially.
+ * Every mutable member below is state of this one core, so the whole
+ * object is DR_DOMAIN_OWNED: tick() runs in the endpoint compute
+ * phase, pinned to the domain of the node's attach router, and only
+ * that domain's worker may call the mutating entry points. The two
+ * cross-core interactions — CTA refill (shared scheduler cursor +
+ * kernel-boundary flushes) and the Figure 2 locality oracle (remote
+ * L1 reads) — are staged during the compute phase and resolved by
+ * commitCycle() in the serial merge (DESIGN.md §13).
  */
 class DR_DOMAIN_OWNED SmCore
 {
@@ -92,12 +95,39 @@ class DR_DOMAIN_OWNED SmCore
            const KernelAccessPattern &kernel, L1Organizer &l1,
            const std::vector<NodeId> &gpuCoreIds);
 
-    void tick(Cycle now);
+    void tick(Cycle now) DR_ENDPOINT_PHASE;
+
+    /** Endpoint compute domain (engine partition time; -1 = any). */
+    void setDomain(int domain) { domain_ = domain; }
 
     /**
-     * Optional oracle for the Figure 2 characterization: called on each
-     * L1 miss with (coreIdx, line); returns whether any *remote* L1
-     * currently holds the line.
+     * Serial-merge half of the cycle (commit phase): resolve staged
+     * locality-oracle queries against the now-stable L1 state, then
+     * refill completed CTA slots from the shared scheduler. Called by
+     * the HeteroSystem in canonical core order so the scheduler cursor
+     * advances exactly as the old serial tick did.
+     */
+    void resolveOracleQueries(Cycle now) DR_COMMIT_PHASE;
+    void refillCtas(Cycle now) DR_COMMIT_PHASE;
+
+    /**
+     * Earliest future cycle at which ticking this core could have any
+     * effect, assuming no new message arrives (idle-skip watermark,
+     * DESIGN.md §13): conservative — any queued work or retrying warp
+     * means "next cycle", and an all-WaitMem core only wakes on
+     * replies, which the quiescence vote plus NI check cover.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /** A provably idle SM tick has no per-cycle stat effects. */
+    void onSkip(Cycle) {}
+
+    /**
+     * Optional oracle for the Figure 2 characterization: queried on
+     * each L1 miss with (coreIdx, line); returns whether any *remote*
+     * L1 currently holds the line. Invoked only from the serial merge
+     * (resolveOracleQueries) — it reads other cores' L1 state, which
+     * is mid-mutation during the compute phase.
      */
     void
     setLocalityOracle(std::function<bool(int, Addr)> oracle)
@@ -162,19 +192,23 @@ class DR_DOMAIN_OWNED SmCore
         Cycle issued = 0;
     };
 
-    void receiveReplies(Cycle now);
-    void receiveRequests(Cycle now);
-    void processFrq(Cycle now);
-    void drainOutbound(Cycle now);
-    void issueWarps(Cycle now);
-    bool executeMemAccess(Warp &warp, int warpId, Cycle now);
-    bool startMiss(Warp &warp, int warpId, Addr line, Cycle now);
-    void wakeTargets(Addr line, Cycle now);
-    void assignCta(CtaSlot &slot, Cycle now);
-    void finishWarp(Warp &warp, Cycle now);
-    void advanceWarp(Warp &warp, Cycle now, Cycle extraLatency);
+    void receiveReplies(Cycle now) DR_ENDPOINT_PHASE;
+    void receiveRequests(Cycle now) DR_ENDPOINT_PHASE;
+    void processFrq(Cycle now) DR_ENDPOINT_PHASE;
+    void drainOutbound(Cycle now) DR_ENDPOINT_PHASE;
+    void issueWarps(Cycle now) DR_ENDPOINT_PHASE;
+    bool executeMemAccess(Warp &warp, int warpId, Cycle now)
+        DR_ENDPOINT_PHASE;
+    bool startMiss(Warp &warp, int warpId, Addr line, Cycle now)
+        DR_ENDPOINT_PHASE;
+    void wakeTargets(Addr line, Cycle now) DR_ENDPOINT_PHASE;
+    void assignCta(CtaSlot &slot, Cycle now) DR_COMMIT_PHASE;
+    void finishWarp(Warp &warp, Cycle now) DR_ENDPOINT_PHASE;
+    void advanceWarp(Warp &warp, Cycle now, Cycle extraLatency)
+        DR_ENDPOINT_PHASE;
     Message makeRequest(MsgType type, Addr line, Cycle now) const;
-    bool sendOrQueueReply(const Message &msg, Cycle now);
+    bool sendOrQueueReply(const Message &msg, Cycle now)
+        DR_ENDPOINT_PHASE;
     bool isMemNode(NodeId node) const;
 
     NodeId nodeId_;
@@ -208,9 +242,15 @@ class DR_DOMAIN_OWNED SmCore
     int outstandingWrites_ DR_DOMAIN_OWNED = 0;
     bool frqServicedThisTick_ DR_DOMAIN_OWNED = false;
     std::uint64_t nextReqId_ DR_DOMAIN_OWNED;
-    std::function<bool(int, Addr)> localityOracle_;
+    /** Reads other cores' L1s: serial-merge only (DESIGN.md §13). */
+    std::function<bool(int, Addr)> localityOracle_ DR_SERIAL_ONLY;
+    /** L1-miss lines staged for the oracle, resolved at the merge. */
+    std::vector<Addr> oracleQueries_ DR_DOMAIN_OWNED;
+    /** CTA slots that completed this cycle, refilled at the merge. */
+    std::vector<int> pendingCtaRefills_ DR_DOMAIN_OWNED;
 
     SmCoreStats stats_ DR_DOMAIN_OWNED;
+    int domain_ = -1;
 
     static constexpr int maxOutboundReplies_ = 8;
     static constexpr int maxOutstandingWrites_ = 16;

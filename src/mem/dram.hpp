@@ -9,6 +9,7 @@
  * per line transfer. Timing parameters follow Table I of the paper.
  */
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -73,6 +74,22 @@ class DramChannel
 
     bool hasCompletion(Cycle now) const;
     DramCompletion popCompletion();
+
+    /**
+     * Earliest future cycle at which ticking the channel could have
+     * any effect, given no new enqueue() arrives (idle-skip watermark,
+     * DESIGN.md §13). Queued commands may issue every cycle; with the
+     * queue empty the next event is the earliest completion maturing
+     * (completions_ is kept sorted by finish time at insertion).
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        if (!queue_.empty())
+            return now + 1;
+        if (!completions_.empty())
+            return std::max(completions_.front().finished, now + 1);
+        return kNeverCycle;
+    }
 
     const DramStats &stats() const { return stats_; }
 

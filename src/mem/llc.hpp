@@ -12,6 +12,7 @@
  * so readers always get the most recent copy (Section IV).
  */
 
+#include <algorithm>
 #include <deque>
 
 #include "coherence/gpu_coherence.hpp"
@@ -73,6 +74,22 @@ class LlcSlice
     bool hasReply() const { return !replies_.empty(); }
     const LlcReply &peekReply() const { return replies_.front(); }
     LlcReply popReply();
+
+    /**
+     * Earliest future cycle at which ticking the slice could have any
+     * effect, given no new accept() arrives (idle-skip watermark,
+     * DESIGN.md §13). Queued replies and retried writebacks are
+     * per-cycle work; the in-order pipeline's next event is its head's
+     * readyAt; DRAM fills are covered by the channel's own watermark.
+     */
+    Cycle nextEventCycle(Cycle now) const
+    {
+        if (!replies_.empty() || !pendingWritebacks_.empty())
+            return now + 1;
+        if (!pipe_.empty())
+            return std::max(pipe_.front().readyAt, now + 1);
+        return kNeverCycle;
+    }
 
     const LlcStats &stats() const { return stats_; }
 

@@ -1,5 +1,7 @@
 #include "mem/mem_node.hpp"
 
+#include <algorithm>
+
 #include "common/invariant.hpp"
 #include "common/log.hpp"
 
@@ -7,10 +9,11 @@ namespace dr
 {
 
 MemNode::MemNode(NodeId nodeId, const SystemConfig &cfg, Interconnect &ic,
-                 const GpuCoherence &coherence, MesiDirectory &mesi,
+                 const GpuCoherence &coherence,
                  const std::vector<NodeId> &gpuCoreIds,
                  const std::vector<NodeId> &cpuCoreIds)
-    : nodeId_(nodeId), cfg_(cfg), ic_(ic), mesi_(mesi), dram_(cfg.mem),
+    : nodeId_(nodeId), cfg_(cfg), ic_(ic),
+      mesi_(cfg.cpu.numCores, kMesiInvalidationPenalty), dram_(cfg.mem),
       llc_(nodeId, cfg, coherence, dram_, gpuCoreIds),
       cpuIndexOfNode_(static_cast<std::size_t>(cfg.nodeCount()), -1)
 {
@@ -21,12 +24,24 @@ MemNode::MemNode(NodeId nodeId, const SystemConfig &cfg, Interconnect &ic,
 void
 MemNode::tick(Cycle now)
 {
-    DR_PHASE_ASSERT_COMMIT();
+    DR_PHASE_ASSERT_DOMAIN(domain_);
     ++stats_.activeCycles;
     dram_.tick(now);
     llc_.tick(now);
     drainReplies(now);
     acceptRequests(now);
+}
+
+Cycle
+MemNode::nextEventCycle(Cycle now) const
+{
+    // A pending request in the NI keeps the node live next cycle; so
+    // do any LLC pipeline/reply/writeback work and any DRAM activity.
+    if (ic_.hasMessage(nodeId_, NetKind::Request))
+        return now + 1;
+    Cycle next = dram_.nextEventCycle(now);
+    next = std::min(next, llc_.nextEventCycle(now));
+    return next;
 }
 
 void

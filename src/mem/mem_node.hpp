@@ -30,27 +30,51 @@ struct MemNodeStats
     Counter delegations;       //!< replies converted to delegated replies
     Counter blockedCycles;     //!< cycles the head reply could not inject
     Counter cpuPenaltyCycles;  //!< MESI invalidation/downgrade latency
-    Counter activeCycles;      //!< tick() calls (blocking-rate denominator)
+    Counter activeCycles;      //!< ticked + skipped cycles (blocking-rate
+                               //!< denominator; see onSkip())
 };
 
 /**
  * One memory node endpoint. The HeteroSystem ticks every memory node
- * each cycle after the interconnect.
+ * each cycle after the interconnect — in the endpoint compute phase,
+ * pinned to the domain of the node's attach router (DESIGN.md §13).
  *
- * Pre-classified for the ROADMAP's memory-node partitioning (DESIGN.md
- * §12): the DRAM channel, LLC slice, and stats are private to this
- * node, so the object is DR_DOMAIN_OWNED. The MesiDirectory reference
- * is shared across nodes and stays DR_SERIAL_ONLY at its definition.
+ * The DRAM channel, LLC slice, stats and the node's MESI directory
+ * bank are private to this node, so the object is DR_DOMAIN_OWNED.
+ * The bank partitioning is exact: CPU requests are CPU-line-aligned,
+ * so each line has a single home memory node and banks never overlap.
  */
 class DR_DOMAIN_OWNED MemNode
 {
   public:
+    /** Cycles one MESI invalidation/downgrade round trip costs. */
+    static constexpr Cycle kMesiInvalidationPenalty = 20;
+
     MemNode(NodeId nodeId, const SystemConfig &cfg, Interconnect &ic,
-            const GpuCoherence &coherence, MesiDirectory &mesi,
+            const GpuCoherence &coherence,
             const std::vector<NodeId> &gpuCoreIds,
             const std::vector<NodeId> &cpuCoreIds);
 
-    void tick(Cycle now);
+    void tick(Cycle now) DR_ENDPOINT_PHASE;
+
+    /** Endpoint compute domain (engine partition time; -1 = any). */
+    void setDomain(int domain) { domain_ = domain; }
+
+    /**
+     * Earliest future cycle at which ticking this node could have any
+     * effect, assuming no new network input arrives (the caller proves
+     * that separately via the all-domains quiescence vote). Used by
+     * the idle-skip fast path; must be conservative (DESIGN.md §13).
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Account for `cycles` skipped idle cycles: the only per-cycle
+     * effect a provably idle tick has is the activeCycles counter
+     * (the blocking-rate denominator), so compensate it here to keep
+     * skip on/off bit-identical.
+     */
+    void onSkip(Cycle cycles) { stats_.activeCycles += cycles; }
 
     NodeId nodeId() const { return nodeId_; }
     const MemNodeStats &stats() const { return stats_; }
@@ -59,6 +83,7 @@ class DR_DOMAIN_OWNED MemNode
     LlcSlice &llc() { return llc_; }
     const LlcSlice &llc() const { return llc_; }
     DramChannel &dram() { return dram_; }
+    const MesiDirectory &mesi() const { return mesi_; }
 
     /** Fraction of cycles the node could not inject its head reply. */
     double blockingRate() const;
@@ -66,17 +91,18 @@ class DR_DOMAIN_OWNED MemNode
     void resetStats();
 
   private:
-    void drainReplies(Cycle now);
-    void acceptRequests(Cycle now);
+    void drainReplies(Cycle now) DR_ENDPOINT_PHASE;
+    void acceptRequests(Cycle now) DR_ENDPOINT_PHASE;
 
     NodeId nodeId_;
     const SystemConfig &cfg_;
     Interconnect &ic_;
-    MesiDirectory &mesi_;
+    MesiDirectory mesi_ DR_DOMAIN_OWNED;  //!< this node's directory bank
     DramChannel dram_ DR_DOMAIN_OWNED;
     LlcSlice llc_ DR_DOMAIN_OWNED;
     std::vector<int> cpuIndexOfNode_;
     MemNodeStats stats_ DR_DOMAIN_OWNED;
+    int domain_ = -1;
 };
 
 } // namespace dr

@@ -92,6 +92,8 @@ Interconnect::Interconnect(const SystemConfig &cfg,
         params.seed = cfg.seed * 7919 + 2;
         reply_ = std::make_unique<Network>(params, topo_);
     }
+
+    outbox_.resize(nodeTypes_.size());
 }
 
 int
@@ -116,19 +118,31 @@ Interconnect::net(NetKind kind) const
     return *reply_;
 }
 
+int
+Interconnect::reservedFlits(NodeId node, NetKind kind) const
+{
+    if (!staging_)
+        return 0;
+    const NodeOutbox &box = outbox_[node];
+    // In shared mode both kinds draw on the one physical injection
+    // buffer, so every staged flit counts against either query.
+    if (shared_)
+        return box.reservedFlits[0] + box.reservedFlits[1];
+    return box.reservedFlits[static_cast<int>(kind)];
+}
+
 bool
 Interconnect::canSend(const Message &msg) const
 {
-    const NetKind kind = onRequestNetwork(msg.type) ? NetKind::Request
-                                                    : NetKind::Reply;
-    return net(kind).canInject(msg.src, flitsFor(msg));
+    const NetKind kind = kindFor(msg);
+    return net(kind).canInject(msg.src, flitsFor(msg) +
+                                            reservedFlits(msg.src, kind));
 }
 
 void
-Interconnect::send(const Message &msg, Cycle now)
+Interconnect::sendNow(const Message &msg, Cycle now)
 {
-    const NetKind kind = onRequestNetwork(msg.type) ? NetKind::Request
-                                                    : NetKind::Reply;
+    const NetKind kind = kindFor(msg);
     const VirtualNet vn = vnetFor(msg);
     // The physical-network choice and the VN classification agree by
     // construction: request-side VNs ride the request network, the
@@ -141,10 +155,54 @@ Interconnect::send(const Message &msg, Cycle now)
     net(kind).inject(msg, flitsFor(msg), now, vn);
 }
 
+void
+Interconnect::send(const Message &msg, Cycle now)
+{
+    if (!staging_) {
+        sendNow(msg, now);
+        return;
+    }
+    NodeOutbox &box = outbox_[msg.src];
+    box.pending.push_back(msg);
+    box.reservedFlits[static_cast<int>(kindFor(msg))] += flitsFor(msg);
+}
+
+void
+Interconnect::beginStaging()
+{
+    DR_PHASE_ASSERT_COMMIT();
+    staging_ = true;
+}
+
+void
+Interconnect::drainOutbox(NodeId node, Cycle now)
+{
+    DR_PHASE_ASSERT_COMMIT();
+    NodeOutbox &box = outbox_[node];
+    for (const Message &msg : box.pending)
+        sendNow(msg, now);
+    box.pending.clear();
+    box.reservedFlits[0] = 0;
+    box.reservedFlits[1] = 0;
+}
+
+void
+Interconnect::endStaging()
+{
+    DR_PHASE_ASSERT_COMMIT();
+#ifdef DR_CHECKED
+    for (const NodeOutbox &box : outbox_) {
+        DR_ASSERT_MSG(box.pending.empty(),
+                      "endStaging with undrained outbox");
+    }
+#endif
+    staging_ = false;
+}
+
 int
 Interconnect::injectFree(NodeId node, NetKind kind) const
 {
-    return net(kind).injectFree(node);
+    return net(kind).injectFree(node) - reservedFlits(node, kind);
 }
 
 bool

@@ -14,8 +14,10 @@
  */
 
 #include <memory>
+#include <vector>
 
 #include "common/config.hpp"
+#include "common/ownership.hpp"
 #include "noc/network.hpp"
 #include "noc/topology.hpp"
 
@@ -47,6 +49,29 @@ class Interconnect
     /** Free injection space (flits) on the network a message would use. */
     int injectFree(NodeId node, NetKind kind) const;
 
+    // --- endpoint staging (DESIGN.md §13) -----------------------------
+    //
+    // While the endpoint compute phase runs, sends must not touch
+    // network-global state (packet pool, packet ids, routing RNG). In
+    // staging mode send() appends to the sender's per-node outbox and
+    // reserves the flits; canSend()/injectFree() subtract the node's
+    // own reservations, which is exact because injection buffers are
+    // per-node and only the owning endpoint sends from its node. The
+    // serial merge then drains outboxes in canonical endpoint order —
+    // the same order the old serial tick issued them — reproducing the
+    // identical pool-slot / packet-id / routing sequence.
+
+    /** Enter staging mode (before the endpoint compute phase). */
+    void beginStaging();
+
+    /** Real-inject one node's staged sends, in issue order (serial). */
+    void drainOutbox(NodeId node, Cycle now) DR_COMMIT_PHASE;
+
+    /** Leave staging mode. @pre every outbox has been drained */
+    void endStaging();
+
+    bool staging() const { return staging_; }
+
     bool hasMessage(NodeId node, NetKind kind) const;
     const Message &peekMessage(NodeId node, NetKind kind) const;
     Message popMessage(NodeId node, NetKind kind);
@@ -59,6 +84,12 @@ class Interconnect
     Network &net(NetKind kind);
     const Network &net(NetKind kind) const;
     bool shared() const { return shared_; }
+
+    /** Every physical network's all-domains quiescence vote. */
+    bool quiescent() const
+    {
+        return request_->quiescent() && (!reply_ || reply_->quiescent());
+    }
 
     /**
      * Virtual network a message travels on: the central classification
@@ -87,12 +118,36 @@ class Interconnect
     std::uint64_t totalLinkTraversals() const;
 
   private:
+    /**
+     * Staged sends of one node. Written only by the endpoint that owns
+     * the node (its domain's worker during the compute phase), drained
+     * by the serial merge — per-node exclusivity, no locking needed.
+     */
+    struct DR_DOMAIN_OWNED NodeOutbox
+    {
+        std::vector<Message> pending;
+        int reservedFlits[2] = {0, 0};  //!< per NetKind
+    };
+
+    NetKind kindFor(const Message &msg) const
+    {
+        return onRequestNetwork(msg.type) ? NetKind::Request
+                                          : NetKind::Reply;
+    }
+
+    /** Flits this node has staged against the given network. */
+    int reservedFlits(NodeId node, NetKind kind) const;
+
+    void sendNow(const Message &msg, Cycle now);
+
     SystemConfig cfg_;
     Topology topo_;
     bool shared_;
     std::vector<NodeType> nodeTypes_;
     std::unique_ptr<Network> request_;
     std::unique_ptr<Network> reply_;  //!< null in shared mode
+    std::vector<NodeOutbox> outbox_;
+    bool staging_ DR_SERIAL_ONLY = false;
 };
 
 } // namespace dr

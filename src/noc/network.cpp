@@ -232,8 +232,13 @@ Network::peekMessage(NodeId node, NetKind kind) const
 Message
 Network::popMessage(NodeId node, NetKind kind)
 {
-    DR_PHASE_ASSERT_COMMIT();
+    // Legal from serial code (exclusive between barriers) and from the
+    // endpoint compute phase when the caller is the worker owning this
+    // node's domain (DESIGN.md §13): the pop touches only the node's
+    // own NI and its attach router, both owned by that same domain.
+    phase::assertPhaseDomain(nodeDomain_[node], "popMessage");
     Ni &ni = nis_[node];
+    DR_STAMP_WRITE(ni);
     auto &queue = ni.ready[static_cast<int>(kind)];
     if (queue.empty())
         panic("popMessage on empty queue");

@@ -275,6 +275,22 @@ class Network : public RouterEnv, public CongestionProbe
     int numDomains() const { return numDomains_; }
 
     /**
+     * All-domains quiescence: no NI or router anywhere needs per-cycle
+     * service. With every endpoint watermark also in the future this
+     * proves a stretch of cycles dead, enabling the idle-skip fast
+     * path (DESIGN.md §13). Serial-phase read: the vote is only
+     * meaningful between ticks.
+     */
+    bool
+    quiescent() const
+    {
+        for (const Domain &d : domains_)
+            if (d.hasWork())
+                return false;
+        return true;
+    }
+
+    /**
      * Seeded phase-discipline violations (tests only; see DESIGN.md
      * §12). Each mutant makes the engine break one ownership rule so
      * the DR_CHECKED stamp/phase checks can prove they catch it. The

@@ -181,9 +181,8 @@ TEST(System, MesiDirectoryActiveForCpuTraffic)
     SystemConfig cfg = quickCfg();
     HeteroSystem sys(cfg, "HS", "dedup");
     sys.run();
-    EXPECT_GT(sys.mesi().stats().reads.value() +
-                  sys.mesi().stats().writes.value(),
-              100u);
+    const MesiStats mesi = sys.mesiStats();
+    EXPECT_GT(mesi.reads.value() + mesi.writes.value(), 100u);
 }
 
 TEST(System, KernelBoundariesFlushCoherence)

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/hetero_system.hpp"
+
+namespace dr
+{
+namespace
+{
+
+/**
+ * Whole-system determinism matrix (DESIGN.md §13). The endpoint tick
+ * phase is partitioned across the same spatial domains as the NoC and
+ * the idle-skip fast path elides provably dead cycles, so every
+ * combination of worker threads and idle skipping must produce a
+ * bit-identical run: same cycle counts, same counters, same
+ * floating-point metrics. These tests pin that equivalence across
+ * thread counts {1, 2, 4} x idleSkip {on, off} x vnets {on, off} x
+ * two topologies.
+ */
+
+/** Serialize every RunResults field at full precision. */
+std::string
+fingerprint(const RunResults &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << r.cycles << '|' << r.gpuIpc << '|' << r.cpuIpc << '|'
+       << r.cpuLatency << '|' << r.gpuDataRate << '|' << r.memBlockingRate
+       << '|' << r.l1Misses << '|' << r.missesWithRemoteCopy << '|'
+       << r.delegations << '|' << r.frqRemoteHits << '|'
+       << r.frqDelayedHits << '|' << r.frqRemoteMisses << '|'
+       << r.probesSent << '|' << r.probeHits << '|' << r.requestsInjected
+       << '|' << r.switchTraversals << '|' << r.bufferWrites << '|'
+       << r.linkTraversals << '|' << r.gpuL1MissRate << '|'
+       << r.llcHitRate;
+    return os.str();
+}
+
+SystemConfig
+matrixCfg(TopologyKind topo, bool vnets)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.warmupCycles = 1500;
+    cfg.simCycles = 3500;
+    cfg.noc.topology = topo;
+    cfg.noc.vnets = vnets;
+    if (vnets && topo == TopologyKind::Dragonfly) {
+        // Dragonfly phase escalation needs >= 2 VCs per virtual network.
+        cfg.noc.vcsPerNet = 4;
+        cfg.noc.vnetRequestVcs = 2;
+        cfg.noc.vnetForwardVcs = 2;
+        cfg.noc.vnetReplyVcs = 2;
+        cfg.noc.vnetDelegatedVcs = 2;
+    }
+    return cfg;
+}
+
+std::string
+runFingerprint(SystemConfig cfg, int threads, bool idleSkip)
+{
+    cfg.noc.threads = threads;
+    cfg.idleSkip = idleSkip;
+    return fingerprint(runWorkload(cfg, "HS", "blackscholes"));
+}
+
+struct MatrixCase
+{
+    TopologyKind topo;
+    bool vnets;
+};
+
+class WholeSystemDeterminism : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(WholeSystemDeterminism, BitIdenticalAcrossThreadsAndIdleSkip)
+{
+    const SystemConfig cfg = matrixCfg(GetParam().topo, GetParam().vnets);
+    // Golden: serial endpoint phase, every cycle ticked.
+    const std::string golden = runFingerprint(cfg, 1, false);
+    EXPECT_EQ(golden, runFingerprint(cfg, 1, true)) << "skip-on diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 2, true))
+        << "2 threads + skip diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 4, false))
+        << "4 threads diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 4, true))
+        << "4 threads + skip diverged";
+}
+
+std::string
+caseName(const ::testing::TestParamInfo<MatrixCase> &info)
+{
+    std::string name = topologyName(info.param.topo);
+    return name + (info.param.vnets ? "Vnets" : "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TopologyMatrix, WholeSystemDeterminism,
+    ::testing::Values(MatrixCase{TopologyKind::Mesh, false},
+                      MatrixCase{TopologyKind::Mesh, true},
+                      MatrixCase{TopologyKind::Dragonfly, false},
+                      MatrixCase{TopologyKind::Dragonfly, true}),
+    caseName);
+
+/**
+ * Skip-heavy configuration: a 2x2 chip whose two single-warp GPU cores
+ * are almost always in WaitMem and whose lone CPU core runs vips (80%
+ * dependent misses, so it is blocked most cycles). Whenever the tiny
+ * network drains while requests sit in the LLC/DRAM, every endpoint
+ * watermark lies in the future and the idle-skip fast path engages
+ * (asserted below).
+ */
+SystemConfig
+skipHeavyCfg()
+{
+    SystemConfig cfg = SystemConfig::makeSmall();
+    cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.noc.meshWidth = 2;
+    cfg.noc.meshHeight = 2;
+    cfg.gpu.numCores = 2;
+    cfg.cpu.numCores = 1;
+    cfg.mem.numNodes = 1;
+    cfg.gpu.warpsPerCore = 1;
+    cfg.debug.watchdogCycles = 1u << 20;  // armed, far from firing
+    return cfg;
+}
+
+/**
+ * Satellite regression (PR 7): watchdog observations are scheduled by
+ * next-due cycle, so an idle skip must land on (not jump over) every
+ * due observation point. The skip-on run must observe exactly as often
+ * as the skip-off run while actually skipping cycles. Checked-build
+ * invariant sweeps use the same next-due clamp (debug.sweepCycles);
+ * the DR_CHECKED CI leg runs this test with sweeps armed.
+ */
+TEST(IdleSkip, WatchdogObservationScheduleSurvivesSkips)
+{
+    SystemConfig cfg = skipHeavyCfg();
+    const Cycle span = 20000;
+
+    cfg.idleSkip = false;
+    HeteroSystem dense(cfg, "HS", "vips");
+    dense.advance(span);
+
+    cfg.idleSkip = true;
+    HeteroSystem skipping(cfg, "HS", "vips");
+    skipping.advance(span);
+
+    ASSERT_NE(dense.watchdog(), nullptr);
+    ASSERT_NE(skipping.watchdog(), nullptr);
+    EXPECT_EQ(dense.idleSkippedCycles(), 0u);
+    EXPECT_GT(skipping.idleSkippedCycles(), 0u)
+        << "config no longer produces idle stretches; retune skipHeavyCfg";
+    EXPECT_EQ(dense.watchdog()->observations(),
+              skipping.watchdog()->observations());
+    EXPECT_EQ(dense.watchdog()->lastProgressCycle(),
+              skipping.watchdog()->lastProgressCycle());
+    EXPECT_EQ(dense.progressSignature(), skipping.progressSignature());
+    EXPECT_EQ(dense.now(), skipping.now());
+}
+
+/**
+ * Stats equivalence across skipped stretches: time-integrated counters
+ * (mem active/blocked cycles feeding memBlockingRate, CPU latency)
+ * must account for elided cycles exactly.
+ */
+TEST(IdleSkip, SkippedStretchesKeepStatsEquivalent)
+{
+    SystemConfig cfg = skipHeavyCfg();
+    cfg.warmupCycles = 2000;
+    cfg.simCycles = 15000;
+
+    cfg.idleSkip = false;
+    const RunResults dense = runWorkload(cfg, "HS", "vips");
+    cfg.idleSkip = true;
+    const RunResults skipping = runWorkload(cfg, "HS", "vips");
+
+    EXPECT_EQ(fingerprint(dense), fingerprint(skipping));
+}
+
+} // namespace
+} // namespace dr

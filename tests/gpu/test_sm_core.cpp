@@ -92,6 +92,11 @@ class SmCoreTest : public ::testing::Test
     {
         for (int i = 0; i < cycles; ++i) {
             core->tick(now);
+            // Serial-merge half of the cycle (the HeteroSystem runs
+            // these after the endpoint compute phase): resolve staged
+            // oracle queries, then refill completed CTA slots.
+            core->resolveOracleQueries(now);
+            core->refillCtas(now);
             serveMemory();
             ic->tick(now);
             ++now;

@@ -26,10 +26,9 @@ class MemNodeTest : public ::testing::Test
         types[9] = NodeType::CpuCore;
         ic = std::make_unique<Interconnect>(cfg, types);
         coherence = std::make_unique<GpuCoherence>(cfg.gpu.numCores);
-        mesi = std::make_unique<MesiDirectory>(cfg.cpu.numCores, 20);
         gpuIds = {5, 6, 7, 8, 10, 11, 12, 13, 14, 15};
         cpuIds = {9};
-        node = std::make_unique<MemNode>(0, cfg, *ic, *coherence, *mesi,
+        node = std::make_unique<MemNode>(0, cfg, *ic, *coherence,
                                          gpuIds, cpuIds);
     }
 
@@ -68,7 +67,6 @@ class MemNodeTest : public ::testing::Test
     std::vector<NodeType> types;
     std::unique_ptr<Interconnect> ic;
     std::unique_ptr<GpuCoherence> coherence;
-    std::unique_ptr<MesiDirectory> mesi;
     std::vector<NodeId> gpuIds, cpuIds;
     std::unique_ptr<MemNode> node;
     std::vector<Message> received;
@@ -136,7 +134,7 @@ TEST_F(MemNodeTest, DelegatesWhenBlockedAndPointerRemote)
 TEST_F(MemNodeTest, BaselineNeverDelegatesEvenWhenBlocked)
 {
     cfg.mechanism = Mechanism::Baseline;
-    node = std::make_unique<MemNode>(0, cfg, *ic, *coherence, *mesi,
+    node = std::make_unique<MemNode>(0, cfg, *ic, *coherence,
                                      gpuIds, cpuIds);
     ic->send(readFrom(5, 0x1000), now);
     step(500);
@@ -157,7 +155,7 @@ TEST_F(MemNodeTest, CpuRequestsPayMesiPenalty)
     Message read = readFrom(9, 0x2000, TrafficClass::Cpu);
     ic->send(read, now);
     step(500);
-    EXPECT_EQ(mesi->stats().reads.value(), 1u);
+    EXPECT_EQ(node->mesi().stats().reads.value(), 1u);
     EXPECT_EQ(node->stats().cpuPenaltyCycles.value(), 0u);
 }
 

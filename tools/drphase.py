@@ -13,6 +13,9 @@ DR_* macros of src/common/ownership.hpp declare in the source:
   DR_SERIAL_ONLY    state written only from serial sections; the
                     parallel phases may read it (frozen while they run)
   DR_COMPUTE_PHASE  method confined to a parallel phase
+  DR_ENDPOINT_PHASE method confined to the endpoint compute phase
+                    (DESIGN.md §13) — checked exactly like a compute
+                    phase: endpoints may touch only domain-owned state
   DR_COMMIT_PHASE   method confined to serial sections (a body-level
                     DR_PHASE_ASSERT_COMMIT() classifies the same way)
 
@@ -39,6 +42,11 @@ This pass walks the annotated sources and enforces the discipline:
   missing-stamp-check         a compute-phase method that takes or binds
                               a stamped structure (Ni&/Domain&) never
                               calls DR_STAMP_WRITE on one
+  serial-call-in-compute      a compute/endpoint-phase method invokes a
+                              DR_SERIAL_ONLY callable member (e.g. the
+                              cross-core locality oracle) mid-phase;
+                              stage the query and resolve it in the
+                              serial merge instead
 
 Works without libclang: the default pass is token-level, built on the
 same stripped-source scanning as drlint. When ``--compile-commands``
@@ -91,6 +99,9 @@ RULES = {
     "missing-stamp-check":
         "compute-phase method binds a stamped structure but never calls "
         "DR_STAMP_WRITE",
+    "serial-call-in-compute":
+        "compute/endpoint-phase method invokes a DR_SERIAL_ONLY callable "
+        "member mid-phase instead of staging the query",
 }
 
 # Classes whose mutable members are reachable from Network::tick() (or
@@ -100,7 +111,7 @@ RULES = {
 COVERED_CLASSES = {
     "Network", "Router", "PacketPool", "SpinBarrier", "ActiveSet",
     "Ni", "Domain",
-    "SmCore", "CpuNode", "MemNode",
+    "SmCore", "CpuNode", "MemNode", "EndpointEngine",
     "GpuCoherence", "MesiDirectory", "CtaScheduler",
 }
 
@@ -116,8 +127,9 @@ ANNOTATION_CLASS = {
     "DR_SHARED_SPSC": "spsc",
     "DR_SERIAL_ONLY": "serial",
 }
-METHOD_PHASES = ("DR_COMPUTE_PHASE", "DR_COMMIT_PHASE",
-                 "DR_PHASE_UNCHECKED", "DR_PHASE_READ")
+METHOD_PHASES = ("DR_COMPUTE_PHASE", "DR_ENDPOINT_PHASE",
+                 "DR_COMMIT_PHASE", "DR_PHASE_UNCHECKED",
+                 "DR_PHASE_READ")
 
 # Method names that mutate their object. Token-level stand-in for
 # const-ness: calling one of these on serial/unannotated state from a
@@ -298,7 +310,9 @@ def parse_classes(code: list[str], rel: str,
                                   len(text) > len(flat) else ""):
                     phase = tok
                     break
-            if phase == "DR_COMPUTE_PHASE":
+            if phase in ("DR_COMPUTE_PHASE", "DR_ENDPOINT_PHASE"):
+                # Endpoint-phase methods run inside the parallel
+                # endpoint compute phase and obey compute rules.
                 model.methods[name] = "compute"
             elif phase == "DR_COMMIT_PHASE":
                 model.methods[name] = "commit"
@@ -307,7 +321,8 @@ def parse_classes(code: list[str], rel: str,
                 model.methods[name] = "unchecked"
             elif phase == "DR_PHASE_READ":
                 model.methods[name] = "read"
-            if phase == "DR_COMPUTE_PHASE" and "DR_PHASE_UNCHECKED" in text:
+            if phase in ("DR_COMPUTE_PHASE", "DR_ENDPOINT_PHASE") and \
+                    "DR_PHASE_UNCHECKED" in text:
                 model.methods[name] = "unchecked"
             return
         # Member declaration: "<type tokens> name [annotation] [= init];"
@@ -498,6 +513,14 @@ def check_compute_body(body: MethodBody, models: dict[str, ClassModel],
         return
     spsc_members = [n for n, _ in model.members.items()
                     if model.classification(n) == "spsc"]
+    # DR_SERIAL_ONLY callable members (std::function callbacks like the
+    # cross-core locality oracle): invoking one mid-phase reads foreign
+    # state the serial merge has not yet reconciled.
+    serial_callables = [
+        n for n in model.members
+        if model.classification(n) == "serial" and
+        re.search(r"\bfunction\b",
+                  strip_templates(model.member_types.get(n, "")))]
 
     stamped_binding = bool(
         re.search(r"\b(?:Ni|Domain)\s*&\s*\w+", body.text))
@@ -527,6 +550,10 @@ def check_compute_body(body: MethodBody, models: dict[str, ClassModel],
                 if TYPE_EXEMPT_RE.search(type_text):
                     continue
                 add(lineno, "compute-writes-unannotated", line)
+        # Direct invocation of a serial-only callable member.
+        for member in serial_callables:
+            if re.search(r"(?<![\w.>])%s\s*\(" % re.escape(member), line):
+                add(lineno, "serial-call-in-compute", line)
         # Calls into commit-phase methods: own-class bare calls and
         # member-object calls resolved through the declared member type.
         for m in re.finditer(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(", line):

@@ -24,8 +24,9 @@ import drphase  # noqa: E402
 REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 # Directories copied into each mutant's temp root. src/noc carries every
-# class the patched rules touch; src/common carries ownership.hpp.
-COPY_DIRS = ("src/noc", "src/common")
+# class the patched rules touch; src/common carries ownership.hpp;
+# src/gpu carries SmCore for the endpoint-phase mutants.
+COPY_DIRS = ("src/noc", "src/common", "src/gpu")
 
 
 def rules_in(findings):
@@ -105,6 +106,24 @@ class ModelTest(unittest.TestCase):
     def test_stamped_structures_detected(self):
         for name in ("Ni", "Domain", "Router"):
             self.assertTrue(self.models[name].has_stamp, name)
+
+    def test_endpoint_phase_is_compute_checked(self):
+        sm = self.models["SmCore"]
+        self.assertEqual(sm.methods["tick"], "compute")
+        self.assertEqual(sm.methods["executeMemAccess"], "compute")
+        self.assertEqual(sm.methods["resolveOracleQueries"], "commit")
+        self.assertEqual(self.models["MemNode"].methods["tick"],
+                         "compute")
+        self.assertEqual(self.models["CpuNode"].methods["tick"],
+                         "compute")
+        self.assertEqual(self.models["MesiDirectory"].methods["access"],
+                         "compute")
+
+    def test_locality_oracle_is_serial_callable(self):
+        sm = self.models["SmCore"]
+        self.assertEqual(sm.classification("localityOracle_"), "serial")
+        self.assertIn("function",
+                      sm.member_types.get("localityOracle_", ""))
 
 
 class CleanTreeTest(unittest.TestCase):
@@ -200,6 +219,33 @@ class MutantTest(unittest.TestCase):
             "        int p = i;")
         self.assert_rule(findings, "spsc-drain-order",
                          "src/noc/network.cpp")
+
+    def test_mutant_mid_tick_oracle_call(self):
+        # The PR 7 bugfix in reverse: executeMemAccess (endpoint phase)
+        # calls the cross-core locality oracle directly instead of
+        # staging the query for the serial merge.
+        findings = self.scan_mutated(
+            "src/gpu/sm_core.cpp",
+            "    ++stats_.loads;\n"
+            "    ++stats_.l1Misses;\n"
+            "    if (localityOracle_)\n"
+            "        oracleQueries_.push_back(line);",
+            "    ++stats_.loads;\n"
+            "    ++stats_.l1Misses;\n"
+            "    if (localityOracle_ && localityOracle_(coreIdx_, line))\n"
+            "        ++stats_.missesWithRemoteCopy;")
+        self.assert_rule(findings, "serial-call-in-compute",
+                         "src/gpu/sm_core.cpp")
+
+    def test_mutant_commit_call_in_endpoint_phase(self):
+        # finishWarp (endpoint phase) hands out the next CTA inline via
+        # the shared scheduler instead of deferring to refillCtas.
+        findings = self.scan_mutated(
+            "src/gpu/sm_core.cpp",
+            "        pendingCtaRefills_.push_back(warp.slot);",
+            "        assignCta(ctaSlots_[warp.slot], now);")
+        self.assert_rule(findings, "compute-calls-commit",
+                         "src/gpu/sm_core.cpp")
 
     def test_mutant_stamp_bypass(self):
         # niInject drops its writer stamp while still mutating the NI.

@@ -14,8 +14,14 @@
 # The emitted JSON is annotated with host provenance (core count, 1-min
 # loadavg, DR_NOC_THREADS) so committed baselines stay comparable across
 # machines. Writing a *baseline* (an output named like the committed
-# BENCH_noc_kernel.json) on a visibly loaded machine — 1-min loadavg
-# above cores/2 — is refused; set DR_BENCH_FORCE=1 to override.
+# BENCH_noc_kernel.json) is refused on a visibly loaded machine — 1-min
+# loadavg above cores/2 — or on a host with fewer cores than the bench's
+# widest thread-scaling column (4, or DR_NOC_THREADS if larger); set
+# DR_BENCH_FORCE=1 to override.
+#
+# When BASELINE_JSON is given, the gate also checks end-to-end thread
+# scaling on hosts with >= 4 cores: e2e_hetero threads4 must beat
+# threads1 by DR_PERF_E2E_MIN_SPEEDUP (default 1.5x).
 #
 # DR_BENCH_CYCLES scales the measured horizon as for every bench binary.
 set -eu
@@ -33,10 +39,27 @@ fi
 CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
 LOADAVG="$(cut -d' ' -f1 /proc/loadavg 2>/dev/null || echo 0)"
 
-# A baseline measured while the machine was busy undercuts every future
+# The widest thread-scaling column the bench runs (uniform_r10_threads4
+# and e2e_hetero_threads4). A baseline measured on a host with fewer
+# cores than that time-slices the domain workers, so its threads>1
+# columns record slowdown, not scaling.
+THREADS_NEEDED=4
+if [ -n "${DR_NOC_THREADS:-}" ] && [ "${DR_NOC_THREADS}" -gt "$THREADS_NEEDED" ] 2>/dev/null; then
+    THREADS_NEEDED="$DR_NOC_THREADS"
+fi
+
+# A baseline measured while the machine was busy — or with fewer cores
+# than the bench's widest thread column — undercuts every future
 # comparison against it. Refuse unless explicitly forced.
 case "$OUTPUT" in
 *BENCH_noc_kernel.json)
+    if [ "${DR_BENCH_FORCE:-0}" != "1" ] && [ "$CORES" -lt "$THREADS_NEEDED" ]; then
+        echo "run_perf_kernel: refusing to write baseline $OUTPUT:" \
+             "host has $CORES cores but the thread-scaling columns need" \
+             "$THREADS_NEEDED; measure on a >=${THREADS_NEEDED}-core host" \
+             "or set DR_BENCH_FORCE=1" >&2
+        exit 3
+    fi
     if [ "${DR_BENCH_FORCE:-0}" != "1" ] &&
        awk -v l="$LOADAVG" -v c="$CORES" 'BEGIN { exit !(l > c / 2) }'; then
         echo "run_perf_kernel: refusing to write baseline $OUTPUT:" \
@@ -80,6 +103,7 @@ fi
 
 python3 - "$OUTPUT" "$BASELINE" "${DR_PERF_REGRESSION_PCT:-20}" <<'EOF'
 import json
+import os
 import sys
 
 current_path, baseline_path, threshold_pct = sys.argv[1:4]
@@ -119,6 +143,28 @@ for key in gated:
         print(f"run_perf_kernel: {key}: REGRESSION beyond "
               f"{threshold:.0f}% threshold", file=sys.stderr)
         failed = True
+
+# End-to-end thread-scaling gate: on a host with enough cores for the
+# widest thread column, the 4-thread whole-system run must beat the
+# 1-thread run by DR_PERF_E2E_MIN_SPEEDUP (default 1.5x). Skipped on
+# narrower hosts, where the workers time-slice and scaling is
+# meaningless.
+min_speedup = float(os.environ.get("DR_PERF_E2E_MIN_SPEEDUP", "1.5"))
+host_cores = current.get("host", {}).get("cores", 0)
+t1 = cur_summary.get("e2e_hetero_threads1_cycles_per_sec", 0.0)
+t4 = cur_summary.get("e2e_hetero_threads4_cycles_per_sec", 0.0)
+if host_cores >= 4 and t1 > 0.0 and t4 > 0.0:
+    speedup = t4 / t1
+    print(f"run_perf_kernel: e2e_hetero 4-thread speedup {speedup:.2f}x "
+          f"(threads1 {t1:.0f}, threads4 {t4:.0f} cycles/sec)")
+    if speedup < min_speedup:
+        print(f"run_perf_kernel: e2e scaling REGRESSION: {speedup:.2f}x "
+              f"< required {min_speedup:.2f}x", file=sys.stderr)
+        failed = True
+elif t1 > 0.0 and t4 > 0.0:
+    print(f"run_perf_kernel: e2e scaling gate skipped "
+          f"(host has {host_cores} cores, need >= 4)")
+
 if failed:
     sys.exit(1)
 EOF
