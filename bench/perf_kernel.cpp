@@ -147,13 +147,18 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
  * the paper configuration. `threads` drives both the NoC domain
  * workers and the endpoint compute phase (DESIGN.md §13); results are
  * bit-identical across values, so the threads1/threads4 column pair
- * measures parallel-engine scaling over the whole simulator.
+ * measures parallel-engine scaling over the whole simulator. `l1Org`
+ * selects the GPU L1 organization: the shared DC-L1 column exercises
+ * the staged slice-port path (DESIGN.md §14), whose per-core banking
+ * is what lets the endpoint phase stay parallel under sharing.
  */
 WorkloadResult
-timeE2eHetero(int threads, Cycle cycles)
+timeE2eHetero(int threads, Cycle cycles,
+              L1Organization l1Org = L1Organization::Private)
 {
     SystemConfig cfg = SystemConfig::makePaper();
     cfg.mechanism = Mechanism::DelegatedReplies;
+    cfg.gpu.l1Org = l1Org;
     cfg.noc.threads = threads;
     cfg.warmupCycles = cycles / 10;
     cfg.simCycles = cycles;
@@ -166,7 +171,8 @@ timeE2eHetero(int threads, Cycle cycles)
     const Cycle total = cfg.warmupCycles + cfg.simCycles;
 
     WorkloadResult r;
-    r.pattern = "e2e_hetero";
+    r.pattern = l1Org == L1Organization::DcL1 ? "e2e_hetero_sharedL1"
+                                              : "e2e_hetero";
     r.rate = 0.0;
     r.threads = threads;
     r.cycles = total;
@@ -239,6 +245,16 @@ main()
     results.push_back(timeE2eHetero(/*threads=*/1, e2eCycles));
     const std::size_t e2eThreads4Idx = results.size();
     results.push_back(timeE2eHetero(/*threads=*/4, e2eCycles));
+    // Same end-to-end pair under the shared DC-L1 organization: the
+    // staged lookup path adds per-core banking plus a commit drain, so
+    // its scaling is tracked as its own column pair (excluded from the
+    // geomeans like the private-L1 e2e columns).
+    const std::size_t e2eSharedThreads1Idx = results.size();
+    results.push_back(
+        timeE2eHetero(/*threads=*/1, e2eCycles, L1Organization::DcL1));
+    const std::size_t e2eSharedThreads4Idx = results.size();
+    results.push_back(
+        timeE2eHetero(/*threads=*/4, e2eCycles, L1Organization::DcL1));
 
     std::vector<double> uniformCps;
     std::vector<double> hotspotCps;
@@ -247,8 +263,8 @@ main()
     for (const WorkloadResult &r : results) {
         if (r.threads != 1)
             continue;  // summary geomeans stay a single-thread metric
-        if (r.pattern == std::string("e2e_hetero"))
-            continue;  // reported via its own summary columns below
+        if (std::string(r.pattern).rfind("e2e_hetero", 0) == 0)
+            continue;  // reported via their own summary columns below
         if (r.pattern == std::string("uniform"))
             uniformCps.push_back(r.cyclesPerSec);
         else if (r.pattern == std::string("vnet_uniform"))
@@ -299,6 +315,12 @@ main()
                 results[e2eThreads1Idx].cyclesPerSec);
     std::printf("    \"e2e_hetero_threads4_cycles_per_sec\": %.0f,\n",
                 results[e2eThreads4Idx].cyclesPerSec);
+    std::printf(
+        "    \"e2e_hetero_sharedL1_threads1_cycles_per_sec\": %.0f,\n",
+        results[e2eSharedThreads1Idx].cyclesPerSec);
+    std::printf(
+        "    \"e2e_hetero_sharedL1_threads4_cycles_per_sec\": %.0f,\n",
+        results[e2eSharedThreads4Idx].cyclesPerSec);
     std::printf("    \"peak_rss_kb\": %ld\n", peakRssKb());
     std::printf("  }\n");
     std::printf("}\n");

@@ -88,9 +88,11 @@ HeteroSystem::HeteroSystem(const SystemConfig &cfg,
     }
 
     // Endpoint tick engine (DESIGN.md §13): partition the endpoints
-    // over the request network's spatial domains. Shared L1
-    // organizations mutate cross-core state on every lookup, so they
-    // force the single-domain serial mode (same staging and merge).
+    // over the request network's spatial domains. Every L1
+    // organization now stages its cross-core effects per calling core
+    // (DESIGN.md §14), so shared organizations parallelize too;
+    // concurrentSafe() stays as an escape hatch for organizations
+    // whose lookup paths cannot be confined.
     {
         std::vector<MemNode *> mems;
         std::vector<SmCore *> gpus;
@@ -104,6 +106,11 @@ HeteroSystem::HeteroSystem(const SystemConfig &cfg,
         engine_ = std::make_unique<EndpointEngine>(
             ic_->net(NetKind::Request), l1Org_->concurrentSafe(), mems,
             gpus, cpus);
+        // The engine assigned each SM its endpoint domain; hand the
+        // mapping to the L1 organization so its per-core staged banks
+        // carry the right writer-domain stamp owners.
+        for (auto &g : gpuCores_)
+            l1Org_->setCoreDomain(g->coreIdx(), g->domain());
     }
 
     if (cfg_.debug.sweepCycles > 0)
@@ -222,6 +229,10 @@ HeteroSystem::commitEndpoints()
     for (auto &cpu : cpuNodes_)
         ic_->drainOutbox(cpu->nodeId(), now_);
     ic_->endStaging();
+    // Drain the L1 organization's per-core staged effects (slice-port
+    // claims, LRU touches, fills, DynEB's phase clock) in ascending
+    // core order before anything below reads the tags (DESIGN.md §14).
+    l1Org_->commitCycle(now_);
 
     // Staged cross-endpoint effects, in a fixed order: the locality-
     // oracle queries read every core's L1 before the CTA refills flush
@@ -297,6 +308,7 @@ void
 HeteroSystem::checkInvariants() const
 {
     ic_->checkInvariants();
+    l1Org_->auditStamps();
     for (const auto &mem : memNodes_)
         mem->llc().checkMshrLeaks(now_, cfg_.debug.mshrLeakCycles);
     for (const auto &gpu : gpuCores_)

@@ -61,16 +61,7 @@ PrivateL1::flush(int core)
 const L1OrgStats &
 PrivateL1::stats() const
 {
-    aggregate_ = L1OrgStats{};
-    for (const L1OrgStats &s : coreStats_) {
-        aggregate_.loads += s.loads.value();
-        aggregate_.loadHits += s.loadHits.value();
-        aggregate_.writes += s.writes.value();
-        aggregate_.writeHits += s.writeHits.value();
-        aggregate_.portConflicts += s.portConflicts.value();
-        aggregate_.flushes += s.flushes.value();
-    }
-    return aggregate_;
+    return sumL1StatBanks(coreStats_, aggregate_);
 }
 
 int

@@ -17,12 +17,14 @@ SharedL1::SharedL1(const GpuConfig &cfg)
         cfg.l1SizeKB * 1024 * coresPerCluster_ / slices_;
     const CacheParams params{sliceBytes, cfg.l1Assoc, cfg.l1LineBytes};
     tags_.resize(clusters);
-    portUsed_.resize(clusters);
+    portBusyUntil_.resize(clusters);
     for (int c = 0; c < clusters; ++c) {
         for (int s = 0; s < slices_; ++s)
             tags_[c].emplace_back(params);
-        portUsed_[c].assign(slices_, 0);
+        portBusyUntil_[c].assign(slices_, 0);
     }
+    perCore_.resize(static_cast<std::size_t>(cfg.numCores));
+    coreStats_.resize(static_cast<std::size_t>(cfg.numCores));
 }
 
 int
@@ -42,19 +44,25 @@ SharedL1::sliceLocal(Addr lineAddr) const
 L1Result
 SharedL1::load(int core, Addr lineAddr, Cycle now)
 {
-    (void)now;
     const int cluster = clusterOf(core);
     const int slice = sliceOf(lineAddr);
-    if (portUsed_[cluster][slice]) {
-        // One access per slice per cycle: concurrent SMs serialize —
-        // the shared-L1 bandwidth loss the paper describes.
-        ++stats_.portConflicts;
+    DR_STAMP_WRITE(perCore_[core]);
+    if (portBusyUntil_[cluster][slice] > now) {
+        // The pipelined slice port is still draining earlier claims:
+        // concurrent SMs serialize — the shared-L1 bandwidth loss the
+        // paper describes.
+        ++coreStats_[core].portConflicts;
         return L1Result::PortBusy;
     }
-    portUsed_[cluster][slice] = 1;
-    ++stats_.loads;
-    if (tags_[cluster][slice].access(sliceLocal(lineAddr))) {
-        ++stats_.loadHits;
+    perCore_[core].claims.push_back(slotOf(cluster, slice));
+    ++coreStats_[core].loads;
+    // Probe the frozen pre-cycle tags; the LRU touch is staged and
+    // lands at commit, so the hit decision is independent of the
+    // in-cycle lookup order across cores.
+    if (tags_[cluster][slice].probe(sliceLocal(lineAddr))) {
+        ++coreStats_[core].loadHits;
+        perCore_[core].ops.push_back(
+            {slotOf(cluster, slice), sliceLocal(lineAddr), false});
         return L1Result::Hit;
     }
     return L1Result::Miss;
@@ -73,29 +81,58 @@ SharedL1::write(int core, Addr lineAddr, Cycle now)
 {
     (void)now;
     const int cluster = clusterOf(core);
-    ++stats_.writes;
-    if (tags_[cluster][sliceOf(lineAddr)].access(sliceLocal(lineAddr)))
-        ++stats_.writeHits;
+    const int slice = sliceOf(lineAddr);
+    DR_STAMP_WRITE(perCore_[core]);
+    ++coreStats_[core].writes;
+    if (tags_[cluster][slice].probe(sliceLocal(lineAddr))) {
+        ++coreStats_[core].writeHits;
+        perCore_[core].ops.push_back(
+            {slotOf(cluster, slice), sliceLocal(lineAddr), false});
+    }
 }
 
 bool
 SharedL1::fill(int core, Addr lineAddr)
 {
     const int cluster = clusterOf(core);
-    return tags_[cluster][sliceOf(lineAddr)]
-        .insert(sliceLocal(lineAddr), {})
-        .has_value();
+    const int slice = sliceOf(lineAddr);
+    DR_STAMP_WRITE(perCore_[core]);
+    perCore_[core].ops.push_back(
+        {slotOf(cluster, slice), sliceLocal(lineAddr), true});
+    // Predict the eviction signal from the frozen tags. Staged fills
+    // from the same cycle could land in the same set first, so this is
+    // an approximation — but a deterministic one (it depends only on
+    // the committed pre-cycle state, never on in-cycle ordering).
+    return tags_[cluster][slice].wouldEvict(sliceLocal(lineAddr));
 }
 
 void
 SharedL1::flush(int core)
 {
+    DR_PHASE_ASSERT_COMMIT();
     // Flushing any member of the cluster invalidates the cluster cache;
     // kernel boundaries are cluster-wide events.
     const int cluster = clusterOf(core);
-    ++stats_.flushes;
+    ++coreStats_[core].flushes;
     for (auto &slice : tags_[cluster])
         slice.flushAll();
+    // Drop staged effects aimed at the flushed cluster so a flush
+    // between stage and commit cannot resurrect invalidated lines.
+    const int lo = cluster * slices_;
+    const int hi = lo + slices_;
+    for (CoreStage &stage : perCore_) {
+        auto drop = [&](std::int32_t slot) {
+            return slot >= lo && slot < hi;
+        };
+        stage.ops.erase(std::remove_if(stage.ops.begin(), stage.ops.end(),
+                                       [&](const CoreStage::Op &op) {
+                                           return drop(op.slot);
+                                       }),
+                        stage.ops.end());
+        stage.claims.erase(std::remove_if(stage.claims.begin(),
+                                          stage.claims.end(), drop),
+                           stage.claims.end());
+    }
 }
 
 int
@@ -105,17 +142,61 @@ SharedL1::hitLatency() const
     return cfg_.l1HitLatency + 2;
 }
 
+const L1OrgStats &
+SharedL1::stats() const
+{
+    return sumL1StatBanks(coreStats_, aggregate_);
+}
+
 void
 SharedL1::tick(Cycle now)
 {
     (void)now;
-    for (auto &cluster : portUsed_)
-        std::fill(cluster.begin(), cluster.end(), 0);
+}
+
+void
+SharedL1::commitCycle(Cycle now)
+{
+    DR_PHASE_ASSERT_COMMIT();
+    // Ascending core order is the canonical endpoint order: the merged
+    // tag/port state is bit-identical at any thread count.
+    for (CoreStage &stage : perCore_) {
+        for (const CoreStage::Op &op : stage.ops) {
+            auto &slice = tags_[op.slot / slices_][op.slot % slices_];
+            if (op.isFill)
+                slice.insert(op.local, {});
+            else
+                slice.access(op.local);
+        }
+        stage.ops.clear();
+        for (std::int32_t slot : stage.claims) {
+            // k same-cycle claims leave the port busy until now + k:
+            // one access served this cycle, k-1 follow-up cycles
+            // blocked (1 access/cycle sustained throughput).
+            Cycle &busy = portBusyUntil_[slot / slices_][slot % slices_];
+            busy = std::max(busy, now) + 1;
+        }
+        stage.claims.clear();
+    }
+}
+
+void
+SharedL1::setCoreDomain(int core, int domain)
+{
+    DR_STAMP_SET_OWNER(perCore_[core], domain);
+}
+
+void
+SharedL1::auditStamps() const
+{
+    for (const CoreStage &stage : perCore_)
+        DR_STAMP_AUDIT(stage);
 }
 
 DynEbL1::DynEbL1(const GpuConfig &cfg)
     : cfg_(cfg), shared_(cfg), private_(cfg)
 {
+    perCore_.resize(static_cast<std::size_t>(cfg.numCores));
 }
 
 L1Organizer &
@@ -138,11 +219,12 @@ L1Result
 DynEbL1::load(int core, Addr lineAddr, Cycle now)
 {
     const L1Result result = active().load(core, lineAddr, now);
-    ++phaseLoads_;
+    DR_STAMP_WRITE(perCore_[core]);
+    ++perCore_[core].loads;
     if (result == L1Result::Hit)
-        ++phaseHits_;
+        ++perCore_[core].hits;
     else if (result == L1Result::PortBusy)
-        ++phaseConflicts_;
+        ++perCore_[core].conflicts;
     return result;
 }
 
@@ -167,6 +249,7 @@ DynEbL1::fill(int core, Addr lineAddr)
 void
 DynEbL1::flush(int core)
 {
+    DR_PHASE_ASSERT_COMMIT();
     // A kernel boundary: invalidate and restart the probing cycle —
     // DynEB decides per kernel.
     shared_.flush(core);
@@ -188,23 +271,36 @@ DynEbL1::stats() const
 }
 
 void
+DynEbL1::clearProbeBanks()
+{
+    for (ProbeBank &bank : perCore_) {
+        bank.loads = 0;
+        bank.hits = 0;
+        bank.conflicts = 0;
+    }
+}
+
+void
 DynEbL1::maybeAdvancePhase(Cycle now)
 {
     if (phaseFresh_) {
         phaseFresh_ = false;
         phaseStart_ = now;
-        phaseHits_ = 0;
-        phaseConflicts_ = 0;
-        phaseLoads_ = 0;
+        clearProbeBanks();
         return;
     }
     if (phase_ == Phase::CommitShared || phase_ == Phase::CommitPrivate)
         return;
     if (now - phaseStart_ < probeLen_)
         return;
+    std::uint64_t hits = 0;
+    std::uint64_t conflicts = 0;
+    for (const ProbeBank &bank : perCore_) {
+        hits += bank.hits;
+        conflicts += bank.conflicts;
+    }
     // Effective bandwidth proxy: completed hits minus serialization.
-    const std::uint64_t score =
-        phaseHits_ > phaseConflicts_ ? phaseHits_ - phaseConflicts_ : 0;
+    const std::uint64_t score = hits > conflicts ? hits - conflicts : 0;
     if (phase_ == Phase::ProbeShared) {
         sharedScore_ = score;
         phase_ = Phase::ProbePrivate;
@@ -214,19 +310,43 @@ DynEbL1::maybeAdvancePhase(Cycle now)
                                               : Phase::CommitShared;
     }
     phaseStart_ = now;
-    phaseHits_ = 0;
-    phaseConflicts_ = 0;
-    phaseLoads_ = 0;
+    clearProbeBanks();
 }
 
 void
 DynEbL1::tick(Cycle now)
 {
-    // Phase transitions happen at cycle boundaries so that contains()
-    // and load() agree within a cycle.
-    maybeAdvancePhase(now);
     shared_.tick(now);
     private_.tick(now);
+}
+
+void
+DynEbL1::commitCycle(Cycle now)
+{
+    DR_PHASE_ASSERT_COMMIT();
+    shared_.commitCycle(now);
+    private_.commitCycle(now);
+    // Phase transitions happen in the serial merge so that contains()
+    // and load() agree within a cycle and every lookup of the cycle has
+    // been scored before a probe window closes.
+    maybeAdvancePhase(now);
+}
+
+void
+DynEbL1::setCoreDomain(int core, int domain)
+{
+    shared_.setCoreDomain(core, domain);
+    private_.setCoreDomain(core, domain);
+    DR_STAMP_SET_OWNER(perCore_[core], domain);
+}
+
+void
+DynEbL1::auditStamps() const
+{
+    for (const ProbeBank &bank : perCore_)
+        DR_STAMP_AUDIT(bank);
+    shared_.auditStamps();
+    private_.auditStamps();
 }
 
 } // namespace dr

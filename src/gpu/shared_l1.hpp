@@ -8,7 +8,7 @@
  * SharedL1 models DC-L1 [30]: clusters of `dcl1CoresPerCluster` SMs
  * share one L1 whose capacity equals the sum of the private L1s, split
  * into `dcl1Slices` address-interleaved slices. Sharing removes
- * replication (capacity benefit) but each slice serves one access per
+ * replication (capacity benefit) but each slice sustains one access per
  * cycle, so bursts to shared data serialize (bandwidth cost) — the
  * effect that slows NN and 2DCON in the paper.
  *
@@ -16,9 +16,24 @@
  * probing epochs in shared and private mode, measures achieved load
  * throughput, and commits to the better organization until the next
  * kernel launch.
+ *
+ * Staged concurrency model (DESIGN.md §14): both organizations are
+ * concurrentSafe. During the endpoint compute phase every lookup reads
+ * only frozen cross-core state (tags via probe(), the slice-port
+ * backlog watermark) and appends its effects — port claims, LRU
+ * touches, fills, probe-phase counters — to the calling core's staged
+ * bank (stamped DR_DOMAIN_OWNED, like PrivateL1::coreStats_).
+ * commitCycle() drains the banks in ascending core order in the serial
+ * merge, so the shared tags and the port backlog advance in the
+ * canonical endpoint order at any thread count. The slice port is
+ * modeled as a pipeline: the k same-cycle claims a slice admits all
+ * succeed, and the port then stays busy for k cycles (1 access/cycle
+ * sustained throughput), which keeps the admit decision independent of
+ * the in-cycle lookup order.
  */
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -33,14 +48,20 @@ class SharedL1 : public L1Organizer
   public:
     explicit SharedL1(const GpuConfig &cfg);
 
-    L1Result load(int core, Addr lineAddr, Cycle now) override;
+    L1Result load(int core, Addr lineAddr, Cycle now) override
+        DR_ENDPOINT_PHASE;
     bool contains(int core, Addr lineAddr) const override;
-    void write(int core, Addr lineAddr, Cycle now) override;
-    bool fill(int core, Addr lineAddr) override;
-    void flush(int core) override;
+    void write(int core, Addr lineAddr, Cycle now) override
+        DR_ENDPOINT_PHASE;
+    bool fill(int core, Addr lineAddr) override DR_ENDPOINT_PHASE;
+    void flush(int core) override DR_COMMIT_PHASE;
     int hitLatency() const override;
-    const L1OrgStats &stats() const override { return stats_; }
+    const L1OrgStats &stats() const override;
     void tick(Cycle now) override;
+    void commitCycle(Cycle now) override DR_COMMIT_PHASE;
+    void setCoreDomain(int core, int domain) override;
+    void auditStamps() const override;
+    bool concurrentSafe() const override { return true; }
 
     int clusters() const { return static_cast<int>(tags_.size()); }
     int clusterOf(int core) const { return core / coresPerCluster_; }
@@ -52,14 +73,49 @@ class SharedL1 : public L1Organizer
     struct NoMeta
     {};
 
-    GpuConfig cfg_;
-    int coresPerCluster_;
-    int slices_;
-    /** One tag store per (cluster, slice). */
-    std::vector<std::vector<SetAssocCache<NoMeta>>> tags_;
-    /** Per (cluster, slice): whether the single port was used this cycle. */
-    std::vector<std::vector<std::uint8_t>> portUsed_;
-    L1OrgStats stats_;
+    /**
+     * One core's staged effects for the cycle in flight. Written only
+     * by the endpoint domain that owns the core (stamp-checked in
+     * DR_CHECKED builds), drained and cleared by commitCycle().
+     */
+    struct DR_DOMAIN_OWNED CoreStage
+    {
+        DR_DOMAIN_STAMP;
+
+        /** A staged tag-array effect against one slice. */
+        struct Op
+        {
+            std::int32_t slot;  //!< cluster * slices + slice
+            Addr local;         //!< slice-local line address
+            bool isFill;        //!< insert (else LRU touch)
+        };
+
+        std::vector<Op> ops;
+        /** Slice-port claims (slot per admitted load) this cycle. */
+        std::vector<std::int32_t> claims;
+    };
+
+    int slotOf(int cluster, int slice) const
+    {
+        return cluster * slices_ + slice;
+    }
+
+    GpuConfig cfg_ DR_SERIAL_ONLY;
+    int coresPerCluster_ DR_SERIAL_ONLY;
+    int slices_ DR_SERIAL_ONLY;
+    /** One tag store per (cluster, slice): probed (frozen) during the
+     *  endpoint phase, mutated only by commitCycle()/flush(). */
+    std::vector<std::vector<SetAssocCache<NoMeta>>> tags_ DR_SERIAL_ONLY;
+    /**
+     * Per (cluster, slice): first cycle at which the pipelined port is
+     * free again. Advanced only at commit (k claims at cycle N leave
+     * the port busy until N + k); lookups compare it against `now`.
+     */
+    std::vector<std::vector<Cycle>> portBusyUntil_ DR_SERIAL_ONLY;
+    std::vector<CoreStage> perCore_ DR_DOMAIN_OWNED;
+    /** Stats banked per core, exactly like PrivateL1::coreStats_. */
+    std::vector<L1OrgStats> coreStats_ DR_DOMAIN_OWNED;
+    mutable L1OrgStats aggregate_ DR_SERIAL_ONLY;
 };
 
 /** DynEB: per-kernel dynamic selection between shared and private. */
@@ -68,21 +124,28 @@ class DynEbL1 : public L1Organizer
   public:
     explicit DynEbL1(const GpuConfig &cfg);
 
-    L1Result load(int core, Addr lineAddr, Cycle now) override;
+    L1Result load(int core, Addr lineAddr, Cycle now) override
+        DR_ENDPOINT_PHASE;
     bool contains(int core, Addr lineAddr) const override;
-    void write(int core, Addr lineAddr, Cycle now) override;
-    bool fill(int core, Addr lineAddr) override;
-    void flush(int core) override;
+    void write(int core, Addr lineAddr, Cycle now) override
+        DR_ENDPOINT_PHASE;
+    bool fill(int core, Addr lineAddr) override DR_ENDPOINT_PHASE;
+    void flush(int core) override DR_COMMIT_PHASE;
     int hitLatency() const override;
     const L1OrgStats &stats() const override;
     void tick(Cycle now) override;
+    void commitCycle(Cycle now) override DR_COMMIT_PHASE;
+    void setCoreDomain(int core, int domain) override;
+    void auditStamps() const override;
+    bool concurrentSafe() const override { return true; }
 
     /**
-     * DynEB's probe-phase clock advances with wall cycles, so an idle
-     * skip must not jump a phase boundary: a fresh phase re-bases its
-     * window on the next tick, and a probe phase scores itself at
-     * phaseStart_ + probeLen_. Committed phases only change at kernel
-     * boundaries (flush), which the endpoint watermarks cover.
+     * DynEB's probe-phase clock advances in the serial merge, so an
+     * idle skip must not jump a phase boundary: a fresh phase re-bases
+     * its window at the next commit, and a probe phase scores itself
+     * at the commit of cycle phaseStart_ + probeLen_. Committed phases
+     * only change at kernel boundaries (flush), which the endpoint
+     * watermarks cover.
      */
     Cycle nextEventCycle(Cycle now) const override
     {
@@ -105,22 +168,39 @@ class DynEbL1 : public L1Organizer
         CommitPrivate,
     };
 
+    /**
+     * One core's probe-window counters, banked like the stats so
+     * same-cycle loads from different endpoint domains never share a
+     * word; maybeAdvancePhase() sums them at scoring time.
+     */
+    struct DR_DOMAIN_OWNED ProbeBank
+    {
+        DR_DOMAIN_STAMP;
+
+        std::uint64_t loads = 0;
+        std::uint64_t hits = 0;
+        std::uint64_t conflicts = 0;
+    };
+
     L1Organizer &active();
     const L1Organizer &active() const;
-    void maybeAdvancePhase(Cycle now);
+    void maybeAdvancePhase(Cycle now) DR_COMMIT_PHASE;
+    void clearProbeBanks();
 
-    GpuConfig cfg_;
-    SharedL1 shared_;
-    PrivateL1 private_;
-    Phase phase_ = Phase::ProbeShared;
-    bool phaseFresh_ = false;
-    Cycle phaseStart_ = 0;
-    Cycle probeLen_ = 2000;
-    std::uint64_t sharedScore_ = 0;   //!< hits minus port conflicts
-    std::uint64_t privateScore_ = 0;
-    std::uint64_t phaseHits_ = 0;
-    std::uint64_t phaseConflicts_ = 0;
-    std::uint64_t phaseLoads_ = 0;
+    GpuConfig cfg_ DR_SERIAL_ONLY;
+    /** Confinement of the nested organizers is their own (both are
+     *  concurrentSafe; drreach verifies the delegation chain). */
+    SharedL1 shared_ DR_DOMAIN_OWNED;
+    PrivateL1 private_ DR_DOMAIN_OWNED;
+    /** The phase selector and its clock mutate only in commitCycle()
+     *  (and flush), so active() reads frozen state during the phase. */
+    Phase phase_ DR_SERIAL_ONLY = Phase::ProbeShared;
+    bool phaseFresh_ DR_SERIAL_ONLY = false;
+    Cycle phaseStart_ DR_SERIAL_ONLY = 0;
+    Cycle probeLen_ DR_SERIAL_ONLY = 2000;
+    std::uint64_t sharedScore_ DR_SERIAL_ONLY = 0;  //!< hits - conflicts
+    std::uint64_t privateScore_ DR_SERIAL_ONLY = 0;
+    std::vector<ProbeBank> perCore_ DR_DOMAIN_OWNED;
 };
 
 } // namespace dr

@@ -99,6 +99,7 @@ class DR_DOMAIN_OWNED SmCore
 
     /** Endpoint compute domain (engine partition time; -1 = any). */
     void setDomain(int domain) { domain_ = domain; }
+    int domain() const { return domain_; }
 
     /**
      * Serial-merge half of the cycle (commit phase): resolve staged

@@ -148,6 +148,25 @@ class SetAssocCache
         return evicted;
     }
 
+    /**
+     * Whether insert(addr) would evict a valid line, judged against the
+     * current contents without mutating anything: the line is absent
+     * and its set has no free way. Staged L1 organizations predict a
+     * fill's eviction signal from the frozen pre-cycle tags with this.
+     */
+    bool
+    wouldEvict(Addr addr) const
+    {
+        const int set = setOf(addr);
+        const Addr tag = tagOf(addr);
+        for (int w = 0; w < params_.assoc; ++w) {
+            const Line &line = lines_[index(set, w)];
+            if (!line.valid || line.tag == tag)
+                return false;
+        }
+        return true;
+    }
+
     /** Invalidate one line if present. @return true if it was present. */
     bool
     invalidate(Addr addr)

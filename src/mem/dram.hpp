@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/ownership.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -108,14 +109,18 @@ class DramChannel
     int bankOf(Addr lineAddr) const;
     Addr rowOf(Addr lineAddr) const;
 
-    MemConfig cfg_;
-    int maxQueue_;
-    std::vector<Bank> banks_;
-    std::deque<DramRequest> queue_;
-    std::deque<DramCompletion> completions_;
-    Cycle busFreeAt_ = 0;
-    std::int64_t lastActivateAny_ = -1;  //!< enforce tRRD across banks
-    DramStats stats_;
+    // One DRAM channel belongs to one MemNode, so its queues and bank
+    // state are owned by that endpoint's compute domain (DESIGN.md
+    // §14 reachability: LlcSlice reaches the channel through a
+    // reference, so the classification must be explicit).
+    MemConfig cfg_ DR_SERIAL_ONLY;
+    int maxQueue_ DR_SERIAL_ONLY;
+    std::vector<Bank> banks_ DR_DOMAIN_OWNED;
+    std::deque<DramRequest> queue_ DR_DOMAIN_OWNED;
+    std::deque<DramCompletion> completions_ DR_DOMAIN_OWNED;
+    Cycle busFreeAt_ DR_DOMAIN_OWNED = 0;
+    std::int64_t lastActivateAny_ DR_DOMAIN_OWNED = -1;  //!< tRRD
+    DramStats stats_ DR_DOMAIN_OWNED;
 };
 
 } // namespace dr

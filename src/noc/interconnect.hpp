@@ -146,7 +146,7 @@ class Interconnect
     std::vector<NodeType> nodeTypes_;
     std::unique_ptr<Network> request_;
     std::unique_ptr<Network> reply_;  //!< null in shared mode
-    std::vector<NodeOutbox> outbox_;
+    std::vector<NodeOutbox> outbox_ DR_DOMAIN_OWNED;
     bool staging_ DR_SERIAL_ONLY = false;
 };
 

@@ -816,6 +816,7 @@ Network::applyPhaseMutant(Domain &d, Cycle now)
     case PhaseMutant::SerialInCompute:
         // drphase-allow(compute-calls-commit): seeded mutant — the
         // pool's commit-phase assertion must trap this.
+        // drreach-allow(phase-escape): same mutant, transitive view.
         pool_.release(pool_.alloc());
         break;
     case PhaseMutant::StampBypass:

@@ -108,6 +108,46 @@ INSTANTIATE_TEST_SUITE_P(
     caseName);
 
 /**
+ * Shared-L1 determinism matrix (DESIGN.md §14). The DC-L1 and DynEB
+ * organizations stage their cross-core effects per calling core and
+ * drain them in the serial merge, which is what lets them report
+ * concurrentSafe() and run the endpoint phase across multiple domains.
+ * Every threads {1, 2, 4} x idleSkip {on, off} combination must stay
+ * bit-identical to the serial densely-ticked golden run.
+ */
+class L1OrgDeterminism : public ::testing::TestWithParam<L1Organization>
+{
+};
+
+TEST_P(L1OrgDeterminism, BitIdenticalAcrossThreadsAndIdleSkip)
+{
+    SystemConfig cfg = matrixCfg(TopologyKind::Mesh, false);
+    cfg.gpu.l1Org = GetParam();
+    // Golden: serial endpoint phase, every cycle ticked.
+    const std::string golden = runFingerprint(cfg, 1, false);
+    EXPECT_EQ(golden, runFingerprint(cfg, 1, true)) << "skip-on diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 2, false))
+        << "2 threads diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 2, true))
+        << "2 threads + skip diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 4, false))
+        << "4 threads diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 4, true))
+        << "4 threads + skip diverged";
+}
+
+std::string
+l1OrgCaseName(const ::testing::TestParamInfo<L1Organization> &info)
+{
+    return info.param == L1Organization::DcL1 ? "shared" : "dyneb";
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedOrgMatrix, L1OrgDeterminism,
+                         ::testing::Values(L1Organization::DcL1,
+                                           L1Organization::DynEB),
+                         l1OrgCaseName);
+
+/**
  * Skip-heavy configuration: a 2x2 chip whose two single-warp GPU cores
  * are almost always in WaitMem and whose lone CPU core runs vips (80%
  * dependent misses, so it is blocked most cycles). Whenever the tiny

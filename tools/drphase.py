@@ -113,6 +113,7 @@ COVERED_CLASSES = {
     "Ni", "Domain",
     "SmCore", "CpuNode", "MemNode", "EndpointEngine",
     "GpuCoherence", "MesiDirectory", "CtaScheduler",
+    "PrivateL1", "SharedL1", "DynEbL1", "DramChannel",
 }
 
 # Member types that synchronize themselves (or are immutable): no

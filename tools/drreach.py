@@ -1,0 +1,1035 @@
+#!/usr/bin/env python3
+"""drreach: whole-program phase-reachability and domain-confinement
+analysis for the deterministic parallel tick engine (DESIGN.md §14).
+
+tools/drphase.py checks the ownership discipline file-by-file: a method
+annotated DR_COMPUTE_PHASE/DR_ENDPOINT_PHASE must not write serial or
+unannotated state. That leaves a hole the width of a function call — a
+compute-phase body calling an *unannotated* helper (possibly in another
+translation unit, possibly through a virtual base) escapes every rule,
+because the helper's body is classified "serial" and never checked.
+
+drreach closes the hole by working on the whole program at once:
+
+ 1. Parse all of src/ with the same stripped-source scanner drlint and
+    drphase share, extending drphase's per-class model with the class
+    hierarchy, every method declaration (including `virtual` ones,
+    which drphase's member scan deliberately skips), inline method
+    bodies, and return types for getter-chain resolution.
+ 2. Seed the reachable set at the parallel tick entry points: every
+    body whose declared phase is compute/endpoint (Network::tick's
+    compute phases and the EndpointEngine endpoint phase reach exactly
+    the annotated surface, which drphase already polices).
+ 3. Propagate transitively: an unannotated method called from a
+    reachable body is *inferred* compute-phase, and its writes are
+    re-judged under the drphase ownership rules — in the receiver
+    context of the call chain (a callee reached through an owned
+    by-value member mutates state the calling domain owns; one reached
+    through a reference/pointer member mutates foreign state).
+ 4. Emit a per-L1Organizer-implementation confinement verdict: whether
+    every member mutated on the per-core entry paths (load/write/fill/
+    contains/tick) is indexed solely by the calling core, staging
+    everything else for the serial merge — and fail if a class's
+    concurrentSafe() return contradicts the verdict, in either
+    direction.
+
+Rules (suppress a finding with `// drreach-allow(<rule>)` on the
+offending line or the contiguous comment block above it; a suppression
+on a call line kills the whole taint chain through that call):
+
+  phase-escape                  a method reachable from a parallel
+                                phase writes serial/unannotated state
+                                or calls a commit-phase method
+  virtual-dispatch-unclassified a phase-reachable virtual call has an
+                                overrider with no declared phase and no
+                                analyzable body
+  confinement-mismatch          an L1Organizer implementation's
+                                concurrentSafe() contradicts the
+                                computed confinement verdict
+
+Exit status: 0 clean (all findings within baseline), 1 new findings.
+The baseline (tools/drreach_baseline.json) is a zero-violation ratchet:
+src/ must stay clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import drphase  # noqa: E402  (shared scanner + ownership rules)
+
+RULES = {
+    "phase-escape":
+        "method reachable from a parallel phase writes serial or "
+        "unannotated state (or calls a commit-phase method)",
+    "virtual-dispatch-unclassified":
+        "phase-reachable virtual call whose overriders are not all "
+        "classified or analyzable",
+    "confinement-mismatch":
+        "concurrentSafe() contradicts the computed per-core "
+        "confinement verdict",
+}
+
+ALLOW_RE = re.compile(r"drreach-allow\(([a-z-]+)\)")
+
+# L1Organizer per-core entry paths whose writes the confinement verdict
+# judges (ISSUE: everything a lookup mutates must be banked by core).
+ENTRY_METHODS = ("load", "write", "fill", "contains", "tick")
+
+# Declaration keywords stripped when recovering a return type.
+DECL_KEYWORDS_RE = re.compile(
+    r"\b(?:virtual|static|inline|explicit|constexpr|mutable|friend|"
+    r"typename|override|final)\b")
+
+METHOD_NAME_RE = re.compile(r"([A-Za-z_]\w*|operator\s*\[\s*\])\s*\(")
+
+# Call-site patterns inside a stripped body line.
+MEMBER_CALL_RE = re.compile(
+    r"(?<![\w.>])([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)*"
+    r"(?:->|\.)\s*([A-Za-z_]\w*)\s*\(")
+GETTER_CALL_RE = re.compile(
+    r"(?<![\w.>])([A-Za-z_]\w*)\s*\(\s*\)\s*\.\s*([A-Za-z_]\w*)\s*\(")
+BARE_CALL_RE = re.compile(r"(?<![\w.>:])([A-Za-z_]\w*)\s*\(")
+
+CONTROL_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "static_cast",
+    "const_cast", "reinterpret_cast", "dynamic_cast", "assert",
+    "panic", "fatal", "new", "delete", "catch", "defined",
+}
+
+
+class Decl:
+    """One method declaration inside a class (overloads merged)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.virtual = False
+        self.pure = False
+        self.phase: str | None = None  # compute/commit/read/unchecked
+        self.ret = ""
+        self.rel = ""
+        self.line = 0
+        # Bodies: list of (rel, [(lineno, stripped line), ...]).
+        self.bodies: list[tuple[str, list[tuple[int, str]]]] = []
+
+
+class XClass:
+    """Hierarchy-aware extension of drphase.ClassModel."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.bases: list[str] = []
+        self.decls: dict[str, Decl] = {}
+        self.concurrent_safe: bool | None = None
+        self.concurrent_safe_line: tuple[str, int] | None = None
+
+
+class Program:
+    def __init__(self):
+        self.models: dict[str, drphase.ClassModel] = {}
+        self.classes: dict[str, XClass] = {}
+        self.subclasses: dict[str, set[str]] = {}
+        self.file_lines: dict[str, list[str]] = {}
+        self.allows: dict[str, dict[int, set[str]]] = {}
+
+    # -- hierarchy helpers ------------------------------------------------
+
+    def ancestors(self, name: str) -> list[str]:
+        out, work = [], [name]
+        while work:
+            cur = work.pop()
+            xc = self.classes.get(cur)
+            if not xc:
+                continue
+            for base in xc.bases:
+                if base not in out:
+                    out.append(base)
+                    work.append(base)
+        return out
+
+    def family(self, name: str) -> list[str]:
+        """`name` plus every transitive subclass."""
+        out, work = [name], [name]
+        while work:
+            cur = work.pop()
+            for sub in sorted(self.subclasses.get(cur, ())):
+                if sub not in out:
+                    out.append(sub)
+                    work.append(sub)
+        return out
+
+    def find_decl(self, cls: str, name: str) -> tuple[str, Decl] | None:
+        """Resolve `name` in `cls` or the nearest ancestor declaring it."""
+        xc = self.classes.get(cls)
+        if xc and name in xc.decls:
+            return cls, xc.decls[name]
+        for anc in self.ancestors(cls):
+            axc = self.classes.get(anc)
+            if axc and name in axc.decls:
+                return anc, axc.decls[name]
+        return None
+
+    def declared_phase(self, cls: str, name: str) -> str | None:
+        """Phase of a method, inheriting the base declaration's phase
+        when an override does not restate it."""
+        xc = self.classes.get(cls)
+        if xc and name in xc.decls and xc.decls[name].phase:
+            return xc.decls[name].phase
+        for anc in self.ancestors(cls):
+            axc = self.classes.get(anc)
+            if axc and name in axc.decls and axc.decls[name].phase:
+                return axc.decls[name].phase
+        return None
+
+    def is_virtual(self, cls: str, name: str) -> bool:
+        xc = self.classes.get(cls)
+        if xc and name in xc.decls and xc.decls[name].virtual:
+            return True
+        for anc in self.ancestors(cls):
+            axc = self.classes.get(anc)
+            if axc and name in axc.decls and axc.decls[name].virtual:
+                return True
+        return False
+
+    def member_type(self, cls: str, member: str) -> str | None:
+        model = self.models.get(cls)
+        if model and member in model.member_types:
+            return model.member_types[member]
+        for anc in self.ancestors(cls):
+            amodel = self.models.get(anc)
+            if amodel and member in amodel.member_types:
+                return amodel.member_types[member]
+        return None
+
+    def member_class(self, cls: str, member: str) -> str | None:
+        model = self.models.get(cls)
+        if model and member in model.members:
+            return model.classification(member)
+        for anc in self.ancestors(cls):
+            amodel = self.models.get(anc)
+            if amodel and member in amodel.members:
+                return amodel.classification(member)
+        return None
+
+    def allowed(self, rel: str, lineno: int, rule: str) -> bool:
+        """drphase-style suppression: the line itself or the contiguous
+        //-comment block immediately above it."""
+        allows = self.allows.get(rel, {})
+        if rule in allows.get(lineno, set()):
+            return True
+        lines = self.file_lines.get(rel, [])
+        probe = lineno - 1
+        while probe >= 1 and lines[probe - 1].lstrip().startswith("//"):
+            if rule in allows.get(probe, set()):
+                return True
+            probe -= 1
+        return False
+
+
+# -- parsing ---------------------------------------------------------------
+
+BASES_RE = re.compile(r"[:,]\s*(?:public|protected|private)?\s*"
+                      r"(?:virtual\s+)?([A-Za-z_]\w*)")
+DECL_SKIP_RE = re.compile(
+    r"^\s*(?:using|typedef|friend|static|enum|return|if|for|while|"
+    r"switch|case|default|break|continue|template|"
+    r"class|struct|union|#|namespace|DR_DOMAIN_STAMP)\b")
+
+
+def parse_decl_text(text: str, lineno: int, cls: str) -> Decl | None:
+    flat = drphase.strip_templates(text)
+    if "(" not in flat:
+        return None
+    m = METHOD_NAME_RE.search(flat)
+    if not m:
+        return None
+    name = m.group(1).replace(" ", "")
+    if name == cls or name.startswith("~") or name in CONTROL_KEYWORDS:
+        return None
+    decl = Decl(name)
+    decl.virtual = bool(re.search(r"\bvirtual\b", flat))
+    decl.pure = bool(re.search(r"=\s*0\s*;?\s*$", flat))
+    decl.line = lineno
+    head = flat[:m.start()]
+    head = DECL_KEYWORDS_RE.sub(" ", head)
+    decl.ret = head.strip()
+    for tok in drphase.METHOD_PHASES:
+        if re.search(r"\b%s\b" % tok, text):
+            decl.phase = {
+                "DR_COMPUTE_PHASE": "compute",
+                "DR_ENDPOINT_PHASE": "compute",
+                "DR_COMMIT_PHASE": "commit",
+                "DR_PHASE_UNCHECKED": "unchecked",
+                "DR_PHASE_READ": "read",
+            }[tok]
+            break
+    return decl
+
+
+def merge_decl(xc: XClass, decl: Decl, rel: str) -> Decl:
+    cur = xc.decls.setdefault(decl.name, decl)
+    if cur is not decl:
+        cur.virtual = cur.virtual or decl.virtual
+        cur.pure = cur.pure or decl.pure
+        if cur.phase is None:
+            cur.phase = decl.phase
+        if not cur.ret:
+            cur.ret = decl.ret
+    if not cur.rel:
+        cur.rel, cur.line = rel, decl.line
+    return cur
+
+
+def parse_file(code: list[str], rel: str, prog: Program) -> None:
+    """Hierarchy + method-declaration + inline-body walk. Mirrors
+    drphase.parse_classes' brace-depth machine, but records `virtual`
+    declarations, base-class lists, and inline bodies."""
+    depth = 0
+    stack: list[tuple[XClass, int]] = []
+    pending: XClass | None = None
+    pending_head = ""
+    decl_text = ""
+    decl_line = 0
+    body_of: Decl | None = None
+    body_rel_lines: list[tuple[int, str]] = []
+    body_depth = 0
+
+    def flush_decl(with_body: bool) -> Decl | None:
+        nonlocal decl_text
+        text, lineno = decl_text.strip(), decl_line
+        decl_text = ""
+        if not text or not stack:
+            return None
+        xc, _ = stack[-1]
+        if DECL_SKIP_RE.match(text) and "(" not in \
+                drphase.strip_templates(text):
+            return None
+        d = parse_decl_text(text, lineno, xc.name)
+        if d is None:
+            return None
+        return merge_decl(xc, d, rel)
+
+    for lineno, line in enumerate(code, start=1):
+        if line.lstrip().startswith("#"):
+            continue
+        if body_of is not None:
+            pass  # characters handled below; line text captured there
+        if pending is None and body_of is None:
+            m = drphase.CLASS_HEAD_RE.search(line)
+            if m and not re.search(r"\benum\s+$", line[:m.start() + 1]):
+                name = m.group(2)
+                pending = prog.classes.setdefault(name, XClass(name))
+                pending_head = line[m.end():]
+        elif pending is not None:
+            pending_head += " " + line
+        col = 0
+        for ch in line:
+            col += 1
+            at_member = bool(stack) and stack[-1][1] == depth
+            if body_of is not None:
+                # Capturing an inline body: record text until the
+                # brace depth returns to the method's opening level.
+                if ch == "{":
+                    depth += 1
+                elif ch == "}":
+                    depth -= 1
+                    if depth == body_depth:
+                        body_of.bodies.append((rel, body_rel_lines))
+                        body_of = None
+                        body_rel_lines = []
+                        continue
+                if not body_rel_lines or body_rel_lines[-1][0] != lineno:
+                    body_rel_lines.append((lineno, ""))
+                body_rel_lines[-1] = (lineno,
+                                      body_rel_lines[-1][1] + ch)
+                continue
+            if ch == "{":
+                if pending is not None:
+                    head = drphase.strip_templates(pending_head)
+                    cut = head.find("{")
+                    if cut >= 0:
+                        head = head[:cut]
+                    for bm in BASES_RE.finditer(":" + head if not
+                                                head.lstrip().
+                                                startswith(":") else
+                                                head):
+                        base = bm.group(1)
+                        if base != pending.name:
+                            if base not in pending.bases:
+                                pending.bases.append(base)
+                            prog.subclasses.setdefault(
+                                base, set()).add(pending.name)
+                    depth += 1
+                    stack.append((pending, depth))
+                    pending = None
+                    pending_head = ""
+                    decl_text = ""
+                    continue
+                if at_member and "(" in drphase.strip_templates(
+                        decl_text):
+                    d = flush_decl(with_body=True)
+                    if d is not None:
+                        body_of = d
+                        body_depth = depth
+                        body_rel_lines = [(lineno, "{")]
+                        depth += 1
+                        continue
+                depth += 1
+            elif ch == "}":
+                if at_member:
+                    decl_text = ""
+                    stack.pop()
+                depth = max(0, depth - 1)
+            elif ch == ";":
+                pending = None
+                pending_head = ""
+                if at_member:
+                    decl_text += ";"
+                    flush_decl(with_body=False)
+            elif ch == ":" and at_member and decl_text.strip() in (
+                    "public", "private", "protected"):
+                decl_text = ""
+            elif at_member:
+                if not decl_text.strip() and not ch.isspace():
+                    decl_line = lineno
+                decl_text += ch
+        decl_text += " "
+
+
+def parse_concurrent_safe(prog: Program) -> None:
+    for name, xc in prog.classes.items():
+        d = xc.decls.get("concurrentSafe")
+        if d is None or not d.bodies:
+            continue
+        text = " ".join(t for _, lines in d.bodies for _, t in lines)
+        rel = d.bodies[0][0]
+        if re.search(r"\breturn\s+true\b", text):
+            xc.concurrent_safe = True
+        elif re.search(r"\breturn\s+false\b", text):
+            xc.concurrent_safe = False
+        xc.concurrent_safe_line = (rel, d.bodies[0][1][0][0])
+
+
+def inherited_concurrent_safe(prog: Program,
+                              cls: str) -> tuple[bool | None,
+                                                 tuple[str, int] | None]:
+    xc = prog.classes.get(cls)
+    if xc and xc.concurrent_safe is not None:
+        return xc.concurrent_safe, xc.concurrent_safe_line
+    for anc in prog.ancestors(cls):
+        axc = prog.classes.get(anc)
+        if axc and axc.concurrent_safe is not None:
+            return axc.concurrent_safe, axc.concurrent_safe_line
+    return None, None
+
+
+def load_program(root: str, paths: list[str]) -> Program:
+    prog = Program()
+    for fpath, rel in drphase.list_sources(root, paths):
+        with open(fpath, encoding="utf-8", errors="replace") as fh:
+            lines = fh.read().splitlines()
+        code = drphase.strip_code(lines)
+        prog.file_lines[rel] = lines
+        prog.allows[rel] = {
+            ln: set(ALLOW_RE.findall(raw))
+            for ln, raw in enumerate(lines, start=1)
+            if ALLOW_RE.search(raw)}
+        drphase.parse_classes(code, rel, prog.models)
+        parse_file(code, rel, prog)
+        # Out-of-line bodies (Class::name at column 0 in .cpp files).
+        for body in drphase.extract_cpp_methods(code, lines, rel):
+            xc = prog.classes.setdefault(body.cls, XClass(body.cls))
+            d = merge_decl(xc, Decl(body.name), rel)
+            numbered = list(enumerate(body.lines, start=body.start))
+            d.bodies.append((rel, numbered))
+    parse_concurrent_safe(prog)
+    return prog
+
+
+# -- phase propagation -----------------------------------------------------
+
+
+class Taint:
+    def __init__(self, rule: str, rel: str, line: int, text: str,
+                 chain: list[str]):
+        self.rule = rule
+        self.rel = rel
+        self.line = line
+        self.text = text
+        self.chain = chain
+
+    def key(self):
+        return (self.rel, self.line, self.rule)
+
+
+def effective_phase(prog: Program, cls: str, name: str,
+                    decl: Decl) -> str:
+    phase = prog.declared_phase(cls, name)
+    if phase:
+        return phase
+    text = " ".join(t for _, lines in decl.bodies for _, t in lines)
+    if "DR_PHASE_UNCHECKED" in text:
+        return "unchecked"
+    if "DR_PHASE_ASSERT_COMMIT()" in text:
+        return "commit"
+    return "serial"
+
+
+def body_edges(prog: Program, cls: str,
+               body: tuple[str, list[tuple[int, str]]]):
+    """Yield (rel, lineno, line, targets, via_member) call edges from a
+    body. `targets` is a list of (class, decl-name); virtual receivers
+    fan out across the family. `via_member` is the receiver member name
+    (None for bare same-class calls and getter chains)."""
+    rel, lines = body
+    for lineno, line in lines:
+        seen_spans = []
+        for m in MEMBER_CALL_RE.finditer(line):
+            base, callee = m.group(1), m.group(2)
+            type_text = prog.member_type(cls, base)
+            if not type_text:
+                continue
+            targets = []
+            for tname in drphase.IDENT_RE.findall(
+                    drphase.strip_templates(type_text)):
+                if tname not in prog.classes:
+                    continue
+                for fam in prog.family(tname):
+                    if prog.find_decl(fam, callee):
+                        if (fam, callee) not in targets:
+                            targets.append((fam, callee))
+                if targets:
+                    break
+            if targets:
+                seen_spans.append((m.start(), m.end()))
+                yield rel, lineno, line, targets, base
+        for m in GETTER_CALL_RE.finditer(line):
+            getter, callee = m.group(1), m.group(2)
+            found = prog.find_decl(cls, getter)
+            if not found:
+                continue
+            _, gdecl = found
+            targets = []
+            for tname in drphase.IDENT_RE.findall(
+                    drphase.strip_templates(gdecl.ret)):
+                if tname not in prog.classes:
+                    continue
+                for fam in prog.family(tname):
+                    if prog.find_decl(fam, callee):
+                        if (fam, callee) not in targets:
+                            targets.append((fam, callee))
+                if targets:
+                    break
+            if targets:
+                # Getter returns a reference into our own state: judge
+                # the callee in the alias (checked) context.
+                yield rel, lineno, line, targets, "%s()" % getter
+        for m in BARE_CALL_RE.finditer(line):
+            if any(s <= m.start() < e for s, e in seen_spans):
+                continue
+            callee = m.group(1)
+            if callee in CONTROL_KEYWORDS or callee.startswith("DR_"):
+                continue
+            found = prog.find_decl(cls, callee)
+            if not found:
+                continue
+            fcls, _ = found
+            targets = []
+            if prog.is_virtual(cls, callee):
+                for fam in prog.family(fcls):
+                    if prog.find_decl(fam, callee):
+                        if (fam, callee) not in targets:
+                            targets.append((fam, callee))
+            else:
+                targets.append((cls, callee))
+            yield rel, lineno, line, targets, None
+
+
+def edge_context(prog: Program, cls: str, via_member: str | None,
+                 ctx: str) -> str:
+    """Receiver-ownership context of a call edge. Reference/pointer
+    members alias foreign state (checked); by-value members of an owned
+    aggregate are owned; a by-value member declared DR_DOMAIN_OWNED or
+    DR_SHARED_SPSC confers ownership even from a checked caller."""
+    if via_member is None:
+        return ctx
+    if via_member.endswith("()"):
+        return "checked"
+    type_text = prog.member_type(cls, via_member) or ""
+    if "&" in type_text or "*" in type_text:
+        return "checked"
+    if ctx == "owned":
+        return "owned"
+    if prog.member_class(cls, via_member) in ("domain", "spsc"):
+        return "owned"
+    return "checked"
+
+
+def summarize(prog: Program, cls: str, name: str, ctx: str,
+              memo: dict, in_progress: set) -> list[Taint]:
+    """Taints of an *inferred* compute-phase method (transitive)."""
+    key = (cls, name, ctx)
+    if key in memo:
+        return memo[key]
+    if key in in_progress:
+        return []
+    found = prog.find_decl(cls, name)
+    if not found:
+        return []
+    dcls, decl = found
+    model = prog.models.get(cls) or prog.models.get(dcls)
+    in_progress.add(key)
+    taints: list[Taint] = []
+    label = "%s::%s" % (cls, name)
+
+    bodies = decl.bodies
+    if not bodies and cls != dcls:
+        # Inherited implementation: analyze the base's body as-if on
+        # the derived class (member model resolution walks ancestors).
+        bodies = prog.classes[dcls].decls[name].bodies
+
+    for body in bodies:
+        rel, lines = body
+        if ctx == "checked" and model is not None:
+            for lineno, line in lines:
+                if prog.allowed(rel, lineno, "phase-escape"):
+                    continue
+                for member in model.members:
+                    mcls = model.classification(member)
+                    if mcls in ("domain", "spsc"):
+                        continue
+                    wrote = drphase.scan_writes(line, member) or \
+                        drphase.scan_mutating_call(line, member)
+                    if not wrote:
+                        continue
+                    type_text = model.member_types.get(member, "")
+                    if drphase.TYPE_EXEMPT_RE.search(type_text):
+                        continue
+                    what = "serial" if mcls == "serial" else \
+                        "unannotated"
+                    taints.append(Taint(
+                        "phase-escape", rel, lineno,
+                        "%s writes %s member `%s`: %s"
+                        % (label, what, member, line.strip()),
+                        [label]))
+        taints.extend(edge_taints(prog, cls, body, ctx, label,
+                                  memo, in_progress))
+    in_progress.discard(key)
+    memo[key] = taints
+    return taints
+
+
+def edge_taints(prog: Program, cls: str, body, ctx: str, label: str,
+                memo: dict, in_progress: set) -> list[Taint]:
+    taints: list[Taint] = []
+    for rel, lineno, line, targets, via in body_edges(prog, cls, body):
+        for tcls, tname in targets:
+            tfound = prog.find_decl(tcls, tname)
+            if not tfound:
+                continue
+            tdcls, tdecl = tfound
+            phase = effective_phase(prog, tcls, tname, tdecl)
+            if phase in ("compute", "read", "unchecked"):
+                continue
+            if prog.allowed(rel, lineno, "phase-escape"):
+                continue
+            if phase == "commit":
+                taints.append(Taint(
+                    "phase-escape", rel, lineno,
+                    "%s calls commit-phase %s::%s: %s"
+                    % (label, tcls, tname, line.strip()), [label]))
+                continue
+            # Unannotated callee: virtual with no analyzable body is
+            # unclassifiable; otherwise recurse as inferred compute.
+            has_body = bool(tdecl.bodies) or (
+                tcls != tdcls and
+                bool(prog.classes[tdcls].decls[tname].bodies))
+            if not has_body:
+                if tdecl.pure:
+                    # A pure virtual is never invoked itself — the
+                    # family fan-out judges each concrete overrider.
+                    continue
+                if prog.is_virtual(tcls, tname):
+                    if prog.allowed(rel, lineno,
+                                    "virtual-dispatch-unclassified"):
+                        continue
+                    taints.append(Taint(
+                        "virtual-dispatch-unclassified", rel, lineno,
+                        "%s virtual call to %s::%s has no declared "
+                        "phase and no analyzable body: %s"
+                        % (label, tcls, tname, line.strip()), [label]))
+                continue
+            sub_ctx = edge_context(prog, cls, via, ctx)
+            for t in summarize(prog, tcls, tname, sub_ctx, memo,
+                               in_progress):
+                taints.append(Taint(t.rule, t.rel, t.line, t.text,
+                                    [label] + t.chain))
+    return taints
+
+
+def reachability_findings(prog: Program) -> list[drphase.Finding]:
+    """Seed at every declared compute/endpoint body, chase edges into
+    unannotated methods, and report each surviving taint once."""
+    memo: dict = {}
+    findings: list[drphase.Finding] = []
+    seen: set = set()
+    for cname in sorted(prog.classes):
+        xc = prog.classes[cname]
+        for mname in sorted(xc.decls):
+            decl = xc.decls[mname]
+            if not decl.bodies:
+                continue
+            if effective_phase(prog, cname, mname, decl) != "compute":
+                continue
+            label = "%s::%s" % (cname, mname)
+            for body in decl.bodies:
+                for t in edge_taints(prog, cname, body, "checked",
+                                     label, memo, set()):
+                    if t.key() in seen:
+                        continue
+                    seen.add(t.key())
+                    findings.append(drphase.Finding(
+                        t.rel, t.line, t.rule,
+                        "%s [via %s]" % (t.text, " -> ".join(t.chain))))
+    return findings
+
+
+# -- confinement verdict ---------------------------------------------------
+
+
+CAST_RE = re.compile(r"\bstatic_cast\s*\(\s*")
+
+
+def normalize_index(expr: str) -> str:
+    expr = drphase.strip_templates(expr)
+    expr = CAST_RE.sub("", expr)
+    return re.sub(r"[\s()]", "", expr)
+
+
+def first_subscript(line: str, member: str) -> str | None:
+    m = re.search(r"(?<![\w.>])%s\s*\[" % re.escape(member), line)
+    if m is None:
+        return None
+    i = m.end()
+    bal = 1
+    start = i
+    while i < len(line) and bal:
+        if line[i] == "[":
+            bal += 1
+        elif line[i] == "]":
+            bal -= 1
+        i += 1
+    return line[start:i - 1]
+
+
+def deep_mutating_call(line: str, member: str) -> bool:
+    """drphase.scan_mutating_call only sees `member.fn(` one level
+    deep; staged banks mutate through two (`perCore_[core].claims
+    .push_back(...)`), so the confinement walk needs the full chain."""
+    for m in re.finditer(
+            r"(?<![\w.>])%s\b\s*(?:\[[^\]]*\]\s*)?"
+            r"(?:\.[A-Za-z_]\w*)*\.\s*([A-Za-z_]\w*)\s*\("
+            % re.escape(member), line):
+        if m.group(1) in drphase.MUTATING_CALLS:
+            return True
+    return False
+
+
+def is_organizer_member(prog: Program, cls: str, member: str) -> bool:
+    """Whether a member's declared type is an L1Organizer (a nested
+    organization): calls on it are delegation, not state mutation."""
+    type_text = prog.member_type(cls, member) or ""
+    for tname in drphase.IDENT_RE.findall(
+            drphase.strip_templates(type_text)):
+        if tname == "L1Organizer" or \
+                "L1Organizer" in prog.ancestors(tname):
+            return True
+    return False
+
+
+class Verdict:
+    def __init__(self, cls: str):
+        self.cls = cls
+        self.confined = True
+        self.reasons: list[str] = []
+        self.delegates: list[str] = []
+
+    def fail(self, reason: str) -> None:
+        self.confined = False
+        self.reasons.append(reason)
+
+
+def confine_class(prog: Program, cls: str, memo: dict) -> Verdict:
+    if cls in memo:
+        return memo[cls]
+    verdict = Verdict(cls)
+    memo[cls] = verdict  # coinductive: self-delegation assumes confined
+    model = prog.models.get(cls)
+    xc = prog.classes.get(cls)
+    if xc is None:
+        return verdict
+
+    visited: set[str] = set()
+    work = [m for m in ENTRY_METHODS if m in xc.decls]
+    while work:
+        mname = work.pop()
+        if mname in visited:
+            continue
+        visited.add(mname)
+        decl = xc.decls.get(mname)
+        if decl is None or not decl.bodies:
+            continue
+        for body in decl.bodies:
+            rel, lines = body
+            for lineno, line in lines:
+                # Member mutations must be banked by the calling core.
+                if model is not None:
+                    for member in model.members:
+                        wrote = drphase.scan_writes(line, member) or \
+                            drphase.scan_mutating_call(line, member) \
+                            or deep_mutating_call(line, member)
+                        if not wrote:
+                            continue
+                        if is_organizer_member(prog, cls, member):
+                            continue  # delegation, judged by verdict
+                        sub = first_subscript(line, member)
+                        if sub is None:
+                            verdict.fail(
+                                "%s mutates `%s` without a per-core "
+                                "index (%s:%d)"
+                                % (mname, member, rel, lineno))
+                        elif normalize_index(sub) != "core":
+                            verdict.fail(
+                                "%s mutates `%s` indexed by `%s`, "
+                                "not the calling core (%s:%d)"
+                                % (mname, member, sub.strip(), rel,
+                                   lineno))
+            # Same-class helpers join the entry set; delegated calls
+            # into other L1 organizations require their verdicts.
+            for erel, elineno, eline, targets, via in \
+                    body_edges(prog, cls, body):
+                for tcls, tname in targets:
+                    if tcls == cls:
+                        if via is None and tname not in visited:
+                            work.append(tname)
+                        continue
+                    if "L1Organizer" in ([tcls] +
+                                         prog.ancestors(tcls)):
+                        if tcls not in verdict.delegates:
+                            verdict.delegates.append(tcls)
+                        sub = confine_class(prog, tcls, memo)
+                        if not sub.confined:
+                            verdict.fail(
+                                "delegates to unconfined %s (%s:%d)"
+                                % (tcls, erel, elineno))
+    return verdict
+
+
+def confinement_findings(prog: Program,
+                         verdicts: dict[str, Verdict]
+                         ) -> list[drphase.Finding]:
+    findings = []
+    memo: dict = {}
+    for cls in sorted(prog.family("L1Organizer")):
+        if cls == "L1Organizer":
+            continue  # abstract interface: no verdict to contradict
+        verdicts[cls] = confine_class(prog, cls, memo)
+        declared, where = inherited_concurrent_safe(prog, cls)
+        if declared is None or where is None:
+            continue
+        rel, line = where
+        own = prog.classes[cls].concurrent_safe
+        if own is None:
+            # Inherited default: point at the class head instead.
+            xc = prog.classes[cls]
+            any_decl = next(iter(xc.decls.values()), None)
+            if any_decl is not None and any_decl.rel:
+                rel, line = any_decl.rel, any_decl.line
+        v = verdicts[cls]
+        if declared and not v.confined:
+            if not prog.allowed(rel, line, "confinement-mismatch"):
+                findings.append(drphase.Finding(
+                    rel, line, "confinement-mismatch",
+                    "%s declares concurrentSafe() == true but its "
+                    "entry paths are not core-confined: %s"
+                    % (cls, "; ".join(v.reasons))))
+        elif not declared and v.confined:
+            if not prog.allowed(rel, line, "confinement-mismatch"):
+                findings.append(drphase.Finding(
+                    rel, line, "confinement-mismatch",
+                    "%s declares concurrentSafe() == false but every "
+                    "entry-path mutation is core-confined (stale "
+                    "serial fallback?)" % cls))
+    return findings
+
+
+def print_verdict_table(verdicts: dict[str, Verdict],
+                        prog: Program) -> None:
+    print("confinement verdicts (L1Organizer implementations):")
+    print("  %-12s %-10s %-15s %s"
+          % ("class", "verdict", "concurrentSafe", "delegates"))
+    for cls in sorted(verdicts):
+        v = verdicts[cls]
+        declared, _ = inherited_concurrent_safe(prog, cls)
+        print("  %-12s %-10s %-15s %s"
+              % (cls, "confined" if v.confined else "UNCONFINED",
+                 {True: "true", False: "false", None: "?"}[declared],
+                 ", ".join(v.delegates) or "-"))
+        for reason in v.reasons:
+            print("    - %s" % reason)
+
+
+# -- AST augment (optional, degrades gracefully) ---------------------------
+
+
+def ast_augment(root: str, paths: list[str], compile_commands: str,
+                prog: Program) -> bool:
+    """Alias/overload-accurate hierarchy via libclang when the python
+    bindings are importable: adds base->derived edges the token pass
+    missed (e.g. bases hidden behind macros or typedefs). Degrades
+    gracefully — returns False when the bindings are unavailable."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        print("drreach: note: libclang bindings unavailable; "
+              "token-level hierarchy only")
+        return False
+    try:
+        db = cindex.CompilationDatabase.fromDirectory(
+            os.path.dirname(os.path.abspath(compile_commands)))
+    except cindex.CompilationDatabaseError:
+        print("drreach: note: cannot load %s" % compile_commands)
+        return False
+    index = cindex.Index.create()
+    seen = 0
+    for fpath, rel in drphase.list_sources(root, paths):
+        if not fpath.endswith((".cpp", ".cc")):
+            continue
+        cmds = db.getCompileCommands(fpath)
+        if not cmds:
+            continue
+        args = [a for a in list(cmds[0].arguments)[1:]
+                if a not in (fpath, "-c", "-o")][:-1]
+        try:
+            tu = index.parse(fpath, args=args)
+        except cindex.TranslationUnitLoadError:
+            continue
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind != cindex.CursorKind.CXX_BASE_SPECIFIER:
+                continue
+            derived = cur.semantic_parent.spelling
+            base = cur.type.spelling.split("<")[0].split("::")[-1]
+            if derived in prog.classes and base in prog.classes:
+                xc = prog.classes[derived]
+                if base not in xc.bases:
+                    xc.bases.append(base)
+                    prog.subclasses.setdefault(base,
+                                               set()).add(derived)
+                    seen += 1
+    if seen:
+        print("drreach: AST augment added %d hierarchy edge(s)" % seen)
+    return True
+
+
+# -- driver ----------------------------------------------------------------
+
+
+def scan(root: str, paths: list[str],
+         compile_commands: str | None = None,
+         verdicts: dict[str, Verdict] | None = None
+         ) -> list[drphase.Finding]:
+    prog = load_program(root, paths)
+    if compile_commands:
+        ast_augment(root, paths, compile_commands, prog)
+    findings = reachability_findings(prog)
+    if verdicts is None:
+        verdicts = {}
+    findings.extend(confinement_findings(prog, verdicts))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    scan.last_prog = prog  # for --all's verdict table
+    scan.last_verdicts = verdicts
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(prog="drreach", add_help=True)
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files or directories relative to the "
+                             "repository root (default: src)")
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of "
+                             "this script)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON (default: "
+                             "tools/drreach_baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline with current counts")
+    parser.add_argument("--compile-commands", default=None,
+                        help="compile_commands.json for the libclang "
+                             "hierarchy augment (degrades gracefully)")
+    parser.add_argument("--all", action="store_true",
+                        help="also print the per-class confinement "
+                             "verdict table")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in sorted(RULES):
+            print("%-30s %s" % (rule, RULES[rule]))
+        return 0
+
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    paths = args.paths or ["src"]
+    baseline_path = args.baseline or os.path.join(
+        root, "tools", "drreach_baseline.json")
+
+    verdicts: dict[str, Verdict] = {}
+    findings = scan(root, paths, args.compile_commands, verdicts)
+    counts = drphase.counts_of(findings)
+
+    if args.all:
+        print_verdict_table(verdicts, scan.last_prog)
+
+    if args.update_baseline:
+        with open(baseline_path, "w", encoding="utf-8") as fh:
+            json.dump(counts, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print("drreach: baseline updated (%d findings in %d buckets)"
+              % (len(findings), len(counts)))
+        return 0
+
+    baseline: dict[str, int] = {}
+    if os.path.exists(baseline_path):
+        with open(baseline_path, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+
+    failed = False
+    for key in sorted(counts):
+        extra = counts[key] - baseline.get(key, 0)
+        if extra <= 0:
+            continue
+        failed = True
+        path, rule = key.rsplit(":", 1)
+        print("drreach: %d new finding(s) of [%s] in %s:"
+              % (extra, rule, path))
+        for f in findings:
+            if f.path == path and f.rule == rule:
+                print("  " + str(f))
+
+    if failed:
+        print("drreach: FAIL (%d findings, baseline allows %d)"
+              % (len(findings), sum(baseline.values())))
+        return 1
+    print("drreach: clean (%d findings, all within baseline)"
+          % len(findings))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

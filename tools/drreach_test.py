@@ -1,0 +1,331 @@
+#!/usr/bin/env python3
+"""Selftest for tools/drreach.py: seeded mutants prove the cross-TU
+reachability analyzer detects each rule it claims to enforce.
+
+Mirrors tools/drphase_test.py: every mutant test copies the live tree
+into a tempdir, applies a textual patch (mutants need not compile --
+the analyzer is token-level), re-scans, and asserts the expected rule
+fires at the expected file. Anchor strings are asserted present first
+so refactors that would silently neuter a mutant fail loudly instead.
+
+Run directly (`python3 tools/drreach_test.py`) or via ctest
+(`drreach_selftest`).
+"""
+
+import contextlib
+import io
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import drreach  # noqa: E402
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+# The analyzer chases edges across the whole of src/, so the selftest
+# copies all of it: a partial tree could miss the annotation that keeps
+# a chain clean and report findings the real scan never would.
+COPY_DIRS = ("src",)
+
+COHERENCE = "src/coherence/gpu_coherence.hpp"
+SM_CORE = "src/gpu/sm_core.cpp"
+SHARED_CPP = "src/gpu/shared_l1.cpp"
+SHARED_HPP = "src/gpu/shared_l1.hpp"
+L1_IFACE = "src/gpu/l1_cache.hpp"
+
+# Anchor lines in the live tree (asserted before patching).
+FLUSHES_GETTER = ("    const Counter &flushes() const DR_PHASE_READ "
+                  "{ return flushes_; }")
+FILL_CALL = "    l1_.fill(coreIdx_, line);"
+CONTAINS_HEAD = ("SharedL1::contains(int core, Addr lineAddr) const\n"
+                 "{\n"
+                 "    const int cluster = clusterOf(core);")
+SAFE_TRUE = "    bool concurrentSafe() const override { return true; }"
+CLAIMS_PUSH = ("    perCore_[core].claims.push_back("
+               "slotOf(cluster, slice));")
+CONTAINS_PURE = ("    virtual bool contains(int core, Addr lineAddr) "
+                 "const = 0;")
+
+
+def make_tree(tmp):
+    for d in COPY_DIRS:
+        shutil.copytree(os.path.join(REPO, d), os.path.join(tmp, d))
+    os.makedirs(os.path.join(tmp, "tools"), exist_ok=True)
+    shutil.copy(os.path.join(REPO, "tools", "drreach_baseline.json"),
+                os.path.join(tmp, "tools", "drreach_baseline.json"))
+
+
+def apply_patches(tmp, patches):
+    """Each patch is (rel, old, new); `old` must exist verbatim."""
+    for rel, old, new in patches:
+        path = os.path.join(tmp, rel)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        assert old in text, "mutant anchor drifted in %s: %r" % (rel,
+                                                                 old)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text.replace(old, new, 1))
+
+
+def scan_mutated(patches, verdicts=None):
+    with tempfile.TemporaryDirectory() as tmp:
+        make_tree(tmp)
+        apply_patches(tmp, patches)
+        return drreach.scan(tmp, ["src"], None, verdicts)
+
+
+class CleanTreeTest(unittest.TestCase):
+    """The live tree scans clean and the committed baseline is zero."""
+
+    def test_live_tree_has_no_findings(self):
+        findings = drreach.scan(REPO, ["src"])
+        self.assertEqual([str(f) for f in findings], [])
+
+    def test_baseline_is_zero(self):
+        with open(os.path.join(REPO, "tools",
+                               "drreach_baseline.json"),
+                  encoding="utf-8") as fh:
+            self.assertEqual(json.load(fh), {})
+
+    def test_all_organizers_confined_and_safe(self):
+        verdicts = {}
+        drreach.scan(REPO, ["src"], None, verdicts)
+        prog = drreach.scan.last_prog
+        for cls in ("PrivateL1", "SharedL1", "DynEbL1"):
+            self.assertIn(cls, verdicts)
+            self.assertTrue(verdicts[cls].confined,
+                            "%s unconfined: %s"
+                            % (cls, verdicts[cls].reasons))
+            declared, _ = drreach.inherited_concurrent_safe(prog, cls)
+            self.assertIs(declared, True, cls)
+        self.assertIn("SharedL1", verdicts["DynEbL1"].delegates)
+
+
+class HelperTest(unittest.TestCase):
+    """Unit coverage for the confinement-walk text scanners."""
+
+    def test_deep_mutating_call_two_levels(self):
+        self.assertTrue(drreach.deep_mutating_call(
+            "perCore_[core].claims.push_back(slot);", "perCore_"))
+
+    def test_deep_mutating_call_one_level(self):
+        self.assertTrue(drreach.deep_mutating_call(
+            "tags_[i].insert(addr, {});", "tags_"))
+
+    def test_deep_non_mutating_chain_ignored(self):
+        self.assertFalse(drreach.deep_mutating_call(
+            "n += perCore_[core].claims.size();", "perCore_"))
+
+    def test_normalize_index_strips_cast(self):
+        self.assertEqual(
+            drreach.normalize_index("static_cast<int>( core )"),
+            "core")
+
+    def test_first_subscript_balanced(self):
+        self.assertEqual(
+            drreach.first_subscript("banks_[idx[0]].x = 1;", "banks_"),
+            "idx[0]")
+
+
+class MutantTest(unittest.TestCase):
+    """Each seeded mutant must be detected by its dedicated rule."""
+
+    def assert_rule(self, findings, rule, path, contains=None):
+        hits = [f for f in findings
+                if f.rule == rule and f.path == path]
+        self.assertTrue(hits, "expected [%s] in %s, got %s"
+                        % (rule, path, [str(f) for f in findings]))
+        if contains is not None:
+            self.assertTrue(any(contains in f.text for f in hits),
+                            "no [%s] finding mentions %r: %s"
+                            % (rule, contains,
+                               [str(f) for f in hits]))
+
+    def test_mutant_cross_tu_phase_escape(self):
+        # An endpoint-phase SmCore body calls a helper in another TU
+        # whose body writes a DR_SERIAL_ONLY member. drphase alone is
+        # blind to this (the call is not in MUTATING_CALLS and the
+        # write sits in an unannotated method).
+        findings = scan_mutated([
+            (COHERENCE, FLUSHES_GETTER, FLUSHES_GETTER +
+             "\n\n    void touchEpoch(int gpuCoreIdx)"
+             " { epochs_[gpuCoreIdx] = 0; }"),
+            (SM_CORE, FILL_CALL, FILL_CALL +
+             "\n    coherence_.touchEpoch(coreIdx_);"),
+        ])
+        self.assert_rule(findings, "phase-escape", COHERENCE,
+                         contains="epochs_")
+
+    def test_mutant_two_hop_phase_escape(self):
+        # Two hops: endpoint body -> unannotated helper -> second
+        # unannotated helper that bumps a serial counter. The chain
+        # label must name both intermediate methods.
+        findings = scan_mutated([
+            (COHERENCE, FLUSHES_GETTER, FLUSHES_GETTER +
+             "\n\n    void noteFlushHint(int gpuCoreIdx)"
+             " { bumpFlushes(gpuCoreIdx); }"
+             "\n    void bumpFlushes(int) { ++flushes_; }"),
+            (SM_CORE, FILL_CALL, FILL_CALL +
+             "\n    coherence_.noteFlushHint(coreIdx_);"),
+        ])
+        self.assert_rule(findings, "phase-escape", COHERENCE,
+                         contains="flushes_")
+        hits = [f for f in findings if f.rule == "phase-escape"
+                and f.path == COHERENCE]
+        self.assertTrue(any("noteFlushHint" in f.text
+                            and "bumpFlushes" in f.text for f in hits),
+                        "chain labels missing: %s"
+                        % [str(f) for f in hits])
+
+    def test_mutant_virtual_dispatch_phase_escape(self):
+        # A serial-state write hidden inside a virtual override that
+        # endpoint bodies reach through the L1Organizer interface
+        # (l1_.contains). Only the family fan-out sees it.
+        findings = scan_mutated([
+            (SHARED_CPP, CONTAINS_HEAD, CONTAINS_HEAD +
+             "\n    ++aggregate_.loadHits;"),
+        ])
+        self.assert_rule(findings, "phase-escape", SHARED_CPP,
+                         contains="aggregate_")
+
+    def test_mutant_virtual_dispatch_unclassified(self):
+        # A bodiless, non-pure virtual reached from an endpoint body:
+        # no override to analyze, no declared phase -> unclassifiable.
+        findings = scan_mutated([
+            (L1_IFACE, CONTAINS_PURE, CONTAINS_PURE +
+             "\n    virtual void prefetch(int gpuCoreIdx);"),
+            (SM_CORE, FILL_CALL, FILL_CALL +
+             "\n    l1_.prefetch(coreIdx_);"),
+        ])
+        self.assert_rule(findings, "virtual-dispatch-unclassified",
+                         SM_CORE, contains="prefetch")
+
+    def test_mutant_concurrent_safe_flipped_false(self):
+        # SharedL1 stays core-confined but declares false: the stale
+        # serial fallback direction of confinement-mismatch.
+        verdicts = {}
+        findings = scan_mutated([
+            (SHARED_HPP, SAFE_TRUE,
+             SAFE_TRUE.replace("true", "false")),
+        ], verdicts)
+        self.assert_rule(findings, "confinement-mismatch", SHARED_HPP,
+                         contains="SharedL1")
+        self.assertTrue(verdicts["SharedL1"].confined)
+
+    def test_mutant_cross_core_bank_write(self):
+        # The staged claim lands in core 0's bank regardless of the
+        # calling core: unconfined, yet still declared concurrentSafe.
+        verdicts = {}
+        findings = scan_mutated([
+            (SHARED_CPP, CLAIMS_PUSH,
+             CLAIMS_PUSH.replace("perCore_[core]", "perCore_[0]")),
+        ], verdicts)
+        self.assert_rule(findings, "confinement-mismatch", SHARED_HPP,
+                         contains="SharedL1")
+        self.assertFalse(verdicts["SharedL1"].confined)
+        # DynEbL1 delegates to SharedL1, so its verdict degrades too.
+        self.assertFalse(verdicts["DynEbL1"].confined)
+
+
+class SuppressionTest(unittest.TestCase):
+    """drreach-allow(<rule>) at the call site kills the whole chain."""
+
+    PATCHES_ALLOWED = [
+        (COHERENCE, FLUSHES_GETTER, FLUSHES_GETTER +
+         "\n\n    void touchEpoch(int gpuCoreIdx)"
+         " { epochs_[gpuCoreIdx] = 0; }"),
+        (SM_CORE, FILL_CALL, FILL_CALL +
+         "\n    coherence_.touchEpoch("
+         "coreIdx_);  // drreach-allow(phase-escape)"),
+    ]
+
+    def test_allow_comment_suppresses(self):
+        findings = scan_mutated(self.PATCHES_ALLOWED)
+        self.assertEqual(
+            [str(f) for f in findings
+             if f.rule == "phase-escape"], [])
+
+    def test_wrong_rule_does_not_suppress(self):
+        patches = [(rel, old,
+                    new.replace("drreach-allow(phase-escape)",
+                                "drreach-allow(confinement-mismatch)"))
+                   for rel, old, new in self.PATCHES_ALLOWED]
+        findings = scan_mutated(patches)
+        self.assertTrue(any(f.rule == "phase-escape"
+                            for f in findings))
+
+
+class BaselineTest(unittest.TestCase):
+    """CLI exit codes and the baseline ratchet."""
+
+    MUTANT = [
+        (COHERENCE, FLUSHES_GETTER, FLUSHES_GETTER +
+         "\n\n    void touchEpoch(int gpuCoreIdx)"
+         " { epochs_[gpuCoreIdx] = 0; }"),
+        (SM_CORE, FILL_CALL, FILL_CALL +
+         "\n    coherence_.touchEpoch(coreIdx_);"),
+    ]
+
+    def run_main(self, tmp, extra=None):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = drreach.main(["--root", tmp] + (extra or []))
+        return code, out.getvalue()
+
+    def test_clean_tree_exits_zero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            code, _ = self.run_main(tmp)
+            self.assertEqual(code, 0)
+
+    def test_mutant_exits_nonzero(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            apply_patches(tmp, self.MUTANT)
+            code, out = self.run_main(tmp)
+            self.assertEqual(code, 1)
+            self.assertIn("phase-escape", out)
+
+    def test_update_baseline_roundtrip(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            apply_patches(tmp, self.MUTANT)
+            code, _ = self.run_main(tmp, ["--update-baseline"])
+            self.assertEqual(code, 0)
+            code, _ = self.run_main(tmp)
+            self.assertEqual(code, 0, "ratcheted finding resurfaced")
+
+    def test_list_rules_names_new_rules(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            code, out = self.run_main(tmp, ["--list-rules"])
+            self.assertEqual(code, 0)
+            for rule in ("phase-escape", "virtual-dispatch-unclassified",
+                         "confinement-mismatch"):
+                self.assertIn(rule, out)
+
+    def test_missing_compile_commands_degrades(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            code, _ = self.run_main(
+                tmp, ["--compile-commands",
+                      os.path.join(tmp, "nope", "cc.json")])
+            self.assertEqual(code, 0)
+
+    def test_all_prints_verdict_table(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            make_tree(tmp)
+            code, out = self.run_main(tmp, ["--all"])
+            self.assertEqual(code, 0)
+            self.assertIn("confinement verdicts", out)
+            self.assertIn("SharedL1", out)
+            self.assertIn("DynEbL1", out)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -151,19 +151,27 @@ for key in gated:
 # meaningless.
 min_speedup = float(os.environ.get("DR_PERF_E2E_MIN_SPEEDUP", "1.5"))
 host_cores = current.get("host", {}).get("cores", 0)
-t1 = cur_summary.get("e2e_hetero_threads1_cycles_per_sec", 0.0)
-t4 = cur_summary.get("e2e_hetero_threads4_cycles_per_sec", 0.0)
-if host_cores >= 4 and t1 > 0.0 and t4 > 0.0:
-    speedup = t4 / t1
-    print(f"run_perf_kernel: e2e_hetero 4-thread speedup {speedup:.2f}x "
-          f"(threads1 {t1:.0f}, threads4 {t4:.0f} cycles/sec)")
-    if speedup < min_speedup:
-        print(f"run_perf_kernel: e2e scaling REGRESSION: {speedup:.2f}x "
-              f"< required {min_speedup:.2f}x", file=sys.stderr)
-        failed = True
-elif t1 > 0.0 and t4 > 0.0:
-    print(f"run_perf_kernel: e2e scaling gate skipped "
-          f"(host has {host_cores} cores, need >= 4)")
+# The shared DC-L1 column pair exercises the staged slice-port path
+# (DESIGN.md §14); it is gated by the same speedup floor because the
+# per-core banking exists precisely so that organization scales.
+for prefix in ("e2e_hetero", "e2e_hetero_sharedL1"):
+    t1 = cur_summary.get(f"{prefix}_threads1_cycles_per_sec", 0.0)
+    t4 = cur_summary.get(f"{prefix}_threads4_cycles_per_sec", 0.0)
+    if t1 <= 0.0 or t4 <= 0.0:
+        continue
+    if host_cores >= 4:
+        speedup = t4 / t1
+        print(f"run_perf_kernel: {prefix} 4-thread speedup "
+              f"{speedup:.2f}x (threads1 {t1:.0f}, threads4 {t4:.0f} "
+              f"cycles/sec)")
+        if speedup < min_speedup:
+            print(f"run_perf_kernel: {prefix} scaling REGRESSION: "
+                  f"{speedup:.2f}x < required {min_speedup:.2f}x",
+                  file=sys.stderr)
+            failed = True
+    else:
+        print(f"run_perf_kernel: {prefix} scaling gate skipped "
+              f"(host has {host_cores} cores, need >= 4)")
 
 if failed:
     sys.exit(1)
