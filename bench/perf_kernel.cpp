@@ -142,6 +142,76 @@ timeWorkload(TrafficPattern pattern, double rate, Cycle cycles,
 }
 
 /**
+ * One timed run of the raw Network kernel on the chiplet mesh: 2x2
+ * chiplets of 4x4 routers (the same 64 nodes as the plain-mesh
+ * columns), gateway-restricted interposer links with half-width
+ * serialization, and 3-phase hierarchical routing with its 3-VC
+ * escalation. Uniform-random traffic, so a fixed share of packets
+ * crosses the interposer and the gateway/serialization hot path is
+ * what the CI perf gate tracks as `chiplet_uniform_cycles_per_sec`.
+ */
+WorkloadResult
+timeChipletWorkload(double rate, Cycle cycles, std::uint64_t seed)
+{
+    const int nodes = 64;
+    const int width = 8;
+    const int packetFlits = 5;
+
+    const Topology topo = Topology::makeChipletMesh(2, 2, 4, 4, 2);
+    NetworkParams params;
+    params.routing = RoutingKind::ChipletHierarchical;
+    params.numVcs = 3;
+    params.injBufferFlits.assign(nodes, 36);
+    params.seed = seed;
+    params.interposerSerialization = 2;
+    Network net(params, topo);
+
+    SyntheticTraffic traffic(TrafficPattern::UniformRandom, nodes, width,
+                             {});
+    Rng rng(seed * 31 + 7);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t id = 1;
+    for (Cycle now = 0; now < cycles; ++now) {
+        for (NodeId src = 0; src < nodes; ++src) {
+            if (!rng.chance(rate) || !net.canInject(src, packetFlits))
+                continue;
+            Message m;
+            m.type = MsgType::ReadReply;
+            m.cls = TrafficClass::Gpu;
+            m.src = src;
+            m.dst = traffic.dest(src, rng);
+            m.id = id++;
+            net.inject(m, packetFlits, now);
+        }
+        net.tick(now);
+        for (NodeId n = 0; n < nodes; ++n) {
+            while (net.hasMessage(n, NetKind::Reply))
+                net.popMessage(n, NetKind::Reply);
+            while (net.hasMessage(n, NetKind::Request))
+                net.popMessage(n, NetKind::Request);
+        }
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(stop - start).count();
+
+    WorkloadResult r;
+    r.pattern = "chiplet_uniform";
+    r.rate = rate;
+    r.threads = 1;
+    r.cycles = cycles;
+    r.wallSeconds = wall;
+    r.cyclesPerSec = wall > 0.0 ? static_cast<double>(cycles) / wall : 0.0;
+    r.flitHopsPerSec =
+        wall > 0.0
+            ? static_cast<double>(net.totalLinkTraversals()) / wall
+            : 0.0;
+    r.packetsDelivered = net.stats().packetsDelivered.value();
+    return r;
+}
+
+/**
  * One timed end-to-end run of the full heterogeneous system (SM cores,
  * CPU cores, memory nodes, coherence — not just the NoC kernel) under
  * the paper configuration. `threads` drives both the NoC domain
@@ -225,6 +295,10 @@ main()
                                    cycles, 1, /*vnets=*/true));
     results.push_back(timeWorkload(TrafficPattern::Hotspot, 0.05, cycles,
                                    1, /*vnets=*/true));
+    // Chiplet-mesh runs: hierarchical routing, gateway restriction and
+    // interposer serialization on the raw kernel hot path.
+    results.push_back(timeChipletWorkload(0.02, cycles, 1));
+    results.push_back(timeChipletWorkload(0.05, cycles, 1));
     // Parallel tick engine scaling: uniform rate 0.10 at 2 and 4
     // domains (threads=1 is loads[2] above). Statistics are
     // bit-identical across the column; only wall-clock moves.
@@ -260,6 +334,7 @@ main()
     std::vector<double> hotspotCps;
     std::vector<double> vnetUniformCps;
     std::vector<double> vnetHotspotCps;
+    std::vector<double> chipletCps;
     for (const WorkloadResult &r : results) {
         if (r.threads != 1)
             continue;  // summary geomeans stay a single-thread metric
@@ -271,6 +346,8 @@ main()
             vnetUniformCps.push_back(r.cyclesPerSec);
         else if (r.pattern == std::string("vnet_hotspot"))
             vnetHotspotCps.push_back(r.cyclesPerSec);
+        else if (r.pattern == std::string("chiplet_uniform"))
+            chipletCps.push_back(r.cyclesPerSec);
         else
             hotspotCps.push_back(r.cyclesPerSec);
     }
@@ -305,6 +382,8 @@ main()
                 geomean(vnetUniformCps));
     std::printf("    \"vnet_hotspot_cycles_per_sec\": %.0f,\n",
                 geomean(vnetHotspotCps));
+    std::printf("    \"chiplet_uniform_cycles_per_sec\": %.0f,\n",
+                geomean(chipletCps));
     std::printf("    \"uniform_r10_threads1_cycles_per_sec\": %.0f,\n",
                 results[uniformR10Idx].cyclesPerSec);
     std::printf("    \"uniform_r10_threads2_cycles_per_sec\": %.0f,\n",

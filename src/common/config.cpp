@@ -1,5 +1,6 @@
 #include "common/config.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/log.hpp"
@@ -15,6 +16,15 @@ NocConfig::effectiveChannelBytes() const
     if (scaled <= 0)
         fatal("channel width scaled to zero bytes");
     return scaled;
+}
+
+int
+NocConfig::interposerSerializationCycles() const
+{
+    if (interposerChannelBytes <= 0)
+        return 1;  // full-width interposer channels
+    const int channel = effectiveChannelBytes();
+    return (channel + interposerChannelBytes - 1) / interposerChannelBytes;
 }
 
 void
@@ -75,6 +85,49 @@ SystemConfig::validate() const
     if (noc.topology == TopologyKind::Mesh &&
         noc.meshWidth * noc.meshHeight != tiles) {
         fatal("mesh dimensions inconsistent");
+    }
+    if (noc.topology == TopologyKind::ChipletMesh) {
+        if (noc.chipletsX < 1 || noc.chipletsY < 1 ||
+            noc.chipletSubW < 1 || noc.chipletSubH < 1)
+            fatal("every chiplet dimension must be at least 1");
+        if (noc.chipletsX * noc.chipletsY < 2)
+            fatal("a chiplet mesh needs at least 2 chiplets "
+                  "(use topology=mesh otherwise)");
+        // Never derive one set of dimensions from the other: an
+        // inconsistent pair is a configuration bug, not a preference.
+        if (noc.meshWidth != noc.chipletsX * noc.chipletSubW ||
+            noc.meshHeight != noc.chipletsY * noc.chipletSubH) {
+            fatal("chiplet grid (", noc.chipletsX, "x", noc.chipletSubW,
+                  " by ", noc.chipletsY, "x", noc.chipletSubH,
+                  ") does not compose to the configured ", noc.meshWidth,
+                  "x", noc.meshHeight, " mesh");
+        }
+        const int maxLinks = std::min(noc.chipletSubW, noc.chipletSubH);
+        if (noc.chipletLinksPerEdge < 0 ||
+            noc.chipletLinksPerEdge > maxLinks) {
+            fatal("noc.chipletLinksPerEdge must be in [0, ", maxLinks,
+                  "], got ", noc.chipletLinksPerEdge);
+        }
+    }
+    if (noc.interposerChannelBytes < 0)
+        fatal("noc.interposerChannelBytes must be >= 0 (0 = full width)");
+    if (noc.interposerLatency < 0)
+        fatal("noc.interposerLatency must be >= 0");
+    if (!mem.placement.empty()) {
+        if (static_cast<int>(mem.placement.size()) != mem.numNodes) {
+            fatal("mem.placement lists ", mem.placement.size(),
+                  " tiles but the system has ", mem.numNodes,
+                  " memory nodes");
+        }
+        std::vector<bool> seen(static_cast<std::size_t>(tiles), false);
+        for (const int tile : mem.placement) {
+            if (tile < 0 || tile >= tiles)
+                fatal("mem.placement tile ", tile, " outside the chip (",
+                      tiles, " tiles)");
+            if (seen[static_cast<std::size_t>(tile)])
+                fatal("mem.placement tile ", tile, " listed twice");
+            seen[static_cast<std::size_t>(tile)] = true;
+        }
     }
 }
 

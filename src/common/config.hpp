@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -22,6 +23,33 @@ struct NocConfig
     TopologyKind topology = TopologyKind::Mesh;
     int meshWidth = 8;   //!< columns
     int meshHeight = 8;  //!< rows
+
+    /**
+     * Chiplet-mesh topology (topology == ChipletMesh): a chipletsX x
+     * chipletsY grid of chipletSubW x chipletSubH sub-meshes joined by
+     * interposer links. meshWidth/meshHeight must equal the composed
+     * grid (chipletsX*chipletSubW by chipletsY*chipletSubH) — validate()
+     * fatals on any mismatch rather than silently deriving one from the
+     * other. chipletLinksPerEdge restricts how many boundary rows/
+     * columns carry an interposer link (0 = every boundary router is a
+     * gateway); restricted gateways require chiplet routing.
+     */
+    int chipletsX = 1;
+    int chipletsY = 1;
+    int chipletSubW = 4;
+    int chipletSubH = 4;
+    int chipletLinksPerEdge = 0;
+
+    /**
+     * Interposer link class. interposerChannelBytes is the physical
+     * width of an interposer channel (0 = same as channelBytes); a
+     * narrower channel serializes each flit over
+     * ceil(effectiveChannelBytes / interposerChannelBytes) cycles.
+     * interposerLatency is added to every flit hop and credit return
+     * crossing an interposer link.
+     */
+    int interposerChannelBytes = 0;
+    int interposerLatency = 4;
 
     int channelBytes = 16;  //!< 128-bit channels
     int vcsPerNet = 2;      //!< VCs per physical network
@@ -79,6 +107,9 @@ struct NocConfig
 
     /** Effective channel width in bytes after scaling. */
     int effectiveChannelBytes() const;
+
+    /** Cycles one flit occupies an interposer channel (>= 1). */
+    int interposerSerializationCycles() const;
 };
 
 /** GPU core (SM) parameters. */
@@ -141,6 +172,15 @@ struct MemConfig
 
     /** Randomized (PAE-like [43]) address-to-MC mapping seed. */
     std::uint64_t mapSeed = 0x5eedu;
+
+    /**
+     * Explicit memory-node tile placement: `placement[i]` is the tile
+     * index of the i-th memory node. Empty keeps the ChipLayout
+     * default; non-empty must list exactly numNodes distinct in-range
+     * tiles (validate() fatals otherwise). This is the knob the
+     * deterministic placement search (tools/run_placement.py) sweeps.
+     */
+    std::vector<int> placement;
 };
 
 /** Delegated Replies policy knobs. */

@@ -28,6 +28,7 @@ topologyName(TopologyKind t)
       case TopologyKind::Crossbar: return "crossbar";
       case TopologyKind::FlattenedButterfly: return "flattened-butterfly";
       case TopologyKind::Dragonfly: return "dragonfly";
+      case TopologyKind::ChipletMesh: return "chiplet-mesh";
     }
     return "unknown";
 }
@@ -42,6 +43,7 @@ routingName(RoutingKind r)
       case RoutingKind::Footprint: return "Footprint";
       case RoutingKind::Hare: return "HARE";
       case RoutingKind::TableMinimal: return "table-minimal";
+      case RoutingKind::ChipletHierarchical: return "chiplet";
     }
     return "unknown";
 }

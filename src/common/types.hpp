@@ -92,6 +92,7 @@ enum class TopologyKind : std::uint8_t
     Crossbar,
     FlattenedButterfly,
     Dragonfly,
+    ChipletMesh,  //!< chiplet sub-meshes joined by interposer links
 };
 
 const char *topologyName(TopologyKind t);
@@ -112,6 +113,7 @@ enum class RoutingKind : std::uint8_t
     Footprint,      //!< adaptiveness-regulated [22]
     Hare,           //!< history-aware adaptive [37]
     TableMinimal,   //!< precomputed minimal paths (non-mesh topologies)
+    ChipletHierarchical,  //!< intra-chiplet XY + gateway transit phases
 };
 
 const char *routingName(RoutingKind r);

@@ -66,6 +66,20 @@ parseDouble(const std::string &key, const std::string &value)
     return parsed;
 }
 
+/** Comma-separated integer list; an empty value is an empty list. */
+std::vector<int>
+parseIntList(const std::string &key, const std::string &value)
+{
+    std::vector<int> out;
+    if (value.empty())
+        return out;
+    std::stringstream ss(value);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        out.push_back(parseInt(key, trim(item)));
+    return out;
+}
+
 bool
 parseBool(const std::string &key, const std::string &value)
 {
@@ -113,6 +127,8 @@ parseTopology(const std::string &value)
         return TopologyKind::FlattenedButterfly;
     if (value == "dragonfly")
         return TopologyKind::Dragonfly;
+    if (value == "chiplet-mesh" || value == "chiplet")
+        return TopologyKind::ChipletMesh;
     fatal("config: unknown topology '", value, "'");
 }
 
@@ -131,6 +147,8 @@ parseRouting(const std::string &value)
         return RoutingKind::Hare;
     if (value == "table" || value == "table-minimal")
         return RoutingKind::TableMinimal;
+    if (value == "chiplet" || value == "chiplet-hierarchical")
+        return RoutingKind::ChipletHierarchical;
     fatal("config: unknown routing '", value, "'");
 }
 
@@ -177,6 +195,18 @@ applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
         {"noc.meshWidth", [&] { cfg.noc.meshWidth = parseInt(key, value); }},
         {"noc.meshHeight",
          [&] { cfg.noc.meshHeight = parseInt(key, value); }},
+        {"noc.chipletsX", [&] { cfg.noc.chipletsX = parseInt(key, value); }},
+        {"noc.chipletsY", [&] { cfg.noc.chipletsY = parseInt(key, value); }},
+        {"noc.chipletSubW",
+         [&] { cfg.noc.chipletSubW = parseInt(key, value); }},
+        {"noc.chipletSubH",
+         [&] { cfg.noc.chipletSubH = parseInt(key, value); }},
+        {"noc.chipletLinksPerEdge",
+         [&] { cfg.noc.chipletLinksPerEdge = parseInt(key, value); }},
+        {"noc.interposerChannelBytes",
+         [&] { cfg.noc.interposerChannelBytes = parseInt(key, value); }},
+        {"noc.interposerLatency",
+         [&] { cfg.noc.interposerLatency = parseInt(key, value); }},
         {"noc.channelBytes",
          [&] { cfg.noc.channelBytes = parseInt(key, value); }},
         {"noc.vcsPerNet", [&] { cfg.noc.vcsPerNet = parseInt(key, value); }},
@@ -240,6 +270,8 @@ applyConfigOption(SystemConfig &cfg, const std::string &rawKey,
          [&] { cfg.mem.banksPerMc = parseInt(key, value); }},
         {"mem.burstCycles",
          [&] { cfg.mem.burstCycles = parseInt(key, value); }},
+        {"mem.placement",
+         [&] { cfg.mem.placement = parseIntList(key, value); }},
 
         {"dr.delegateAlways",
          [&] { cfg.dr.delegateAlways = parseBool(key, value); }},
@@ -315,6 +347,7 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
           case RoutingKind::Footprint: return "footprint";
           case RoutingKind::Hare: return "HARE";
           case RoutingKind::TableMinimal: return "table";
+          case RoutingKind::ChipletHierarchical: return "chiplet";
         }
         return "XY";
     };
@@ -323,7 +356,8 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
         : cfg.noc.topology == TopologyKind::Crossbar ? "crossbar"
         : cfg.noc.topology == TopologyKind::FlattenedButterfly
               ? "flattened-butterfly"
-              : "dragonfly";
+        : cfg.noc.topology == TopologyKind::ChipletMesh ? "chiplet-mesh"
+                                                        : "dragonfly";
     const char *l1org =
         cfg.gpu.l1Org == L1Organization::Private ? "private"
         : cfg.gpu.l1Org == L1Organization::DcL1 ? "dc-l1"
@@ -338,6 +372,15 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
     out << "noc.topology = " << topo << "\n";
     out << "noc.meshWidth = " << cfg.noc.meshWidth << "\n";
     out << "noc.meshHeight = " << cfg.noc.meshHeight << "\n";
+    out << "noc.chipletsX = " << cfg.noc.chipletsX << "\n";
+    out << "noc.chipletsY = " << cfg.noc.chipletsY << "\n";
+    out << "noc.chipletSubW = " << cfg.noc.chipletSubW << "\n";
+    out << "noc.chipletSubH = " << cfg.noc.chipletSubH << "\n";
+    out << "noc.chipletLinksPerEdge = " << cfg.noc.chipletLinksPerEdge
+        << "\n";
+    out << "noc.interposerChannelBytes = "
+        << cfg.noc.interposerChannelBytes << "\n";
+    out << "noc.interposerLatency = " << cfg.noc.interposerLatency << "\n";
     out << "noc.channelBytes = " << cfg.noc.channelBytes << "\n";
     out << "noc.vcsPerNet = " << cfg.noc.vcsPerNet << "\n";
     out << "noc.vcDepthFlits = " << cfg.noc.vcDepthFlits << "\n";
@@ -382,6 +425,10 @@ writeConfig(const SystemConfig &cfg, std::ostream &out)
     out << "mem.llcMshrs = " << cfg.mem.llcMshrs << "\n";
     out << "mem.banksPerMc = " << cfg.mem.banksPerMc << "\n";
     out << "mem.burstCycles = " << cfg.mem.burstCycles << "\n";
+    out << "mem.placement = ";
+    for (std::size_t i = 0; i < cfg.mem.placement.size(); ++i)
+        out << (i ? "," : "") << cfg.mem.placement[i];
+    out << "\n";
     out << "dr.delegateAlways = "
         << (cfg.dr.delegateAlways ? "true" : "false") << "\n";
     out << "dr.frqRemotePriority = "

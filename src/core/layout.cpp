@@ -173,6 +173,34 @@ buildLayout(const SystemConfig &cfg)
         map = layoutD(cfg);
         break;
     }
+    if (!cfg.mem.placement.empty()) {
+        // Explicit memory-node placement (the placement-search knob):
+        // move the memory nodes to the listed tiles and let the cores
+        // they displace take over the vacated tiles, in ascending tile
+        // order — fully deterministic and node-mix preserving.
+        std::vector<NodeType> types = std::move(map.types);
+        std::vector<char> vacated(types.size(), 0);
+        for (std::size_t n = 0; n < types.size(); ++n)
+            if (types[n] == NodeType::MemNode)
+                vacated[n] = 1;
+        std::vector<NodeType> displaced;
+        for (const int tile : cfg.mem.placement) {
+            const auto t = static_cast<std::size_t>(tile);
+            if (vacated[t])
+                vacated[t] = 0;  // already a memory node; stays one
+            else
+                displaced.push_back(types[t]);
+            types[t] = NodeType::MemNode;
+        }
+        std::size_t next = 0;
+        for (std::size_t n = 0; n < types.size(); ++n) {
+            if (vacated[n])
+                types[n] = displaced[next++];
+        }
+        if (next != displaced.size())
+            panic("mem.placement displaced-core accounting broken");
+        map = finalize(std::move(types));
+    }
     if (static_cast<int>(map.gpuCores.size()) != cfg.gpu.numCores ||
         static_cast<int>(map.cpuCores.size()) != cfg.cpu.numCores ||
         static_cast<int>(map.memNodes.size()) != cfg.mem.numNodes) {

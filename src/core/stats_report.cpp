@@ -151,6 +151,25 @@ StatsReport::capture(const HeteroSystem &system, Cycle measuredCycles)
                                  static_cast<double>(measuredCycles)
                            : 0.0);
         }
+        if (net.topology().kind() == TopologyKind::ChipletMesh) {
+            // Interposer link class (chiplet meshes): hop count, peak
+            // occupancy of the narrow links' downstream buffers, and
+            // mean utilization per interposer link over the window.
+            const std::string ip = p + "interposer.";
+            const auto flits = net.stats().interposerFlits.value();
+            report.add(ip + "flits", static_cast<double>(flits));
+            report.add(ip + "peakFlits",
+                       static_cast<double>(
+                           net.stats().interposerPeakFlits));
+            const int links = net.topology().interposerLinkCount();
+            report.add(ip + "links", static_cast<double>(links));
+            report.add(ip + "linkUtilization",
+                       measuredCycles > 0 && links > 0
+                           ? static_cast<double>(flits) /
+                                 (static_cast<double>(links) *
+                                  static_cast<double>(measuredCycles))
+                           : 0.0);
+        }
         if (system.interconnect().shared())
             break;  // one physical network
     }

@@ -28,19 +28,40 @@ injBuffers(const SystemConfig &cfg, const std::vector<NodeType> &types)
 RoutingKind
 effectiveRouting(const SystemConfig &cfg, RoutingKind wanted)
 {
+    if (cfg.noc.topology == TopologyKind::ChipletMesh) {
+        // Gateway-restricted chiplet meshes have grid holes only the
+        // hierarchical scheme routes deadlock-free; with every boundary
+        // channel present the composed grid is structurally a plain
+        // mesh, so any requested mesh routing (or chiplet routing
+        // itself) applies unchanged.
+        if (cfg.noc.chipletLinksPerEdge > 0)
+            return RoutingKind::ChipletHierarchical;
+        return wanted;
+    }
     // Non-mesh topologies route over deterministic minimal tables.
     if (cfg.noc.topology != TopologyKind::Mesh)
         return RoutingKind::TableMinimal;
     return wanted;
 }
 
+/** Build the configured topology (chiplet meshes take extra shape). */
+Topology
+makeTopology(const SystemConfig &cfg)
+{
+    if (cfg.noc.topology == TopologyKind::ChipletMesh) {
+        return Topology::makeChipletMesh(
+            cfg.noc.chipletsX, cfg.noc.chipletsY, cfg.noc.chipletSubW,
+            cfg.noc.chipletSubH, cfg.noc.chipletLinksPerEdge);
+    }
+    return Topology::make(cfg.noc.topology, cfg.nodeCount(),
+                          cfg.noc.meshWidth, cfg.noc.meshHeight);
+}
+
 } // namespace
 
 Interconnect::Interconnect(const SystemConfig &cfg,
                            const std::vector<NodeType> &nodeTypes)
-    : cfg_(cfg),
-      topo_(Topology::make(cfg.noc.topology, cfg.nodeCount(),
-                           cfg.noc.meshWidth, cfg.noc.meshHeight)),
+    : cfg_(cfg), topo_(makeTopology(cfg)),
       shared_(cfg.noc.sharedPhysical), nodeTypes_(nodeTypes)
 {
     if (static_cast<int>(nodeTypes.size()) != cfg.nodeCount())
@@ -51,6 +72,9 @@ Interconnect::Interconnect(const SystemConfig &cfg,
     params.routerStages = cfg.noc.routerStages;
     params.vnPriority = cfg.noc.vnets;
     params.threads = cfg.noc.threads;
+    params.interposerSerialization =
+        cfg.noc.interposerSerializationCycles();
+    params.interposerLatency = cfg.noc.interposerLatency;
     // The ejection buffer must be able to complete one maximum-size
     // packet per VC: wormhole reassembly holds partial packets in the
     // buffer, and two interleaved replies that together exceed the

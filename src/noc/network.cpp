@@ -54,6 +54,20 @@ Network::Network(const NetworkParams &params, const Topology &topo)
             params_.vnPriority));
     }
 
+    // Interposer link class: narrow channels serialize each flit over
+    // several cycles. Wired per output port before the first tick; the
+    // default interval of 1 leaves the routers on the untouched fast
+    // path (hasThrottle_ stays false).
+    if (params_.interposerSerialization > 1) {
+        for (int r = 0; r < topo_.routers(); ++r) {
+            for (int p = 0; p < topo_.radix(r); ++p) {
+                if (topo_.isInterposer(r, p))
+                    routers_[r]->setPortSerialization(
+                        p, params_.interposerSerialization);
+            }
+        }
+    }
+
     nis_.resize(topo_.nodes());
     for (NodeId n = 0; n < topo_.nodes(); ++n) {
         Ni &ni = nis_[n];
@@ -90,9 +104,26 @@ Network::Network(const NetworkParams &params, const Topology &topo)
     numDomains_ = std::min(resolveThreads(params_.threads),
                            topo_.routers());
     routerDomain_.resize(static_cast<std::size_t>(topo_.routers()));
-    for (int r = 0; r < topo_.routers(); ++r) {
-        routerDomain_[r] = static_cast<std::int16_t>(
-            (static_cast<long>(r) * numDomains_) / topo_.routers());
+    if (topo_.kind() == TopologyKind::ChipletMesh) {
+        // Chiplet-aligned partition: domain boundaries snap to whole
+        // chiplet rows, so an interposer row-crossing is the only kind
+        // of cross-domain link and every chiplet is owned by exactly
+        // one domain. Blocks (chiplet rows) are assigned to domains
+        // with the same balanced formula as routers below — contiguous
+        // and monotone in the router index, so the monotone-attach
+        // check keeps passing.
+        const int blocks = topo_.chipletsY();
+        numDomains_ = std::min(numDomains_, blocks);
+        for (int r = 0; r < topo_.routers(); ++r) {
+            const int block = topo_.yOf(r) / topo_.chipletSubH();
+            routerDomain_[r] = static_cast<std::int16_t>(
+                (static_cast<long>(block) * numDomains_) / blocks);
+        }
+    } else {
+        for (int r = 0; r < topo_.routers(); ++r) {
+            routerDomain_[r] = static_cast<std::int16_t>(
+                (static_cast<long>(r) * numDomains_) / topo_.routers());
+        }
     }
     nodeDomain_.resize(static_cast<std::size_t>(topo_.nodes()));
     bool monotone = true;
@@ -598,6 +629,18 @@ Network::mergeTick()
             d.vnMaxPrefix[vn] = 0;
             DR_ASSERT(vnInFabric_[vn] >= 0);
         }
+        stats_.interposerFlits += d.interposerFlits;
+        d.interposerFlits = 0;
+        if (d.ipMaxPrefix > 0) {
+            const auto candidate =
+                static_cast<std::uint64_t>(ipInFabric_ + d.ipMaxPrefix);
+            if (candidate > stats_.interposerPeakFlits)
+                stats_.interposerPeakFlits = candidate;
+        }
+        ipInFabric_ += d.ipDelta;
+        d.ipDelta = 0;
+        d.ipMaxPrefix = 0;
+        DR_ASSERT(ipInFabric_ >= 0);
         for (const DeliveredRecord &rec : d.delivered) {
             if (rec.straddler) {
                 ++stats_.warmupStraddlers;
@@ -683,6 +726,19 @@ Network::deliverToRouter(int router, int port, const Flit &flit, Cycle when)
     const auto &conn = topo_.port(router, port);
     const int producer = routerDomain_[router];
     ++domains_[producer].linkTraversals;
+    if (conn.interposer) {
+        // Interposer link class: extra hop latency, plus occupancy
+        // tracking (a flit occupies the downstream interposer buffer
+        // until its credit crosses back). Both touches are events of
+        // the sending router's tick, so the per-domain delta/max-prefix
+        // merge reconstructs the serial event order exactly.
+        Domain &pd = domains_[producer];
+        DR_STAMP_WRITE(pd);
+        ++pd.interposerFlits;
+        if (++pd.ipDelta > pd.ipMaxPrefix)
+            pd.ipMaxPrefix = pd.ipDelta;
+        when += static_cast<Cycle>(params_.interposerLatency);
+    }
     const int consumer = routerDomain_[conn.peerRouter];
     if (producer == consumer) {
         routers_[conn.peerRouter]->acceptFlit(conn.peerPort, flit, when);
@@ -743,6 +799,13 @@ Network::creditToFeeder(int router, int inputPort, int vc, Cycle when)
     if (conn.kind == PortConn::Kind::Link) {
         const int producer = routerDomain_[router];
         const int consumer = routerDomain_[conn.peerRouter];
+        if (conn.interposer) {
+            // Credit return crosses the interposer too: same added
+            // latency, and the freed buffer slot ends the flit's
+            // interposer occupancy (an event of this router's tick).
+            --domains_[producer].ipDelta;
+            when += static_cast<Cycle>(params_.interposerLatency);
+        }
         if (producer == consumer) {
             routers_[conn.peerRouter]->acceptCredit(conn.peerPort, vc,
                                                     when);
@@ -855,6 +918,8 @@ Network::resetStats()
     for (int vn = 0; vn < numVnets; ++vn)
         stats_.vnPeakFlits[vn] = static_cast<std::uint64_t>(
             std::max(vnInFabric_[vn], 0));
+    stats_.interposerPeakFlits =
+        static_cast<std::uint64_t>(std::max(ipInFabric_, 0));
     // Record the boundary: packets queued before this cycle must not
     // contribute latency samples to the fresh measurement window.
     statsResetAt_ = now_;

@@ -64,6 +64,16 @@ struct NetworkParams
      * DR_NOC_THREADS from the environment, else run single-threaded.
      */
     int threads = 0;
+    /**
+     * Interposer link class (chiplet meshes). Serialization is the
+     * cycles one flit occupies an interposer channel (the channel-width
+     * ratio: a half-width interposer link serializes every flit over 2
+     * cycles); latency is added to every flit hop and credit return
+     * crossing an interposer link. 1/0 leave non-chiplet schedules
+     * bit-identical.
+     */
+    int interposerSerialization = 1;
+    int interposerLatency = 0;
 };
 
 /** Aggregate network statistics. */
@@ -99,6 +109,16 @@ struct NetworkStats
     std::array<Counter, numVnets> vnInjectionStalls;
     /** Peak flits simultaneously in the fabric, per VN, since reset. */
     std::array<std::uint64_t, numVnets> vnPeakFlits{};
+
+    // --- per link class (chiplet meshes; zero elsewhere) ---------------
+    /** Flit hops over interposer-class links. */
+    Counter interposerFlits;
+    /**
+     * Peak flits simultaneously occupying downstream interposer-link
+     * buffers (sent over an interposer link, credit not yet returned)
+     * since reset — the congestion signal of the narrow link class.
+     */
+    std::uint64_t interposerPeakFlits = 0;
 };
 
 /**
@@ -191,6 +211,14 @@ class Network : public RouterEnv, public CongestionProbe
     {
         DR_PHASE_ASSERT_COMMIT();
         return vnInFabric_[static_cast<int>(vn)];
+    }
+
+    /** Flits currently occupying downstream interposer-link buffers. */
+    int
+    interposerFlitsInFlight() const
+    {
+        DR_PHASE_ASSERT_COMMIT();
+        return ipInFabric_;
     }
 
     /** Utilization of the node->router injection link over `cycles`. */
@@ -465,6 +493,13 @@ class Network : public RouterEnv, public CongestionProbe
         /** This tick's running VN-occupancy delta and its max prefix. */
         std::array<int, numVnets> vnDelta{};
         std::array<int, numVnets> vnMaxPrefix{};
+        /** Flit hops over interposer links this tick (chiplet meshes). */
+        std::uint64_t interposerFlits = 0;
+        /** Interposer-occupancy delta / max prefix (same merge pattern
+         *  as vnDelta; all touches are router events, so ascending-
+         *  domain composition reconstructs the serial event order). */
+        int ipDelta = 0;
+        int ipMaxPrefix = 0;
 
         bool
         hasWork() const
@@ -503,6 +538,9 @@ class Network : public RouterEnv, public CongestionProbe
     NetworkStats stats_ DR_SERIAL_ONLY;
     /** Live per-VN flit occupancy of the fabric (survives resetStats). */
     std::array<int, numVnets> vnInFabric_ DR_SERIAL_ONLY{};
+    /** Live flits occupying downstream interposer-link buffers (sent
+     *  across, credit not yet returned). Survives resetStats. */
+    int ipInFabric_ DR_SERIAL_ONLY = 0;
     std::uint64_t linkTraversals_ DR_SERIAL_ONLY = 0;
     //! flits NIs handed to routers
     std::uint64_t conservInjected_ DR_SERIAL_ONLY = 0;

@@ -23,7 +23,9 @@ Router::Router(int id, int numPorts, int numVcs, int vcDepth, int stages,
       creditArrivals_(numPorts),
       rrPtr_(numPorts, 0),
       saInUsed_(numPorts, 0),
-      saReq_(numPorts, 0)
+      saReq_(numPorts, 0),
+      portInterval_(numPorts, 1),
+      portNextFree_(numPorts, 0)
 {
     if (numVcs_ > 8)
         fatal("at most 8 VCs supported (VC masks are 8 bits)");
@@ -272,6 +274,14 @@ Router::switchAllocate(Cycle now)
 
     for (int i = 0; i < numPorts_; ++i) {
         const int outPort = (i + saOffset_) % numPorts_;
+        if (hasThrottle_ && now < portNextFree_[outPort]) {
+            // Narrow link still serializing the previous flit. A pass
+            // that only lost grants to throttling must stay awake: the
+            // port frees by the passage of time alone.
+            if (saReq_[outPort] != 0)
+                throttledWait_ = true;
+            continue;
+        }
         int best = -1;
         int bestRank = 0;
         int bestDist = 0;
@@ -300,6 +310,9 @@ Router::switchAllocate(Cycle now)
         granted = true;
         inUsed[best / numVcs_] = 1;
         rrPtr_[outPort] = (best + 1) % (numPorts_ * numVcs_);
+        if (hasThrottle_ && portInterval_[outPort] > 1)
+            portNextFree_[outPort] =
+                now + static_cast<Cycle>(portInterval_[outPort]);
         grantTraversal(best, outPort, now);
     }
     saOffset_ = (saOffset_ + 1) % numPorts_;
@@ -315,6 +328,12 @@ Router::switchAllocateWide(Cycle now)
 
     for (int i = 0; i < numPorts_; ++i) {
         const int outPort = (i + saOffset_) % numPorts_;
+        if (hasThrottle_ && now < portNextFree_[outPort]) {
+            // Conservative: assume the skipped port had requesters so
+            // the quiescent fast path never latches while throttled.
+            throttledWait_ = true;
+            continue;
+        }
         int best = -1;
         int bestRank = 0;
         int bestDist = 0;
@@ -350,6 +369,9 @@ Router::switchAllocateWide(Cycle now)
         granted = true;
         inUsed[best / numVcs_] = 1;
         rrPtr_[outPort] = (best + 1) % (numPorts_ * numVcs_);
+        if (hasThrottle_ && portInterval_[outPort] > 1)
+            portNextFree_[outPort] =
+                now + static_cast<Cycle>(portInterval_[outPort]);
         grantTraversal(best, outPort, now);
     }
     saOffset_ = (saOffset_ + 1) % numPorts_;
@@ -422,10 +444,22 @@ Router::tick(Cycle now)
         saOffset_ = (saOffset_ + 1) % numPorts_;
         return;
     }
+    throttledWait_ = false;
     const bool routed = routeCompute();
     const bool allocated = vcAllocate();
     const bool granted = switchAllocate(now);
-    quiescent_ = !routed && !allocated && !granted;
+    quiescent_ = !routed && !allocated && !granted && !throttledWait_;
+}
+
+void
+Router::setPortSerialization(int port, int interval)
+{
+    if (interval < 1)
+        fatal("router ", id_, ": serialization interval must be >= 1");
+    portInterval_[port] = interval;
+    hasThrottle_ = false;
+    for (const int iv : portInterval_)
+        hasThrottle_ = hasThrottle_ || iv > 1;
 }
 
 int

@@ -128,6 +128,16 @@ class DR_DOMAIN_OWNED Router
      */
     void wakeEjectSpace() { quiescent_ = false; }
 
+    /**
+     * Serialize switch traversals on an output port: at most one grant
+     * every `interval` cycles. Models narrow link classes (interposer
+     * channels whose width is a fraction of the on-chiplet channel):
+     * each flit occupies the link for `interval` cycles. Interval 1 is
+     * the default full-width channel and leaves schedules untouched.
+     * Call once at wiring time, before the first tick.
+     */
+    void setPortSerialization(int port, int interval);
+
     /** Free downstream credits summed over an output port's VCs. */
     int freeCredits(int port) const;
 
@@ -278,6 +288,20 @@ class DR_DOMAIN_OWNED Router
      * bit-identical with the non-skipping kernel.
      */
     bool quiescent_ = false;
+
+    /**
+     * Output-port serialization (narrow link classes). `hasThrottle_`
+     * gates every hot-path check so the default all-ones configuration
+     * pays nothing and keeps legacy schedules bit-identical.
+     * `throttledWait_` records that the last allocation pass skipped a
+     * throttled output that had requesters — such a pass must not latch
+     * `quiescent_`, because the port becoming free again is a pure
+     * function of time and would never produce a wake-up event.
+     */
+    bool hasThrottle_ = false;
+    bool throttledWait_ = false;
+    std::vector<int> portInterval_;    //!< per output port, cycles/flit
+    std::vector<Cycle> portNextFree_;  //!< per output port
 
     // Activity tracking so idle routers can skip their tick entirely.
     int bufferedCount_ = 0;

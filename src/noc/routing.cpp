@@ -12,8 +12,19 @@ RoutingPolicy::RoutingPolicy(RoutingKind kind, const Topology &topo,
       layout_(layout.empty() ? VnetLayout::uniform(numVcs) : layout),
       rng_(seed)
 {
-    if (topo_.kind() != TopologyKind::Mesh &&
-        kind_ != RoutingKind::TableMinimal) {
+    if (kind_ == RoutingKind::ChipletHierarchical) {
+        if (topo_.kind() != TopologyKind::ChipletMesh)
+            fatal("chiplet routing requires a chiplet-mesh topology");
+    } else if (topo_.kind() == TopologyKind::ChipletMesh) {
+        // With every boundary channel present the chiplet mesh is
+        // structurally a plain mesh, so any mesh routing applies.
+        // Restricted gateways leave grid holes that dimension-order /
+        // BFS-table wormhole routing would deadlock on.
+        if (topo_.chipletLinksPerEdge() > 0)
+            fatal("a gateway-restricted chiplet mesh requires chiplet "
+                  "routing");
+    } else if (topo_.kind() != TopologyKind::Mesh &&
+               kind_ != RoutingKind::TableMinimal) {
         fatal("only table routing is supported on non-mesh topologies");
     }
     if (layout_.numVcs != numVcs_)
@@ -21,6 +32,20 @@ RoutingPolicy::RoutingPolicy(RoutingKind kind, const Topology &topo,
               " VCs but the network has ", numVcs_);
     // Escape classes are carved out of each VN's reserved range, so
     // VN ranges of one VC cannot express them.
+    if (kind_ == RoutingKind::ChipletHierarchical) {
+        // Three monotone routing phases (E/W transit, N/S transit,
+        // intra-chiplet XY), each owning a disjoint VC segment of the
+        // packet's VN range — the escalation that keeps hierarchical
+        // wormhole routing deadlock-free.
+        for (int vn = 0; vn < numVnets; ++vn) {
+            if (layout_.range[vn].count < 3) {
+                fatal("chiplet routing needs at least 3 VCs in every "
+                      "virtual network (one per routing phase); the ",
+                      vnetName(static_cast<VirtualNet>(vn)), " VN has ",
+                      static_cast<int>(layout_.range[vn].count));
+            }
+        }
+    }
     const bool needsSplit =
         adaptive() || topo_.kind() == TopologyKind::Dragonfly;
     if (needsSplit) {
@@ -62,6 +87,7 @@ RoutingPolicy::chooseOrder(int srcRouter, int destRouter,
     switch (kind_) {
       case RoutingKind::DimOrderXY:
       case RoutingKind::TableMinimal:
+      case RoutingKind::ChipletHierarchical:
         return DimOrder::XY;
       case RoutingKind::DimOrderYX:
         return DimOrder::YX;
@@ -145,20 +171,92 @@ RoutingPolicy::meshPortToward(int router, int destRouter,
 }
 
 int
+RoutingPolicy::chipletPhase(int router, int destRouter) const
+{
+    const int cx = topo_.xOf(router) / topo_.chipletSubW();
+    const int cy = topo_.yOf(router) / topo_.chipletSubH();
+    const int dcx = topo_.xOf(destRouter) / topo_.chipletSubW();
+    const int dcy = topo_.yOf(destRouter) / topo_.chipletSubH();
+    if (cx != dcx)
+        return 0;
+    if (cy != dcy)
+        return 1;
+    return 2;
+}
+
+int
+RoutingPolicy::chipletPortToward(int router, int destRouter) const
+{
+    // Hierarchical deterministic routing in three monotone phases. The
+    // gateway row/column is a pure function of the destination so every
+    // hop of a packet agrees on it and consecutive destinations spread
+    // over the available interposer links.
+    const int subW = topo_.chipletSubW();
+    const int subH = topo_.chipletSubH();
+    const int x = topo_.xOf(router);
+    const int y = topo_.yOf(router);
+    const int cx = x / subW;
+    const int cy = y / subH;
+    const int dcx = topo_.xOf(destRouter) / subW;
+    const int dcy = topo_.yOf(destRouter) / subH;
+    if (cx != dcx) {
+        // Phase 0: reach the gateway row (vertical moves stay inside
+        // the chiplet), then run east/west; the crossing keeps the
+        // global y, so the next chiplet is already on its gateway row.
+        const auto &rows = topo_.gatewayRows();
+        const int g = rows[static_cast<std::size_t>(destRouter) %
+                           rows.size()];
+        const int localY = y % subH;
+        if (localY != g)
+            return g > localY ? meshSouth : meshNorth;
+        return dcx > cx ? meshEast : meshWest;
+    }
+    if (cy != dcy) {
+        // Phase 1: reach the gateway column, then run north/south.
+        const auto &cols = topo_.gatewayCols();
+        const int g = cols[static_cast<std::size_t>(destRouter) %
+                           cols.size()];
+        const int localX = x % subW;
+        if (localX != g)
+            return g > localX ? meshEast : meshWest;
+        return dcy > cy ? meshSouth : meshNorth;
+    }
+    // Phase 2: plain XY inside the destination chiplet.
+    return meshPortToward(router, destRouter, DimOrder::XY);
+}
+
+int
 RoutingPolicy::outputPort(int router, const Flit &flit) const
 {
     if (router == flit.destRouter)
         return flit.destPort;
-    if (topo_.kind() == TopologyKind::Mesh &&
-        kind_ != RoutingKind::TableMinimal) {
+    if (kind_ == RoutingKind::ChipletHierarchical)
+        return chipletPortToward(router, flit.destRouter);
+    const bool grid = topo_.kind() == TopologyKind::Mesh ||
+                      topo_.kind() == TopologyKind::ChipletMesh;
+    if (grid && kind_ != RoutingKind::TableMinimal)
         return meshPortToward(router, flit.destRouter, flit.order);
-    }
     return topo_.nextPortTable(router, flit.destRouter);
 }
 
 std::uint8_t
 RoutingPolicy::vcMaskForLink(int downstreamRouter, const Flit &flit) const
 {
+    if (kind_ == RoutingKind::ChipletHierarchical) {
+        // Phase escalation: each of the three routing phases owns a
+        // disjoint segment of the packet's VN range, and the phase at
+        // the downstream router is monotone non-decreasing along any
+        // path (E/W transit, then N/S transit, then intra-chiplet XY).
+        // Per-phase acyclic turn sets + monotone VC classes keep the
+        // hierarchical routes deadlock-free without borrowing another
+        // VN's VCs.
+        const VcRange &r = layout_.range[static_cast<int>(flit.vnet)];
+        const int third = r.count / 3;
+        const int phase = chipletPhase(downstreamRouter, flit.destRouter);
+        const int base = r.base + phase * third;
+        const int cnt = phase == 2 ? r.count - 2 * third : third;
+        return static_cast<std::uint8_t>(((1u << cnt) - 1u) << base);
+    }
     if (topo_.kind() != TopologyKind::Dragonfly)
         return 0xff;
     // VC phase escalation: traffic that has reached the destination

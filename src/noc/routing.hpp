@@ -11,6 +11,10 @@
  * owns a disjoint VC class, which keeps wormhole routing deadlock-free.
  * Non-mesh topologies use deterministic minimal table routing; the
  * dragonfly additionally escalates the VC class after the global hop.
+ * Chiplet meshes route hierarchically (ChipletHierarchical): east/west
+ * chiplet transit along a destination-hashed gateway row, north/south
+ * transit along a gateway column, then intra-chiplet XY — three
+ * monotone phases, each owning a third of the packet's VN VC range.
  */
 
 #include <cstdint>
@@ -89,6 +93,11 @@ class RoutingPolicy
   private:
     int meshPortToward(int router, int destRouter, DimOrder order) const;
     int firstHopPort(int router, int destRouter, DimOrder order) const;
+    /** Hierarchical routing phase of `router` on the way to `destRouter`:
+     *  0 = east/west chiplet transit, 1 = north/south transit, 2 =
+     *  intra-chiplet XY. Monotone non-decreasing along any route. */
+    int chipletPhase(int router, int destRouter) const;
+    int chipletPortToward(int router, int destRouter) const;
 
     RoutingKind kind_;
     const Topology &topo_;

@@ -186,6 +186,92 @@ Topology::makeDragonfly(int nodes, int groups, int routersPerGroup)
 }
 
 Topology
+Topology::makeChipletMesh(int chipletsX, int chipletsY, int subW, int subH,
+                          int linksPerEdge)
+{
+    if (chipletsX < 1 || chipletsY < 1 || subW < 1 || subH < 1)
+        fatal("chiplet mesh: every dimension must be at least 1");
+    if (chipletsX * chipletsY < 2)
+        fatal("chiplet mesh: need at least 2 chiplets (use mesh otherwise)");
+    if (linksPerEdge < 0 || linksPerEdge > subW || linksPerEdge > subH)
+        fatal("chiplet mesh: linksPerEdge must be in [0, min(subW, subH)]",
+              ", got ", linksPerEdge);
+
+    Topology t;
+    t.kind_ = TopologyKind::ChipletMesh;
+    const int width = chipletsX * subW;
+    const int height = chipletsY * subH;
+    t.meshWidth_ = width;
+    t.meshHeight_ = height;
+    t.chipletsX_ = chipletsX;
+    t.chipletsY_ = chipletsY;
+    t.chipletSubW_ = subW;
+    t.chipletSubH_ = subH;
+    t.chipletLinksPerEdge_ = linksPerEdge;
+
+    // Gateway rows/columns: the local sub-mesh rows (for east/west
+    // crossings) and columns (north/south) that carry interposer links,
+    // evenly spread over the chiplet edge. linksPerEdge == 0 keeps every
+    // boundary channel.
+    const int rowGates = linksPerEdge == 0 ? subH : linksPerEdge;
+    const int colGates = linksPerEdge == 0 ? subW : linksPerEdge;
+    for (int i = 0; i < rowGates; ++i)
+        t.gatewayRows_.push_back((i * subH) / rowGates);
+    for (int i = 0; i < colGates; ++i)
+        t.gatewayCols_.push_back((i * subW) / colGates);
+    auto isGatewayRow = [&t](int localY) {
+        return std::find(t.gatewayRows_.begin(), t.gatewayRows_.end(),
+                         localY) != t.gatewayRows_.end();
+    };
+    auto isGatewayCol = [&t](int localX) {
+        return std::find(t.gatewayCols_.begin(), t.gatewayCols_.end(),
+                         localX) != t.gatewayCols_.end();
+    };
+
+    const int n = width * height;
+    t.ports_.assign(n, std::vector<PortConn>(meshPorts));
+    t.attachRouter_.assign(n, 0);
+    t.attachPort_.assign(n, 0);
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const int r = y * width + x;
+            t.attach(static_cast<NodeId>(r), r, meshLocal);
+            if (x + 1 < width) {
+                const bool boundary = (x + 1) % subW == 0;
+                if (!boundary || isGatewayRow(y % subH)) {
+                    t.link(r, meshEast, r + 1, meshWest);
+                    if (boundary) {
+                        t.ports_[r][meshEast].interposer = true;
+                        t.ports_[r + 1][meshWest].interposer = true;
+                    }
+                }
+            }
+            if (y + 1 < height) {
+                const bool boundary = (y + 1) % subH == 0;
+                if (!boundary || isGatewayCol(x % subW)) {
+                    t.link(r, meshSouth, r + width, meshNorth);
+                    if (boundary) {
+                        t.ports_[r][meshSouth].interposer = true;
+                        t.ports_[r + width][meshNorth].interposer = true;
+                    }
+                }
+            }
+        }
+    }
+    // With every boundary channel present the grid is structurally a
+    // plain mesh, so the dimension-ordered table applies; restricted
+    // gateways leave holes the grid builder cannot route around, so the
+    // table falls back to BFS-minimal paths (hierarchical routing
+    // overrides it for deadlock freedom; the table still serves
+    // hopCount and diagnostics).
+    if (linksPerEdge == 0)
+        t.buildGridTable();
+    else
+        t.buildTable();
+    return t;
+}
+
+Topology
 Topology::make(TopologyKind kind, int nodes, int meshWidth, int meshHeight)
 {
     switch (kind) {
@@ -197,6 +283,10 @@ Topology::make(TopologyKind kind, int nodes, int meshWidth, int meshHeight)
         return makeFlattenedButterfly(nodes, 4);
       case TopologyKind::Dragonfly:
         return makeDragonfly(nodes, 4, 4);
+      case TopologyKind::ChipletMesh:
+        fatal("chiplet mesh needs its own parameters; call "
+              "Topology::makeChipletMesh(chipletsX, chipletsY, subW, subH, "
+              "linksPerEdge)");
     }
     panic("unknown topology kind");
 }
@@ -260,24 +350,24 @@ Topology::buildGridTable()
         }
         return -1;
     };
+    // Meshes (including the full-gateway chiplet mesh, structurally a
+    // plain mesh) step one hop per table entry; the flattened butterfly
+    // has direct row/column links.
+    const bool stepwise = kind_ != TopologyKind::FlattenedButterfly;
     for (int r = 0; r < n; ++r) {
         for (int dest = 0; dest < n; ++dest) {
             if (r == dest)
                 continue;
             int next = -1;
             if (xOf(r) != xOf(dest)) {
-                // Move along the row. The mesh steps one hop; the
-                // flattened butterfly has a direct row link.
                 const int targetX =
-                    kind_ == TopologyKind::Mesh
-                        ? xOf(r) + (xOf(dest) > xOf(r) ? 1 : -1)
-                        : xOf(dest);
+                    stepwise ? xOf(r) + (xOf(dest) > xOf(r) ? 1 : -1)
+                             : xOf(dest);
                 next = portToward(r, yOf(r) * meshWidth_ + targetX);
             } else {
                 const int targetY =
-                    kind_ == TopologyKind::Mesh
-                        ? yOf(r) + (yOf(dest) > yOf(r) ? 1 : -1)
-                        : yOf(dest);
+                    stepwise ? yOf(r) + (yOf(dest) > yOf(r) ? 1 : -1)
+                             : yOf(dest);
                 next = portToward(r, targetY * meshWidth_ + xOf(r));
             }
             if (next < 0)
@@ -300,6 +390,21 @@ Topology::hopCount(int srcRouter, int destRouter) const
             panic("topology: routing loop in table");
     }
     return hops;
+}
+
+int
+Topology::interposerLinkCount() const
+{
+    int count = 0;
+    for (int r = 0; r < routers(); ++r) {
+        for (int p = 0; p < radix(r); ++p) {
+            if (ports_[r][p].kind == PortConn::Kind::Link &&
+                ports_[r][p].interposer) {
+                ++count;
+            }
+        }
+    }
+    return count;
 }
 
 int

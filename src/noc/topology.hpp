@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "common/invariant.hpp"
 #include "common/types.hpp"
 
 namespace dr
@@ -31,6 +32,13 @@ struct PortConn
     std::int16_t peerRouter = -1;  //!< for Kind::Link
     std::int16_t peerPort = -1;    //!< for Kind::Link
     NodeId node = invalidNode;     //!< for Kind::Node
+    /**
+     * Interposer link class (chiplet meshes): the channel crosses a
+     * chiplet boundary over the silicon interposer, with its own width
+     * (flits serialize over extra cycles) and latency. Set symmetrically
+     * on both endpoints of the link.
+     */
+    bool interposer = false;
 };
 
 /** Mesh port numbering (port 0 is the local/node port). */
@@ -69,6 +77,20 @@ class Topology
     static Topology makeDragonfly(int nodes, int groups,
                                   int routersPerGroup);
 
+    /**
+     * Chiplet mesh: a `chipletsX` x `chipletsY` grid of `subW` x `subH`
+     * sub-mesh chiplets, one node per router, joined by interposer
+     * links. `linksPerEdge` selects how many boundary channels each
+     * facing chiplet edge pair carries: 0 means every boundary router
+     * pair is linked (the grid is then structurally a plain mesh whose
+     * boundary links are interposer-class); k in [1, subH/subW] keeps
+     * only k gateway links per edge, evenly spread, and requires
+     * hierarchical routing. Interposer links are tagged on both
+     * endpoints (see PortConn::interposer).
+     */
+    static Topology makeChipletMesh(int chipletsX, int chipletsY, int subW,
+                                    int subH, int linksPerEdge = 0);
+
     /** Build the topology selected by `kind` for `nodes` endpoints. */
     static Topology make(TopologyKind kind, int nodes, int meshWidth,
                          int meshHeight);
@@ -91,11 +113,62 @@ class Topology
     /** Port on that router that faces the node. */
     int attachPort(NodeId n) const { return attachPort_[n]; }
 
-    /** Mesh coordinates (valid only for mesh topologies). */
-    int xOf(int router) const { return router % meshWidth_; }
-    int yOf(int router) const { return router / meshWidth_; }
+    /**
+     * Mesh coordinates. Valid only for grid topologies (mesh, flattened
+     * butterfly, chiplet mesh): a crossbar or dragonfly router has no
+     * grid position and `meshWidth_` is 0 there, so the modulo below
+     * would be undefined — checked builds trap the misuse instead of
+     * returning a meaningless coordinate.
+     */
+    int xOf(int router) const
+    {
+        DR_ASSERT_MSG(meshWidth_ > 0,
+                      "xOf on a non-grid topology");
+        return router % meshWidth_;
+    }
+    int yOf(int router) const
+    {
+        DR_ASSERT_MSG(meshWidth_ > 0,
+                      "yOf on a non-grid topology");
+        return router / meshWidth_;
+    }
     int meshWidth() const { return meshWidth_; }
     int meshHeight() const { return meshHeight_; }
+
+    /** Chiplet grid shape (1x1 with zero sub-dims for non-chiplet). */
+    int chipletsX() const { return chipletsX_; }
+    int chipletsY() const { return chipletsY_; }
+    int chipletSubW() const { return chipletSubW_; }
+    int chipletSubH() const { return chipletSubH_; }
+    /** Gateway links per facing chiplet-edge pair (0 = all boundary). */
+    int chipletLinksPerEdge() const { return chipletLinksPerEdge_; }
+
+    /** Chiplet index (row-major over the chiplet grid) of a router. */
+    int chipletOf(int router) const
+    {
+        DR_ASSERT_MSG(kind_ == TopologyKind::ChipletMesh,
+                      "chipletOf on a non-chiplet topology");
+        const int cx = xOf(router) / chipletSubW_;
+        const int cy = yOf(router) / chipletSubH_;
+        return cy * chipletsX_ + cx;
+    }
+
+    /** True when (router, port) is an interposer-class link. */
+    bool isInterposer(int router, int p) const
+    {
+        return ports_[router][p].interposer;
+    }
+
+    /**
+     * Local sub-mesh rows carrying east/west gateway links (ascending),
+     * and columns carrying north/south gateways. Equal to all rows/
+     * columns when linksPerEdge is 0. Empty for non-chiplet topologies.
+     */
+    const std::vector<int> &gatewayRows() const { return gatewayRows_; }
+    const std::vector<int> &gatewayCols() const { return gatewayCols_; }
+
+    /** Number of interposer channels (unidirectional). */
+    int interposerLinkCount() const;
 
     /** Group of a router (dragonfly only; 0 otherwise). */
     int groupOf(int router) const
@@ -132,10 +205,17 @@ class Topology
     TopologyKind kind_ = TopologyKind::Mesh;
     int meshWidth_ = 0;
     int meshHeight_ = 0;
+    int chipletsX_ = 1;
+    int chipletsY_ = 1;
+    int chipletSubW_ = 0;
+    int chipletSubH_ = 0;
+    int chipletLinksPerEdge_ = 0;
     std::vector<std::vector<PortConn>> ports_;
     std::vector<int> attachRouter_;
     std::vector<int> attachPort_;
     std::vector<int> groups_;
+    std::vector<int> gatewayRows_;
+    std::vector<int> gatewayCols_;
     std::vector<std::vector<std::int16_t>> table_;
 };
 

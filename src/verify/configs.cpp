@@ -135,6 +135,39 @@ makeConfigs()
         c.config.bugDropWhenBusy = true;
         out.push_back(std::move(c));
     }
+    {
+        // Chiplet split (noc.chiplet*): the delegate core sits on a
+        // remote chiplet, so every delegation, DNF re-send, and
+        // core-to-core reply on its transactions holds one of the
+        // bounded interposer credits from injection to delivery. With
+        // the credit-return discipline intact the protocol must stay
+        // deadlock-free across the narrow boundary.
+        NamedConfig c{"chiplet-split",
+                      "delegate core on a remote chiplet, 2 interposer "
+                      "credits: crossing traffic is bounded but sound",
+                      "", baseConfig()};
+        c.config.splitVnets = true;
+        c.config.chipletCores = 0b010;  // core 1, the warm delegate
+        c.config.interposerCredits = 2;
+        out.push_back(std::move(c));
+    }
+    {
+        // Same split, but every cross-chiplet delivery keeps its
+        // credit — the leak a router's credit-return path must never
+        // have. Each per-network pool drains as its traffic crosses;
+        // once the delegated-reply pool is empty the delegate's next
+        // core-to-core reply blocks forever: a resource deadlock the
+        // checker must find.
+        NamedConfig c{"interposer-credit-leak",
+                      "cross-chiplet deliveries leak their interposer "
+                      "credit; the pools drain into a deadlock",
+                      property::deadlockFreedom, baseConfig()};
+        c.config.splitVnets = true;
+        c.config.chipletCores = 0b010;
+        c.config.interposerCredits = 1;
+        c.config.bugInterposerCreditLeak = true;
+        out.push_back(std::move(c));
+    }
     return out;
 }
 

@@ -78,6 +78,15 @@ Model::Model(const ModelConfig &cfg) : cfg_(cfg)
         cfg_.fwdNetCapacity < 1 || cfg_.dlgNetCapacity < 1) {
         fatal("drverify: every capacity must be at least 1");
     }
+    if (cfg_.interposerCredits < 0 || cfg_.interposerCredits > 255)
+        fatal("drverify: interposerCredits must be in [0, 255]");
+    cfg_.chipletCores = static_cast<std::uint8_t>(
+        cfg_.chipletCores & ((1u << cfg_.numCores) - 1u));
+    if (cfg_.interposerCredits > 0 && cfg_.chipletCores == 0)
+        fatal("drverify: the chiplet model needs at least one core on "
+              "the remote chiplet (chipletCores)");
+    if (cfg_.chipletCores != 0 && cfg_.interposerCredits == 0)
+        fatal("drverify: a chiplet split needs interposerCredits >= 1");
 
     if (cfg_.initialPointer.empty())
         cfg_.initialPointer.assign(static_cast<std::size_t>(cfg_.numLines),
@@ -111,6 +120,7 @@ Model::initialState() const
     s.llc.ptr.fill(-1);
     for (int l = 0; l < cfg_.numLines; ++l)
         s.llc.ptr[l] = static_cast<std::int8_t>(cfg_.initialPointer[l]);
+    s.ipCredits.fill(static_cast<std::uint8_t>(cfg_.interposerCredits));
     return s;
 }
 
@@ -129,7 +139,10 @@ Model::msgName(const Msg &m) const
     if (m.dnf)
         os << "+DNF";
     os << "[line " << int(m.line) << ", txn " << int(m.requester) << "."
-       << int(m.seq) << " -> " << coreName(m.dst) << "]";
+       << int(m.seq);
+    if (chipletModel() && crossesInterposer(m))
+        os << ", " << coreName(m.src) << " over the interposer";
+    os << " -> " << coreName(m.dst) << "]";
     return os.str();
 }
 
@@ -146,11 +159,18 @@ Model::issueTransitions(const State &s, std::vector<Succ> &out) const
         for (int l = 0; l < cfg_.numLines; ++l) {
             const bool inL1 = (core.l1 & bit(l)) != 0;
             const bool outstanding = (core.mshr & bit(l)) != 0;
+            const Msg req{MsgKind::ReadReq, static_cast<std::uint8_t>(l),
+                          static_cast<std::uint8_t>(c),
+                          static_cast<std::uint8_t>(seq),
+                          static_cast<std::uint8_t>(llcNode()), 0,
+                          static_cast<std::uint8_t>(c)};
             if (!inL1 && !outstanding &&
                 (count(core.mshr) >= cfg_.coreMshrs ||
                  static_cast<int>(s.reqNet.size()) >=
-                     cfg_.reqNetCapacity)) {
-                continue;  // structural stall: MSHRs or injection full
+                     cfg_.reqNetCapacity ||
+                 !creditAvailable(s, req, &State::reqNet))) {
+                continue;  // structural stall: MSHRs, injection, or
+                           // interposer credits exhausted
             }
             Succ succ;
             succ.state = s;
@@ -168,12 +188,8 @@ Model::issueTransitions(const State &s, std::vector<Succ> &out) const
             } else {
                 nc.readStatus[seq] = readWaiting;
                 nc.mshr |= bit(l);
-                insertSorted(succ.state.reqNet,
-                             Msg{MsgKind::ReadReq,
-                                 static_cast<std::uint8_t>(l),
-                                 static_cast<std::uint8_t>(c),
-                                 static_cast<std::uint8_t>(seq),
-                                 static_cast<std::uint8_t>(llcNode()), 0});
+                chargeCredit(succ.state, req, &State::reqNet);
+                insertSorted(succ.state.reqNet, req);
                 os << " misses; ReadReq sent to the LLC";
             }
             succ.action = os.str();
@@ -212,7 +228,8 @@ Model::frqTransitions(const State &s, std::vector<Succ> &out) const
             CoreState &nc = succ.state.cores[c];
             nc.frq.erase(nc.frq.begin());
             nc.outbound.push_back(Msg{MsgKind::ReadReply, l, m.requester,
-                                      m.seq, m.requester, 0});
+                                      m.seq, m.requester, 0,
+                                      static_cast<std::uint8_t>(c)});
             succ.action = "core " + std::to_string(c) +
                           ": FRQ remote hit on line " + std::to_string(l) +
                           "; reply queued for core " +
@@ -260,15 +277,19 @@ Model::frqTransitions(const State &s, std::vector<Succ> &out) const
 
         // Remote miss: re-send to the LLC with the Do-Not-Forward bit on
         // behalf of the original requester.
-        if (static_cast<int>(s.reqNet.size()) >= cfg_.reqNetCapacity)
+        const Msg dnfReq{MsgKind::ReadReq, l, m.requester, m.seq,
+                         static_cast<std::uint8_t>(llcNode()), 1,
+                         static_cast<std::uint8_t>(c)};
+        if (static_cast<int>(s.reqNet.size()) >= cfg_.reqNetCapacity ||
+            !creditAvailable(s, dnfReq, &State::reqNet)) {
             continue;
+        }
         Succ succ;
         succ.state = s;
         CoreState &nc = succ.state.cores[c];
         nc.frq.erase(nc.frq.begin());
-        insertSorted(succ.state.reqNet,
-                     Msg{MsgKind::ReadReq, l, m.requester, m.seq,
-                         static_cast<std::uint8_t>(llcNode()), 1});
+        chargeCredit(succ.state, dnfReq, &State::reqNet);
+        insertSorted(succ.state.reqNet, dnfReq);
         succ.action = "core " + std::to_string(c) +
                       ": FRQ remote miss on line " + std::to_string(l) +
                       "; DNF re-send to the LLC for core " +
@@ -286,7 +307,8 @@ Model::outboundTransitions(const State &s, std::vector<Succ> &out) const
         const CoreState &core = s.cores[c];
         if (core.outbound.empty() ||
             static_cast<int>((s.*coreReplyNet()).size()) >=
-                coreReplyCapacity()) {
+                coreReplyCapacity() ||
+            !creditAvailable(s, core.outbound.front(), coreReplyNet())) {
             continue;
         }
         Succ succ;
@@ -294,6 +316,7 @@ Model::outboundTransitions(const State &s, std::vector<Succ> &out) const
         CoreState &nc = succ.state.cores[c];
         const Msg m = nc.outbound.front();
         nc.outbound.erase(nc.outbound.begin());
+        chargeCredit(succ.state, m, coreReplyNet());
         insertSorted(succ.state.*coreReplyNet(), m);
         succ.action =
             "core " + std::to_string(c) + ": injects " + msgName(m);
@@ -318,6 +341,7 @@ Model::replyDeliveryTransitions(const State &s,
         succ.state = s;
         (succ.state.*net).erase((succ.state.*net).begin() +
                                 static_cast<std::ptrdiff_t>(i));
+        returnCredit(succ.state, m, net);
         CoreState &nc = succ.state.cores[c];
         succ.action = "deliver " + msgName(m);
 
@@ -344,9 +368,10 @@ Model::replyDeliveryTransitions(const State &s,
             // Delayed hits: forward the just-arrived line.
             for (auto it = nc.remote.begin(); it != nc.remote.end();) {
                 if (it->line == m.line) {
-                    nc.outbound.push_back(Msg{MsgKind::ReadReply, it->line,
-                                              it->requester, it->seq,
-                                              it->requester, 0});
+                    nc.outbound.push_back(
+                        Msg{MsgKind::ReadReply, it->line, it->requester,
+                            it->seq, it->requester, 0,
+                            static_cast<std::uint8_t>(c)});
                     it = nc.remote.erase(it);
                 } else {
                     ++it;
@@ -373,6 +398,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
             succ.state = s;
             (succ.state.*net).erase((succ.state.*net).begin() +
                                     static_cast<std::ptrdiff_t>(netIdx));
+            returnCredit(succ.state, m, net);
             succ.action = "LLC: BUG: drops " + msgName(m) +
                           " because the reply queue is full";
             out.push_back(std::move(succ));
@@ -382,6 +408,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
         succ.state = s;
         (succ.state.*net).erase((succ.state.*net).begin() +
                                 static_cast<std::ptrdiff_t>(netIdx));
+        returnCredit(succ.state, m, net);
         LlcState &nl = succ.state.llc;
         const std::int8_t ptr = nl.ptr[l];
         // Delegation eligibility, mirroring LlcSlice::tick: a valid
@@ -419,6 +446,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
         succ.state = s;
         (succ.state.*net).erase((succ.state.*net).begin() +
                                 static_cast<std::ptrdiff_t>(netIdx));
+        returnCredit(succ.state, m, net);
         insertSorted(succ.state.llc.targets,
                      Target{l, m.requester, m.seq});
         succ.action = "LLC: " + msgName(m) + " misses; merged into MSHR";
@@ -431,6 +459,7 @@ Model::deliverToLlc(const State &s, const Msg &m, std::size_t netIdx,
     succ.state = s;
     (succ.state.*net).erase((succ.state.*net).begin() +
                             static_cast<std::ptrdiff_t>(netIdx));
+    returnCredit(succ.state, m, net);
     succ.state.llc.mshr |= bit(l);
     insertSorted(succ.state.llc.targets, Target{l, m.requester, m.seq});
     succ.action = "LLC: " + msgName(m) + " misses; MSHR allocated, "
@@ -450,6 +479,7 @@ Model::deliverToCore(const State &s, const Msg &m, std::size_t netIdx,
     succ.state = s;
     (succ.state.*net).erase((succ.state.*net).begin() +
                             static_cast<std::ptrdiff_t>(netIdx));
+    returnCredit(succ.state, m, net);
     succ.state.cores[c].frq.push_back(m);
     succ.action = "deliver " + msgName(m) + " into the FRQ";
     if (m.requester == m.dst) {
@@ -507,25 +537,31 @@ Model::llcInjectTransitions(const State &s, std::vector<Succ> &out) const
     // room either.
     const bool wantDelegate =
         e.delegatable != 0 && (cfg_.delegateAlways || replyNetFull);
+    const Msg delegation{MsgKind::DelegatedReq, e.line, e.requester,
+                         e.seq, static_cast<std::uint8_t>(e.delegateTo), 0,
+                         static_cast<std::uint8_t>(llcNode())};
+    const Msg reply{MsgKind::ReadReply, e.line, e.requester, e.seq,
+                    e.requester, 0, static_cast<std::uint8_t>(llcNode())};
 
-    if (wantDelegate && static_cast<int>((s.*delegationNet()).size()) <
-                            delegationCapacity()) {
+    if (wantDelegate &&
+        static_cast<int>((s.*delegationNet()).size()) <
+            delegationCapacity() &&
+        creditAvailable(s, delegation, delegationNet())) {
         Succ succ;
         succ.state = s;
         LlcState &nl = succ.state.llc;
         nl.replyQ.erase(nl.replyQ.begin());
-        insertSorted(succ.state.*delegationNet(),
-                     Msg{MsgKind::DelegatedReq, e.line, e.requester, e.seq,
-                         static_cast<std::uint8_t>(e.delegateTo), 0});
+        chargeCredit(succ.state, delegation, delegationNet());
+        insertSorted(succ.state.*delegationNet(), delegation);
         std::ostringstream os;
         os << "LLC: delegates reply for txn " << int(e.requester) << "."
            << int(e.seq) << " (line " << int(e.line) << ") to core "
            << int(e.delegateTo);
         if (cfg_.bugDuplicateReply &&
-            static_cast<int>(s.replyNet.size()) < cfg_.replyNetCapacity) {
-            insertSorted(succ.state.replyNet,
-                         Msg{MsgKind::ReadReply, e.line, e.requester,
-                             e.seq, e.requester, 0});
+            static_cast<int>(s.replyNet.size()) < cfg_.replyNetCapacity &&
+            creditAvailable(succ.state, reply, &State::replyNet)) {
+            chargeCredit(succ.state, reply, &State::replyNet);
+            insertSorted(succ.state.replyNet, reply);
             os << " AND injects the reply (BUG)";
         }
         succ.action = os.str();
@@ -551,14 +587,13 @@ Model::llcInjectTransitions(const State &s, std::vector<Succ> &out) const
         return;
     }
 
-    if (!replyNetFull) {
+    if (!replyNetFull && creditAvailable(s, reply, &State::replyNet)) {
         Succ succ;
         succ.state = s;
         LlcState &nl = succ.state.llc;
         nl.replyQ.erase(nl.replyQ.begin());
-        insertSorted(succ.state.replyNet,
-                     Msg{MsgKind::ReadReply, e.line, e.requester, e.seq,
-                         e.requester, 0});
+        chargeCredit(succ.state, reply, &State::replyNet);
+        insertSorted(succ.state.replyNet, reply);
         succ.action = "LLC: injects reply for txn " +
                       std::to_string(e.requester) + "." +
                       std::to_string(e.seq) + " (line " +
@@ -667,12 +702,17 @@ Model::quiescenceViolation(const State &s) const
         !s.llc.replyQ.empty()) {
         return std::nullopt;
     }
-    for (int c = 0; c < cfg_.numCores; ++c) {
-        const CoreState &core = s.cores[c];
+    // Establish quiescence across every core before blaming a waiting
+    // read: a message parked in any FRQ/outbound/delayed queue means
+    // the system is blocked, not quiet, and that is a deadlock story.
+    for (const CoreState &core : s.cores) {
         if (!core.frq.empty() || !core.outbound.empty() ||
             !core.remote.empty()) {
             return std::nullopt;
         }
+    }
+    for (int c = 0; c < cfg_.numCores; ++c) {
+        const CoreState &core = s.cores[c];
         for (int q = 0; q < core.issued; ++q) {
             if (core.readStatus[q] == readWaiting) {
                 return Violation{
@@ -700,6 +740,7 @@ Model::encode(const State &s) const
         put8(out, m.seq);
         put8(out, m.dst);
         put8(out, m.dnf);
+        put8(out, m.src);
     };
     auto putTarget = [&out](const Target &t) {
         put8(out, t.line);
@@ -752,6 +793,8 @@ Model::encode(const State &s) const
     put8(out, s.dlgNet.size());
     for (const Msg &m : s.dlgNet)
         putMsg(m);
+    for (const std::uint8_t credits : s.ipCredits)
+        put8(out, credits);
     return out;
 }
 
@@ -768,6 +811,7 @@ Model::decode(const std::string &bytes) const
         m.seq = get8(bytes, pos);
         m.dst = get8(bytes, pos);
         m.dnf = get8(bytes, pos);
+        m.src = get8(bytes, pos);
         return m;
     };
     auto getTarget = [&bytes, &pos]() {
@@ -825,6 +869,8 @@ Model::decode(const std::string &bytes) const
     s.dlgNet.resize(get8(bytes, pos));
     for (Msg &m : s.dlgNet)
         m = getMsg();
+    for (std::uint8_t &credits : s.ipCredits)
+        credits = get8(bytes, pos);
     if (pos != bytes.size())
         panic("drverify: state decode consumed ", pos, " of ",
               bytes.size(), " bytes");
@@ -872,6 +918,12 @@ Model::describe(const State &s) const
     if (cfg_.splitVnets) {
         os << " fwdNet=" << s.fwdNet.size()
            << " dlgNet=" << s.dlgNet.size();
+    }
+    if (chipletModel()) {
+        os << " ipCredits=[";
+        for (std::size_t n = 0; n < s.ipCredits.size(); ++n)
+            os << (n != 0 ? " " : "") << int(s.ipCredits[n]);
+        os << "]/" << cfg_.interposerCredits;
     }
     os << "\n";
     for (const Msg &m : s.reqNet)

@@ -90,6 +90,25 @@ struct ModelConfig
     int fwdNetCapacity = 1;  //!< forwarded-request network bound
     int dlgNetCapacity = 1;  //!< delegated-reply network bound
 
+    /**
+     * Chiplet split (`noc.chiplet*`, noc/topology.hpp): cores whose bit
+     * is set in `chipletCores` live on a remote chiplet; the LLC and
+     * the remaining cores share the home chiplet. Every message between
+     * the two chiplets holds one interposer credit from injection to
+     * delivery — the abstract image of the bounded buffering behind the
+     * narrow interposer links, over-approximating any gateway count and
+     * serialization width. Credits are per logical network (each
+     * physical network's interposer links carry their own VC buffers,
+     * and the VN split partitions them further), never shared across
+     * message classes: a single shared pool would couple e.g. DNF
+     * re-sends to reply injection and deadlock protocols the real
+     * per-VC buffering keeps live. `interposerCredits == 0` (the
+     * default) disables the chiplet model and leaves every legacy
+     * config's state space untouched.
+     */
+    std::uint8_t chipletCores = 0;
+    int interposerCredits = 0;  //!< credits per logical network
+
     // Seeded bugs for mutation testing. Each reintroduces one failure
     // mode the paper's protocol rules exist to prevent.
     bool bugIgnoreDnf = false;            //!< LLC re-delegates DNF reqs
@@ -97,6 +116,9 @@ struct ModelConfig
     bool bugDuplicateReply = false;       //!< delegate AND inject reply
     bool bugFrqRequeue = false;           //!< remote miss re-queues
     bool bugDropWhenBusy = false;         //!< LLC drops req if queue full
+    /** A cross-chiplet delivery keeps its interposer credit — the leak
+     *  the router credit-return path must never have. */
+    bool bugInterposerCreditLeak = false;
 
     // Warm initial state: per-line LLC core pointer (core index or -1)
     // and per-core L1 contents (bitmask of lines). Both are resized or
@@ -125,6 +147,10 @@ struct Msg
     std::uint8_t seq = 0;        //!< transaction index within requester
     std::uint8_t dst = 0;        //!< core index, or numCores for the LLC
     std::uint8_t dnf = 0;        //!< Do-Not-Forward bit
+    /** Sending node (core index or numCores for the LLC): decides
+     *  whether the hop crosses the interposer. Constant 0 when the
+     *  chiplet model is off, so legacy state spaces are unchanged. */
+    std::uint8_t src = 0;
 
     auto operator<=>(const Msg &) const = default;
 };
@@ -196,6 +222,9 @@ struct State
     std::vector<Msg> replyNet;
     std::vector<Msg> fwdNet;  //!< delegations (splitVnets only, else empty)
     std::vector<Msg> dlgNet;  //!< core replies (splitVnets only, else empty)
+    /** Free interposer credits per logical network, indexed like the
+     *  members above (chiplet model; constant zeros otherwise). */
+    std::array<std::uint8_t, 4> ipCredits{};
 
     auto operator<=>(const State &) const = default;
 };
@@ -268,6 +297,46 @@ class Model
     int llcNode() const { return cfg_.numCores; }
     std::string coreName(int c) const;
     std::string msgName(const Msg &m) const;
+
+    bool chipletModel() const { return cfg_.interposerCredits > 0; }
+    /** Chiplet of a node: the LLC shares chiplet 0 with the home cores. */
+    int chipletOf(int node) const
+    {
+        return node == llcNode() ? 0 : (cfg_.chipletCores >> node) & 1;
+    }
+    bool crossesInterposer(const Msg &m) const
+    {
+        return chipletModel() && chipletOf(m.src) != chipletOf(m.dst);
+    }
+    /** Credit-pool index of a logical network (State::ipCredits). */
+    int netPool(std::vector<Msg> State::*net) const
+    {
+        if (net == &State::reqNet)
+            return 0;
+        if (net == &State::replyNet)
+            return 1;
+        return net == &State::fwdNet ? 2 : 3;
+    }
+    /** Whether `s` has the credit injecting `m` into `net` needs. */
+    bool creditAvailable(const State &s, const Msg &m,
+                         std::vector<Msg> State::*net) const
+    {
+        return !crossesInterposer(m) || s.ipCredits[netPool(net)] > 0;
+    }
+    /** Consume the credit a crossing injection holds in flight. */
+    void chargeCredit(State &s, const Msg &m,
+                      std::vector<Msg> State::*net) const
+    {
+        if (crossesInterposer(m))
+            --s.ipCredits[netPool(net)];
+    }
+    /** Return the credit at delivery (the seeded leak keeps it). */
+    void returnCredit(State &s, const Msg &m,
+                      std::vector<Msg> State::*net) const
+    {
+        if (crossesInterposer(m) && !cfg_.bugInterposerCreditLeak)
+            ++s.ipCredits[netPool(net)];
+    }
 
     /** The network a delegation rides (fwdNet under splitVnets). */
     std::vector<Msg> State::*delegationNet() const

@@ -181,5 +181,86 @@ TEST(ConfigIo, RoundTripsEveryOption)
     EXPECT_DOUBLE_EQ(parsed.noc.bandwidthScale, cfg.noc.bandwidthScale);
 }
 
+TEST(ConfigIo, AppliesChipletOptions)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    applyConfigOption(cfg, "noc.topology", "chiplet-mesh");
+    applyConfigOption(cfg, "noc.chipletsX", "2");
+    applyConfigOption(cfg, "noc.chipletsY", "2");
+    applyConfigOption(cfg, "noc.chipletSubW", "4");
+    applyConfigOption(cfg, "noc.chipletSubH", "4");
+    applyConfigOption(cfg, "noc.chipletLinksPerEdge", "2");
+    applyConfigOption(cfg, "noc.interposerChannelBytes", "8");
+    applyConfigOption(cfg, "noc.interposerLatency", "6");
+    applyConfigOption(cfg, "noc.requestRouting", "chiplet");
+    EXPECT_EQ(cfg.noc.topology, TopologyKind::ChipletMesh);
+    EXPECT_EQ(cfg.noc.chipletsX, 2);
+    EXPECT_EQ(cfg.noc.chipletLinksPerEdge, 2);
+    EXPECT_EQ(cfg.noc.interposerChannelBytes, 8);
+    EXPECT_EQ(cfg.noc.interposerLatency, 6);
+    EXPECT_EQ(cfg.noc.requestRouting, RoutingKind::ChipletHierarchical);
+    // 16-byte flits over 8-byte interposer channels: 2 cycles/flit.
+    EXPECT_EQ(cfg.noc.interposerSerializationCycles(), 2);
+    cfg.noc.vcsPerNet = 3;
+    cfg.validate();
+}
+
+TEST(ConfigIo, AppliesMemPlacementList)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    applyConfigOption(cfg, "mem.placement", "0, 9,18,27,36,45,54,63");
+    ASSERT_EQ(cfg.mem.placement.size(), 8u);
+    EXPECT_EQ(cfg.mem.placement.front(), 0);
+    EXPECT_EQ(cfg.mem.placement.back(), 63);
+    cfg.validate();
+    applyConfigOption(cfg, "mem.placement", "");
+    EXPECT_TRUE(cfg.mem.placement.empty());
+}
+
+TEST(ConfigIo, RoundTripsChipletAndPlacement)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.topology = TopologyKind::ChipletMesh;
+    cfg.noc.chipletsX = 2;
+    cfg.noc.chipletsY = 2;
+    cfg.noc.chipletSubW = 4;
+    cfg.noc.chipletSubH = 4;
+    cfg.noc.chipletLinksPerEdge = 1;
+    cfg.noc.interposerChannelBytes = 8;
+    cfg.noc.interposerLatency = 2;
+    cfg.mem.placement = {3, 11, 19, 27, 35, 43, 51, 59};
+
+    std::ostringstream out;
+    writeConfig(cfg, out);
+    SystemConfig parsed = SystemConfig::makePaper();
+    std::istringstream in(out.str());
+    parseConfig(parsed, in);
+
+    std::ostringstream out2;
+    writeConfig(parsed, out2);
+    EXPECT_EQ(out.str(), out2.str());
+    EXPECT_EQ(parsed.noc.topology, TopologyKind::ChipletMesh);
+    EXPECT_EQ(parsed.noc.chipletLinksPerEdge, 1);
+    EXPECT_EQ(parsed.mem.placement, cfg.mem.placement);
+}
+
+TEST(ConfigIoDeath, ChipletDimensionMismatchIsFatal)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.noc.topology = TopologyKind::ChipletMesh;
+    cfg.noc.chipletsX = 2;
+    cfg.noc.chipletsY = 2;
+    cfg.noc.chipletSubW = 3;  // 2*3 != meshWidth 8
+    cfg.noc.chipletSubH = 4;
+    EXPECT_DEATH(cfg.validate(), "does not compose");
+}
+
+TEST(ConfigIoDeath, MemPlacementDuplicateIsFatal)
+{
+    SystemConfig cfg = SystemConfig::makePaper();
+    cfg.mem.placement = {1, 1, 2, 3, 4, 5, 6, 7};
+    EXPECT_DEATH(cfg.validate(), "listed twice");
+}
+
 } // namespace
 } // namespace dr

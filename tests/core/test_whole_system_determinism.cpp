@@ -57,6 +57,27 @@ matrixCfg(TopologyKind topo, bool vnets)
         cfg.noc.vnetReplyVcs = 2;
         cfg.noc.vnetDelegatedVcs = 2;
     }
+    if (topo == TopologyKind::ChipletMesh) {
+        // 2x2 chiplets of 4x4 routers composing the 8x8 paper chip.
+        // Restricted gateways force hierarchical routing, half-width
+        // interposer channels engage the 2-cycle serialization throttle,
+        // and the 3-phase VC escalation needs >= 3 VCs per VN.
+        cfg.noc.chipletsX = 2;
+        cfg.noc.chipletsY = 2;
+        cfg.noc.chipletSubW = 4;
+        cfg.noc.chipletSubH = 4;
+        cfg.noc.chipletLinksPerEdge = 2;
+        cfg.noc.interposerChannelBytes = 8;
+        if (vnets) {
+            cfg.noc.vcsPerNet = 6;
+            cfg.noc.vnetRequestVcs = 3;
+            cfg.noc.vnetForwardVcs = 3;
+            cfg.noc.vnetReplyVcs = 3;
+            cfg.noc.vnetDelegatedVcs = 3;
+        } else {
+            cfg.noc.vcsPerNet = 3;
+        }
+    }
     return cfg;
 }
 
@@ -95,7 +116,11 @@ TEST_P(WholeSystemDeterminism, BitIdenticalAcrossThreadsAndIdleSkip)
 std::string
 caseName(const ::testing::TestParamInfo<MatrixCase> &info)
 {
-    std::string name = topologyName(info.param.topo);
+    std::string name;
+    for (const char c : std::string(topologyName(info.param.topo))) {
+        if (c != '-')  // gtest parameter names must be alphanumeric
+            name += c;
+    }
     return name + (info.param.vnets ? "Vnets" : "");
 }
 
@@ -104,8 +129,39 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(MatrixCase{TopologyKind::Mesh, false},
                       MatrixCase{TopologyKind::Mesh, true},
                       MatrixCase{TopologyKind::Dragonfly, false},
-                      MatrixCase{TopologyKind::Dragonfly, true}),
+                      MatrixCase{TopologyKind::Dragonfly, true},
+                      MatrixCase{TopologyKind::ChipletMesh, false},
+                      MatrixCase{TopologyKind::ChipletMesh, true}),
     caseName);
+
+/**
+ * Scale acceptance (ISSUE 9): a 256-node chip of 4x4 chiplets, each a
+ * 4x4 sub-mesh, with restricted gateways, half-width interposer
+ * channels, and virtual networks on — bit-identical across worker
+ * threads {1, 4} x idleSkip {on, off}. The chiplet-aligned domain
+ * partition snaps to whole chiplet rows, so the 4-thread run really
+ * exercises 4 domains (one per chiplet row).
+ */
+TEST(WholeSystemDeterminism, ChipletScale256Nodes)
+{
+    SystemConfig cfg = matrixCfg(TopologyKind::ChipletMesh, true);
+    cfg.noc.chipletsX = 4;
+    cfg.noc.chipletsY = 4;
+    cfg.noc.meshWidth = 16;
+    cfg.noc.meshHeight = 16;
+    cfg.gpu.numCores = 176;
+    cfg.cpu.numCores = 48;
+    cfg.mem.numNodes = 32;
+    cfg.warmupCycles = 800;
+    cfg.simCycles = 1600;
+
+    const std::string golden = runFingerprint(cfg, 1, false);
+    EXPECT_EQ(golden, runFingerprint(cfg, 1, true)) << "skip-on diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 4, false))
+        << "4 threads diverged";
+    EXPECT_EQ(golden, runFingerprint(cfg, 4, true))
+        << "4 threads + skip diverged";
+}
 
 /**
  * Shared-L1 determinism matrix (DESIGN.md §14). The DC-L1 and DynEB

@@ -63,6 +63,10 @@ topoFor(TopologyKind kind)
         return Topology::makeFlattenedButterfly(16, 4);
       case TopologyKind::Dragonfly:
         return Topology::makeDragonfly(64, 4, 4);
+      case TopologyKind::ChipletMesh:
+        // 2x2 chiplets of 2x2 routers, one interposer link per edge:
+        // gateway-restricted, so hierarchical routing is mandatory.
+        return Topology::makeChipletMesh(2, 2, 2, 2, 1);
     }
     panic("unknown topology kind");
 }
@@ -89,8 +93,18 @@ fingerprint(TopologyKind kind, int threads, bool vnets,
     params.injBufferFlits.assign(nodes, 36);
     params.routing = kind == TopologyKind::Mesh
                          ? RoutingKind::DimOrderXY
+                     : kind == TopologyKind::ChipletMesh
+                         ? RoutingKind::ChipletHierarchical
                          : RoutingKind::TableMinimal;
     params.threads = threads;
+    if (kind == TopologyKind::ChipletMesh) {
+        // Exercise the interposer link class: half-width channels
+        // (2-cycle serialization) plus extra hop/credit latency. The
+        // throttle and occupancy bookkeeping must be as partition-
+        // independent as everything else.
+        params.interposerSerialization = 2;
+        params.interposerLatency = 3;
+    }
     const int vcsPerVn = kind == TopologyKind::Dragonfly ? 2 : 1;
     if (vnets) {
         params.numVcs = numVnets * vcsPerVn;
@@ -102,7 +116,9 @@ fingerprint(TopologyKind kind, int threads, bool vnets,
                 static_cast<std::uint8_t>(vcsPerVn)};
         }
     } else {
-        params.numVcs = 2;
+        // Chiplet routing carves three phase classes out of the
+        // (uniform) VC range, so it needs at least 3 VCs.
+        params.numVcs = kind == TopologyKind::ChipletMesh ? 3 : 2;
     }
     Network net(params, topo);
 
@@ -151,6 +167,8 @@ fingerprint(TopologyKind kind, int threads, bool vnets,
            << s.vnFlitsDelivered[vn].value() << ' '
            << s.vnInjectionStalls[vn].value() << ' ' << s.vnPeakFlits[vn];
     }
+    os << ' ' << s.interposerFlits.value() << ' ' << s.interposerPeakFlits
+       << ' ' << net.interposerFlitsInFlight();
     return os.str();
 }
 
@@ -187,6 +205,7 @@ caseName(const ::testing::TestParamInfo<PartitionCase> &info)
       case TopologyKind::Crossbar: name = "Crossbar"; break;
       case TopologyKind::FlattenedButterfly: name = "Fbfly"; break;
       case TopologyKind::Dragonfly: name = "Dragonfly"; break;
+      case TopologyKind::ChipletMesh: name = "Chiplet"; break;
     }
     return name + (info.param.vnets ? "Vnets" : "");
 }
@@ -201,8 +220,49 @@ INSTANTIATE_TEST_SUITE_P(
         PartitionCase{TopologyKind::FlattenedButterfly, false},
         PartitionCase{TopologyKind::FlattenedButterfly, true},
         PartitionCase{TopologyKind::Dragonfly, false},
-        PartitionCase{TopologyKind::Dragonfly, true}),
+        PartitionCase{TopologyKind::Dragonfly, true},
+        // Chiplet + vnets is covered by the whole-system matrix: four
+        // 3-VC phase classes do not fit the 8-VC cap of one raw kernel.
+        PartitionCase{TopologyKind::ChipletMesh, false}),
     caseName);
+
+/**
+ * Chiplet meshes snap the domain partition to whole chiplet rows so a
+ * domain boundary never cuts through a chiplet: interposer links are
+ * the only cross-domain channels, which keeps the narrow-link staging
+ * traffic off the intra-chiplet fast paths.
+ */
+TEST(ParallelEngine, ChipletDomainsAlignToChipletBoundaries)
+{
+    const Topology topo = Topology::makeChipletMesh(2, 4, 2, 2, 1);
+    NetworkParams params;
+    params.numVcs = 3;
+    params.routing = RoutingKind::ChipletHierarchical;
+    params.injBufferFlits.assign(topo.nodes(), 8);
+    params.threads = 4;
+    Network net(params, topo);
+
+    EXPECT_EQ(net.numDomains(), 4);  // one per chiplet row
+    std::vector<int> chipletDomain(topo.chipletsX() * topo.chipletsY(), -1);
+    for (int r = 0; r < topo.routers(); ++r) {
+        // Every router of a chiplet lives in that chiplet row's domain.
+        EXPECT_EQ(net.domainOfRouter(r), topo.yOf(r) / topo.chipletSubH())
+            << "router " << r;
+        int &d = chipletDomain[topo.chipletOf(r)];
+        if (d < 0)
+            d = net.domainOfRouter(r);
+        EXPECT_EQ(net.domainOfRouter(r), d)
+            << "chiplet split across domains at router " << r;
+    }
+    for (NodeId n = 0; n < topo.nodes(); ++n)
+        EXPECT_EQ(net.domainOfNode(n),
+                  net.domainOfRouter(topo.attachRouter(n)));
+
+    // More threads than chiplet rows must clamp, never split a chiplet.
+    params.threads = 7;
+    Network clamped(params, topo);
+    EXPECT_EQ(clamped.numDomains(), 4);
+}
 
 /**
  * End-to-end Delegated Replies run (delegation + delegate-not-found

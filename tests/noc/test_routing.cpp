@@ -282,5 +282,118 @@ TEST(RoutingVnetDeath, DragonflyNeedsTwoVcsPerVnet)
         "every virtual network");
 }
 
+/**
+ * Map a chiplet vcMaskForLink mask back to its phase segment. With
+ * 3 VCs and no VN layout the three phases own VCs {0}, {1}, {2}.
+ */
+int
+phaseOfMask(std::uint8_t mask)
+{
+    switch (mask) {
+      case 0x1: return 0;
+      case 0x2: return 1;
+      case 0x4: return 2;
+    }
+    ADD_FAILURE() << "mask " << int(mask) << " is not a phase segment";
+    return -1;
+}
+
+TEST(RoutingChiplet, AllPathsTerminateWithMonotonePhases)
+{
+    // Gateway-restricted 2x2 chiplets of 4x4: every route must reach
+    // its destination, and the VC phase class (E/W transit, N/S
+    // transit, intra-chiplet XY) must never step backwards — that
+    // monotonicity is the deadlock-freedom argument.
+    const Topology t = Topology::makeChipletMesh(2, 2, 4, 4, 2);
+    RoutingPolicy r(RoutingKind::ChipletHierarchical, t, 3, 1);
+    for (int src = 0; src < t.routers(); ++src) {
+        for (int dst = 0; dst < t.routers(); ++dst) {
+            const Flit f = headFor(dst, DimOrder::XY);
+            int cur = src;
+            int hops = 0;
+            int phase = 0;
+            while (cur != dst) {
+                const int port = r.outputPort(cur, f);
+                ASSERT_NE(port, meshLocal) << src << "->" << dst;
+                const PortConn &conn = t.port(cur, port);
+                ASSERT_EQ(conn.kind, PortConn::Kind::Link)
+                    << src << "->" << dst << " at " << cur;
+                const int next = conn.peerRouter;
+                const int p = phaseOfMask(r.vcMaskForLink(next, f));
+                ASSERT_GE(p, phase)
+                    << "phase regressed " << src << "->" << dst;
+                phase = p;
+                cur = next;
+                ASSERT_LE(++hops, 4 * (8 + 8)) << src << "->" << dst;
+            }
+        }
+    }
+}
+
+TEST(RoutingChiplet, CrossingDetoursToTheDestinationsGatewayRow)
+{
+    // Gateway rows of a 4x4 sub-mesh with 2 links per edge are {0, 2};
+    // the row is hashed from the destination so all hops agree on it.
+    const Topology t = Topology::makeChipletMesh(2, 2, 4, 4, 2);
+    RoutingPolicy r(RoutingKind::ChipletHierarchical, t, 3, 1);
+    // 0 (0,0) -> 7 (7,0): odd destination hashes to gateway row 2, so
+    // phase 0 first walks south inside the chiplet...
+    EXPECT_EQ(r.outputPort(0, headFor(7, DimOrder::XY)), meshSouth);
+    // ...and crosses east once on the gateway row (router (0,2)).
+    EXPECT_EQ(r.outputPort(2 * 8 + 0, headFor(7, DimOrder::XY)), meshEast);
+    // An even destination hashes to gateway row 0: cross immediately.
+    EXPECT_EQ(r.outputPort(0, headFor(6, DimOrder::XY)), meshEast);
+}
+
+TEST(RoutingChiplet, PhaseSegmentsPartitionTheVcRange)
+{
+    // 6 uniform VCs split into thirds: phase 0 owns {0,1}, phase 1
+    // owns {2,3}, phase 2 the remainder {4,5} — disjoint and covering.
+    const Topology t = Topology::makeChipletMesh(2, 2, 4, 4, 2);
+    RoutingPolicy r(RoutingKind::ChipletHierarchical, t, 6, 1);
+    const Flit f = headFor(63, DimOrder::XY);  // chiplet 3 at (7,7)
+    EXPECT_EQ(r.vcMaskForLink(0, f), 0x03);    // chiplet 0: E/W transit
+    EXPECT_EQ(r.vcMaskForLink(4, f), 0x0c);    // chiplet 1: N/S transit
+    EXPECT_EQ(r.vcMaskForLink(4 * 8 + 4, f), 0x30);  // chiplet 3: XY
+}
+
+TEST(RoutingChiplet, FullGatewayMeshAcceptsPlainXY)
+{
+    // With every boundary channel present the chiplet mesh is
+    // structurally a plain mesh, so dimension-order routing is legal.
+    const Topology t = Topology::makeChipletMesh(2, 2, 2, 2, 0);
+    RoutingPolicy r(RoutingKind::DimOrderXY, t, 2, 1);
+    EXPECT_EQ(r.outputPort(0, headFor(15, DimOrder::XY)), meshEast);
+}
+
+TEST(RoutingChipletDeath, ConstructionGuards)
+{
+    const Topology mesh = Topology::makeMesh(4, 4);
+    EXPECT_DEATH(
+        {
+            RoutingPolicy r(RoutingKind::ChipletHierarchical, mesh, 3, 1);
+            (void)r;
+        },
+        "chiplet-mesh topology");
+
+    const Topology restricted = Topology::makeChipletMesh(2, 2, 4, 4, 1);
+    // A gateway-restricted mesh cannot fall back to XY: non-gateway
+    // boundary rows have no crossing channel.
+    EXPECT_DEATH(
+        {
+            RoutingPolicy r(RoutingKind::DimOrderXY, restricted, 3, 1);
+            (void)r;
+        },
+        "gateway-restricted");
+    // Three monotone phase classes need at least 3 VCs per VN range.
+    EXPECT_DEATH(
+        {
+            RoutingPolicy r(RoutingKind::ChipletHierarchical, restricted,
+                            2, 1);
+            (void)r;
+        },
+        "at least 3 VCs");
+}
+
 } // namespace
 } // namespace dr

@@ -176,5 +176,115 @@ TEST(TopologyProperty, TablesReachAllDestinations)
     }
 }
 
+TEST(ChipletMesh, ComposedGridShapeAndChipletIndex)
+{
+    // 2x3 chiplets of 4x2 routers compose an 8x6 grid, row-major.
+    const Topology t = Topology::makeChipletMesh(2, 3, 4, 2);
+    EXPECT_EQ(t.kind(), TopologyKind::ChipletMesh);
+    EXPECT_EQ(t.meshWidth(), 8);
+    EXPECT_EQ(t.meshHeight(), 6);
+    EXPECT_EQ(t.routers(), 48);
+    EXPECT_EQ(t.nodes(), 48);
+    EXPECT_EQ(t.chipletsX(), 2);
+    EXPECT_EQ(t.chipletsY(), 3);
+    EXPECT_EQ(t.chipletSubW(), 4);
+    EXPECT_EQ(t.chipletSubH(), 2);
+    // Chiplet index is row-major over the chiplet grid.
+    EXPECT_EQ(t.chipletOf(0), 0);                // (0,0)
+    EXPECT_EQ(t.chipletOf(4), 1);                // (4,0)
+    EXPECT_EQ(t.chipletOf(2 * 8 + 0), 2);        // (0,2)
+    EXPECT_EQ(t.chipletOf(5 * 8 + 7), 5);        // (7,5)
+}
+
+TEST(ChipletMesh, FullGatewaysAreStructurallyAPlainMesh)
+{
+    // linksPerEdge = 0: every boundary router pair is linked, so the
+    // composed grid has exactly the channels of the equivalent mesh —
+    // the boundary ones merely carry the interposer tag.
+    const Topology t = Topology::makeChipletMesh(2, 2, 2, 2, 0);
+    const Topology mesh = Topology::makeMesh(4, 4);
+    EXPECT_EQ(t.channelCount(), mesh.channelCount());
+    // One vertical and one horizontal seam, 4 boundary pairs each:
+    // 8 bidirectional links = 16 unidirectional channels.
+    EXPECT_EQ(t.interposerLinkCount(), 16);
+    // Full gateways: every local row and column carries a crossing.
+    EXPECT_EQ(t.gatewayRows(), (std::vector<int>{0, 1}));
+    EXPECT_EQ(t.gatewayCols(), (std::vector<int>{0, 1}));
+}
+
+TEST(ChipletMesh, RestrictedGatewaysAndSymmetricInterposerFlags)
+{
+    // 2 gateway links per facing edge of a 4x4 sub-mesh: rows {0, 2}.
+    const Topology t = Topology::makeChipletMesh(2, 2, 4, 4, 2);
+    EXPECT_EQ(t.chipletLinksPerEdge(), 2);
+    EXPECT_EQ(t.gatewayRows(), (std::vector<int>{0, 2}));
+    EXPECT_EQ(t.gatewayCols(), (std::vector<int>{0, 2}));
+    // Two seams x 2 facing edge pairs x 2 links, bidirectional.
+    EXPECT_EQ(t.interposerLinkCount(), 16);
+
+    int tagged = 0;
+    for (int r = 0; r < t.routers(); ++r) {
+        for (int p = 0; p < t.radix(r); ++p) {
+            const PortConn &conn = t.port(r, p);
+            if (conn.kind != PortConn::Kind::Link)
+                continue;
+            const PortConn &back = t.port(conn.peerRouter, conn.peerPort);
+            // The interposer tag must be set on both endpoints.
+            EXPECT_EQ(conn.interposer, back.interposer)
+                << "router " << r << " port " << p;
+            if (conn.interposer) {
+                ++tagged;
+                EXPECT_NE(t.chipletOf(r), t.chipletOf(conn.peerRouter));
+            } else {
+                EXPECT_EQ(t.chipletOf(r), t.chipletOf(conn.peerRouter));
+            }
+        }
+    }
+    EXPECT_EQ(tagged, t.interposerLinkCount());
+
+    // A non-gateway boundary router has no crossing channel at all:
+    // (3, 1) is on the vertical seam but local row 1 is not a gateway.
+    EXPECT_EQ(t.port(1 * 8 + 3, meshEast).kind, PortConn::Kind::None);
+    // (3, 2) is on gateway row 2 and crosses to (4, 2).
+    const PortConn &gw = t.port(2 * 8 + 3, meshEast);
+    ASSERT_EQ(gw.kind, PortConn::Kind::Link);
+    EXPECT_TRUE(gw.interposer);
+    EXPECT_EQ(gw.peerRouter, 2 * 8 + 4);
+}
+
+TEST(ChipletMesh, RestrictedTablesReachAllDestinations)
+{
+    // Even with a single gateway link per edge the fallback table must
+    // connect every router pair (drverify/debug paths walk it).
+    const Topology t = Topology::makeChipletMesh(2, 2, 4, 4, 1);
+    for (int a = 0; a < t.routers(); ++a) {
+        for (int b = 0; b < t.routers(); ++b)
+            EXPECT_GE(t.hopCount(a, b), 0);
+    }
+}
+
+TEST(ChipletMeshDeath, InvalidShapesAreFatal)
+{
+    EXPECT_DEATH(Topology::makeChipletMesh(1, 1, 4, 4),
+                 "at least 2 chiplets");
+    EXPECT_DEATH(Topology::makeChipletMesh(2, 2, 0, 4),
+                 "at least 1");
+    EXPECT_DEATH(Topology::makeChipletMesh(2, 2, 4, 4, 5),
+                 "linksPerEdge");
+    // The generic factory cannot build a chiplet mesh: it lacks the
+    // chiplet grid parameters.
+    EXPECT_DEATH(Topology::make(TopologyKind::ChipletMesh, 16, 4, 4),
+                 "own parameters");
+}
+
+TEST(TopologyDeath, GridCoordinatesOnNonGridTrap)
+{
+    if (!checkedBuild())
+        GTEST_SKIP() << "coordinate guards need a DR_CHECKED build";
+    const Topology t = Topology::makeCrossbar(8);
+    EXPECT_DEATH((void)t.xOf(0), "non-grid");
+    EXPECT_DEATH((void)t.yOf(0), "non-grid");
+}
+
 } // namespace
 } // namespace dr

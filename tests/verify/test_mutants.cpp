@@ -53,9 +53,10 @@ TEST(VerifyMutants, EveryMutantReportsItsExpectedProperty)
         EXPECT_EQ(result.trace.front().action, "(initial state)")
             << named.name;
     }
-    // One mutant per seeded bug flag, the FRQ-priority ablation, and
-    // the collapsed-virtual-network fan-in hazard (shared-vnet).
-    EXPECT_EQ(mutants, 7);
+    // One mutant per seeded bug flag, the FRQ-priority ablation, the
+    // collapsed-virtual-network fan-in hazard (shared-vnet), and the
+    // interposer credit leak (interposer-credit-leak).
+    EXPECT_EQ(mutants, 8);
 }
 
 TEST(VerifyMutants, VnetSplitProvesSharedNetClogDeadlockFree)
@@ -121,6 +122,37 @@ TEST(VerifyMutants, RetryLoopMutantReportsACycle)
     for (std::size_t i = 0; i + 1 < result.trace.size(); ++i)
         revisits = revisits || result.trace[i].state == closing;
     EXPECT_TRUE(revisits);
+}
+
+TEST(VerifyMutants, ChipletSplitIsSoundAndTheCreditLeakDeadlocks)
+{
+    // The chiplet model bounds cross-chiplet traffic with interposer
+    // credits held from injection to delivery. With the credit-return
+    // discipline intact the split protocol explores to a fixed point
+    // with no violation...
+    const verify::NamedConfig *split = verify::findConfig("chiplet-split");
+    ASSERT_NE(split, nullptr);
+    ASSERT_GT(split->config.interposerCredits, 0);
+    ASSERT_TRUE(split->expectation.empty());
+    const verify::CheckResult good = run(*split);
+    verify::Model model(split->config);
+    EXPECT_TRUE(good.passed) << verify::formatResult(model, good, false);
+    EXPECT_FALSE(good.hitStateLimit);
+
+    // ...and the seeded leak drains the pool into a resource deadlock
+    // whose final state really has no enabled transition.
+    const verify::NamedConfig *leak =
+        verify::findConfig("interposer-credit-leak");
+    ASSERT_NE(leak, nullptr);
+    ASSERT_TRUE(leak->config.bugInterposerCreditLeak);
+    const verify::CheckResult bad = run(*leak);
+    ASSERT_FALSE(bad.passed);
+    EXPECT_EQ(bad.violatedProperty, verify::property::deadlockFreedom);
+    verify::Model leakModel(leak->config);
+    std::vector<verify::Succ> succs;
+    leakModel.successors(bad.trace.back().state, succs);
+    EXPECT_TRUE(succs.empty());
+    EXPECT_FALSE(leakModel.terminal(bad.trace.back().state));
 }
 
 TEST(VerifyMutants, LostReplyMutantNamesTheStarvedTransaction)

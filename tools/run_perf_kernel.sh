@@ -128,6 +128,7 @@ gated = [
     "hotspot_cycles_per_sec",
     "vnet_uniform_cycles_per_sec",
     "vnet_hotspot_cycles_per_sec",
+    "chiplet_uniform_cycles_per_sec",
 ]
 failed = False
 for key in gated:

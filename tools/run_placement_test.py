@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Self-test for run_placement.py (stdlib unittest; wired into ctest).
+
+Two properties matter. First, shard-count independence: the ranked
+report must be byte-identical whatever -j is, because a placement
+recommendation that depended on scheduling would be worthless. Second,
+deterministic candidate generation: the family is a pure function of
+the chip shape, with in-bounds, collision-free, correctly sized tile
+sets. The tests drive run_placement.main() against a stub drsim whose
+metric is computed from the placement itself, with a sleep keyed to
+the tile sum so completion order scrambles under -j 4.
+"""
+
+import os
+import stat
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import run_placement  # noqa: E402
+
+STUB = """#!/bin/sh
+# Stub drsim: --dump-config reports a fixed chip; a run scores the
+# placement deterministically from its tile sum and sleeps a little on
+# even sums so completion order differs from submission order.
+for arg in "$@"; do
+  case "$arg" in
+    --dump-config)
+      echo "noc.meshWidth = 8"
+      echo "noc.meshHeight = 8"
+      echo "mem.numNodes = 4"
+      exit 0;;
+    mem.placement=*)
+      placement="${arg#mem.placement=}";;
+  esac
+done
+[ -n "$placement" ] || exit 4
+sum=$(echo "$placement" | tr ',' '\\n' | awk '{s+=$1} END {print s}')
+[ $((sum % 2)) -eq 0 ] && sleep 0.2
+awk -v s="$sum" 'BEGIN {
+  printf "{\\n  \\"sim.gpuIpc\\": %.3f,\\n", 100 / (1 + s % 17);
+  printf "  \\"sim.memBlockingRate\\": %.3f\\n}\\n", (s % 7) / 10;
+}'
+"""
+
+
+class StubSim:
+    """Temp dir holding the stub drsim and report outputs."""
+
+    def __enter__(self):
+        self.tmp = tempfile.TemporaryDirectory()
+        self.drsim = os.path.join(self.tmp.name, "drsim")
+        with open(self.drsim, "w", encoding="utf-8") as fh:
+            fh.write(STUB)
+        os.chmod(self.drsim, os.stat(self.drsim).st_mode
+                 | stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH)
+        return self
+
+    def __exit__(self, *exc):
+        self.tmp.cleanup()
+        return False
+
+    def run(self, jobs, out_name):
+        out = os.path.join(self.tmp.name, out_name)
+        rc = run_placement.main(["-j", str(jobs), "--drsim", self.drsim,
+                                 "-o", out])
+        data = b""
+        if os.path.exists(out):
+            with open(out, "rb") as fh:
+                data = fh.read()
+        return rc, data
+
+
+class CandidateFamilyTest(unittest.TestCase):
+    def test_candidates_are_pure_and_well_formed(self):
+        first = run_placement.candidates(16, 16, 16)
+        again = run_placement.candidates(16, 16, 16)
+        self.assertEqual(first, again)
+        self.assertGreaterEqual(len(first), 8)
+        seen = set()
+        for name, tiles in first:
+            self.assertEqual(len(tiles), 16, name)
+            self.assertEqual(len(set(tiles)), 16, name)
+            self.assertTrue(all(0 <= t < 256 for t in tiles), name)
+            self.assertNotIn(tuple(tiles), seen, name)
+            seen.add(tuple(tiles))
+
+    def test_colliding_shapes_are_dropped(self):
+        # 12 memory nodes cannot spread along one row of an 8-wide
+        # chip; the row/col shapes must be dropped, not emitted with
+        # duplicate tiles.
+        family = dict(run_placement.candidates(8, 8, 12))
+        self.assertNotIn("row-top", family)
+        for name, tiles in family.items():
+            self.assertEqual(len(set(tiles)), 12, name)
+
+
+class ShardIndependenceTest(unittest.TestCase):
+    def test_report_bytes_identical_across_jobs(self):
+        with StubSim() as sim:
+            rc1, serial = sim.run(1, "report_j1.txt")
+            rc4, sharded = sim.run(4, "report_j4.txt")
+        self.assertEqual(rc1, 0)
+        self.assertEqual(rc4, 0)
+        self.assertGreater(len(serial), 0)
+        self.assertEqual(serial, sharded,
+                         "ranked report depends on shard count")
+
+    def test_report_is_ranked_by_descending_ipc(self):
+        with StubSim() as sim:
+            rc, data = sim.run(4, "report.txt")
+        self.assertEqual(rc, 0)
+        rows = data.decode().splitlines()[2:]
+        ipcs = [float(row.split()[2]) for row in rows]
+        self.assertGreater(len(ipcs), 2)
+        self.assertEqual(ipcs, sorted(ipcs, reverse=True))
+
+
+class FailurePropagationTest(unittest.TestCase):
+    def test_failing_run_fails_the_search(self):
+        with StubSim() as sim:
+            # Break the stub after --dump-config parsing: a run with no
+            # placement exits 4, which must fail the whole search.
+            with open(sim.drsim, "a", encoding="utf-8") as fh:
+                fh.write("exit 4\n")
+            rc, data = sim.run(2, "report.txt")
+        self.assertEqual(rc, 1)
+        self.assertEqual(data, b"")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
